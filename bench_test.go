@@ -1,0 +1,598 @@
+// Package repro_test holds the benchmark harness that regenerates
+// every table and figure of the paper (one Benchmark per experiment,
+// reporting the headline quantities as custom metrics), micro
+// benchmarks of the hot HDC primitives, and the ablation benches
+// called out in DESIGN.md.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The experiment benches use reduced dataset scales so the full suite
+// completes in minutes; the cmd/experiments binary runs the same
+// drivers at full scale.
+package repro_test
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/hdc/am"
+	"repro/internal/hdc/cluster"
+	"repro/internal/hdc/encoding"
+	"repro/internal/hdc/model"
+	"repro/internal/hdc/regress"
+	"repro/internal/memsim"
+	"repro/internal/pim"
+	"repro/internal/recovery"
+	"repro/internal/stats"
+)
+
+// benchContext builds a reduced-scale experiment context. Each bench
+// gets a fresh context so model caches do not leak between runs.
+func benchContext() *experiments.Context {
+	return experiments.NewContext(experiments.Options{
+		Dimensions: 4000,
+		Trials:     1,
+		SizeScale:  0.3,
+		Seed:       2022,
+	})
+}
+
+// ---------------------------------------------------------------------------
+// One bench per paper table/figure.
+// ---------------------------------------------------------------------------
+
+// BenchmarkTable1 regenerates Table 1: HDC quality loss under random
+// noise across dimensionality and precision, versus the DNN.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table1(benchContext())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := len(res.Rates) - 1
+		for _, row := range res.Rows {
+			b.ReportMetric(row.Measured[last], metricUnit("loss15%:"+row.Label))
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates the Table 2 roster with clean accuracies.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table2(benchContext())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			b.ReportMetric(row.Accuracy, metricUnit("acc:"+row.Spec.Name))
+		}
+	}
+}
+
+// BenchmarkTable3 regenerates Table 3: quality loss of DNN, SVM,
+// AdaBoost, and HDC under random and targeted attacks.
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table3(benchContext())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := len(res.Rates) - 1
+		for _, cell := range res.Cells {
+			b.ReportMetric(cell.Measured[last], metricUnit("loss12%:"+cell.Algorithm+"-"+cell.Attack))
+		}
+	}
+}
+
+// BenchmarkTable4 regenerates Table 4: quality loss with and without
+// the RobustHD recovery loop.
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table4(benchContext())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := len(res.Rates) - 1
+		var with, without float64
+		for _, c := range res.Cells {
+			with += c.WithRecovery[last] / float64(len(res.Cells))
+			without += c.WithoutRecovery[last] / float64(len(res.Cells))
+		}
+		b.ReportMetric(without, "meanLoss10%:without")
+		b.ReportMetric(with, "meanLoss10%:with")
+	}
+}
+
+// BenchmarkFig2 regenerates Figure 2: PIM/GPU efficiency bars.
+func BenchmarkFig2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig2(benchContext())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, e := range res.Entries {
+			b.ReportMetric(e.Speedup, metricUnit("speedup:"+e.Name))
+			b.ReportMetric(e.EnergyEff, metricUnit("energyEff:"+e.Name))
+		}
+	}
+}
+
+// BenchmarkFig3 regenerates Figure 3: recovery dynamics across the
+// confidence threshold and substitution rate sweeps.
+func BenchmarkFig3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig3(benchContext())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range res.ConfidenceSweep {
+			b.ReportMetric(p.FinalLoss, "finalLossTC")
+		}
+	}
+}
+
+// BenchmarkFig4a regenerates Figure 4a: accuracy over years of PIM
+// operation for DNN and HDC workloads.
+func BenchmarkFig4a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig4a(benchContext())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range res.Series {
+			b.ReportMetric(s.LifetimeYears, metricUnit("lifetimeYears:"+s.Name))
+		}
+	}
+}
+
+// BenchmarkFig4b regenerates Figure 4b: DRAM refresh relaxation.
+func BenchmarkFig4b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig4b(benchContext())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := res.Points[len(res.Points)-1]
+		b.ReportMetric(last.EnergyImprovement, "energyGain@6%")
+		b.ReportMetric(last.HDCAccuracy-last.DNNAccuracy, "accGapHDCvsDNN@6%")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Micro benchmarks of the hot primitives.
+// ---------------------------------------------------------------------------
+
+func benchSystem(b *testing.B) (*core.System, *dataset.Dataset) {
+	b.Helper()
+	spec := dataset.PAMAP()
+	spec.TrainSize, spec.TestSize = 300, 100
+	ds, err := dataset.Generate(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := core.Train(ds.TrainX, ds.TrainY, spec.Classes, core.Config{Dimensions: 10000, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys, ds
+}
+
+// BenchmarkEncode measures record-encoding throughput at the paper's
+// D=10k operating point.
+func BenchmarkEncode(b *testing.B) {
+	sys, ds := benchSystem(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Encode(ds.TestX[i%len(ds.TestX)])
+	}
+}
+
+// BenchmarkPredict measures end-to-end classification (encode +
+// associative search).
+func BenchmarkPredict(b *testing.B) {
+	sys, ds := benchSystem(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Predict(ds.TestX[i%len(ds.TestX)])
+	}
+}
+
+// BenchmarkHamming10k measures the word-wise Hamming kernel.
+func BenchmarkHamming10k(b *testing.B) {
+	rng := stats.NewRNG(1)
+	x := bitvec.Random(10000, rng)
+	y := bitvec.Random(10000, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Hamming(y)
+	}
+}
+
+// BenchmarkBundle measures bit-sliced majority accumulation of 100
+// hypervectors.
+func BenchmarkBundle(b *testing.B) {
+	rng := stats.NewRNG(2)
+	vs := make([]*bitvec.Vector, 100)
+	for i := range vs {
+		vs[i] = bitvec.Random(10000, rng)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := bitvec.NewPlaneCounter(10000)
+		for _, v := range vs {
+			c.Add(v)
+		}
+		c.Majority()
+	}
+}
+
+// BenchmarkRecoveryObserve measures one recovery-loop observation.
+func BenchmarkRecoveryObserve(b *testing.B) {
+	sys, ds := benchSystem(b)
+	queries := sys.EncodeAll(ds.TestX)
+	r, err := sys.NewRecoverer(recovery.DefaultConfig(), 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Observe(queries[i%len(queries)])
+	}
+}
+
+// BenchmarkAttack10k measures a 10% random attack on a D=10k model.
+func BenchmarkAttack10k(b *testing.B) {
+	sys, _ := benchSystem(b)
+	img := sys.AttackImage()
+	rng := stats.NewRNG(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := attack.Random(img, 0.10, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNormalizerApply measures feature normalization.
+func BenchmarkNormalizerApply(b *testing.B) {
+	_, ds := benchSystem(b)
+	norm, err := encoding.FitNormalizer(ds.TrainX)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		norm.Apply(ds.TestX[i%len(ds.TestX)])
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablation benches (see DESIGN.md).
+// ---------------------------------------------------------------------------
+
+// ablationRecovery runs attack + recovery with the given config and
+// returns the final quality loss in points.
+func ablationRecovery(b *testing.B, mutate func(*recovery.Config)) float64 {
+	b.Helper()
+	sys, ds := benchSystem(b)
+	queries := sys.EncodeAll(ds.TestX)
+	clean := sys.Model().Accuracy(queries, ds.TestY)
+	if _, err := sys.AttackRandom(0.15, 7); err != nil {
+		b.Fatal(err)
+	}
+	cfg := recovery.DefaultConfig()
+	mutate(&cfg)
+	r, err := sys.NewRecoverer(cfg, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for pass := 0; pass < 3; pass++ {
+		r.Run(queries)
+	}
+	return stats.QualityLoss(clean, sys.Model().Accuracy(queries, ds.TestY))
+}
+
+// BenchmarkAblationChunks sweeps the fault-detection chunk count m.
+func BenchmarkAblationChunks(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, m := range []int{2, 10, 50} {
+			loss := ablationRecovery(b, func(c *recovery.Config) { c.Chunks = m })
+			b.ReportMetric(loss, "loss:m="+itoa(m))
+		}
+	}
+}
+
+// BenchmarkAblationConfidenceGate compares the default gate against a
+// disabled (accept-everything) gate.
+func BenchmarkAblationConfidenceGate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		withGate := ablationRecovery(b, func(c *recovery.Config) {})
+		noGate := ablationRecovery(b, func(c *recovery.Config) {
+			c.ConfidenceThreshold = 1.0 / 1e6 // trust everything
+			c.GuardZ = -1
+		})
+		b.ReportMetric(withGate, "loss:gated")
+		b.ReportMetric(noGate, "loss:ungated")
+	}
+}
+
+// BenchmarkAblationSubstitution compares probabilistic substitution
+// against full-chunk overwrite (S = 1).
+func BenchmarkAblationSubstitution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		prob := ablationRecovery(b, func(c *recovery.Config) { c.SubstitutionRate = 0.25 })
+		overwrite := ablationRecovery(b, func(c *recovery.Config) { c.SubstitutionRate = 1.0 })
+		b.ReportMetric(prob, "loss:S=0.25")
+		b.ReportMetric(overwrite, "loss:S=1.0")
+	}
+}
+
+// BenchmarkAblationEnsemble compares the paper's single-query
+// substitution against the ensemble extension on grossly damaged
+// models (where substitution actually engages): the reported metric is
+// the residual Hamming distance to the clean model after recovery.
+func BenchmarkAblationEnsemble(b *testing.B) {
+	// Correlated-prototype stream (small class margins, the regime
+	// where the chunk contest engages under gross uniform damage).
+	const dims, classes, streamN = 4096, 3, 600
+	rng := stats.NewRNG(20)
+	base := bitvec.Random(dims, rng)
+	protos := make([]*bitvec.Vector, classes)
+	for c := range protos {
+		protos[c] = base.Clone()
+		protos[c].FlipBernoulli(0.04, rng)
+	}
+	draw := func(n int, r2 *stats2Rand) ([]*bitvec.Vector, []int) {
+		xs := make([]*bitvec.Vector, n)
+		ys := make([]int, n)
+		for i := range xs {
+			c := i % classes
+			v := protos[c].Clone()
+			v.FlipBernoulli(0.05, r2.r)
+			xs[i], ys[i] = v, c
+		}
+		return xs, ys
+	}
+	for i := 0; i < b.N; i++ {
+		for _, window := range []int{0, 8} {
+			r2 := &stats2Rand{r: stats.NewRNG(21)}
+			trainX, trainY := draw(60, r2)
+			m := mustModel(b, classes, dims)
+			if err := m.Train(trainX, trainY); err != nil {
+				b.Fatal(err)
+			}
+			snap := m.SnapshotDeployed()
+			arng := stats.NewRNG(22)
+			for c := 0; c < classes; c++ {
+				m.ClassVector(c).FlipBernoulli(0.25, arng)
+			}
+			cfg := recovery.DefaultConfig()
+			cfg.GuardZ = -1
+			cfg.ConfidenceThreshold = 0.8
+			cfg.EnsembleWindow = window
+			r, err := recovery.New(m, cfg, 23)
+			if err != nil {
+				b.Fatal(err)
+			}
+			stream, _ := draw(streamN, r2)
+			r.Run(stream)
+			dist := 0
+			for c := 0; c < classes; c++ {
+				dist += m.ClassVector(c).Hamming(snap[c])
+			}
+			b.ReportMetric(float64(dist), metricUnit("residualBits:W="+itoa(window)))
+		}
+	}
+}
+
+// stats2Rand wraps the RNG so draw closures share one stream.
+type stats2Rand struct{ r *rand.Rand }
+
+func mustModel(b *testing.B, classes, dims int) *model.Model {
+	b.Helper()
+	m, err := model.New(classes, dims)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkAblationPrecision compares binary vs 2-bit HDC model
+// robustness at a 15% attack.
+func BenchmarkAblationPrecision(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sys, ds := benchSystem(b)
+		queries := sys.EncodeAll(ds.TestX)
+		for _, bits := range []int{1, 2} {
+			q, err := sys.Quantize(bits)
+			if err != nil {
+				b.Fatal(err)
+			}
+			clean := q.Accuracy(queries, ds.TestY)
+			img := attack.NewQuantizedModel(q)
+			if _, err := attack.Random(img, 0.15, stats.NewRNG(11)); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(stats.QualityLoss(clean, q.Accuracy(queries, ds.TestY)), "loss:bits="+itoa(bits))
+		}
+	}
+}
+
+// BenchmarkAblationWearLevel compares PIM lifetime with and without
+// wear leveling.
+func BenchmarkAblationWearLevel(b *testing.B) {
+	m := pim.NewCostModel()
+	w, err := pim.HDCWorkload(m, 561, 10000, 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		on := pim.DefaultLifetimeConfig(w)
+		off := on
+		off.WearLeveling.Enabled = false
+		off.WearLeveling.HotFraction = 0.1
+		yOn, err := on.YearsUntilErrorRate(0.01)
+		if err != nil {
+			b.Fatal(err)
+		}
+		yOff, err := off.YearsUntilErrorRate(0.01)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(yOn, "years:leveled")
+		b.ReportMetric(yOff, "years:unleveled")
+	}
+}
+
+// metricUnit makes a label safe for testing.B.ReportMetric (units
+// must not contain whitespace).
+func metricUnit(s string) string {
+	out := make([]byte, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == ' ' || c == '\t' {
+			c = '_'
+		}
+		out[i] = c
+	}
+	return string(out)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// ---------------------------------------------------------------------------
+// Micro benchmarks of the extension substrates.
+// ---------------------------------------------------------------------------
+
+// BenchmarkAssociativeRecall measures cleanup-memory recall over 100
+// stored items at D=10k.
+func BenchmarkAssociativeRecall(b *testing.B) {
+	rng := stats.NewRNG(30)
+	memory, err := am.New(10000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var items []*bitvec.Vector
+	for i := 0; i < 100; i++ {
+		v := bitvec.Random(10000, rng)
+		items = append(items, v)
+		if err := memory.Store(itoa(i), v); err != nil {
+			b.Fatal(err)
+		}
+	}
+	q := items[42].Clone()
+	q.FlipBernoulli(0.1, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := memory.Recall(q); !ok {
+			b.Fatal("recall failed")
+		}
+	}
+}
+
+// BenchmarkClusterRun measures hyperdimensional k-means over 300
+// points.
+func BenchmarkClusterRun(b *testing.B) {
+	rng := stats.NewRNG(31)
+	protos := make([]*bitvec.Vector, 5)
+	for c := range protos {
+		protos[c] = bitvec.Random(4096, rng)
+	}
+	var points []*bitvec.Vector
+	for i := 0; i < 300; i++ {
+		v := protos[i%5].Clone()
+		v.FlipBernoulli(0.1, rng)
+		points = append(points, v)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.Run(points, cluster.Config{K: 5, Seed: 32}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCrossbarNOR measures one row-parallel in-memory NOR over
+// 10k rows.
+func BenchmarkCrossbarNOR(b *testing.B) {
+	xb, err := pim.NewCrossbar(10000, 4, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := stats.NewRNG(33)
+	for col := 0; col < 2; col++ {
+		bits := make([]bool, 10000)
+		for i := range bits {
+			bits[i] = rng.Float64() < 0.5
+		}
+		if err := xb.LoadColumn(col, bits); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		xb.NOR([]int{0, 1}, 2)
+	}
+}
+
+// BenchmarkSECDEDDecode measures the ECC decode path.
+func BenchmarkSECDEDDecode(b *testing.B) {
+	var c memsim.SECDED
+	word := uint64(0xDEADBEEFCAFEBABE)
+	check := c.Encode(word)
+	corrupted := word ^ (1 << 17)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, res := c.Decode(corrupted, check); res != memsim.DecodeCorrected {
+			b.Fatal("decode failed")
+		}
+	}
+}
+
+// BenchmarkRegressionPredict measures a deployed HDC regression
+// prediction at D=8192.
+func BenchmarkRegressionPredict(b *testing.B) {
+	rng := stats.NewRNG(34)
+	enc, err := encoding.NewRecordEncoder(8192, 12, 16, 0, 1, 35)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var hs []*bitvec.Vector
+	var ys []float64
+	for i := 0; i < 150; i++ {
+		x := make([]float64, 12)
+		for j := range x {
+			x[j] = rng.Float64()
+		}
+		hs = append(hs, enc.Encode(x))
+		ys = append(ys, 2*x[0]-x[1])
+	}
+	r, err := regress.Train(hs, ys, regress.Config{Epochs: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := r.Deploy()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Predict(hs[i%len(hs)])
+	}
+}

@@ -1,0 +1,92 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-run all|table1|table2|table3|table4|fig2|fig3|fig4a|fig4b]
+//	            [-dims 10000] [-trials 3] [-scale 1.0] [-full] [-seed 2022]
+//
+// Each experiment prints its result shaped like the publication, with
+// the paper's published value next to each measured cell where the
+// paper reports one.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiments to run (comma separated): all, table1, table2, table3, table4, fig2, fig3, fig4a, fig4b")
+	dims := flag.Int("dims", 10000, "hypervector dimensionality")
+	trials := flag.Int("trials", 3, "attack trials averaged per cell")
+	scale := flag.Float64("scale", 1.0, "dataset size scale factor")
+	full := flag.Bool("full", false, "use paper-scale dataset sizes (slow)")
+	seed := flag.Uint64("seed", 2022, "master experiment seed")
+	flag.Parse()
+
+	ctx := experiments.NewContext(experiments.Options{
+		Dimensions: *dims,
+		Trials:     *trials,
+		SizeScale:  *scale,
+		Full:       *full,
+		Seed:       *seed,
+	})
+
+	type driver struct {
+		name string
+		fn   func() (fmt.Stringer, error)
+	}
+	render := func(r interface{ Render() string }, err error) (fmt.Stringer, error) {
+		if err != nil {
+			return nil, err
+		}
+		return stringer{r.Render()}, nil
+	}
+	drivers := []driver{
+		{"table2", func() (fmt.Stringer, error) { return render(orErr(experiments.Table2(ctx))) }},
+		{"table1", func() (fmt.Stringer, error) { return render(orErr(experiments.Table1(ctx))) }},
+		{"table3", func() (fmt.Stringer, error) { return render(orErr(experiments.Table3(ctx))) }},
+		{"table4", func() (fmt.Stringer, error) { return render(orErr(experiments.Table4(ctx))) }},
+		{"fig2", func() (fmt.Stringer, error) { return render(orErr(experiments.Fig2(ctx))) }},
+		{"fig3", func() (fmt.Stringer, error) { return render(orErr(experiments.Fig3(ctx))) }},
+		{"fig4a", func() (fmt.Stringer, error) { return render(orErr(experiments.Fig4a(ctx))) }},
+		{"fig4b", func() (fmt.Stringer, error) { return render(orErr(experiments.Fig4b(ctx))) }},
+	}
+
+	want := map[string]bool{}
+	for _, name := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(strings.ToLower(name))] = true
+	}
+	ranAny := false
+	for _, d := range drivers {
+		if !want["all"] && !want[d.name] {
+			continue
+		}
+		ranAny = true
+		start := time.Now()
+		out, err := d.fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", d.name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s\n[%s took %.1fs]\n\n", out, d.name, time.Since(start).Seconds())
+	}
+	if !ranAny {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; see -h\n", *run)
+		os.Exit(2)
+	}
+}
+
+type stringer struct{ s string }
+
+func (s stringer) String() string { return s.s }
+
+// orErr adapts (T, error) pairs for the driver table.
+func orErr[T interface{ Render() string }](v T, err error) (interface{ Render() string }, error) {
+	return v, err
+}

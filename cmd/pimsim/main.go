@@ -1,0 +1,101 @@
+// Command pimsim prices inference workloads on the DPIM simulator:
+// per-inference cycles, cell writes, switching energy, throughput, and
+// endurance-limited lifetime.
+//
+// Usage:
+//
+//	pimsim -workload dnn -layers 784,512,512,10 -bits 8
+//	pimsim -workload hdc -features 784 -dims 10000 -classes 10
+//	pimsim -workload compare            # the Figure 2 comparison
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/pim"
+)
+
+func main() {
+	workload := flag.String("workload", "compare", "dnn, hdc, or compare")
+	layersArg := flag.String("layers", "784,512,512,10", "DNN layer sizes")
+	bits := flag.Int("bits", 8, "DNN weight precision")
+	features := flag.Int("features", 784, "HDC feature count")
+	dims := flag.Int("dims", 10000, "HDC dimensionality")
+	classes := flag.Int("classes", 10, "HDC class count")
+	rate := flag.Float64("rate", 0.1, "inferences per second for lifetime estimates")
+	flag.Parse()
+
+	m := pim.NewCostModel()
+	chip := pim.DefaultChip()
+
+	switch *workload {
+	case "dnn":
+		layers, err := parseLayers(*layersArg)
+		if err != nil {
+			fail(err)
+		}
+		w, err := pim.DNNWorkload(m, layers, *bits)
+		if err != nil {
+			fail(err)
+		}
+		report(w, chip, *rate)
+	case "hdc":
+		w, err := pim.HDCWorkload(m, *features, *dims, *classes)
+		if err != nil {
+			fail(err)
+		}
+		report(w, chip, *rate)
+	case "compare":
+		entries, err := pim.Figure2(pim.DefaultFigure2Config())
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("Efficiency normalized to DNN-GPU = 1:")
+		for _, e := range entries {
+			fmt.Printf("  %-8s speedup %7.1fx  energy efficiency %7.1fx\n", e.Name, e.Speedup, e.EnergyEff)
+		}
+	default:
+		fail(fmt.Errorf("unknown workload %q", *workload))
+	}
+}
+
+func report(w pim.Workload, chip pim.Chip, rate float64) {
+	c := w.PerInference
+	fmt.Printf("workload %s\n", w.Name)
+	fmt.Printf("  per inference: %d cycles (%.2f us), %d NOR ops, %d cell writes, %.3f uJ\n",
+		c.Cycles, c.LatencyNs(chip.Dev)/1000, c.NORs, c.CellWrites, c.EnergyPJ/1e6)
+	fmt.Printf("  chip throughput: %.3g inferences/s (%d tiles)\n", chip.Throughput(w), chip.Tiles)
+	fmt.Printf("  system energy/inference: %.3g J\n", chip.EnergyPerInferenceJ(w))
+
+	lc := pim.DefaultLifetimeConfig(w)
+	lc.InferencesPerSecond = rate
+	fmt.Printf("  wear at %.2g inf/s: %.3g writes/cell/s over %d cells\n",
+		rate, lc.WritesPerCellPerSecond(), w.ArrayCells)
+	for _, e := range []float64{0.001, 0.01, 0.05} {
+		if y, err := lc.YearsUntilErrorRate(e); err == nil {
+			fmt.Printf("  years until %.1f%% stuck-bit error: %.2f\n", e*100, y)
+		}
+	}
+}
+
+func parseLayers(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad layer size %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "pimsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,69 @@
+package attack
+
+import (
+	"fmt"
+
+	"repro/internal/hdc/model"
+)
+
+// BinaryModel adapts a deployed binary HDC model to the Image
+// interface: one element per (class, dimension) bit. With a single bit
+// per element, random and targeted attacks are identical — the
+// holographic-representation property the paper exploits.
+type BinaryModel struct {
+	m *model.Model
+}
+
+// NewBinaryModel wraps a trained model's deployed class hypervectors.
+func NewBinaryModel(m *model.Model) *BinaryModel { return &BinaryModel{m: m} }
+
+// Elements returns classes × dimensions.
+func (b *BinaryModel) Elements() int { return b.m.Classes() * b.m.Dimensions() }
+
+// BitsPerElement returns 1.
+func (b *BinaryModel) BitsPerElement() int { return 1 }
+
+// BitDamageOrder returns the single bit — every bit carries equal
+// weight in a holographic representation.
+func (b *BinaryModel) BitDamageOrder() []int { return []int{0} }
+
+// FlipBit flips the single bit of element i (class-major layout).
+func (b *BinaryModel) FlipBit(i, bit int) {
+	if bit != 0 {
+		panic(fmt.Sprintf("attack: binary element has no bit %d", bit))
+	}
+	d := b.m.Dimensions()
+	b.m.ClassVector(i / d).Flip(i % d)
+}
+
+// QuantizedModel adapts a b-bit quantized HDC deployment to the Image
+// interface: one element per (class, dimension) level, b bits wide,
+// with the sign bit (position 0 in the stored layout) as the critical
+// bit.
+type QuantizedModel struct {
+	q *model.Quantized
+}
+
+// NewQuantizedModel wraps a quantized deployment.
+func NewQuantizedModel(q *model.Quantized) *QuantizedModel { return &QuantizedModel{q: q} }
+
+// Elements returns classes × dimensions.
+func (a *QuantizedModel) Elements() int { return a.q.Classes() * a.q.Dimensions() }
+
+// BitsPerElement returns the quantization width.
+func (a *QuantizedModel) BitsPerElement() int { return a.q.Bits() }
+
+// BitDamageOrder returns the sign bit (position 0 of the stored
+// sign-magnitude layout) first, then magnitude bits from the top down.
+func (a *QuantizedModel) BitDamageOrder() []int {
+	order := []int{0}
+	for b := a.q.Bits() - 1; b >= 1; b-- {
+		order = append(order, b)
+	}
+	return order
+}
+
+// FlipBit flips bit within element i of the deployed image.
+func (a *QuantizedModel) FlipBit(i, bit int) {
+	a.q.FlipBit(i*a.q.Bits() + bit)
+}

@@ -1,0 +1,104 @@
+package attack
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/stats"
+)
+
+// Process models an ongoing fault source (retention noise, soft
+// errors, periodic hammering): every Step injects a fresh attack at
+// the configured per-step rate. It is the attack-side counterpart of
+// the runtime recovery loop — Figure 3's error-accumulation scenarios
+// interleave Process steps with recovery observations.
+type Process struct {
+	img      Image
+	rate     float64
+	targeted bool
+	rng      *rand.Rand
+
+	steps       int
+	bitsFlipped int
+}
+
+// NewProcess creates a fault process over the image flipping
+// rate·(total bits) per step (targeted selects worst-case positions).
+func NewProcess(img Image, ratePerStep float64, targeted bool, seed uint64) (*Process, error) {
+	if ratePerStep < 0 || ratePerStep > 1 {
+		return nil, fmt.Errorf("attack: per-step rate %v out of [0,1]", ratePerStep)
+	}
+	if err := checkImage(img, ratePerStep); err != nil {
+		return nil, err
+	}
+	return &Process{
+		img:      img,
+		rate:     ratePerStep,
+		targeted: targeted,
+		rng:      stats.NewRNG(seed ^ 0x9E6C63D0876A9A99),
+	}, nil
+}
+
+// Step injects one round of faults.
+func (p *Process) Step() (Result, error) {
+	var res Result
+	var err error
+	if p.targeted {
+		res, err = Targeted(p.img, p.rate, p.rng)
+	} else {
+		res, err = Random(p.img, p.rate, p.rng)
+	}
+	if err != nil {
+		return res, err
+	}
+	p.steps++
+	p.bitsFlipped += res.BitsFlipped
+	return res, nil
+}
+
+// Steps returns how many rounds have run.
+func (p *Process) Steps() int { return p.steps }
+
+// BitsFlipped returns the cumulative flip count (re-flips of the same
+// position count each time).
+func (p *Process) BitsFlipped() int { return p.bitsFlipped }
+
+// Burst injects a clustered fault: every bit of a contiguous span of
+// elements flips independently with flipProb. This is the row-hammer
+// shape — physical attacks corrupt adjacent memory rows, not uniformly
+// scattered bits — and the localized damage the recovery loop's chunk
+// detection is most sensitive to. spanFrac is the fraction of the
+// element range covered (0, 1]; the span's position is random.
+func Burst(img Image, spanFrac, flipProb float64, rng *rand.Rand) (Result, error) {
+	if spanFrac <= 0 || spanFrac > 1 {
+		return Result{}, fmt.Errorf("attack: span fraction %v out of (0,1]", spanFrac)
+	}
+	if flipProb < 0 || flipProb > 1 {
+		return Result{}, fmt.Errorf("attack: flip probability %v out of [0,1]", flipProb)
+	}
+	elements := img.Elements()
+	bits := img.BitsPerElement()
+	span := int(spanFrac * float64(elements))
+	if span < 1 {
+		span = 1
+	}
+	lo := 0
+	if elements > span {
+		lo = rng.IntN(elements - span + 1)
+	}
+	var res Result
+	for e := lo; e < lo+span; e++ {
+		hit := false
+		for b := 0; b < bits; b++ {
+			if rng.Float64() < flipProb {
+				img.FlipBit(e, b)
+				res.BitsFlipped++
+				hit = true
+			}
+		}
+		if hit {
+			res.ElementsHit++
+		}
+	}
+	return res, nil
+}

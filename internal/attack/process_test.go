@@ -1,0 +1,118 @@
+package attack
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestProcessAccumulates(t *testing.T) {
+	img := newFake(1000, 8)
+	p, err := NewProcess(img, 0.01, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		res, err := p.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.BitsFlipped != 80 { // 1% of 8000 bits
+			t.Fatalf("step %d flipped %d", i, res.BitsFlipped)
+		}
+	}
+	if p.Steps() != 5 || p.BitsFlipped() != 400 {
+		t.Fatalf("steps %d flips %d", p.Steps(), p.BitsFlipped())
+	}
+}
+
+func TestProcessTargeted(t *testing.T) {
+	img := newFake(1000, 8)
+	p, err := NewProcess(img, 0.01, true, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Step(); err != nil {
+		t.Fatal(err)
+	}
+	for key := range img.flips {
+		if key[1] != 7 {
+			t.Fatalf("targeted process flipped bit %d", key[1])
+		}
+	}
+}
+
+func TestProcessValidation(t *testing.T) {
+	img := newFake(10, 8)
+	if _, err := NewProcess(img, -0.1, false, 3); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+	if _, err := NewProcess(img, 1.5, false, 3); err == nil {
+		t.Fatal("rate > 1 accepted")
+	}
+}
+
+func TestProcessDeterministic(t *testing.T) {
+	run := func() int {
+		img := newFake(500, 8)
+		p, _ := NewProcess(img, 0.05, false, 42)
+		for i := 0; i < 3; i++ {
+			p.Step()
+		}
+		return len(img.flips)
+	}
+	if run() != run() {
+		t.Fatal("same-seed processes diverged")
+	}
+}
+
+func TestBurstClustersDamage(t *testing.T) {
+	img := newFake(1000, 1)
+	rng := stats.NewRNG(4)
+	res, err := Burst(img, 0.1, 0.5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BitsFlipped == 0 {
+		t.Fatal("burst flipped nothing")
+	}
+	// All hits must land inside one contiguous 100-element span.
+	lo, hi := 1<<30, -1
+	for key := range img.flips {
+		if key[0] < lo {
+			lo = key[0]
+		}
+		if key[0] > hi {
+			hi = key[0]
+		}
+	}
+	if hi-lo >= 100 {
+		t.Fatalf("burst spanned [%d,%d], want within 100 elements", lo, hi)
+	}
+	// Expected ~50 of 100 elements hit at flipProb 0.5.
+	if res.ElementsHit < 25 || res.ElementsHit > 75 {
+		t.Fatalf("ElementsHit = %d", res.ElementsHit)
+	}
+}
+
+func TestBurstValidation(t *testing.T) {
+	img := newFake(10, 1)
+	rng := stats.NewRNG(5)
+	if _, err := Burst(img, 0, 0.5, rng); err == nil {
+		t.Fatal("zero span accepted")
+	}
+	if _, err := Burst(img, 0.5, 1.5, rng); err == nil {
+		t.Fatal("bad probability accepted")
+	}
+}
+
+func TestBurstFullSpan(t *testing.T) {
+	img := newFake(10, 2)
+	rng := stats.NewRNG(6)
+	if _, err := Burst(img, 1.0, 1.0, rng); err != nil {
+		t.Fatal(err)
+	}
+	if len(img.flips) != 20 {
+		t.Fatalf("full burst flipped %d positions, want 20", len(img.flips))
+	}
+}

@@ -1,0 +1,397 @@
+// Package bitvec implements dense bit-packed binary vectors.
+//
+// A Vector stores D bits in ceil(D/64) machine words. All
+// hyperdimensional structures in this repository (base hypervectors,
+// encoded queries, class hypervectors) are Vectors, so the hot paths —
+// XOR binding, Hamming distance, chunked Hamming distance, and
+// probabilistic bit substitution — are implemented here as word-wise
+// loops using math/bits popcounts.
+//
+// Vectors have value-like semantics through Clone/CopyFrom; the
+// in-place operations (XorInPlace, Flip, ...) exist for the hot loops
+// that must not allocate.
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand/v2"
+)
+
+const wordBits = 64
+
+// Vector is a fixed-length sequence of bits packed into uint64 words.
+// The zero value is an empty (length 0) vector; use New or Random to
+// construct usable vectors.
+type Vector struct {
+	words []uint64
+	n     int
+}
+
+// New returns an all-zero vector of n bits. It panics if n is negative.
+func New(n int) *Vector {
+	if n < 0 {
+		panic("bitvec: negative length")
+	}
+	return &Vector{words: make([]uint64, wordsFor(n)), n: n}
+}
+
+// Random returns a vector of n uniformly random bits drawn from rng.
+func Random(n int, rng *rand.Rand) *Vector {
+	v := New(n)
+	for i := range v.words {
+		v.words[i] = rng.Uint64()
+	}
+	v.maskTail()
+	return v
+}
+
+// FromBools builds a vector from a slice of booleans, one bit per
+// element in order.
+func FromBools(bits []bool) *Vector {
+	v := New(len(bits))
+	for i, b := range bits {
+		if b {
+			v.Set(i, true)
+		}
+	}
+	return v
+}
+
+func wordsFor(n int) int { return (n + wordBits - 1) / wordBits }
+
+// maskTail clears the unused high bits of the final word so that
+// popcounts and equality never see garbage.
+func (v *Vector) maskTail() {
+	if rem := v.n % wordBits; rem != 0 && len(v.words) > 0 {
+		v.words[len(v.words)-1] &= (1 << uint(rem)) - 1
+	}
+}
+
+// Len returns the number of bits in the vector.
+func (v *Vector) Len() int { return v.n }
+
+// Words exposes the underlying packed words. The returned slice aliases
+// the vector's storage; callers that mutate it must respect the tail
+// mask (bits at positions >= Len() must stay zero).
+func (v *Vector) Words() []uint64 { return v.words }
+
+// Get reports whether bit i is set. It panics if i is out of range.
+func (v *Vector) Get(i int) bool {
+	v.check(i)
+	return v.words[i/wordBits]>>(uint(i)%wordBits)&1 == 1
+}
+
+// Set sets bit i to b. It panics if i is out of range.
+func (v *Vector) Set(i int, b bool) {
+	v.check(i)
+	mask := uint64(1) << (uint(i) % wordBits)
+	if b {
+		v.words[i/wordBits] |= mask
+	} else {
+		v.words[i/wordBits] &^= mask
+	}
+}
+
+// Flip inverts bit i. It panics if i is out of range.
+func (v *Vector) Flip(i int) {
+	v.check(i)
+	v.words[i/wordBits] ^= 1 << (uint(i) % wordBits)
+}
+
+func (v *Vector) check(i int) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitvec: index %d out of range [0,%d)", i, v.n))
+	}
+}
+
+// Clone returns an independent copy of v.
+func (v *Vector) Clone() *Vector {
+	c := &Vector{words: make([]uint64, len(v.words)), n: v.n}
+	copy(c.words, v.words)
+	return c
+}
+
+// CopyFrom overwrites v's bits with src's. Both vectors must have the
+// same length.
+func (v *Vector) CopyFrom(src *Vector) {
+	v.mustMatch(src)
+	copy(v.words, src.words)
+}
+
+// Equal reports whether v and o hold identical bits.
+func (v *Vector) Equal(o *Vector) bool {
+	if v.n != o.n {
+		return false
+	}
+	for i, w := range v.words {
+		if w != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// OnesCount returns the number of set bits.
+func (v *Vector) OnesCount() int {
+	total := 0
+	for _, w := range v.words {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// Xor returns a new vector holding v XOR o. The inputs must have equal
+// lengths. XOR is the HDC binding operator.
+func (v *Vector) Xor(o *Vector) *Vector {
+	v.mustMatch(o)
+	out := New(v.n)
+	for i := range v.words {
+		out.words[i] = v.words[i] ^ o.words[i]
+	}
+	return out
+}
+
+// XorInPlace sets v = v XOR o without allocating.
+func (v *Vector) XorInPlace(o *Vector) {
+	v.mustMatch(o)
+	for i := range v.words {
+		v.words[i] ^= o.words[i]
+	}
+}
+
+// XorInto sets dst = v XOR o without allocating. All three vectors must
+// have the same length; dst may alias v or o.
+func (v *Vector) XorInto(dst, o *Vector) {
+	v.mustMatch(o)
+	v.mustMatch(dst)
+	for i := range v.words {
+		dst.words[i] = v.words[i] ^ o.words[i]
+	}
+}
+
+// And returns a new vector holding v AND o.
+func (v *Vector) And(o *Vector) *Vector {
+	v.mustMatch(o)
+	out := New(v.n)
+	for i := range v.words {
+		out.words[i] = v.words[i] & o.words[i]
+	}
+	return out
+}
+
+// Or returns a new vector holding v OR o.
+func (v *Vector) Or(o *Vector) *Vector {
+	v.mustMatch(o)
+	out := New(v.n)
+	for i := range v.words {
+		out.words[i] = v.words[i] | o.words[i]
+	}
+	return out
+}
+
+// Not returns a new vector with every bit of v inverted.
+func (v *Vector) Not() *Vector {
+	out := New(v.n)
+	for i := range v.words {
+		out.words[i] = ^v.words[i]
+	}
+	out.maskTail()
+	return out
+}
+
+// Hamming returns the Hamming distance between v and o (the number of
+// positions where they differ). The vectors must have equal lengths.
+func (v *Vector) Hamming(o *Vector) int {
+	v.mustMatch(o)
+	total := 0
+	for i, w := range v.words {
+		total += bits.OnesCount64(w ^ o.words[i])
+	}
+	return total
+}
+
+// Similarity returns the normalized Hamming similarity
+// 1 - Hamming(v,o)/Len, a value in [0, 1] where 1 means identical and
+// ~0.5 means unrelated random vectors.
+func (v *Vector) Similarity(o *Vector) float64 {
+	if v.n == 0 {
+		return 1
+	}
+	return 1 - float64(v.Hamming(o))/float64(v.n)
+}
+
+// HammingRange returns the Hamming distance restricted to the bit range
+// [lo, hi). It panics if the range is invalid. This is the primitive
+// behind per-chunk fault detection.
+func (v *Vector) HammingRange(o *Vector, lo, hi int) int {
+	v.mustMatch(o)
+	v.checkRange(lo, hi)
+	if lo == hi {
+		return 0
+	}
+	total := 0
+	firstWord, lastWord := lo/wordBits, (hi-1)/wordBits
+	for w := firstWord; w <= lastWord; w++ {
+		x := v.words[w] ^ o.words[w]
+		x &= rangeMask(w, lo, hi)
+		total += bits.OnesCount64(x)
+	}
+	return total
+}
+
+// SimilarityRange returns the normalized similarity over [lo, hi).
+func (v *Vector) SimilarityRange(o *Vector, lo, hi int) float64 {
+	if hi == lo {
+		return 1
+	}
+	return 1 - float64(v.HammingRange(o, lo, hi))/float64(hi-lo)
+}
+
+// rangeMask returns the mask of bits of word w that fall inside the
+// global bit range [lo, hi).
+func rangeMask(w, lo, hi int) uint64 {
+	mask := ^uint64(0)
+	wordLo := w * wordBits
+	if lo > wordLo {
+		mask &= ^uint64(0) << uint(lo-wordLo)
+	}
+	wordHi := wordLo + wordBits
+	if hi < wordHi {
+		mask &= (1 << uint(hi-wordLo)) - 1
+	}
+	return mask
+}
+
+func (v *Vector) checkRange(lo, hi int) {
+	if lo < 0 || hi > v.n || lo > hi {
+		panic(fmt.Sprintf("bitvec: range [%d,%d) out of bounds [0,%d)", lo, hi, v.n))
+	}
+}
+
+// FlipRandom flips exactly k distinct randomly chosen bits of v. It
+// panics if k exceeds Len. This models a bit-flip attack of known size.
+func (v *Vector) FlipRandom(k int, rng *rand.Rand) {
+	if k < 0 || k > v.n {
+		panic("bitvec: FlipRandom count out of range")
+	}
+	// Floyd's algorithm for a k-subset of [0, n).
+	chosen := make(map[int]struct{}, k)
+	for j := v.n - k; j < v.n; j++ {
+		t := rng.IntN(j + 1)
+		if _, dup := chosen[t]; dup {
+			t = j
+		}
+		chosen[t] = struct{}{}
+		v.Flip(t)
+	}
+}
+
+// FlipBernoulli flips each bit independently with probability p and
+// returns the number of flips performed. It panics unless 0 <= p <= 1.
+func (v *Vector) FlipBernoulli(p float64, rng *rand.Rand) int {
+	if p < 0 || p > 1 {
+		panic("bitvec: probability out of range")
+	}
+	flips := 0
+	for i := 0; i < v.n; i++ {
+		if rng.Float64() < p {
+			v.Flip(i)
+			flips++
+		}
+	}
+	return flips
+}
+
+// SubstituteRange copies each bit of src in [lo, hi) into v
+// independently with probability p, returning the number of positions
+// copied (including ones that already matched). This is the paper's
+// probabilistic substitution p·Q | (1−p)·C used to pull a faulty class
+// chunk toward a trusted query.
+func (v *Vector) SubstituteRange(src *Vector, lo, hi int, p float64, rng *rand.Rand) int {
+	v.mustMatch(src)
+	v.checkRange(lo, hi)
+	if p < 0 || p > 1 {
+		panic("bitvec: probability out of range")
+	}
+	copied := 0
+	for i := lo; i < hi; i++ {
+		if rng.Float64() < p {
+			v.Set(i, src.Get(i))
+			copied++
+		}
+	}
+	return copied
+}
+
+// OverwriteRange copies all bits of src in [lo, hi) into v. Equivalent
+// to SubstituteRange with p = 1 but faster (word-wise).
+func (v *Vector) OverwriteRange(src *Vector, lo, hi int) {
+	v.mustMatch(src)
+	v.checkRange(lo, hi)
+	if lo == hi {
+		return
+	}
+	firstWord, lastWord := lo/wordBits, (hi-1)/wordBits
+	for w := firstWord; w <= lastWord; w++ {
+		mask := rangeMask(w, lo, hi)
+		v.words[w] = v.words[w]&^mask | src.words[w]&mask
+	}
+}
+
+// RotateLeft returns a new vector equal to v cyclically rotated left by
+// k bit positions (bit i of the result is bit (i+k) mod Len of v).
+// Rotation implements the HDC permutation operator.
+func (v *Vector) RotateLeft(k int) *Vector {
+	out := New(v.n)
+	if v.n == 0 {
+		return out
+	}
+	k = ((k % v.n) + v.n) % v.n
+	for i := 0; i < v.n; i++ {
+		if v.Get((i + k) % v.n) {
+			out.Set(i, true)
+		}
+	}
+	return out
+}
+
+// Slice returns a new vector holding bits [lo, hi) of v.
+func (v *Vector) Slice(lo, hi int) *Vector {
+	v.checkRange(lo, hi)
+	out := New(hi - lo)
+	for i := lo; i < hi; i++ {
+		if v.Get(i) {
+			out.Set(i-lo, true)
+		}
+	}
+	return out
+}
+
+func (v *Vector) mustMatch(o *Vector) {
+	if v.n != o.n {
+		panic(fmt.Sprintf("bitvec: length mismatch %d != %d", v.n, o.n))
+	}
+}
+
+// String renders the vector as a 0/1 string, bit 0 first, truncated
+// with an ellipsis beyond 64 bits.
+func (v *Vector) String() string {
+	limit := v.n
+	trunc := false
+	if limit > 64 {
+		limit, trunc = 64, true
+	}
+	buf := make([]byte, 0, limit+16)
+	for i := 0; i < limit; i++ {
+		if v.Get(i) {
+			buf = append(buf, '1')
+		} else {
+			buf = append(buf, '0')
+		}
+	}
+	if trunc {
+		buf = append(buf, fmt.Sprintf("...(%d bits)", v.n)...)
+	}
+	return string(buf)
+}

@@ -1,0 +1,141 @@
+package bitvec
+
+import "fmt"
+
+// Counter accumulates binary vectors element-wise so they can be
+// bundled by majority vote. Each dimension holds a signed tally:
+// adding a vector increments dimensions where its bit is 1 and
+// decrements where it is 0. Threshold() then produces the majority
+// bundle, the HDC class-hypervector construction
+// C = sign(Σ H_j).
+type Counter struct {
+	tallies []int32
+	adds    int
+}
+
+// NewCounter returns a zeroed counter over n dimensions.
+func NewCounter(n int) *Counter {
+	return &Counter{tallies: make([]int32, n)}
+}
+
+// Len returns the number of dimensions.
+func (c *Counter) Len() int { return len(c.tallies) }
+
+// Adds returns how many vectors have been accumulated (additions minus
+// removals).
+func (c *Counter) Adds() int { return c.adds }
+
+// Add accumulates v into the counter with +1/-1 per bit.
+func (c *Counter) Add(v *Vector) {
+	c.addScaled(v, 1)
+}
+
+// Sub removes v from the counter (used by mistake-driven retraining:
+// subtract from the wrongly matched class).
+func (c *Counter) Sub(v *Vector) {
+	c.addScaled(v, -1)
+}
+
+// AddWeighted accumulates v scaled by weight w (w may be negative).
+func (c *Counter) AddWeighted(v *Vector, w int32) {
+	c.addScaled(v, w)
+}
+
+func (c *Counter) addScaled(v *Vector, w int32) {
+	if v.Len() != len(c.tallies) {
+		panic(fmt.Sprintf("bitvec: counter length %d != vector length %d", len(c.tallies), v.Len()))
+	}
+	for i := range c.tallies {
+		if v.Get(i) {
+			c.tallies[i] += w
+		} else {
+			c.tallies[i] -= w
+		}
+	}
+	c.adds += int(w)
+}
+
+// Tally returns the raw tally at dimension i.
+func (c *Counter) Tally(i int) int32 { return c.tallies[i] }
+
+// Threshold produces the binary majority vector: bit i is 1 when the
+// tally is positive, 0 when negative. Exact ties break using the
+// dimension parity (a fixed, deterministic tie-break that keeps ties
+// balanced across dimensions without consuming randomness).
+func (c *Counter) Threshold() *Vector {
+	v := New(len(c.tallies))
+	for i, t := range c.tallies {
+		switch {
+		case t > 0:
+			v.Set(i, true)
+		case t == 0 && i%2 == 0:
+			v.Set(i, true)
+		}
+	}
+	return v
+}
+
+// Quantize maps each tally to a b-bit signed-magnitude level
+// sign·magnitude with magnitude in [1, 2^(b-1)]: the sign is the
+// tally's sign (the Threshold bit pattern — parity tie-break on exact
+// zeros) and the magnitude buckets |tally| uniformly against the
+// largest observed magnitude. b must be in [1, 8]. A 1-bit
+// quantization is exactly the Threshold() pattern expressed as ±1.
+func (c *Counter) Quantize(b int) []int8 {
+	if b < 1 || b > 8 {
+		panic("bitvec: quantize bits out of range [1,8]")
+	}
+	out := make([]int8, len(c.tallies))
+	var maxAbs int32 = 1
+	for _, t := range c.tallies {
+		a := t
+		if a < 0 {
+			a = -a
+		}
+		if a > maxAbs {
+			maxAbs = a
+		}
+	}
+	maxMag := int64(1) << (b - 1)
+	if maxMag > 127 {
+		maxMag = 127 // int8 ceiling (affects only b = 8)
+	}
+	for i, t := range c.tallies {
+		a := int64(t)
+		sign := int8(1)
+		switch {
+		case t < 0:
+			a, sign = -a, -1
+		case t == 0:
+			// Parity tie-break, matching Threshold.
+			if i%2 != 0 {
+				sign = -1
+			}
+		}
+		// Bucket |tally| in (0, maxAbs] to magnitude [1, maxMag].
+		mag := (a*maxMag + int64(maxAbs) - 1) / int64(maxAbs)
+		if mag < 1 {
+			mag = 1
+		}
+		if mag > maxMag {
+			mag = maxMag
+		}
+		out[i] = sign * int8(mag)
+	}
+	return out
+}
+
+// Reset zeroes all tallies.
+func (c *Counter) Reset() {
+	for i := range c.tallies {
+		c.tallies[i] = 0
+	}
+	c.adds = 0
+}
+
+// Clone returns an independent copy of the counter.
+func (c *Counter) Clone() *Counter {
+	out := &Counter{tallies: make([]int32, len(c.tallies)), adds: c.adds}
+	copy(out.tallies, c.tallies)
+	return out
+}

@@ -1,0 +1,167 @@
+package bitvec
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestCounterMajority(t *testing.T) {
+	c := NewCounter(4)
+	c.Add(FromBools([]bool{true, true, false, false}))
+	c.Add(FromBools([]bool{true, false, true, false}))
+	c.Add(FromBools([]bool{true, false, false, true}))
+	m := c.Threshold()
+	if !m.Get(0) {
+		t.Fatal("dimension 0 has 3/3 ones; majority must be 1")
+	}
+	for _, i := range []int{1, 2, 3} {
+		if m.Get(i) {
+			t.Fatalf("dimension %d has 1/3 ones; majority must be 0", i)
+		}
+	}
+	if c.Adds() != 3 {
+		t.Fatalf("Adds = %d", c.Adds())
+	}
+}
+
+func TestCounterTieBreakDeterministic(t *testing.T) {
+	c := NewCounter(4)
+	c.Add(FromBools([]bool{true, true, false, false}))
+	c.Add(FromBools([]bool{false, false, true, true}))
+	a := c.Threshold()
+	b := c.Threshold()
+	if !a.Equal(b) {
+		t.Fatal("tie-break is nondeterministic")
+	}
+	// Parity tie-break: even dims 1, odd dims 0.
+	if !a.Get(0) || a.Get(1) || !a.Get(2) || a.Get(3) {
+		t.Fatalf("unexpected tie-break pattern: %v", a)
+	}
+}
+
+func TestCounterSubUndoesAdd(t *testing.T) {
+	rng := stats.NewRNG(21)
+	c := NewCounter(128)
+	base := Random(128, rng)
+	noise := Random(128, rng)
+	c.Add(base)
+	c.Add(base)
+	c.Add(noise)
+	c.Sub(noise)
+	if !c.Threshold().Equal(base) {
+		t.Fatal("Sub did not cancel Add")
+	}
+	if c.Adds() != 2 {
+		t.Fatalf("Adds = %d, want 2", c.Adds())
+	}
+}
+
+func TestCounterAddWeighted(t *testing.T) {
+	c := NewCounter(2)
+	v := FromBools([]bool{true, false})
+	c.AddWeighted(v, 3)
+	if c.Tally(0) != 3 || c.Tally(1) != -3 {
+		t.Fatalf("tallies = %d,%d", c.Tally(0), c.Tally(1))
+	}
+}
+
+func TestCounterLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCounter(4).Add(New(5))
+}
+
+func TestCounterBundlePreservesSimilarity(t *testing.T) {
+	// A majority bundle of vectors must be closer to each constituent
+	// than to an unrelated random vector — the core HDC bundling
+	// property.
+	rng := stats.NewRNG(22)
+	const d = 4096
+	c := NewCounter(d)
+	members := make([]*Vector, 9)
+	for i := range members {
+		members[i] = Random(d, rng)
+		c.Add(members[i])
+	}
+	bundle := c.Threshold()
+	outsider := Random(d, rng)
+	outSim := bundle.Similarity(outsider)
+	for i, m := range members {
+		if s := bundle.Similarity(m); s <= outSim+0.05 {
+			t.Fatalf("member %d similarity %v not above outsider %v", i, s, outSim)
+		}
+	}
+}
+
+func TestCounterQuantize1BitMatchesThreshold(t *testing.T) {
+	rng := stats.NewRNG(23)
+	c := NewCounter(256)
+	for i := 0; i < 5; i++ {
+		c.Add(Random(256, rng))
+	}
+	thr := c.Threshold()
+	q := c.Quantize(1)
+	for i := range q {
+		want := int8(-1)
+		if thr.Get(i) {
+			want = 1
+		}
+		if q[i] != want {
+			t.Fatalf("dim %d: quantize %d, threshold %v", i, q[i], thr.Get(i))
+		}
+	}
+}
+
+func TestCounterQuantizeRangeAndSign(t *testing.T) {
+	c := NewCounter(3)
+	v := FromBools([]bool{true, false, true})
+	for i := 0; i < 10; i++ {
+		c.Add(v)
+	}
+	for _, b := range []int{2, 3, 4, 8} {
+		q := c.Quantize(b)
+		limit := int8(min(1<<(b-1), 127))
+		for i, qi := range q {
+			if qi > limit || qi < -limit {
+				t.Fatalf("b=%d dim %d level %d exceeds ±%d", b, i, qi, limit)
+			}
+			if qi == 0 {
+				t.Fatalf("b=%d dim %d quantized to 0", b, i)
+			}
+		}
+		if q[0] <= 0 || q[1] >= 0 || q[2] <= 0 {
+			t.Fatalf("b=%d sign pattern wrong: %v", b, q)
+		}
+	}
+}
+
+func TestCounterQuantizePanics(t *testing.T) {
+	for _, b := range []int{0, 9, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Quantize(%d) should panic", b)
+				}
+			}()
+			NewCounter(4).Quantize(b)
+		}()
+	}
+}
+
+func TestCounterResetAndClone(t *testing.T) {
+	rng := stats.NewRNG(24)
+	c := NewCounter(64)
+	c.Add(Random(64, rng))
+	clone := c.Clone()
+	c.Reset()
+	if c.Adds() != 0 || c.Tally(0) != 0 {
+		t.Fatal("reset incomplete")
+	}
+	if clone.Adds() != 1 {
+		t.Fatal("clone affected by reset")
+	}
+}

@@ -1,0 +1,63 @@
+package bitvec
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+)
+
+// FuzzUnmarshalBinary feeds arbitrary bytes to the vector decoder: it
+// must reject garbage with an error, never panic, and round-trip
+// anything it accepts.
+func FuzzUnmarshalBinary(f *testing.F) {
+	valid, _ := New(100).MarshalBinary()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte{0x43, 0x56, 0x44, 0x48, 0, 0, 0, 0}) // magic, truncated
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var v Vector
+		if err := v.UnmarshalBinary(data); err != nil {
+			return
+		}
+		// Accepted input must round-trip bit-exactly.
+		out, err := v.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		var v2 Vector
+		if err := v2.UnmarshalBinary(out); err != nil {
+			t.Fatalf("re-unmarshal failed: %v", err)
+		}
+		if !v.Equal(&v2) {
+			t.Fatal("round trip not stable")
+		}
+	})
+}
+
+// FuzzRangeOps drives the chunked primitives with arbitrary ranges and
+// checks HammingRange against the Slice-based reference.
+func FuzzRangeOps(f *testing.F) {
+	f.Add(uint16(300), uint16(10), uint16(200))
+	f.Add(uint16(64), uint16(0), uint16(64))
+	f.Add(uint16(1), uint16(0), uint16(1))
+	f.Fuzz(func(t *testing.T, nRaw, loRaw, hiRaw uint16) {
+		n := int(nRaw)%1024 + 1
+		lo := int(loRaw) % (n + 1)
+		hi := lo + int(hiRaw)%(n-lo+1)
+		rng := newTestRNG(uint64(nRaw)<<32 | uint64(loRaw)<<16 | uint64(hiRaw))
+		a := Random(n, rng)
+		b := Random(n, rng)
+		want := a.Slice(lo, hi).Hamming(b.Slice(lo, hi))
+		if got := a.HammingRange(b, lo, hi); got != want {
+			t.Fatalf("HammingRange(%d,%d) on n=%d: %d != %d", lo, hi, n, got, want)
+		}
+	})
+}
+
+// newTestRNG gives fuzz targets a local deterministic source without
+// importing the stats package (avoiding an import cycle in fuzzing
+// minimization corpora).
+func newTestRNG(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0x9E3779B97F4A7C15))
+}

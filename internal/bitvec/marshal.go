@@ -1,0 +1,48 @@
+package bitvec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// marshalMagic guards against decoding unrelated byte streams.
+const marshalMagic = 0x48445643 // "HDVC"
+
+// MarshalBinary encodes the vector as magic | bit length | packed
+// words, all little-endian. It implements encoding.BinaryMarshaler.
+func (v *Vector) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 8+8+8*len(v.words))
+	binary.LittleEndian.PutUint64(buf[0:], marshalMagic)
+	binary.LittleEndian.PutUint64(buf[8:], uint64(v.n))
+	for i, w := range v.words {
+		binary.LittleEndian.PutUint64(buf[16+8*i:], w)
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary decodes a vector previously produced by
+// MarshalBinary. It implements encoding.BinaryUnmarshaler.
+func (v *Vector) UnmarshalBinary(data []byte) error {
+	if len(data) < 16 {
+		return errors.New("bitvec: truncated header")
+	}
+	if binary.LittleEndian.Uint64(data[0:]) != marshalMagic {
+		return errors.New("bitvec: bad magic")
+	}
+	n := binary.LittleEndian.Uint64(data[8:])
+	if n > 1<<32 {
+		return fmt.Errorf("bitvec: implausible length %d", n)
+	}
+	words := wordsFor(int(n))
+	if len(data) != 16+8*words {
+		return fmt.Errorf("bitvec: want %d bytes for %d bits, got %d", 16+8*words, n, len(data))
+	}
+	v.n = int(n)
+	v.words = make([]uint64, words)
+	for i := range v.words {
+		v.words[i] = binary.LittleEndian.Uint64(data[16+8*i:])
+	}
+	v.maskTail()
+	return nil
+}

@@ -1,0 +1,136 @@
+package bitvec
+
+import "fmt"
+
+// PlaneCounter counts, per dimension, how many added vectors had that
+// bit set. Counts are stored bit-sliced: plane b holds bit b of every
+// dimension's count, so adding a vector is a word-wise carry chain
+// (O(words · log adds)) instead of a per-bit loop. This is the hot
+// accumulator behind record encoding, where every sample bundles
+// hundreds of bound feature hypervectors.
+type PlaneCounter struct {
+	planes [][]uint64
+	words  int
+	n      int
+	adds   int
+}
+
+// NewPlaneCounter returns a zeroed counter over n dimensions.
+func NewPlaneCounter(n int) *PlaneCounter {
+	if n < 0 {
+		panic("bitvec: negative length")
+	}
+	return &PlaneCounter{words: wordsFor(n), n: n}
+}
+
+// Len returns the number of dimensions.
+func (p *PlaneCounter) Len() int { return p.n }
+
+// Adds returns how many vectors have been accumulated.
+func (p *PlaneCounter) Adds() int { return p.adds }
+
+// Add accumulates v: every dimension where v has a 1 bit is
+// incremented. v must match the counter's length.
+func (p *PlaneCounter) Add(v *Vector) {
+	if v.n != p.n {
+		panic(fmt.Sprintf("bitvec: plane counter length %d != vector length %d", p.n, v.n))
+	}
+	if p.words == 0 {
+		p.adds++
+		return
+	}
+	// Ripple-carry across planes: carry starts as the incoming bits.
+	carry := make([]uint64, p.words)
+	copy(carry, v.words)
+	for _, plane := range p.planes {
+		done := true
+		for i, c := range carry {
+			if c == 0 {
+				continue
+			}
+			nc := plane[i] & c
+			plane[i] ^= c
+			carry[i] = nc
+			if nc != 0 {
+				done = false
+			}
+		}
+		if done {
+			p.adds++
+			return
+		}
+	}
+	// Carry out of the top plane: grow.
+	p.planes = append(p.planes, carry)
+	p.adds++
+}
+
+// Count returns the accumulated count for dimension i.
+func (p *PlaneCounter) Count(i int) int {
+	if i < 0 || i >= p.n {
+		panic(fmt.Sprintf("bitvec: index %d out of range [0,%d)", i, p.n))
+	}
+	w, b := i/wordBits, uint(i)%wordBits
+	count := 0
+	for plane := range p.planes {
+		count |= int(p.planes[plane][w]>>b&1) << plane
+	}
+	return count
+}
+
+// Threshold returns the binary vector with bit i set when
+// Count(i) > thresh. For a majority bundle of m added vectors use
+// thresh = m/2 (ties at even m resolve to 0; callers wanting the
+// Counter parity tie-break should add a deterministic padding vector).
+func (p *PlaneCounter) Threshold(thresh int) *Vector {
+	out := New(p.n)
+	if p.words == 0 {
+		return out
+	}
+	// Word-wise bit-serial comparison: for each word position compute
+	// gt mask across planes from most significant plane down.
+	nPlanes := len(p.planes)
+	for w := 0; w < p.words; w++ {
+		var gt, eq uint64 = 0, ^uint64(0)
+		for b := nPlanes - 1; b >= 0; b-- {
+			pb := p.planes[b][w]
+			var tb uint64
+			if thresh>>uint(b)&1 == 1 {
+				tb = ^uint64(0)
+			}
+			gt |= eq & pb & ^tb
+			eq &= ^(pb ^ tb)
+		}
+		out.words[w] = gt
+	}
+	out.maskTail()
+	return out
+}
+
+// Majority returns the bundle with bit i set when strictly more than
+// half of the added vectors had bit i set; exact ties at even counts
+// break by dimension parity, matching Counter.Threshold.
+func (p *PlaneCounter) Majority() *Vector {
+	out := p.Threshold(p.adds / 2)
+	if p.adds%2 == 0 {
+		// Strictly-greater comparison already excludes ties; flip the
+		// even dimensions whose count equals exactly adds/2 back on.
+		half := p.adds / 2
+		for i := 0; i < p.n; i += 2 {
+			if !out.Get(i) && p.Count(i) == half {
+				out.Set(i, true)
+			}
+		}
+	}
+	return out
+}
+
+// Reset zeroes the counter for reuse without reallocating planes.
+func (p *PlaneCounter) Reset() {
+	for _, plane := range p.planes {
+		for i := range plane {
+			plane[i] = 0
+		}
+	}
+	p.adds = 0
+}

@@ -1,0 +1,148 @@
+package bitvec
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestPlaneCounterCountsMatchNaive(t *testing.T) {
+	rng := stats.NewRNG(31)
+	const n, adds = 200, 37
+	p := NewPlaneCounter(n)
+	naive := make([]int, n)
+	for a := 0; a < adds; a++ {
+		v := Random(n, rng)
+		p.Add(v)
+		for i := 0; i < n; i++ {
+			if v.Get(i) {
+				naive[i]++
+			}
+		}
+	}
+	if p.Adds() != adds {
+		t.Fatalf("Adds = %d", p.Adds())
+	}
+	for i := 0; i < n; i++ {
+		if got := p.Count(i); got != naive[i] {
+			t.Fatalf("dim %d: count %d, want %d", i, got, naive[i])
+		}
+	}
+}
+
+func TestPlaneCounterThresholdMatchesCounts(t *testing.T) {
+	rng := stats.NewRNG(32)
+	const n = 321
+	p := NewPlaneCounter(n)
+	for a := 0; a < 21; a++ {
+		p.Add(Random(n, rng))
+	}
+	for _, thresh := range []int{0, 5, 10, 11, 20, 21, 25} {
+		out := p.Threshold(thresh)
+		for i := 0; i < n; i++ {
+			want := p.Count(i) > thresh
+			if out.Get(i) != want {
+				t.Fatalf("thresh %d dim %d: got %v count %d", thresh, i, out.Get(i), p.Count(i))
+			}
+		}
+	}
+}
+
+func TestPlaneCounterMajorityMatchesCounter(t *testing.T) {
+	rng := stats.NewRNG(33)
+	for _, adds := range []int{1, 2, 3, 4, 7, 8, 15, 16} {
+		p := NewPlaneCounter(130)
+		c := NewCounter(130)
+		for a := 0; a < adds; a++ {
+			v := Random(130, rng)
+			p.Add(v)
+			c.Add(v)
+		}
+		if !p.Majority().Equal(c.Threshold()) {
+			t.Fatalf("adds=%d: PlaneCounter.Majority != Counter.Threshold", adds)
+		}
+	}
+}
+
+func TestPlaneCounterLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewPlaneCounter(10).Add(New(11))
+}
+
+func TestPlaneCounterCountPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewPlaneCounter(10).Count(10)
+}
+
+func TestPlaneCounterReset(t *testing.T) {
+	rng := stats.NewRNG(34)
+	p := NewPlaneCounter(64)
+	p.Add(Random(64, rng))
+	p.Add(Random(64, rng))
+	p.Reset()
+	if p.Adds() != 0 {
+		t.Fatal("adds not reset")
+	}
+	for i := 0; i < 64; i++ {
+		if p.Count(i) != 0 {
+			t.Fatalf("dim %d count %d after reset", i, p.Count(i))
+		}
+	}
+	// Reusable after reset.
+	ones := New(64).Not()
+	p.Add(ones)
+	if p.Count(5) != 1 {
+		t.Fatal("counter unusable after reset")
+	}
+}
+
+func TestPlaneCounterAllOnes(t *testing.T) {
+	p := NewPlaneCounter(70)
+	ones := New(70).Not()
+	for a := 0; a < 100; a++ {
+		p.Add(ones)
+	}
+	for _, i := range []int{0, 63, 64, 69} {
+		if p.Count(i) != 100 {
+			t.Fatalf("dim %d count %d, want 100", i, p.Count(i))
+		}
+	}
+}
+
+func TestPlaneCounterZeroLength(t *testing.T) {
+	p := NewPlaneCounter(0)
+	p.Add(New(0))
+	if p.Adds() != 1 {
+		t.Fatal("zero-length add not counted")
+	}
+	if p.Majority().Len() != 0 {
+		t.Fatal("zero-length majority wrong")
+	}
+}
+
+func TestPlaneCounterQuickVsCounter(t *testing.T) {
+	f := func(seed uint64, addsByte uint8) bool {
+		adds := int(addsByte%30) + 1
+		r := stats.NewRNG(seed)
+		p := NewPlaneCounter(96)
+		c := NewCounter(96)
+		for a := 0; a < adds; a++ {
+			v := Random(96, r)
+			p.Add(v)
+			c.Add(v)
+		}
+		return p.Majority().Equal(c.Threshold())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,300 @@
+// Package boost implements the AdaBoost baseline: SAMME multi-class
+// boosting over depth-1 decision stumps, deployed with quantized
+// thresholds and stage weights for bit-flip attack experiments
+// (Table 3). Stumps make the deployed memory footprint small and
+// value-critical: a sign flip on a stage weight inverts that stump's
+// vote.
+package boost
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/fixed"
+	"repro/internal/stats"
+)
+
+// Config sets boosting hyperparameters.
+type Config struct {
+	// Rounds is the number of boosting stages (default 60).
+	Rounds int
+	// ThresholdCandidates is how many quantile cut points are
+	// evaluated per feature when fitting a stump (default 8).
+	ThresholdCandidates int
+	// FeatureSample caps how many features each round scans (default
+	// 64; 0 means all). Features are rotated deterministically so all
+	// get coverage across rounds.
+	FeatureSample int
+	// Seed reserved for future stochastic variants (training is
+	// deterministic).
+	Seed uint64
+}
+
+// DefaultConfig returns sensible hyperparameters for the benchmark
+// datasets.
+func DefaultConfig() Config {
+	return Config{Rounds: 60, ThresholdCandidates: 8, FeatureSample: 64, Seed: 1}
+}
+
+func (c *Config) fillDefaults() {
+	if c.Rounds == 0 {
+		c.Rounds = 60
+	}
+	if c.ThresholdCandidates == 0 {
+		c.ThresholdCandidates = 8
+	}
+	if c.FeatureSample == 0 {
+		c.FeatureSample = 1 << 30
+	}
+}
+
+// stump votes for classLeft when x[feature] < threshold, else
+// classRight.
+type stump struct {
+	feature    int
+	threshold  float64
+	classLeft  int
+	classRight int
+}
+
+func (s stump) predict(x []float64) int {
+	if x[s.feature] < s.threshold {
+		return s.classLeft
+	}
+	return s.classRight
+}
+
+// Boost is a trained SAMME ensemble.
+type Boost struct {
+	stumps  []stump
+	alphas  []float64
+	classes int
+	inputs  int
+}
+
+// Train fits the ensemble on raw feature vectors with labels in
+// [0, classes).
+func Train(x [][]float64, y []int, classes int, cfg Config) (*Boost, error) {
+	cfg.fillDefaults()
+	if len(x) == 0 {
+		return nil, fmt.Errorf("boost: no training data")
+	}
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("boost: %d samples but %d labels", len(x), len(y))
+	}
+	if classes < 2 {
+		return nil, fmt.Errorf("boost: need at least 2 classes, got %d", classes)
+	}
+	for i, yi := range y {
+		if yi < 0 || yi >= classes {
+			return nil, fmt.Errorf("boost: label %d out of range at sample %d", yi, i)
+		}
+	}
+	n := len(x)
+	inputs := len(x[0])
+	m := &Boost{classes: classes, inputs: inputs}
+	weights := make([]float64, n)
+	for i := range weights {
+		weights[i] = 1.0 / float64(n)
+	}
+	for round := 0; round < cfg.Rounds; round++ {
+		best, bestErr := m.fitStump(x, y, weights, cfg, round)
+		if bestErr >= 1-1.0/float64(classes) {
+			break // no better than chance; stop boosting
+		}
+		if bestErr < 1e-10 {
+			bestErr = 1e-10
+		}
+		alpha := math.Log((1-bestErr)/bestErr) + math.Log(float64(classes)-1)
+		if alpha <= 0 {
+			break
+		}
+		m.stumps = append(m.stumps, best)
+		m.alphas = append(m.alphas, alpha)
+		// Reweight: misclassified samples up.
+		var sum float64
+		for i := range weights {
+			if best.predict(x[i]) != y[i] {
+				weights[i] *= math.Exp(alpha)
+			}
+			sum += weights[i]
+		}
+		for i := range weights {
+			weights[i] /= sum
+		}
+	}
+	if len(m.stumps) == 0 {
+		return nil, fmt.Errorf("boost: no stump beat chance")
+	}
+	return m, nil
+}
+
+// fitStump finds the weighted-error-minimizing stump over a rotating
+// feature window and quantile thresholds.
+func (m *Boost) fitStump(x [][]float64, y []int, w []float64, cfg Config, round int) (stump, float64) {
+	n := len(x)
+	var best stump
+	bestErr := math.Inf(1)
+
+	nFeatures := cfg.FeatureSample
+	if nFeatures > m.inputs {
+		nFeatures = m.inputs
+	}
+	start := (round * nFeatures) % m.inputs
+
+	vals := make([]float64, n)
+	for fi := 0; fi < nFeatures; fi++ {
+		f := (start + fi) % m.inputs
+		for i := range x {
+			vals[i] = x[i][f]
+		}
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+		for t := 1; t <= cfg.ThresholdCandidates; t++ {
+			thr := sorted[t*(n-1)/(cfg.ThresholdCandidates+1)]
+			// Weighted class histograms on each side.
+			left := make([]float64, m.classes)
+			right := make([]float64, m.classes)
+			for i := range x {
+				if vals[i] < thr {
+					left[y[i]] += w[i]
+				} else {
+					right[y[i]] += w[i]
+				}
+			}
+			cl, cr := argmaxF(left), argmaxF(right)
+			var errW float64
+			for c := 0; c < m.classes; c++ {
+				if c != cl {
+					errW += left[c]
+				}
+				if c != cr {
+					errW += right[c]
+				}
+			}
+			if errW < bestErr {
+				bestErr = errW
+				best = stump{feature: f, threshold: thr, classLeft: cl, classRight: cr}
+			}
+		}
+	}
+	return best, bestErr
+}
+
+func argmaxF(x []float64) int {
+	best := 0
+	for i := 1; i < len(x); i++ {
+		if x[i] > x[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Rounds returns the number of fitted stages.
+func (m *Boost) Rounds() int { return len(m.stumps) }
+
+// Classes returns the class count.
+func (m *Boost) Classes() int { return m.classes }
+
+// Predict classifies one raw feature vector with float parameters.
+func (m *Boost) Predict(x []float64) int {
+	votes := make([]float64, m.classes)
+	for t, s := range m.stumps {
+		votes[s.predict(x)] += m.alphas[t]
+	}
+	return stats.ArgMax(votes)
+}
+
+// Accuracy evaluates float-parameter accuracy.
+func (m *Boost) Accuracy(x [][]float64, y []int) float64 {
+	pred := make([]int, len(x))
+	for i := range x {
+		pred[i] = m.Predict(x[i])
+	}
+	return stats.Accuracy(pred, y)
+}
+
+// Deploy produces the attackable deployment: stage weights and stump
+// thresholds quantized to 8-bit fixed point (structure — feature
+// indices and vote classes — stays clean, as the paper attacks
+// parameter values).
+func (m *Boost) Deploy() *Deployed {
+	alphas := fixed.Quantize(m.alphas)
+	thrs := make([]float64, len(m.stumps))
+	for i, s := range m.stumps {
+		thrs[i] = s.threshold
+	}
+	return &Deployed{
+		stumps:     append([]stump(nil), m.stumps...),
+		alphas:     alphas,
+		thresholds: fixed.Quantize(thrs),
+		classes:    m.classes,
+	}
+}
+
+// Deployed is the quantized ensemble; it implements attack.Image over
+// the concatenation [alphas | thresholds].
+type Deployed struct {
+	stumps     []stump
+	alphas     *fixed.Tensor
+	thresholds *fixed.Tensor
+	classes    int
+}
+
+// Classes returns the class count.
+func (d *Deployed) Classes() int { return d.classes }
+
+// Elements returns the parameter count (2 per stump).
+func (d *Deployed) Elements() int { return d.alphas.Elements() + d.thresholds.Elements() }
+
+// BitsPerElement returns 8.
+func (d *Deployed) BitsPerElement() int { return 8 }
+
+// BitDamageOrder returns two's-complement bits from the sign down.
+func (d *Deployed) BitDamageOrder() []int { return []int{7, 6, 5, 4, 3, 2, 1, 0} }
+
+// FlipBit flips bit b of parameter element i.
+func (d *Deployed) FlipBit(i, b int) {
+	if i < d.alphas.Elements() {
+		d.alphas.FlipBit(i, b)
+		return
+	}
+	d.thresholds.FlipBit(i-d.alphas.Elements(), b)
+}
+
+// Predict classifies through the (possibly corrupted) quantized
+// parameters.
+func (d *Deployed) Predict(x []float64) int {
+	votes := make([]float64, d.classes)
+	for t, s := range d.stumps {
+		var winner int
+		if x[s.feature] < d.thresholds.Value(t) {
+			winner = s.classLeft
+		} else {
+			winner = s.classRight
+		}
+		votes[winner] += d.alphas.Value(t)
+	}
+	return stats.ArgMax(votes)
+}
+
+// Accuracy evaluates quantized-parameter accuracy.
+func (d *Deployed) Accuracy(x [][]float64, y []int) float64 {
+	pred := make([]int, len(x))
+	for i := range x {
+		pred[i] = d.Predict(x[i])
+	}
+	return stats.Accuracy(pred, y)
+}
+
+// Clone deep-copies the deployment.
+func (d *Deployed) Clone() *Deployed {
+	return &Deployed{
+		stumps:     append([]stump(nil), d.stumps...),
+		alphas:     d.alphas.Clone(),
+		thresholds: d.thresholds.Clone(),
+		classes:    d.classes,
+	}
+}

@@ -1,0 +1,130 @@
+package boost
+
+import (
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+func smallData(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	spec := dataset.PAMAP()
+	spec.TrainSize, spec.TestSize = 400, 150
+	ds, err := dataset.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil, nil, 2, Config{}); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := Train([][]float64{{1}}, []int{0, 1}, 2, Config{}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := Train([][]float64{{1}}, []int{0}, 1, Config{}); err == nil {
+		t.Fatal("single class accepted")
+	}
+	if _, err := Train([][]float64{{1}}, []int{9}, 2, Config{}); err == nil {
+		t.Fatal("bad label accepted")
+	}
+}
+
+func TestTrainLearns(t *testing.T) {
+	ds := smallData(t)
+	m, err := Train(ds.TrainX, ds.TrainY, ds.Spec.Classes, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := m.Accuracy(ds.TestX, ds.TestY); acc < 0.7 {
+		t.Fatalf("AdaBoost accuracy %.3f too low", acc)
+	}
+	if m.Rounds() == 0 || m.Classes() != ds.Spec.Classes {
+		t.Fatal("accessors wrong")
+	}
+}
+
+func TestBoostingImprovesOverSingleStump(t *testing.T) {
+	ds := smallData(t)
+	one, err := Train(ds.TrainX, ds.TrainY, ds.Spec.Classes, Config{Rounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, _ := Train(ds.TrainX, ds.TrainY, ds.Spec.Classes, DefaultConfig())
+	a1 := one.Accuracy(ds.TestX, ds.TestY)
+	aN := many.Accuracy(ds.TestX, ds.TestY)
+	if aN <= a1 {
+		t.Fatalf("boosting did not improve: 1 stump %.3f, %d stumps %.3f", a1, many.Rounds(), aN)
+	}
+}
+
+func TestDeployedMatchesFloat(t *testing.T) {
+	ds := smallData(t)
+	m, _ := Train(ds.TrainX, ds.TrainY, ds.Spec.Classes, DefaultConfig())
+	d := m.Deploy()
+	accF := m.Accuracy(ds.TestX, ds.TestY)
+	if accQ := d.Accuracy(ds.TestX, ds.TestY); accQ < accF-0.05 {
+		t.Fatalf("quantized accuracy %.3f far below float %.3f", accQ, accF)
+	}
+}
+
+func TestDeployedImageContract(t *testing.T) {
+	ds := smallData(t)
+	m, _ := Train(ds.TrainX, ds.TrainY, ds.Spec.Classes, DefaultConfig())
+	d := m.Deploy()
+	if d.Elements() != 2*m.Rounds() {
+		t.Fatalf("Elements = %d, want %d", d.Elements(), 2*m.Rounds())
+	}
+	if d.BitsPerElement() != 8 || d.BitDamageOrder()[0] != 7 {
+		t.Fatal("contract wrong")
+	}
+	var _ attack.Image = d
+}
+
+func TestAttackDegrades(t *testing.T) {
+	ds := smallData(t)
+	m, _ := Train(ds.TrainX, ds.TrainY, ds.Spec.Classes, DefaultConfig())
+	d := m.Deploy()
+	clean := d.Accuracy(ds.TestX, ds.TestY)
+	attack.Targeted(d, 0.3, stats.NewRNG(3))
+	if loss := clean - d.Accuracy(ds.TestX, ds.TestY); loss <= 0 {
+		t.Fatalf("30%% targeted attack caused no loss (clean %.3f)", clean)
+	}
+}
+
+func TestFlipBitRouting(t *testing.T) {
+	ds := smallData(t)
+	m, _ := Train(ds.TrainX, ds.TrainY, ds.Spec.Classes, DefaultConfig())
+	d := m.Deploy()
+	// First half of elements are alphas, second half thresholds; both
+	// must be reachable without panic.
+	d.FlipBit(0, 7)
+	d.FlipBit(d.Elements()-1, 0)
+}
+
+func TestCloneIndependent(t *testing.T) {
+	ds := smallData(t)
+	m, _ := Train(ds.TrainX, ds.TrainY, ds.Spec.Classes, DefaultConfig())
+	d := m.Deploy()
+	c := d.Clone()
+	clean := c.Accuracy(ds.TestX, ds.TestY)
+	attack.Targeted(d, 0.5, stats.NewRNG(5))
+	if c.Accuracy(ds.TestX, ds.TestY) != clean {
+		t.Fatal("clone affected by attack")
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	ds := smallData(t)
+	a, _ := Train(ds.TrainX, ds.TrainY, ds.Spec.Classes, DefaultConfig())
+	b, _ := Train(ds.TrainX, ds.TrainY, ds.Spec.Classes, DefaultConfig())
+	for i, x := range ds.TestX {
+		if a.Predict(x) != b.Predict(x) {
+			t.Fatalf("deterministic training produced different models (sample %d)", i)
+		}
+	}
+}

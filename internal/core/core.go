@@ -1,0 +1,211 @@
+// Package core assembles the RobustHD system: feature normalization,
+// hyperdimensional record encoding, the HDC classifier, and the
+// adaptive self-recovery loop, behind one facade. Examples, the CLI,
+// and the experiment drivers all build on this package.
+//
+// The division of state mirrors the paper's threat model:
+//
+//   - The encoder and normalizer are derived deterministically from
+//     (seed, config) and never need to live in attackable memory.
+//   - The deployed binary class hypervectors ARE the attackable
+//     memory; attacks flip their bits and recovery rewrites them.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/attack"
+	"repro/internal/bitvec"
+	"repro/internal/hdc/encoding"
+	"repro/internal/hdc/model"
+	"repro/internal/recovery"
+	"repro/internal/stats"
+)
+
+// Config parameterizes system construction.
+type Config struct {
+	// Dimensions is the hypervector dimensionality D (default 10000).
+	Dimensions int
+	// Levels is the number of feature quantization levels (default 8;
+	// coarser levels make within-class encodings more coherent, which
+	// widens class margins).
+	Levels int
+	// RetrainEpochs is how many mistake-driven refinement passes run
+	// after single-pass training (default 5; 0 disables).
+	RetrainEpochs int
+	// Seed drives the encoder's item/level memories.
+	Seed uint64
+}
+
+// DefaultConfig returns the paper's main operating point.
+func DefaultConfig() Config {
+	return Config{Dimensions: 10000, Levels: 8, RetrainEpochs: 5, Seed: 1}
+}
+
+func (c *Config) fillDefaults() {
+	if c.Dimensions == 0 {
+		c.Dimensions = 10000
+	}
+	if c.Levels == 0 {
+		c.Levels = 8
+	}
+}
+
+// System is a trained RobustHD classifier.
+type System struct {
+	cfg     Config
+	norm    *encoding.Normalizer
+	encoder *encoding.RecordEncoder
+	model   *model.Model
+}
+
+// Train builds and trains a system on raw feature vectors with labels
+// in [0, classes).
+func Train(trainX [][]float64, trainY []int, classes int, cfg Config) (*System, error) {
+	cfg.fillDefaults()
+	if len(trainX) == 0 {
+		return nil, fmt.Errorf("core: no training data")
+	}
+	if len(trainX) != len(trainY) {
+		return nil, fmt.Errorf("core: %d samples but %d labels", len(trainX), len(trainY))
+	}
+	norm, err := encoding.FitNormalizer(trainX)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	enc, err := encoding.NewRecordEncoder(cfg.Dimensions, len(trainX[0]), cfg.Levels, 0, 1, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	m, err := model.New(classes, cfg.Dimensions)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	s := &System{cfg: cfg, norm: norm, encoder: enc, model: m}
+	encoded := s.EncodeAllParallel(trainX, 0)
+	if err := m.Train(encoded, trainY); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if cfg.RetrainEpochs > 0 {
+		if _, err := m.Retrain(encoded, trainY, cfg.RetrainEpochs); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+	return s, nil
+}
+
+// Config returns the construction configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Model exposes the underlying classifier (and through it the
+// deployed, attackable class hypervectors).
+func (s *System) Model() *model.Model { return s.model }
+
+// Classes returns the number of classes.
+func (s *System) Classes() int { return s.model.Classes() }
+
+// Dimensions returns the hypervector dimensionality.
+func (s *System) Dimensions() int { return s.model.Dimensions() }
+
+// Encode normalizes and encodes one raw feature vector.
+func (s *System) Encode(x []float64) *bitvec.Vector {
+	return s.encoder.Encode(s.norm.Apply(x))
+}
+
+// EncodeAll encodes a batch of raw feature vectors.
+func (s *System) EncodeAll(xs [][]float64) []*bitvec.Vector {
+	out := make([]*bitvec.Vector, len(xs))
+	for i, x := range xs {
+		out[i] = s.Encode(x)
+	}
+	return out
+}
+
+// EncodeAllParallel encodes a batch across the given number of worker
+// goroutines (<= 0 selects GOMAXPROCS). Encoding dominates HDC
+// training time and parallelizes embarrassingly: the encoder is
+// read-only and each sample is independent. Results are in input
+// order and bit-identical to EncodeAll.
+func (s *System) EncodeAllParallel(xs [][]float64, workers int) []*bitvec.Vector {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(xs) {
+		workers = len(xs)
+	}
+	if workers <= 1 {
+		return s.EncodeAll(xs)
+	}
+	out := make([]*bitvec.Vector, len(xs))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(xs) {
+					return
+				}
+				out[i] = s.Encode(xs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// Predict classifies one raw feature vector.
+func (s *System) Predict(x []float64) int {
+	return s.model.Predict(s.Encode(x))
+}
+
+// PredictWithConfidence classifies one raw feature vector and returns
+// the softmax confidence of the winning class.
+func (s *System) PredictWithConfidence(x []float64) (int, float64) {
+	return s.model.PredictWithConfidence(s.Encode(x), 0)
+}
+
+// Accuracy evaluates on raw feature vectors.
+func (s *System) Accuracy(xs [][]float64, ys []int) float64 {
+	return s.model.Accuracy(s.EncodeAll(xs), ys)
+}
+
+// AttackImage returns the attack surface of the deployed model.
+func (s *System) AttackImage() attack.Image {
+	return attack.NewBinaryModel(s.model)
+}
+
+// AttackRandom flips one bit in rate·(classes·D) randomly selected
+// model elements. For a binary model this equals Targeted.
+func (s *System) AttackRandom(rate float64, seed uint64) (attack.Result, error) {
+	return attack.Random(s.AttackImage(), rate, stats.NewRNG(seed))
+}
+
+// AttackTargeted performs the worst-case attack at the given rate.
+func (s *System) AttackTargeted(rate float64, seed uint64) (attack.Result, error) {
+	return attack.Targeted(s.AttackImage(), rate, stats.NewRNG(seed))
+}
+
+// Snapshot captures the deployed class hypervectors (e.g. to measure
+// recovery progress in experiments; the production threat model has no
+// such safe copy).
+func (s *System) Snapshot() []*bitvec.Vector { return s.model.SnapshotDeployed() }
+
+// Restore reinstalls a snapshot.
+func (s *System) Restore(snap []*bitvec.Vector) { s.model.RestoreDeployed(snap) }
+
+// NewRecoverer attaches a recovery loop to the deployed model.
+func (s *System) NewRecoverer(cfg recovery.Config, seed uint64) (*recovery.Recoverer, error) {
+	return recovery.New(s.model, cfg, seed)
+}
+
+// Quantize produces a b-bit deployment of the trained model (used by
+// the Table 1 precision sweep).
+func (s *System) Quantize(bits int) (*model.Quantized, error) {
+	return model.QuantizeModel(s.model, bits)
+}

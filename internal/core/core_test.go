@@ -1,0 +1,210 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/recovery"
+)
+
+func smallData(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	spec := dataset.PAMAP()
+	spec.TrainSize, spec.TestSize = 300, 120
+	ds, err := dataset.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func smallConfig() Config {
+	return Config{Dimensions: 4096, Levels: 16, RetrainEpochs: 3, Seed: 7}
+}
+
+func trainSmall(t *testing.T) (*System, *dataset.Dataset) {
+	t.Helper()
+	ds := smallData(t)
+	s, err := Train(ds.TrainX, ds.TrainY, ds.Spec.Classes, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, ds
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil, nil, 2, Config{}); err == nil {
+		t.Fatal("empty training accepted")
+	}
+	if _, err := Train([][]float64{{1, 2}}, []int{0, 1}, 2, Config{}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := Train([][]float64{{1, 2}, {3, 4}}, []int{0, 1}, 1, Config{}); err == nil {
+		t.Fatal("single class accepted")
+	}
+}
+
+func TestTrainAndEvaluate(t *testing.T) {
+	s, ds := trainSmall(t)
+	acc := s.Accuracy(ds.TestX, ds.TestY)
+	if acc < 0.7 {
+		t.Fatalf("test accuracy %.3f too low", acc)
+	}
+	if s.Classes() != ds.Spec.Classes || s.Dimensions() != 4096 {
+		t.Fatal("accessors wrong")
+	}
+}
+
+func TestDefaultConfigFillsZeroes(t *testing.T) {
+	ds := smallData(t)
+	s, err := Train(ds.TrainX[:50], ds.TrainY[:50], ds.Spec.Classes, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Dimensions() != 10000 {
+		t.Fatalf("default dimensions = %d", s.Dimensions())
+	}
+}
+
+func TestPredictMatchesAccuracyPath(t *testing.T) {
+	s, ds := trainSmall(t)
+	correct := 0
+	for i, x := range ds.TestX {
+		if s.Predict(x) == ds.TestY[i] {
+			correct++
+		}
+	}
+	manual := float64(correct) / float64(len(ds.TestX))
+	if acc := s.Accuracy(ds.TestX, ds.TestY); acc != manual {
+		t.Fatalf("Accuracy %.4f != per-sample %.4f", acc, manual)
+	}
+}
+
+func TestPredictWithConfidence(t *testing.T) {
+	s, ds := trainSmall(t)
+	pred, conf := s.PredictWithConfidence(ds.TestX[0])
+	if pred < 0 || pred >= s.Classes() {
+		t.Fatalf("prediction %d out of range", pred)
+	}
+	if conf < 1.0/float64(s.Classes()) || conf > 1 {
+		t.Fatalf("confidence %v out of range", conf)
+	}
+}
+
+func TestAttackReducesThenRestore(t *testing.T) {
+	s, ds := trainSmall(t)
+	clean := s.Accuracy(ds.TestX, ds.TestY)
+	snap := s.Snapshot()
+	res, err := s.AttackRandom(0.4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ElementsHit == 0 {
+		t.Fatal("attack hit nothing")
+	}
+	attacked := s.Accuracy(ds.TestX, ds.TestY)
+	if attacked > clean {
+		t.Logf("note: attack at 40%% improved accuracy %.3f -> %.3f (possible on easy data)", clean, attacked)
+	}
+	s.Restore(snap)
+	if got := s.Accuracy(ds.TestX, ds.TestY); got != clean {
+		t.Fatalf("restore did not recover accuracy: %.3f != %.3f", got, clean)
+	}
+}
+
+func TestAttackRandomEqualsTargetedForBinary(t *testing.T) {
+	s1, ds := trainSmall(t)
+	s2, _ := Train(ds.TrainX, ds.TrainY, ds.Spec.Classes, smallConfig())
+	if _, err := s1.AttackRandom(0.1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.AttackTargeted(0.1, 5); err != nil {
+		t.Fatal(err)
+	}
+	// Same seed, binary image: identical flip sets.
+	for c := 0; c < s1.Classes(); c++ {
+		if !s1.Model().ClassVector(c).Equal(s2.Model().ClassVector(c)) {
+			t.Fatal("random and targeted diverged on binary model")
+		}
+	}
+}
+
+func TestRobustnessHeadline(t *testing.T) {
+	// 10% element flips must cost only a few points — the paper's
+	// headline HDC robustness claim.
+	s, ds := trainSmall(t)
+	clean := s.Accuracy(ds.TestX, ds.TestY)
+	if _, err := s.AttackRandom(0.10, 13); err != nil {
+		t.Fatal(err)
+	}
+	faulty := s.Accuracy(ds.TestX, ds.TestY)
+	if clean-faulty > 0.08 {
+		t.Fatalf("10%% attack cost %.1f points", (clean-faulty)*100)
+	}
+}
+
+func TestRecoveryIntegration(t *testing.T) {
+	s, ds := trainSmall(t)
+	clean := s.Accuracy(ds.TestX, ds.TestY)
+	if _, err := s.AttackRandom(0.15, 17); err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.NewRecoverer(recovery.DefaultConfig(), 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recover over the unlabeled test stream (twice for more passes).
+	queries := s.EncodeAll(ds.TestX)
+	r.Run(queries)
+	r.Run(queries)
+	recovered := s.Accuracy(ds.TestX, ds.TestY)
+	if recovered < clean-0.05 {
+		t.Fatalf("recovery left accuracy at %.3f (clean %.3f)", recovered, clean)
+	}
+}
+
+func TestQuantizeFromSystem(t *testing.T) {
+	s, ds := trainSmall(t)
+	q, err := s.Quantize(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encoded := s.EncodeAll(ds.TestX)
+	accQ := q.Accuracy(encoded, ds.TestY)
+	accB := s.Model().Accuracy(encoded, ds.TestY)
+	if accQ < accB-0.1 {
+		t.Fatalf("2-bit accuracy %.3f far below binary %.3f", accQ, accB)
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	s, ds := trainSmall(t)
+	a := s.Encode(ds.TestX[0])
+	b := s.Encode(ds.TestX[0])
+	if !a.Equal(b) {
+		t.Fatal("Encode not deterministic")
+	}
+}
+
+func TestEncodeAllParallelMatchesSerial(t *testing.T) {
+	s, ds := trainSmall(t)
+	serial := s.EncodeAll(ds.TestX)
+	for _, workers := range []int{0, 1, 2, 8, 1000} {
+		parallel := s.EncodeAllParallel(ds.TestX, workers)
+		if len(parallel) != len(serial) {
+			t.Fatalf("workers=%d: length mismatch", workers)
+		}
+		for i := range serial {
+			if !parallel[i].Equal(serial[i]) {
+				t.Fatalf("workers=%d sample %d: parallel encoding differs", workers, i)
+			}
+		}
+	}
+}
+
+func TestEncodeAllParallelEmpty(t *testing.T) {
+	s, _ := trainSmall(t)
+	if got := s.EncodeAllParallel(nil, 4); len(got) != 0 {
+		t.Fatal("empty input should yield empty output")
+	}
+}

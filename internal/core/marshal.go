@@ -1,0 +1,100 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/hdc/encoding"
+	"repro/internal/hdc/model"
+)
+
+// systemMagic guards the serialized system format.
+const systemMagic = 0x52485359 // "RHSY"
+
+// Save persists the system: configuration (from which the encoder is
+// regenerated — base hypervectors never need to be stored), the fitted
+// normalizer ranges, and the deployed class hypervectors. Training
+// counters are not persisted; a loaded system classifies and recovers
+// but cannot Retrain.
+func (s *System) Save(w io.Writer) error {
+	if s.encoder == nil || s.norm == nil || s.model == nil {
+		return fmt.Errorf("core: cannot save an untrained system")
+	}
+	bw := bufio.NewWriter(w)
+	header := []uint64{
+		systemMagic,
+		uint64(s.cfg.Dimensions),
+		uint64(s.cfg.Levels),
+		s.cfg.Seed,
+		uint64(s.encoder.Features()),
+	}
+	for _, v := range header {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("core: save header: %w", err)
+		}
+	}
+	mins, maxs := s.norm.Ranges()
+	for _, slice := range [][]float64{mins, maxs} {
+		for _, v := range slice {
+			if err := binary.Write(bw, binary.LittleEndian, math.Float64bits(v)); err != nil {
+				return fmt.Errorf("core: save normalizer: %w", err)
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return s.model.WriteDeployed(w)
+}
+
+// Load reconstructs a system saved by Save.
+func Load(r io.Reader) (*System, error) {
+	br := bufio.NewReader(r)
+	var magic, dims, levels, seed, features uint64
+	for _, p := range []*uint64{&magic, &dims, &levels, &seed, &features} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("core: load header: %w", err)
+		}
+	}
+	if magic != systemMagic {
+		return nil, fmt.Errorf("core: bad magic %#x", magic)
+	}
+	if features == 0 || features > 1<<24 {
+		return nil, fmt.Errorf("core: implausible feature count %d", features)
+	}
+	mins := make([]float64, features)
+	maxs := make([]float64, features)
+	for _, slice := range [][]float64{mins, maxs} {
+		for i := range slice {
+			var bits uint64
+			if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
+				return nil, fmt.Errorf("core: load normalizer: %w", err)
+			}
+			slice[i] = math.Float64frombits(bits)
+		}
+	}
+	norm, err := encoding.NormalizerFromRanges(mins, maxs)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	enc, err := encoding.NewRecordEncoder(int(dims), int(features), int(levels), 0, 1, seed)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	m, err := model.ReadDeployed(br)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if m.Dimensions() != int(dims) {
+		return nil, fmt.Errorf("core: model dims %d != config dims %d", m.Dimensions(), dims)
+	}
+	return &System{
+		cfg:     Config{Dimensions: int(dims), Levels: int(levels), Seed: seed},
+		norm:    norm,
+		encoder: enc,
+		model:   m,
+	}, nil
+}

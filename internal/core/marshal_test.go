@@ -1,0 +1,99 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/recovery"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s, ds := trainSmall(t)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same predictions on every test sample.
+	for i, x := range ds.TestX {
+		if loaded.Predict(x) != s.Predict(x) {
+			t.Fatalf("sample %d: loaded system disagrees", i)
+		}
+	}
+	if loaded.Dimensions() != s.Dimensions() || loaded.Classes() != s.Classes() {
+		t.Fatal("shape lost in round trip")
+	}
+}
+
+func TestLoadedSystemEncodesIdentically(t *testing.T) {
+	s, ds := trainSmall(t)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The encoder is regenerated from (seed, config); encodings must
+	// be bit-identical.
+	for _, x := range ds.TestX[:5] {
+		if !loaded.Encode(x).Equal(s.Encode(x)) {
+			t.Fatal("loaded encoder differs from original")
+		}
+	}
+}
+
+func TestLoadedSystemSupportsRecovery(t *testing.T) {
+	s, ds := trainSmall(t)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loaded.AttackRandom(0.1, 3); err != nil {
+		t.Fatal(err)
+	}
+	r, err := loaded.NewRecoverer(recovery.DefaultConfig(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Run(loaded.EncodeAll(ds.TestX))
+	if r.Stats().Queries != len(ds.TestX) {
+		t.Fatal("recovery did not run on loaded system")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Fatal("short input accepted")
+	}
+	s, _ := trainSmall(t)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[0] ^= 0xFF
+	if _, err := Load(bytes.NewReader(data)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Truncated body.
+	if _, err := Load(bytes.NewReader(buf.Bytes()[:buf.Len()/2])); err == nil {
+		t.Fatal("truncated input accepted")
+	}
+}
+
+func TestSaveBeforeTrainFails(t *testing.T) {
+	var s System
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err == nil {
+		t.Fatal("saving an untrained system should fail")
+	}
+}

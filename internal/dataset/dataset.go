@@ -1,0 +1,267 @@
+// Package dataset provides seeded synthetic classification datasets
+// standing in for the six real datasets of the paper's Table 2.
+//
+// The paper's experiments measure *quality loss* — the accuracy drop a
+// trained model suffers when its stored representation is corrupted —
+// so what matters about the data is its dimensionality, class count,
+// and class structure, not its provenance. Each generator reproduces
+// the real dataset's feature count n and class count k exactly and its
+// train/test sizes scaled down (full paper-scale sizes are available
+// via Spec.FullScale), and draws samples from a multi-modal Gaussian
+// class-prototype mixture whose separation is calibrated per dataset
+// so clean accuracies land in realistic ranges.
+package dataset
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/stats"
+)
+
+// Spec describes a synthetic dataset generator configuration.
+type Spec struct {
+	// Name identifies the dataset (e.g. "MNIST").
+	Name string
+	// Description is a one-line summary matching Table 2.
+	Description string
+	// Features is the original-space dimensionality n.
+	Features int
+	// Classes is the number of labels k.
+	Classes int
+	// TrainSize and TestSize are the sample counts to generate.
+	TrainSize, TestSize int
+	// PaperTrainSize and PaperTestSize record the real dataset's sizes
+	// from Table 2 (informational; used by FullScale).
+	PaperTrainSize, PaperTestSize int
+	// Subclusters is the number of Gaussian modes per class (>= 1).
+	Subclusters int
+	// Separation scales the class-mean offsets on informative
+	// features; larger is easier.
+	Separation float64
+	// InformativeFrac is the fraction of features carrying class
+	// signal; the rest are shared noise.
+	InformativeFrac float64
+	// Noise is the per-feature sample standard deviation.
+	Noise float64
+	// HardFrac is the fraction of samples drawn with HardNoiseScale×
+	// the base noise. Real datasets mix tight class cores with
+	// borderline samples; the hard fraction supplies the borderline
+	// mass whose classification is sensitive to model corruption,
+	// while the tight core keeps within-class encodings coherent.
+	HardFrac float64
+	// HardNoiseScale multiplies Noise for hard samples (default 3
+	// when zero).
+	HardNoiseScale float64
+	// BoundaryFrac is the fraction of samples drawn between two class
+	// prototypes (leaning toward the labeled class). Their encodings
+	// sit near decision boundaries with tiny margins — the samples
+	// whose predictions flip when the stored model is corrupted, i.e.
+	// the source of the paper's measurable quality loss.
+	BoundaryFrac float64
+	// BoundaryMix is the width of the boundary band: boundary samples
+	// blend toward the rival prototype by 0.48 − U(0, BoundaryMix), so
+	// their margins fill a small positive window of the prototype gap.
+	// Majority bundling re-sharpens encodings toward the nearer
+	// prototype, so the band must hug 0.5 tightly for encoded margins
+	// to be small (default 0.06 when zero; must stay below 0.48).
+	BoundaryMix float64
+	// LabelNoise is the fraction of training labels flipped to a
+	// random other class (test labels stay clean).
+	LabelNoise float64
+	// Seed drives all sampling.
+	Seed uint64
+}
+
+// Validate reports whether the spec is internally consistent.
+func (s Spec) Validate() error {
+	switch {
+	case s.Features <= 0:
+		return fmt.Errorf("dataset %s: features must be positive", s.Name)
+	case s.Classes < 2:
+		return fmt.Errorf("dataset %s: need at least 2 classes", s.Name)
+	case s.TrainSize < s.Classes || s.TestSize < 1:
+		return fmt.Errorf("dataset %s: sizes too small (train %d, test %d)", s.Name, s.TrainSize, s.TestSize)
+	case s.Subclusters < 1:
+		return fmt.Errorf("dataset %s: subclusters must be >= 1", s.Name)
+	case s.InformativeFrac <= 0 || s.InformativeFrac > 1:
+		return fmt.Errorf("dataset %s: informative fraction out of (0,1]", s.Name)
+	case s.Noise <= 0:
+		return fmt.Errorf("dataset %s: noise must be positive", s.Name)
+	case s.LabelNoise < 0 || s.LabelNoise >= 1:
+		return fmt.Errorf("dataset %s: label noise out of [0,1)", s.Name)
+	case s.HardFrac < 0 || s.HardFrac >= 1:
+		return fmt.Errorf("dataset %s: hard fraction out of [0,1)", s.Name)
+	case s.HardNoiseScale < 0:
+		return fmt.Errorf("dataset %s: hard noise scale negative", s.Name)
+	case s.BoundaryFrac < 0 || s.BoundaryFrac >= 1:
+		return fmt.Errorf("dataset %s: boundary fraction out of [0,1)", s.Name)
+	case s.BoundaryMix < 0 || s.BoundaryMix >= 0.48:
+		return fmt.Errorf("dataset %s: boundary mix out of [0,0.48)", s.Name)
+	}
+	return nil
+}
+
+// FullScale returns a copy of the spec with paper-scale train/test
+// sizes (Table 2 sizes), for runs that accept the longer runtime.
+func (s Spec) FullScale() Spec {
+	out := s
+	if s.PaperTrainSize > 0 {
+		out.TrainSize = s.PaperTrainSize
+	}
+	if s.PaperTestSize > 0 {
+		out.TestSize = s.PaperTestSize
+	}
+	return out
+}
+
+// Dataset holds generated train and test splits. Labels are class
+// indices in [0, Spec.Classes).
+type Dataset struct {
+	Spec   Spec
+	TrainX [][]float64
+	TrainY []int
+	TestX  [][]float64
+	TestY  []int
+}
+
+// Generate materializes the dataset described by spec. The same spec
+// (including seed) always produces identical data.
+func Generate(spec Spec) (*Dataset, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	rng := stats.NewRNG(spec.Seed ^ 0x6C62272E07BB0142)
+
+	informative := int(float64(spec.Features) * spec.InformativeFrac)
+	if informative < 1 {
+		informative = 1
+	}
+	// Informative feature positions, shared across classes so classes
+	// disagree on the same axes (harder, more realistic than disjoint
+	// supports).
+	positions := rng.Perm(spec.Features)[:informative]
+
+	// Per-class, per-subcluster prototypes; shared baseline elsewhere.
+	baseline := make([]float64, spec.Features)
+	for j := range baseline {
+		baseline[j] = rng.NormFloat64() * 0.5
+	}
+	protos := make([][][]float64, spec.Classes)
+	for c := range protos {
+		protos[c] = make([][]float64, spec.Subclusters)
+		for m := range protos[c] {
+			p := make([]float64, spec.Features)
+			copy(p, baseline)
+			for _, j := range positions {
+				p[j] += rng.NormFloat64() * spec.Separation
+			}
+			protos[c][m] = p
+		}
+	}
+	// Per-feature noise scale variation (heteroscedastic, like sensor
+	// channels with different gains). Background (uninformative)
+	// features are far quieter — real data (image backgrounds, idle
+	// sensor channels) holds most features near-constant, which is
+	// what gives real datasets their high within-class encoded
+	// coherence.
+	isInformative := make([]bool, spec.Features)
+	for _, j := range positions {
+		isInformative[j] = true
+	}
+	noiseScale := make([]float64, spec.Features)
+	for j := range noiseScale {
+		if isInformative[j] {
+			noiseScale[j] = spec.Noise * (0.6 + 0.8*rng.Float64())
+		} else {
+			noiseScale[j] = spec.Noise
+		}
+	}
+	// Background features are exactly constant for most samples, with
+	// rare spikes (image backgrounds, idle sensor channels): that is
+	// what gives real datasets their high within-class encoded
+	// coherence, because constant features always encode to the same
+	// level hypervector.
+	const backgroundSpikeP = 0.05
+
+	hardScale := spec.HardNoiseScale
+	if hardScale == 0 {
+		hardScale = 3
+	}
+	boundaryMix := spec.BoundaryMix
+	if boundaryMix == 0 {
+		boundaryMix = 0.06
+	}
+	sample := func(class int) []float64 {
+		p := protos[class][rng.IntN(spec.Subclusters)]
+		x := make([]float64, spec.Features)
+		switch u := rng.Float64(); {
+		case spec.BoundaryFrac > 0 && u < spec.BoundaryFrac:
+			// Blend toward a rival class prototype: a sample with a
+			// genuinely small decision margin.
+			rival := (class + 1 + rng.IntN(spec.Classes-1)) % spec.Classes
+			q := protos[rival][rng.IntN(spec.Subclusters)]
+			// The mix hugs 0.5 from below but stays off the exact
+			// boundary: margins land in a small positive window —
+			// large enough that a healthy model classifies these
+			// samples, small enough that model corruption flips them.
+			m := 0.48 - boundaryMix*rng.Float64()
+			for j := range x {
+				x[j] = p[j]*(1-m) + q[j]*m + rng.NormFloat64()*noiseScale[j]
+			}
+		case spec.HardFrac > 0 && u < spec.BoundaryFrac+spec.HardFrac:
+			for j := range x {
+				x[j] = p[j] + rng.NormFloat64()*noiseScale[j]*hardScale
+			}
+		default:
+			for j := range x {
+				if isInformative[j] || rng.Float64() < backgroundSpikeP {
+					x[j] = p[j] + rng.NormFloat64()*noiseScale[j]
+				} else {
+					x[j] = p[j]
+				}
+			}
+		}
+		return x
+	}
+
+	d := &Dataset{Spec: spec}
+	d.TrainX, d.TrainY = drawSplit(spec, spec.TrainSize, sample, rng)
+	d.TestX, d.TestY = drawSplit(spec, spec.TestSize, sample, rng)
+
+	if spec.LabelNoise > 0 {
+		for i := range d.TrainY {
+			if rng.Float64() < spec.LabelNoise {
+				d.TrainY[i] = (d.TrainY[i] + 1 + rng.IntN(spec.Classes-1)) % spec.Classes
+			}
+		}
+	}
+	return d, nil
+}
+
+// drawSplit draws size samples with near-balanced classes, shuffled.
+func drawSplit(spec Spec, size int, sample func(int) []float64, rng *rand.Rand) ([][]float64, []int) {
+	xs := make([][]float64, 0, size)
+	ys := make([]int, 0, size)
+	for i := 0; i < size; i++ {
+		c := i % spec.Classes
+		xs = append(xs, sample(c))
+		ys = append(ys, c)
+	}
+	rng.Shuffle(size, func(i, j int) {
+		xs[i], xs[j] = xs[j], xs[i]
+		ys[i], ys[j] = ys[j], ys[i]
+	})
+	return xs, ys
+}
+
+// ClassCounts tallies labels per class for a label slice.
+func ClassCounts(labels []int, classes int) []int {
+	counts := make([]int, classes)
+	for _, y := range labels {
+		if y >= 0 && y < classes {
+			counts[y]++
+		}
+	}
+	return counts
+}

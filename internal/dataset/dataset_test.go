@@ -1,0 +1,207 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := PAMAP()
+	spec.TrainSize, spec.TestSize = 100, 40
+	a, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Generate(spec)
+	for i := range a.TrainX {
+		if a.TrainY[i] != b.TrainY[i] {
+			t.Fatal("labels differ between identical generations")
+		}
+		for j := range a.TrainX[i] {
+			if a.TrainX[i][j] != b.TrainX[i][j] {
+				t.Fatal("features differ between identical generations")
+			}
+		}
+	}
+}
+
+func TestGenerateShapes(t *testing.T) {
+	for _, spec := range All() {
+		spec.TrainSize, spec.TestSize = 60, 30
+		d, err := Generate(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if len(d.TrainX) != 60 || len(d.TrainY) != 60 {
+			t.Fatalf("%s: train size wrong", spec.Name)
+		}
+		if len(d.TestX) != 30 || len(d.TestY) != 30 {
+			t.Fatalf("%s: test size wrong", spec.Name)
+		}
+		for _, row := range d.TrainX {
+			if len(row) != spec.Features {
+				t.Fatalf("%s: feature count %d, want %d", spec.Name, len(row), spec.Features)
+			}
+		}
+		for _, y := range d.TrainY {
+			if y < 0 || y >= spec.Classes {
+				t.Fatalf("%s: label %d out of range", spec.Name, y)
+			}
+		}
+	}
+}
+
+func TestGenerateBalancedClasses(t *testing.T) {
+	spec := MNIST()
+	spec.TrainSize, spec.TestSize = 500, 100
+	d, _ := Generate(spec)
+	counts := ClassCounts(d.TrainY, spec.Classes)
+	for c, n := range counts {
+		if n < 500/spec.Classes-1 || n > 500/spec.Classes+1 {
+			t.Fatalf("class %d has %d samples, want ~%d", c, n, 500/spec.Classes)
+		}
+	}
+}
+
+func TestGenerateSeparable(t *testing.T) {
+	// A trivial nearest-centroid classifier on the raw features must
+	// beat chance by a wide margin on every dataset — i.e. the
+	// generators produce learnable class structure.
+	for _, spec := range All() {
+		spec.TrainSize, spec.TestSize = 300, 150
+		d, _ := Generate(spec)
+		centroids := make([][]float64, spec.Classes)
+		counts := make([]int, spec.Classes)
+		for i := range centroids {
+			centroids[i] = make([]float64, spec.Features)
+		}
+		for i, x := range d.TrainX {
+			y := d.TrainY[i]
+			counts[y]++
+			for j, v := range x {
+				centroids[y][j] += v
+			}
+		}
+		for c := range centroids {
+			for j := range centroids[c] {
+				centroids[c][j] /= float64(counts[c])
+			}
+		}
+		correct := 0
+		for i, x := range d.TestX {
+			best, bestDist := -1, math.Inf(1)
+			for c := range centroids {
+				var dist float64
+				for j, v := range x {
+					diff := v - centroids[c][j]
+					dist += diff * diff
+				}
+				if dist < bestDist {
+					best, bestDist = c, dist
+				}
+			}
+			if best == d.TestY[i] {
+				correct++
+			}
+		}
+		acc := float64(correct) / float64(len(d.TestX))
+		chance := 1.0 / float64(spec.Classes)
+		if acc < chance+0.3 && acc < 0.75 {
+			t.Errorf("%s: nearest-centroid accuracy %.3f too close to chance %.3f", spec.Name, acc, chance)
+		}
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	good := MNIST()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	cases := []func(*Spec){
+		func(s *Spec) { s.Features = 0 },
+		func(s *Spec) { s.Classes = 1 },
+		func(s *Spec) { s.TrainSize = 2 },
+		func(s *Spec) { s.TestSize = 0 },
+		func(s *Spec) { s.Subclusters = 0 },
+		func(s *Spec) { s.InformativeFrac = 0 },
+		func(s *Spec) { s.InformativeFrac = 1.5 },
+		func(s *Spec) { s.Noise = 0 },
+		func(s *Spec) { s.LabelNoise = -0.1 },
+		func(s *Spec) { s.LabelNoise = 1 },
+	}
+	for i, mutate := range cases {
+		s := MNIST()
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: invalid spec accepted", i)
+		}
+		if _, err := Generate(s); err == nil {
+			t.Errorf("case %d: Generate accepted invalid spec", i)
+		}
+	}
+}
+
+func TestFullScale(t *testing.T) {
+	s := MNIST().FullScale()
+	if s.TrainSize != 60000 || s.TestSize != 10000 {
+		t.Fatalf("FullScale sizes = %d/%d", s.TrainSize, s.TestSize)
+	}
+}
+
+func TestTable2Roster(t *testing.T) {
+	all := All()
+	if len(all) != 6 {
+		t.Fatalf("roster has %d datasets, want 6", len(all))
+	}
+	// Feature/class counts straight from Table 2.
+	want := map[string][2]int{
+		"MNIST": {784, 10}, "UCIHAR": {561, 12}, "ISOLET": {617, 26},
+		"FACE": {608, 2}, "PAMAP": {75, 5}, "PECAN": {312, 3},
+	}
+	for _, s := range all {
+		w, ok := want[s.Name]
+		if !ok {
+			t.Fatalf("unexpected dataset %s", s.Name)
+		}
+		if s.Features != w[0] || s.Classes != w[1] {
+			t.Fatalf("%s: n=%d k=%d, want n=%d k=%d", s.Name, s.Features, s.Classes, w[0], w[1])
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if s, ok := ByName("ISOLET"); !ok || s.Classes != 26 {
+		t.Fatal("ByName(ISOLET) failed")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestLabelNoiseApplied(t *testing.T) {
+	spec := PECAN()
+	spec.TrainSize, spec.TestSize = 1000, 10
+	spec.LabelNoise = 0.5
+	noisy, _ := Generate(spec)
+	spec.LabelNoise = 0
+	clean, _ := Generate(spec)
+	diffs := 0
+	for i := range noisy.TrainY {
+		if noisy.TrainY[i] != clean.TrainY[i] {
+			diffs++
+		}
+	}
+	if diffs < 350 || diffs > 650 {
+		t.Fatalf("label noise 0.5 changed %d/1000 labels", diffs)
+	}
+}
+
+func TestClassCountsIgnoresOutOfRange(t *testing.T) {
+	counts := ClassCounts([]int{0, 1, 1, 7, -1}, 2)
+	if counts[0] != 1 || counts[1] != 2 {
+		t.Fatalf("counts = %v", counts)
+	}
+}

@@ -1,0 +1,331 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// testContext returns a context small enough for CI: reduced dataset
+// sizes, one trial, D=4000 for the generic drivers (Table 1 and
+// Figure 4a sweep their own dimensionalities regardless).
+func testContext() *Context {
+	return NewContext(Options{
+		Dimensions: 4000,
+		Trials:     1,
+		SizeScale:  0.3,
+		Seed:       7,
+	})
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	ctx := NewContext(Options{})
+	if ctx.Opts.Dimensions != 10000 || ctx.Opts.Trials != 3 || ctx.Opts.SizeScale != 1 {
+		t.Fatalf("defaults not filled: %+v", ctx.Opts)
+	}
+}
+
+func TestContextCachesModels(t *testing.T) {
+	ctx := testContext()
+	a, err := ctx.HDC(dataset.PAMAP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := ctx.HDC(dataset.PAMAP())
+	if a != b {
+		t.Fatal("context did not cache the trained system")
+	}
+	c, err := ctx.Baselines(dataset.PAMAP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := ctx.Baselines(dataset.PAMAP())
+	if c != d {
+		t.Fatal("context did not cache the baselines")
+	}
+}
+
+func TestScaledSpecFloors(t *testing.T) {
+	ctx := NewContext(Options{SizeScale: 0.001})
+	spec := ctx.scaledSpec(dataset.ISOLET())
+	if spec.TrainSize < spec.Classes*10 || spec.TestSize < 50 {
+		t.Fatalf("scaled sizes below floors: %d/%d", spec.TrainSize, spec.TestSize)
+	}
+}
+
+func TestTrainedAccessorsPanicWithoutBaselines(t *testing.T) {
+	ctx := testContext()
+	hdcOnly, err := ctx.HDC(dataset.PAMAP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	hdcOnly.MLPDeployed()
+}
+
+func TestTable2(t *testing.T) {
+	ctx := testContext()
+	res, err := Table2(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("Table 2 has %d rows, want 6", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		chance := 1.0 / float64(row.Spec.Classes)
+		if row.Accuracy < chance+0.3 && row.Accuracy < 0.85 {
+			t.Errorf("%s: clean HDC accuracy %.3f too low", row.Spec.Name, row.Accuracy)
+		}
+	}
+	out := res.Render()
+	if !strings.Contains(out, "MNIST") || !strings.Contains(out, "784") {
+		t.Fatal("render missing roster content")
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	ctx := testContext()
+	res, err := Table1(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("Table 1 has %d rows, want 5", len(res.Rows))
+	}
+	byLabel := map[string][]float64{}
+	for _, row := range res.Rows {
+		if len(row.Measured) != len(Table1Rates) {
+			t.Fatalf("row %s has %d cells", row.Label, len(row.Measured))
+		}
+		byLabel[row.Label] = row.Measured
+	}
+	// Shape claim 1: at high error rates the DNN loses far more than
+	// any HDC configuration.
+	last := len(Table1Rates) - 1
+	for label, m := range byLabel {
+		if label == "DNN" {
+			continue
+		}
+		if m[last] > byLabel["DNN"][last]/2 {
+			t.Errorf("%s loss %.2f not well below DNN %.2f at 15%%", label, m[last], byLabel["DNN"][last])
+		}
+	}
+	// Shape claim 2: DNN loses double digits at 15%.
+	if byLabel["DNN"][last] < 5 {
+		t.Errorf("DNN loss %.2f at 15%% suspiciously low", byLabel["DNN"][last])
+	}
+	// Shape claim 3: higher dimensionality is at least as robust
+	// (small tolerance for trial noise).
+	if byLabel["D=10k 1-bit"][last] > byLabel["D=5k 1-bit"][last]+1.0 {
+		t.Errorf("D=10k (%.2f) worse than D=5k (%.2f) at 15%%",
+			byLabel["D=10k 1-bit"][last], byLabel["D=5k 1-bit"][last])
+	}
+	if !strings.Contains(res.Render(), "Table 1") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	ctx := testContext()
+	res, err := Table3(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(alg, atk string) []float64 {
+		for _, c := range res.Cells {
+			if c.Algorithm == alg && c.Attack == atk {
+				return c.Measured
+			}
+		}
+		t.Fatalf("missing cell %s/%s", alg, atk)
+		return nil
+	}
+	last := len(Table3Rates) - 1
+	dnnR, dnnT := get("DNN", "Random"), get("DNN", "Targeted")
+	hdcR, hdcT := get("HDC", "Random"), get("HDC", "Targeted")
+	svmT := get("SVM", "Targeted")
+
+	// Headline: HDC under 12% attack loses a few points at most; the
+	// DNN loses an order of magnitude more.
+	if hdcR[last] > 6 {
+		t.Errorf("HDC random loss %.2f%% at 12%% too high (paper: 3.2%%)", hdcR[last])
+	}
+	if dnnR[last] < 4*hdcR[last] {
+		t.Errorf("DNN random loss %.2f%% not far above HDC %.2f%%", dnnR[last], hdcR[last])
+	}
+	// Targeted attacks hurt the binary-weight learners more; HDC is
+	// attack-agnostic (within noise).
+	if dnnT[last] < dnnR[last]-2 {
+		t.Errorf("DNN targeted %.2f%% below random %.2f%%", dnnT[last], dnnR[last])
+	}
+	if svmT[last] <= 0 {
+		t.Error("SVM targeted attack caused no loss")
+	}
+	diff := hdcT[last] - hdcR[last]
+	if diff < -2 || diff > 2 {
+		t.Errorf("HDC targeted (%.2f%%) and random (%.2f%%) should match", hdcT[last], hdcR[last])
+	}
+	// Losses grow with the error rate (monotone within tolerance).
+	if dnnR[last] < dnnR[0] {
+		t.Error("DNN loss not growing with rate")
+	}
+	if !strings.Contains(res.Render(), "AdaBoost") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	ctx := testContext()
+	res, err := Table4(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 6 {
+		t.Fatalf("Table 4 has %d datasets, want 6", len(res.Cells))
+	}
+	// The validated Table 4 property at scaled sizes: the unsupervised
+	// recovery loop is non-destructive — running it on an attacked
+	// model never costs more than trial noise. (Its healing of gross
+	// or localized damage is exercised directly by the recovery
+	// package's tests; at the paper's mild uniform rates the healing
+	// and the substitution sampling residue are the same order, so
+	// per-cell improvements sit inside trial noise here.)
+	var meanWith, meanWithout float64
+	cells := 0
+	for _, c := range res.Cells {
+		for ri := range Table4Rates {
+			if c.WithRecovery[ri] > c.WithoutRecovery[ri]+2.5 {
+				t.Errorf("%s at %.0f%%: recovery worsened loss %.2f -> %.2f",
+					c.Dataset, Table4Rates[ri]*100, c.WithoutRecovery[ri], c.WithRecovery[ri])
+			}
+			meanWith += c.WithRecovery[ri]
+			meanWithout += c.WithoutRecovery[ri]
+			cells++
+		}
+	}
+	if meanWith > meanWithout+float64(cells) {
+		t.Errorf("recovery net-destructive: mean with %.2f vs without %.2f",
+			meanWith/float64(cells), meanWithout/float64(cells))
+	}
+	if !strings.Contains(res.Render(), "PECAN") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestFig2Driver(t *testing.T) {
+	ctx := testContext()
+	res, err := Fig2(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 4 {
+		t.Fatalf("Figure 2 has %d entries", len(res.Entries))
+	}
+	out := res.Render()
+	for _, want := range []string{"HDC-PIM", "DNN-GPU", "paper"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q", want)
+		}
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	ctx := testContext()
+	res, err := Fig3(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ConfidenceSweep) != len(Fig3ConfidenceValues) {
+		t.Fatal("confidence sweep incomplete")
+	}
+	// A stricter gate trusts fewer queries (monotone within noise).
+	first := res.ConfidenceSweep[0]
+	lastP := res.ConfidenceSweep[len(res.ConfidenceSweep)-1]
+	if lastP.Trusted > first.Trusted {
+		t.Errorf("T_C=%.2f trusted %d > T_C=%.2f trusted %d",
+			lastP.Value, lastP.Trusted, first.Value, first.Trusted)
+	}
+	if !strings.Contains(res.Render(), "T_C") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestFig4aShape(t *testing.T) {
+	ctx := testContext()
+	res, err := Fig4a(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := map[string]Fig4aSeries{}
+	for _, s := range res.Series {
+		series[s.Name] = s
+	}
+	dnn8 := series["DNN 8-bit"]
+	hdc10 := series["HDC D=10k"]
+	hdc4 := series["HDC D=4k"]
+	// DNN must die within the first year; HDC must survive years.
+	if dnn8.LifetimeYears < 0 || dnn8.LifetimeYears > 1 {
+		t.Errorf("DNN 8-bit lifetime %.2gy, paper reports <3 months", dnn8.LifetimeYears)
+	}
+	hdcLifetime := hdc10.LifetimeYears
+	if hdcLifetime > 0 && hdcLifetime < 2 {
+		t.Errorf("HDC D=10k lifetime %.2gy, paper reports ~5y", hdcLifetime)
+	}
+	// Higher dimensionality survives at least as long.
+	if hdc4.LifetimeYears > 0 && (hdc10.LifetimeYears > 0 && hdc10.LifetimeYears < hdc4.LifetimeYears) {
+		t.Errorf("D=10k lifetime %.2gy below D=4k %.2gy", hdc10.LifetimeYears, hdc4.LifetimeYears)
+	}
+	// Accuracy at year 5: HDC far above DNN.
+	lastIdx := len(res.Years) - 1
+	if hdc10.Accuracy[lastIdx] < dnn8.Accuracy[lastIdx] {
+		t.Errorf("at year %.2g HDC %.3f below DNN %.3f",
+			res.Years[lastIdx], hdc10.Accuracy[lastIdx], dnn8.Accuracy[lastIdx])
+	}
+	if !strings.Contains(res.Render(), "lifetime") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestFig4bShape(t *testing.T) {
+	ctx := testContext()
+	res, err := Fig4b(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != len(Fig4bErrorRates) {
+		t.Fatal("sweep incomplete")
+	}
+	prevGain := -1.0
+	for _, p := range res.Points {
+		if p.EnergyImprovement <= prevGain {
+			t.Errorf("energy gain not increasing at error %.3f", p.BitErrorRate)
+		}
+		prevGain = p.EnergyImprovement
+		if p.RefreshIntervalMs <= 64 {
+			t.Errorf("relaxed interval %.0fms not beyond 64ms", p.RefreshIntervalMs)
+		}
+	}
+	last := res.Points[len(res.Points)-1]
+	if last.HDCAccuracy <= last.DNNAccuracy {
+		t.Errorf("at 6%% error HDC %.3f not above DNN %.3f", last.HDCAccuracy, last.DNNAccuracy)
+	}
+	// Calibration anchors within tolerance.
+	var gain4 float64
+	for _, p := range res.Points {
+		if p.BitErrorRate == 0.04 {
+			gain4 = p.EnergyImprovement
+		}
+	}
+	if gain4 < 0.10 || gain4 > 0.18 {
+		t.Errorf("gain at 4%% error = %.3f, paper 0.14", gain4)
+	}
+	if !strings.Contains(res.Render(), "refresh") {
+		t.Fatal("render broken")
+	}
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/pim"
+	"repro/internal/stats"
+)
+
+// Fig2Result carries the efficiency comparison of Figure 2.
+type Fig2Result struct {
+	Entries []pim.EfficiencyEntry
+	// Paper ratios for reference.
+	PaperHDCvsDNNPIMSpeed, PaperHDCvsDNNPIMEnergy float64
+	PaperHDCPIMvsGPUSpeed, PaperHDCPIMvsGPUEnergy float64
+}
+
+// Fig2 reproduces "PIM efficiency running DNN and HDC": speedup and
+// energy efficiency of DNN/HDC on the DPIM accelerator, normalized to
+// DNN on the GPU baseline.
+func Fig2(ctx *Context) (*Fig2Result, error) {
+	entries, err := pim.Figure2(pim.DefaultFigure2Config())
+	if err != nil {
+		return nil, err
+	}
+	return &Fig2Result{
+		Entries:                entries,
+		PaperHDCvsDNNPIMSpeed:  2.4,
+		PaperHDCvsDNNPIMEnergy: 3.7,
+		PaperHDCPIMvsGPUSpeed:  47.6,
+		PaperHDCPIMvsGPUEnergy: 21.2,
+	}, nil
+}
+
+// Render formats the bars plus the paper's headline ratios.
+func (r *Fig2Result) Render() string {
+	tab := stats.NewTable("Figure 2: PIM efficiency (normalized to DNN-GPU = 1)",
+		"Platform", "Speedup", "Energy eff.")
+	for _, e := range r.Entries {
+		tab.AddRow(e.Name, fmt.Sprintf("%.1fx", e.Speedup), fmt.Sprintf("%.1fx", e.EnergyEff))
+	}
+	out := tab.Render()
+	dnnPIM, err1 := pim.Find(r.Entries, "DNN-PIM")
+	hdcPIM, err2 := pim.Find(r.Entries, "HDC-PIM")
+	if err1 == nil && err2 == nil {
+		out += fmt.Sprintf(
+			"HDC-PIM vs DNN-PIM: %.1fx speed (paper %.1fx), %.1fx energy (paper %.1fx)\n"+
+				"HDC-PIM vs DNN-GPU: %.1fx speed (paper %.1fx), %.1fx energy (paper %.1fx)\n",
+			hdcPIM.Speedup/dnnPIM.Speedup, r.PaperHDCvsDNNPIMSpeed,
+			hdcPIM.EnergyEff/dnnPIM.EnergyEff, r.PaperHDCvsDNNPIMEnergy,
+			hdcPIM.Speedup, r.PaperHDCPIMvsGPUSpeed,
+			hdcPIM.EnergyEff, r.PaperHDCPIMvsGPUEnergy)
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/recovery"
+	"repro/internal/stats"
+)
+
+// Fig3Point is one operating point of the confidence/substitution
+// sweep: how many stream samples recovery needed to pull accuracy back
+// within half a point of clean, and the final quality loss.
+type Fig3Point struct {
+	Value            float64 // the swept parameter (T_C or S)
+	SamplesToRecover int     // -1 when never recovered
+	FinalLoss        float64 // percentage points
+	Trusted          int     // queries that cleared the gate
+	Fluctuation      float64 // std-dev of accuracy across the trace
+}
+
+// Fig3Result carries both sweeps of Figure 3.
+type Fig3Result struct {
+	AttackRate        float64
+	ConfidenceSweep   []Fig3Point
+	SubstitutionSweep []Fig3Point
+}
+
+// Fig3ConfidenceValues is the swept confidence threshold T_C.
+var Fig3ConfidenceValues = []float64{0.4, 0.6, 0.8, 0.9, 0.97}
+
+// Fig3SubstitutionValues is the swept substitution rate S.
+var Fig3SubstitutionValues = []float64{0.05, 0.1, 0.25, 0.5, 0.9}
+
+// Fig3 reproduces "impact of confidence & substitution on data
+// recovery" on the UCI-HAR-like dataset: a 10% attack followed by an
+// instrumented recovery stream, sweeping T_C with S fixed and S with
+// T_C fixed.
+func Fig3(ctx *Context) (*Fig3Result, error) {
+	const attackRate = 0.10
+	t, err := ctx.HDC(dataset.UCIHAR())
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig3Result{AttackRate: attackRate}
+
+	base := ctx.Opts.Recovery
+	for _, tc := range Fig3ConfidenceValues {
+		cfg := base
+		cfg.ConfidenceThreshold = tc
+		p, err := fig3Point(ctx, t, cfg, attackRate, tc)
+		if err != nil {
+			return nil, err
+		}
+		res.ConfidenceSweep = append(res.ConfidenceSweep, p)
+	}
+	for _, s := range Fig3SubstitutionValues {
+		cfg := base
+		cfg.SubstitutionRate = s
+		p, err := fig3Point(ctx, t, cfg, attackRate, s)
+		if err != nil {
+			return nil, err
+		}
+		res.SubstitutionSweep = append(res.SubstitutionSweep, p)
+	}
+	return res, nil
+}
+
+func fig3Point(ctx *Context, t *Trained, cfg recovery.Config, attackRate, value float64) (Fig3Point, error) {
+	clean := t.CleanHDCAccuracy()
+	snap := t.System.Snapshot()
+	defer t.System.Restore(snap)
+
+	if _, err := t.System.AttackRandom(attackRate, ctx.trialSeed("f3atk", int(value*1000), 0)); err != nil {
+		return Fig3Point{}, err
+	}
+	r, err := t.System.NewRecoverer(cfg, ctx.trialSeed("f3rec", int(value*1000), 0))
+	if err != nil {
+		return Fig3Point{}, err
+	}
+	// Stream: several passes over the unlabeled test queries,
+	// accuracy sampled every 25 observations.
+	var trace []recovery.TracePoint
+	for pass := 0; pass < Table4RecoveryPasses; pass++ {
+		trace = append(trace, r.RunTraced(t.TestEnc, t.TestEnc, t.Data.TestY, 25)...)
+	}
+	final := t.System.Model().Accuracy(t.TestEnc, t.Data.TestY)
+
+	accs := make([]float64, len(trace))
+	for i, p := range trace {
+		accs[i] = p.Accuracy
+	}
+	return Fig3Point{
+		Value:            value,
+		SamplesToRecover: recovery.SamplesToRecover(trace, clean-0.005),
+		FinalLoss:        stats.QualityLoss(clean, final),
+		Trusted:          r.Stats().Trusted,
+		Fluctuation:      stats.StdDev(accs),
+	}, nil
+}
+
+// Render formats both sweeps.
+func (r *Fig3Result) Render() string {
+	out := fmt.Sprintf("Figure 3: recovery dynamics under a %.0f%% attack\n", r.AttackRate*100)
+	tab := stats.NewTable("Sweep of confidence threshold T_C (S fixed)",
+		"T_C", "samples to recover", "final loss", "trusted", "fluctuation")
+	for _, p := range r.ConfidenceSweep {
+		tab.AddRow(fmt.Sprintf("%.2f", p.Value), samplesStr(p.SamplesToRecover),
+			fmt.Sprintf("%.2f%%", p.FinalLoss), fmt.Sprintf("%d", p.Trusted),
+			fmt.Sprintf("%.4f", p.Fluctuation))
+	}
+	out += tab.Render()
+	tab2 := stats.NewTable("Sweep of substitution rate S (T_C fixed)",
+		"S", "samples to recover", "final loss", "trusted", "fluctuation")
+	for _, p := range r.SubstitutionSweep {
+		tab2.AddRow(fmt.Sprintf("%.2f", p.Value), samplesStr(p.SamplesToRecover),
+			fmt.Sprintf("%.2f%%", p.FinalLoss), fmt.Sprintf("%d", p.Trusted),
+			fmt.Sprintf("%.4f", p.Fluctuation))
+	}
+	out += tab2.Render()
+	return out
+}
+
+func samplesStr(n int) string {
+	if n < 0 {
+		return "never"
+	}
+	return fmt.Sprintf("%d", n)
+}

@@ -1,0 +1,241 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/attack"
+	"repro/internal/dataset"
+	"repro/internal/memsim"
+	"repro/internal/pim"
+	"repro/internal/stats"
+)
+
+// Fig4aYears is the operating-time axis of the lifetime study.
+var Fig4aYears = []float64{0.1, 0.25, 0.5, 1, 2, 3, 4, 5, 6}
+
+// Fig4aSeries is one platform's accuracy-over-time curve.
+type Fig4aSeries struct {
+	Name string
+	// ErrorRate[i] is the stuck-bit error rate after Fig4aYears[i].
+	ErrorRate []float64
+	// Accuracy[i] is the resulting classification accuracy.
+	Accuracy []float64
+	// LifetimeYears is when quality loss crosses one point (-1 if it
+	// never does within the horizon).
+	LifetimeYears float64
+}
+
+// Fig4aResult carries the lifetime curves.
+type Fig4aResult struct {
+	Years  []float64
+	Series []Fig4aSeries
+	// Paper anchors: DNN < 0.25y; HDC D=4k 3.4y; D=10k 5y.
+	PaperDNNYears, PaperHDC4kYears, PaperHDC10kYears float64
+}
+
+// Fig4a reproduces "memory lifetime during PIM functionality":
+// accuracy over years of continuous serving for DNN (8-bit and
+// float32) and HDC (D=4k and D=10k) on endurance-limited NVM.
+func Fig4a(ctx *Context) (*Fig4aResult, error) {
+	spec := dataset.UCIHAR()
+	base, err := ctx.Baselines(spec)
+	if err != nil {
+		return nil, err
+	}
+	m := pim.NewCostModel()
+	layers := []int{spec.Features, 128, spec.Classes}
+
+	res := &Fig4aResult{
+		Years:            Fig4aYears,
+		PaperDNNYears:    0.25,
+		PaperHDC4kYears:  3.4,
+		PaperHDC10kYears: 5.0,
+	}
+
+	// DNN 8-bit.
+	w8, err := pim.DNNWorkload(m, layers, 8)
+	if err != nil {
+		return nil, err
+	}
+	res.Series = append(res.Series, ctx.fig4aSeries("DNN 8-bit", pim.DefaultLifetimeConfig(w8),
+		func(e float64, trial int) float64 {
+			d := base.MLPDeployed()
+			if _, err := attack.Random(d, e, stats.NewRNG(ctx.trialSeed("f4a8", int(e*1e4), trial))); err != nil {
+				panic(err)
+			}
+			return d.Accuracy(base.Data.TestX, base.Data.TestY)
+		}))
+
+	// DNN float32 (mantissa-scale arithmetic wears like 24-bit
+	// multiplies).
+	w32, err := pim.DNNWorkload(m, layers, 24)
+	if err != nil {
+		return nil, err
+	}
+	res.Series = append(res.Series, ctx.fig4aSeries("DNN float32", pim.DefaultLifetimeConfig(w32),
+		func(e float64, trial int) float64 {
+			d := base.MLPDeployedF32()
+			if _, err := attack.Random(d, e, stats.NewRNG(ctx.trialSeed("f4a32", int(e*1e4), trial))); err != nil {
+				panic(err)
+			}
+			return d.Accuracy(base.Data.TestX, base.Data.TestY)
+		}))
+
+	// HDC at D = 4k and 10k.
+	for _, dims := range []int{4000, 10000} {
+		t, err := ctx.HDCAt(spec, dims)
+		if err != nil {
+			return nil, err
+		}
+		wh, err := pim.HDCWorkload(m, spec.Features, dims, spec.Classes)
+		if err != nil {
+			return nil, err
+		}
+		name := fmt.Sprintf("HDC D=%dk", dims/1000)
+		snap := t.System.Snapshot()
+		res.Series = append(res.Series, ctx.fig4aSeries(name, pim.DefaultLifetimeConfig(wh),
+			func(e float64, trial int) float64 {
+				defer t.System.Restore(snap)
+				if _, err := t.System.AttackRandom(e, ctx.trialSeed("f4ah"+name, int(e*1e4), trial)); err != nil {
+					panic(err)
+				}
+				return t.System.Model().Accuracy(t.TestEnc, t.Data.TestY)
+			}))
+	}
+	return res, nil
+}
+
+// fig4aSeries evaluates one platform curve: wear → error rate →
+// accuracy (averaged over trials).
+func (c *Context) fig4aSeries(name string, lc pim.LifetimeConfig, accuracyAt func(e float64, trial int) float64) Fig4aSeries {
+	s := Fig4aSeries{Name: name, LifetimeYears: -1}
+	clean := accuracyAt(0, 0)
+	for _, y := range Fig4aYears {
+		e := lc.StuckErrorRateAt(y)
+		accs := make([]float64, c.Opts.Trials)
+		for trial := range accs {
+			accs[trial] = accuracyAt(e, trial)
+		}
+		acc := stats.Mean(accs)
+		s.ErrorRate = append(s.ErrorRate, e)
+		s.Accuracy = append(s.Accuracy, acc)
+		if s.LifetimeYears < 0 && stats.QualityLoss(clean, acc) > 1.0 {
+			s.LifetimeYears = y
+		}
+	}
+	return s
+}
+
+// Render formats the curves.
+func (r *Fig4aResult) Render() string {
+	header := []string{"Platform"}
+	for _, y := range r.Years {
+		header = append(header, fmt.Sprintf("%.2gy", y))
+	}
+	header = append(header, "lifetime")
+	tab := stats.NewTable("Figure 4a: accuracy over PIM operating time (NVM endurance 1e9)", header...)
+	for _, s := range r.Series {
+		row := []string{s.Name}
+		for i := range r.Years {
+			row = append(row, fmt.Sprintf("%.3f", s.Accuracy[i]))
+		}
+		if s.LifetimeYears < 0 {
+			row = append(row, fmt.Sprintf(">%.2gy", r.Years[len(r.Years)-1]))
+		} else {
+			row = append(row, fmt.Sprintf("%.2gy", s.LifetimeYears))
+		}
+		tab.AddRow(row...)
+	}
+	out := tab.Render()
+	out += fmt.Sprintf("paper anchors: DNN <%.2gy, HDC D=4k %.2gy, HDC D=10k %.2gy\n",
+		r.PaperDNNYears, r.PaperHDC4kYears, r.PaperHDC10kYears)
+	return out
+}
+
+// Fig4bPoint is one refresh-relaxation operating point.
+type Fig4bPoint struct {
+	RefreshIntervalMs float64
+	BitErrorRate      float64
+	EnergyImprovement float64
+	DNNAccuracy       float64
+	HDCAccuracy       float64
+}
+
+// Fig4bResult carries the DRAM relaxation study.
+type Fig4bResult struct {
+	Points []Fig4bPoint
+	// Paper anchors: 4% error → 14% improvement, 6% → 22%.
+	PaperImprovement4, PaperImprovement6 float64
+}
+
+// Fig4bErrorRates are the error-rate operating points swept (the
+// figure's x-axis).
+var Fig4bErrorRates = []float64{0.01, 0.02, 0.03, 0.04, 0.06}
+
+// Fig4b reproduces "impact of DRAM refresh cycle relaxation on
+// efficiency": relaxing refresh saves energy but introduces bit
+// errors; HDC keeps its accuracy where the DNN model decays.
+func Fig4b(ctx *Context) (*Fig4bResult, error) {
+	spec := dataset.UCIHAR()
+	base, err := ctx.Baselines(spec)
+	if err != nil {
+		return nil, err
+	}
+	t, err := ctx.HDC(spec)
+	if err != nil {
+		return nil, err
+	}
+	retention := memsim.DefaultDRAMRetention()
+	power := memsim.DefaultDRAMPower()
+	snap := t.System.Snapshot()
+
+	res := &Fig4bResult{PaperImprovement4: 0.14, PaperImprovement6: 0.22}
+	for pi, e := range Fig4bErrorRates {
+		interval, err := retention.IntervalForBER(e)
+		if err != nil {
+			return nil, err
+		}
+		dnnAccs := make([]float64, ctx.Opts.Trials)
+		hdcAccs := make([]float64, ctx.Opts.Trials)
+		for trial := range dnnAccs {
+			d := base.MLPDeployed()
+			if _, err := attack.Random(d, e, stats.NewRNG(ctx.trialSeed("f4bd", pi, trial))); err != nil {
+				panic(err)
+			}
+			dnnAccs[trial] = d.Accuracy(base.Data.TestX, base.Data.TestY)
+
+			if _, err := t.System.AttackRandom(e, ctx.trialSeed("f4bh", pi, trial)); err != nil {
+				panic(err)
+			}
+			hdcAccs[trial] = t.System.Model().Accuracy(t.TestEnc, t.Data.TestY)
+			t.System.Restore(snap)
+		}
+		res.Points = append(res.Points, Fig4bPoint{
+			RefreshIntervalMs: interval,
+			BitErrorRate:      e,
+			EnergyImprovement: power.EfficiencyImprovement(interval),
+			DNNAccuracy:       stats.Mean(dnnAccs),
+			HDCAccuracy:       stats.Mean(hdcAccs),
+		})
+	}
+	return res, nil
+}
+
+// Render formats the relaxation study.
+func (r *Fig4bResult) Render() string {
+	tab := stats.NewTable("Figure 4b: DRAM refresh relaxation",
+		"refresh (ms)", "error rate", "energy gain", "DNN acc", "HDC acc")
+	for _, p := range r.Points {
+		tab.AddRow(
+			fmt.Sprintf("%.0f", p.RefreshIntervalMs),
+			stats.Pct(p.BitErrorRate),
+			stats.Pct(p.EnergyImprovement),
+			fmt.Sprintf("%.3f", p.DNNAccuracy),
+			fmt.Sprintf("%.3f", p.HDCAccuracy),
+		)
+	}
+	out := tab.Render()
+	out += fmt.Sprintf("paper anchors: 4%% error -> %.0f%% gain, 6%% -> %.0f%% gain\n",
+		r.PaperImprovement4*100, r.PaperImprovement6*100)
+	return out
+}

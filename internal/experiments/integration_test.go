@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/dataset"
+	"repro/internal/memsim"
+	"repro/internal/pim"
+)
+
+// TestModelInRelaxedDRAM runs Figure 4b's mechanism end to end on the
+// functional substrate: the deployed class hypervectors are stored in
+// a simulated DRAM array, the refresh interval is relaxed, the decayed
+// bits are read back and installed as the live model, and accuracy is
+// measured — no analytic shortcut anywhere in the chain.
+func TestModelInRelaxedDRAM(t *testing.T) {
+	ctx := testContext()
+	tr, err := ctx.HDC(dataset.UCIHAR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := tr.CleanHDCAccuracy()
+	snap := tr.System.Snapshot()
+	defer tr.System.Restore(snap)
+
+	dims := tr.System.Dimensions()
+	classes := tr.System.Classes()
+	wordsPerClass := (dims + 63) / 64
+	retention := memsim.DefaultDRAMRetention()
+	dram, err := memsim.NewDRAMArray(classes*wordsPerClass, retention, false, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Store the deployed model bit-for-bit into DRAM words.
+	for c := 0; c < classes; c++ {
+		words := snap[c].Words()
+		for w, v := range words {
+			dram.WriteWord(c*wordsPerClass+w, v)
+		}
+	}
+
+	type point struct{ ber, acc float64 }
+	var results []point
+	for _, targetBER := range []float64{0.001, 0.02, 0.06} {
+		interval, err := retention.IntervalForBER(targetBER)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dram.SetRefreshInterval(interval); err != nil {
+			t.Fatal(err)
+		}
+		// Read the decayed model back and install it.
+		for c := 0; c < classes; c++ {
+			v := bitvec.New(dims)
+			dst := v.Words()
+			for w := range dst {
+				dst[w], _ = dram.ReadWord(c*wordsPerClass + w)
+			}
+			// Preserve the tail invariant (bits beyond dims must stay
+			// zero); rebuild through the public API to be safe.
+			rebuilt := bitvec.New(dims)
+			for i := 0; i < dims; i++ {
+				if dst[i/64]>>(uint(i)%64)&1 == 1 {
+					rebuilt.Set(i, true)
+				}
+			}
+			tr.System.Model().SetClassVector(c, rebuilt)
+		}
+		acc := tr.System.Model().Accuracy(tr.TestEnc, tr.Data.TestY)
+		results = append(results, point{targetBER, acc})
+	}
+
+	// The HDC model must hold within a few points of clean accuracy
+	// across the whole relaxation range — the Figure 4b claim, now on
+	// functional hardware.
+	for _, p := range results {
+		if clean-p.acc > 0.06 {
+			t.Errorf("at BER %.3f the DRAM-stored model lost %.1f points",
+				p.ber, (clean-p.acc)*100)
+		}
+	}
+	// And degradation is monotone-ish: the 6% point can't beat the
+	// 0.1% point by more than noise.
+	if results[2].acc > results[0].acc+0.02 {
+		t.Errorf("accuracy ordering inverted: %.3f at 6%% vs %.3f at 0.1%%",
+			results[2].acc, results[0].acc)
+	}
+}
+
+// TestModelOnWearingCrossbar runs Figure 4a's mechanism end to end:
+// the deployed model lives as columns of a functional MAGIC crossbar
+// with finite endurance; continuous in-memory inference wears the
+// scratch columns out and eventually corrupts the computed distances.
+func TestModelOnWearingCrossbar(t *testing.T) {
+	ctx := testContext()
+	tr, err := ctx.HDC(dataset.PAMAP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dims := tr.System.Dimensions()
+	classes := tr.System.Classes()
+
+	engine, err := pim.NewAssociativeEngine(dims, classes, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.LoadModel(tr.System.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: fresh array agrees with software on every query.
+	agree := 0
+	for i, q := range tr.TestEnc {
+		hw, err := engine.Predict(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hw == tr.System.Model().Predict(q) {
+			agree++
+		}
+		if i >= 30 {
+			break
+		}
+	}
+	if agree < 31 {
+		t.Fatalf("fresh crossbar disagreed with software on %d/31 queries", 31-agree)
+	}
+
+	// Phase 2: keep serving until scratch cells wear out.
+	for round := 0; round < 40; round++ {
+		for _, q := range tr.TestEnc[:10] {
+			if _, err := engine.Predict(q); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if engine.Crossbar().StuckCells() > 0 {
+			break
+		}
+	}
+	if engine.Crossbar().StuckCells() == 0 {
+		t.Fatal("endurance 400 never produced stuck cells under continuous serving")
+	}
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/attack"
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// Table1Rates are the hardware-error rates swept by Table 1.
+var Table1Rates = []float64{0.01, 0.02, 0.05, 0.10, 0.15}
+
+// Table1Row is one model configuration's quality loss across rates.
+type Table1Row struct {
+	Label    string
+	Measured []float64 // percentage points, aligned with Table1Rates
+	Paper    []float64 // published values (NaN-free; -1 = not reported)
+}
+
+// Table1Result carries the full table.
+type Table1Result struct {
+	Rates []float64
+	Rows  []Table1Row
+}
+
+// PaperTable1 holds the published Table 1 values (quality loss %).
+var PaperTable1 = map[string][]float64{
+	"DNN":         {3.9, 9.4, 16.3, 26.4, 40.0},
+	"D=5k 1-bit":  {0.0, 0.0, 0.0, 0.9, 3.1},
+	"D=5k 2-bit":  {0.0, 0.0, 0.4, 1.4, 4.7},
+	"D=10k 1-bit": {0.0, 0.0, 0.0, 0.6, 1.7},
+	"D=10k 2-bit": {0.0, 0.0, 0.2, 1.1, 3.5},
+}
+
+// Table1 reproduces "HDC quality loss under random noise using models
+// with different precision and dimensionality" on the UCI-HAR-like
+// dataset.
+func Table1(ctx *Context) (*Table1Result, error) {
+	spec := dataset.UCIHAR()
+	res := &Table1Result{Rates: Table1Rates}
+
+	// DNN row.
+	base, err := ctx.Baselines(spec)
+	if err != nil {
+		return nil, err
+	}
+	deployed := base.MLPDeployed()
+	clean := deployed.Accuracy(base.Data.TestX, base.Data.TestY)
+	dnnRow := Table1Row{Label: "DNN", Paper: PaperTable1["DNN"]}
+	for ri, rate := range Table1Rates {
+		loss := meanQualityLoss(ctx.Opts.Trials, func(trial int) float64 {
+			d := deployed.Clone()
+			if _, err := attack.Random(d, rate, stats.NewRNG(ctx.trialSeed("t1-dnn", ri, trial))); err != nil {
+				panic(err)
+			}
+			return stats.QualityLoss(clean, d.Accuracy(base.Data.TestX, base.Data.TestY))
+		})
+		dnnRow.Measured = append(dnnRow.Measured, loss)
+	}
+	res.Rows = append(res.Rows, dnnRow)
+
+	// HDC rows: D ∈ {5k, 10k} × precision ∈ {1, 2} bits.
+	for _, dims := range []int{5000, 10000} {
+		t, err := ctx.HDCAt(spec, dims)
+		if err != nil {
+			return nil, err
+		}
+		for _, bits := range []int{1, 2} {
+			label := fmt.Sprintf("D=%dk %d-bit", dims/1000, bits)
+			q, err := t.System.Quantize(bits)
+			if err != nil {
+				return nil, err
+			}
+			cleanQ := q.Accuracy(t.TestEnc, t.Data.TestY)
+			row := Table1Row{Label: label, Paper: PaperTable1[label]}
+			for ri, rate := range Table1Rates {
+				loss := meanQualityLoss(ctx.Opts.Trials, func(trial int) float64 {
+					qc := q.Clone()
+					img := attack.NewQuantizedModel(qc)
+					if _, err := attack.Random(img, rate, stats.NewRNG(ctx.trialSeed("t1-hdc"+label, ri, trial))); err != nil {
+						panic(err)
+					}
+					return stats.QualityLoss(cleanQ, qc.Accuracy(t.TestEnc, t.Data.TestY))
+				})
+				row.Measured = append(row.Measured, loss)
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// Render formats the result like the paper's Table 1, with the
+// published value in parentheses after each measured cell.
+func (r *Table1Result) Render() string {
+	header := []string{"Model"}
+	for _, rate := range r.Rates {
+		header = append(header, fmt.Sprintf("%.0f%%", rate*100))
+	}
+	tab := stats.NewTable("Table 1: HDC quality loss under random noise (measured (paper))", header...)
+	for _, row := range r.Rows {
+		cells := []string{row.Label}
+		for i, m := range row.Measured {
+			cell := fmt.Sprintf("%.2f%%", m)
+			if row.Paper != nil && i < len(row.Paper) {
+				cell += fmt.Sprintf(" (%.1f%%)", row.Paper[i])
+			}
+			cells = append(cells, cell)
+		}
+		tab.AddRow(cells...)
+	}
+	return tab.Render()
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// Table2Result summarizes the benchmark roster with clean accuracies.
+type Table2Result struct {
+	Rows []Table2Row
+}
+
+// Table2Row is one dataset's description plus the clean HDC accuracy
+// achieved at the context's scale.
+type Table2Row struct {
+	Spec     dataset.Spec
+	Accuracy float64
+}
+
+// Table2 materializes the dataset roster (the paper's Table 2) and
+// reports each synthetic stand-in's clean HDC accuracy.
+func Table2(ctx *Context) (*Table2Result, error) {
+	res := &Table2Result{}
+	for _, spec := range dataset.All() {
+		t, err := ctx.HDC(spec)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Table2Row{Spec: spec, Accuracy: t.CleanHDCAccuracy()})
+	}
+	return res, nil
+}
+
+// Render formats the roster like the paper's Table 2 plus accuracy.
+func (r *Table2Result) Render() string {
+	tab := stats.NewTable("Table 2: datasets (synthetic stand-ins; n, k match the paper)",
+		"Name", "n", "k", "Train", "Test", "Paper train", "Paper test", "HDC acc", "Description")
+	for _, row := range r.Rows {
+		s := row.Spec
+		tab.AddRow(s.Name,
+			fmt.Sprintf("%d", s.Features), fmt.Sprintf("%d", s.Classes),
+			fmt.Sprintf("%d", s.TrainSize), fmt.Sprintf("%d", s.TestSize),
+			fmt.Sprintf("%d", s.PaperTrainSize), fmt.Sprintf("%d", s.PaperTestSize),
+			fmt.Sprintf("%.3f", row.Accuracy), s.Description)
+	}
+	return tab.Render()
+}

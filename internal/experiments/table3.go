@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/attack"
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// Table3Rates are the error rates swept by Table 3.
+var Table3Rates = []float64{0.02, 0.04, 0.06, 0.08, 0.10, 0.12}
+
+// Table3Datasets lists the datasets whose losses are averaged. The
+// paper averages over its benchmark suite; a subset keeps runtime
+// manageable at small scales (configurable through the ctx options by
+// swapping this slice in a custom driver).
+var Table3Datasets = []func() dataset.Spec{dataset.UCIHAR, dataset.PAMAP, dataset.PECAN}
+
+// Table3Cell is one (algorithm, attack) row of quality losses.
+type Table3Cell struct {
+	Algorithm string
+	Attack    string // "Random" or "Targeted"
+	Measured  []float64
+	Paper     []float64
+}
+
+// Table3Result carries the full table.
+type Table3Result struct {
+	Rates []float64
+	Cells []Table3Cell
+}
+
+// PaperTable3 holds the published Table 3 values (quality loss %).
+var PaperTable3 = map[string][]float64{
+	"DNN/Random":        {7.9, 8.4, 16.6, 21.0, 26.2, 29.6},
+	"DNN/Targeted":      {13.5, 15.9, 34.8, 50.5, 68.1, 80.0},
+	"SVM/Random":        {3.7, 5.3, 8.9, 13.4, 16.1, 22.4},
+	"SVM/Targeted":      {5.6, 9.0, 16.9, 28.1, 35.9, 53.1},
+	"AdaBoost/Random":   {1.3, 2.5, 2.9, 4.2, 7.3, 11.6},
+	"AdaBoost/Targeted": {3.4, 6.5, 7.5, 10.9, 19.0, 30.2},
+	"HDC/Random":        {0.7, 1.0, 1.6, 2.0, 2.7, 3.2},
+	"HDC/Targeted":      {0.7, 1.1, 1.8, 2.3, 3.1, 3.3},
+}
+
+// attackable abstracts the four deployments for the Table 3 sweep.
+type attackable interface {
+	attack.Image
+	Accuracy(x [][]float64, y []int) float64
+}
+
+// Table3 reproduces "quality loss using different number of bits":
+// DNN, SVM, AdaBoost (8-bit fixed point) and binary HDC under random
+// and targeted bit-flip attacks, averaged across datasets.
+func Table3(ctx *Context) (*Table3Result, error) {
+	res := &Table3Result{Rates: Table3Rates}
+	algorithms := []string{"DNN", "SVM", "AdaBoost", "HDC"}
+	attacks := []string{"Random", "Targeted"}
+
+	for _, alg := range algorithms {
+		for _, atk := range attacks {
+			cell := Table3Cell{
+				Algorithm: alg,
+				Attack:    atk,
+				Paper:     PaperTable3[alg+"/"+atk],
+				Measured:  make([]float64, len(Table3Rates)),
+			}
+			for _, specFn := range Table3Datasets {
+				spec := specFn()
+				losses, err := ctx.table3Losses(spec, alg, atk)
+				if err != nil {
+					return nil, err
+				}
+				for i, l := range losses {
+					cell.Measured[i] += l / float64(len(Table3Datasets))
+				}
+			}
+			res.Cells = append(res.Cells, cell)
+		}
+	}
+	return res, nil
+}
+
+// table3Losses evaluates one (dataset, algorithm, attack) sweep.
+func (c *Context) table3Losses(spec dataset.Spec, alg, atk string) ([]float64, error) {
+	losses := make([]float64, len(Table3Rates))
+
+	if alg == "HDC" {
+		t, err := c.HDC(spec)
+		if err != nil {
+			return nil, err
+		}
+		clean := t.CleanHDCAccuracy()
+		snap := t.System.Snapshot()
+		for ri, rate := range Table3Rates {
+			losses[ri] = meanQualityLoss(c.Opts.Trials, func(trial int) float64 {
+				defer t.System.Restore(snap)
+				seed := c.trialSeed("t3-hdc-"+spec.Name+atk, ri, trial)
+				var err error
+				if atk == "Targeted" {
+					_, err = t.System.AttackTargeted(rate, seed)
+				} else {
+					_, err = t.System.AttackRandom(rate, seed)
+				}
+				if err != nil {
+					panic(err)
+				}
+				return stats.QualityLoss(clean, t.System.Model().Accuracy(t.TestEnc, t.Data.TestY))
+			})
+		}
+		return losses, nil
+	}
+
+	base, err := c.Baselines(spec)
+	if err != nil {
+		return nil, err
+	}
+	fresh := func() attackable {
+		switch alg {
+		case "DNN":
+			return base.MLPDeployed()
+		case "SVM":
+			return base.SVMDeployed()
+		case "AdaBoost":
+			return base.BoostDeployed()
+		}
+		panic(fmt.Sprintf("experiments: unknown algorithm %q", alg))
+	}
+	clean := fresh().Accuracy(base.Data.TestX, base.Data.TestY)
+	for ri, rate := range Table3Rates {
+		losses[ri] = meanQualityLoss(c.Opts.Trials, func(trial int) float64 {
+			d := fresh()
+			seed := c.trialSeed("t3-"+alg+spec.Name+atk, ri, trial)
+			rng := stats.NewRNG(seed)
+			var err error
+			if atk == "Targeted" {
+				_, err = attack.Targeted(d, rate, rng)
+			} else {
+				_, err = attack.Random(d, rate, rng)
+			}
+			if err != nil {
+				panic(err)
+			}
+			return stats.QualityLoss(clean, d.Accuracy(base.Data.TestX, base.Data.TestY))
+		})
+	}
+	return losses, nil
+}
+
+// Render formats the result like the paper's Table 3.
+func (r *Table3Result) Render() string {
+	header := []string{"Algorithm", "Attack"}
+	for _, rate := range r.Rates {
+		header = append(header, fmt.Sprintf("%.0f%%", rate*100))
+	}
+	tab := stats.NewTable("Table 3: quality loss under bit-flip attack (measured (paper))", header...)
+	for _, cell := range r.Cells {
+		row := []string{cell.Algorithm, cell.Attack}
+		for i, m := range cell.Measured {
+			s := fmt.Sprintf("%.2f%%", m)
+			if cell.Paper != nil && i < len(cell.Paper) {
+				s += fmt.Sprintf(" (%.1f%%)", cell.Paper[i])
+			}
+			row = append(row, s)
+		}
+		tab.AddRow(row...)
+	}
+	return tab.Render()
+}

@@ -1,0 +1,171 @@
+// Package fixed provides the quantized weight storage used to deploy
+// the baseline learners (DNN, SVM, AdaBoost): 8-bit two's-complement
+// fixed-point tensors with a per-tensor scale, plus a float32 image
+// for the full-precision variants of Figure 4a. Both expose bit-level
+// access so the attack package can flip stored bits exactly as the
+// paper's memory attacks do.
+package fixed
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tensor is a flat 8-bit fixed-point tensor: value(i) = data[i]·scale.
+// This is the deployed (attackable) form of baseline model weights —
+// the same representation the paper attacks ("8-bit fixed-point",
+// Section 2).
+type Tensor struct {
+	data  []int8
+	scale float64
+}
+
+// Quantize builds a tensor from float values, choosing the scale so
+// the largest magnitude maps to ±127. An all-zero input gets scale 1.
+func Quantize(values []float64) *Tensor {
+	maxAbs := 0.0
+	for _, v := range values {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	scale := 1.0
+	if maxAbs > 0 {
+		scale = maxAbs / 127
+	}
+	t := &Tensor{data: make([]int8, len(values)), scale: scale}
+	for i, v := range values {
+		q := math.Round(v / scale)
+		if q > 127 {
+			q = 127
+		}
+		if q < -128 {
+			q = -128
+		}
+		t.data[i] = int8(q)
+	}
+	return t
+}
+
+// Len returns the number of elements.
+func (t *Tensor) Len() int { return len(t.data) }
+
+// Scale returns the dequantization scale.
+func (t *Tensor) Scale() float64 { return t.scale }
+
+// Value returns the dequantized value of element i.
+func (t *Tensor) Value(i int) float64 { return float64(t.data[i]) * t.scale }
+
+// Values dequantizes the whole tensor into a new slice.
+func (t *Tensor) Values() []float64 {
+	out := make([]float64, len(t.data))
+	for i := range t.data {
+		out[i] = float64(t.data[i]) * t.scale
+	}
+	return out
+}
+
+// Raw returns the stored int8 for element i.
+func (t *Tensor) Raw(i int) int8 { return t.data[i] }
+
+// Elements implements attack.Image: one element per stored weight.
+func (t *Tensor) Elements() int { return len(t.data) }
+
+// BitsPerElement implements attack.Image (8-bit storage).
+func (t *Tensor) BitsPerElement() int { return 8 }
+
+// FlipBit flips bit b (0 = LSB, 7 = sign) of element i in the stored
+// two's-complement representation.
+func (t *Tensor) FlipBit(i, b int) {
+	if b < 0 || b >= 8 {
+		panic(fmt.Sprintf("fixed: bit %d out of range [0,8)", b))
+	}
+	t.data[i] = int8(uint8(t.data[i]) ^ (1 << uint(b)))
+}
+
+// BitDamageOrder implements attack.Image: in two's complement the
+// sign bit flips the value by 256·scale/2, then each lower bit halves
+// the damage.
+func (t *Tensor) BitDamageOrder() []int { return []int{7, 6, 5, 4, 3, 2, 1, 0} }
+
+// Clone returns an independent copy.
+func (t *Tensor) Clone() *Tensor {
+	return &Tensor{data: append([]int8(nil), t.data...), scale: t.scale}
+}
+
+// Float32Image is a flat float32 weight store exposing IEEE-754
+// bit-level access. It deploys the "floating-point precision" baseline
+// of Figure 4a, where exponent-bit flips explode weight values.
+type Float32Image struct {
+	data []float32
+}
+
+// NewFloat32Image copies values into a float32 image.
+func NewFloat32Image(values []float64) *Float32Image {
+	img := &Float32Image{data: make([]float32, len(values))}
+	for i, v := range values {
+		img.data[i] = float32(v)
+	}
+	return img
+}
+
+// Len returns the number of elements.
+func (f *Float32Image) Len() int { return len(f.data) }
+
+// Value returns element i as float64.
+func (f *Float32Image) Value(i int) float64 { return float64(f.data[i]) }
+
+// Values returns all elements as float64.
+func (f *Float32Image) Values() []float64 {
+	out := make([]float64, len(f.data))
+	for i, v := range f.data {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+// Elements implements attack.Image.
+func (f *Float32Image) Elements() int { return len(f.data) }
+
+// BitsPerElement implements attack.Image (IEEE-754 single precision).
+func (f *Float32Image) BitsPerElement() int { return 32 }
+
+// FlipBit flips bit b (0 = LSB of mantissa, 31 = sign) of element i.
+func (f *Float32Image) FlipBit(i, b int) {
+	if b < 0 || b >= 32 {
+		panic(fmt.Sprintf("fixed: bit %d out of range [0,32)", b))
+	}
+	f.data[i] = math.Float32frombits(math.Float32bits(f.data[i]) ^ (1 << uint(b)))
+}
+
+// BitDamageOrder implements attack.Image: exponent bits from the MSB
+// down (flipping bit 30 on a magnitude-below-2 weight multiplies it by
+// ~2^128 — the exponent explosion the paper describes), then the sign,
+// then the mantissa from its MSB down.
+func (f *Float32Image) BitDamageOrder() []int {
+	order := []int{30, 29, 28, 27, 26, 25, 24, 23, 31}
+	for b := 22; b >= 0; b-- {
+		order = append(order, b)
+	}
+	return order
+}
+
+// Clone returns an independent copy.
+func (f *Float32Image) Clone() *Float32Image {
+	return &Float32Image{data: append([]float32(nil), f.data...)}
+}
+
+// Sanitize replaces NaN/Inf elements (which bit flips can create) with
+// zero and returns how many were replaced. Inference paths call this
+// optionally when they need finite arithmetic; the paper's quality-loss
+// numbers keep corrupted values as-is, so nothing calls it implicitly.
+func (f *Float32Image) Sanitize() int {
+	n := 0
+	for i, v := range f.data {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			f.data[i] = 0
+			n++
+		}
+	}
+	return n
+}

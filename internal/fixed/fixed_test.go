@@ -1,0 +1,195 @@
+package fixed
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantizeRoundTripAccuracy(t *testing.T) {
+	vals := []float64{0.5, -1.0, 0.25, 0.75, -0.125, 0}
+	tn := Quantize(vals)
+	for i, v := range vals {
+		got := tn.Value(i)
+		if math.Abs(got-v) > tn.Scale()/2+1e-12 {
+			t.Fatalf("element %d: %v -> %v (scale %v)", i, v, got, tn.Scale())
+		}
+	}
+}
+
+func TestQuantizeScaleCoversMax(t *testing.T) {
+	tn := Quantize([]float64{-3, 1, 2})
+	if math.Abs(tn.Value(0)+3) > tn.Scale() {
+		t.Fatalf("max magnitude poorly represented: %v", tn.Value(0))
+	}
+	if tn.Raw(0) != -127 {
+		t.Fatalf("max magnitude raw = %d, want -127", tn.Raw(0))
+	}
+}
+
+func TestQuantizeAllZeros(t *testing.T) {
+	tn := Quantize([]float64{0, 0})
+	if tn.Scale() != 1 || tn.Value(0) != 0 {
+		t.Fatalf("zero tensor: scale %v value %v", tn.Scale(), tn.Value(0))
+	}
+}
+
+func TestQuantizePropertyBounded(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		for _, v := range []float64{a, b, c} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		tn := Quantize([]float64{a, b, c})
+		for i, want := range []float64{a, b, c} {
+			if math.Abs(tn.Value(i)-want) > tn.Scale()*0.51 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTensorFlipBitSign(t *testing.T) {
+	tn := Quantize([]float64{1, 2, 3, 4})
+	before := tn.Value(1)
+	tn.FlipBit(1, 7) // sign bit in two's complement
+	after := tn.Value(1)
+	if math.Abs(after-before) < 100*tn.Scale() {
+		t.Fatalf("sign flip changed value only %v -> %v", before, after)
+	}
+	tn.FlipBit(1, 7)
+	if tn.Value(1) != before {
+		t.Fatal("double flip not identity")
+	}
+}
+
+func TestTensorFlipBitLSBSmall(t *testing.T) {
+	tn := Quantize([]float64{10, 20})
+	before := tn.Value(0)
+	tn.FlipBit(0, 0)
+	if math.Abs(tn.Value(0)-before) > tn.Scale()*1.01 {
+		t.Fatalf("LSB flip changed value by %v, want <= scale", math.Abs(tn.Value(0)-before))
+	}
+}
+
+func TestTensorFlipBitPanics(t *testing.T) {
+	tn := Quantize([]float64{1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tn.FlipBit(0, 8)
+}
+
+func TestTensorImageContract(t *testing.T) {
+	tn := Quantize([]float64{1, 2, 3})
+	if tn.Elements() != 3 || tn.BitsPerElement() != 8 {
+		t.Fatal("attack image contract wrong")
+	}
+	if order := tn.BitDamageOrder(); len(order) != 8 || order[0] != 7 {
+		t.Fatalf("damage order %v", order)
+	}
+}
+
+func TestTensorCloneIndependent(t *testing.T) {
+	tn := Quantize([]float64{1, 2})
+	c := tn.Clone()
+	tn.FlipBit(0, 7)
+	if c.Raw(0) == tn.Raw(0) {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestTensorValues(t *testing.T) {
+	tn := Quantize([]float64{1, -2})
+	vals := tn.Values()
+	if len(vals) != 2 || math.Abs(vals[1]+2) > tn.Scale() {
+		t.Fatalf("Values = %v", vals)
+	}
+}
+
+func TestFloat32ImageRoundTrip(t *testing.T) {
+	img := NewFloat32Image([]float64{1.5, -0.25, 100})
+	if img.Len() != 3 {
+		t.Fatal("Len wrong")
+	}
+	if img.Value(0) != 1.5 || img.Value(1) != -0.25 {
+		t.Fatalf("values: %v", img.Values())
+	}
+}
+
+func TestFloat32ExponentFlipExplodes(t *testing.T) {
+	img := NewFloat32Image([]float64{1.0})
+	img.FlipBit(0, img.BitDamageOrder()[0])
+	v := math.Abs(img.Value(0))
+	if v < 1e30 && v != 0 {
+		t.Fatalf("exponent flip of 1.0 gave %v, expected explosion", img.Value(0))
+	}
+}
+
+func TestFloat32SignFlip(t *testing.T) {
+	img := NewFloat32Image([]float64{2.0})
+	img.FlipBit(0, 31)
+	if img.Value(0) != -2.0 {
+		t.Fatalf("sign flip gave %v", img.Value(0))
+	}
+}
+
+func TestFloat32MantissaFlipSmall(t *testing.T) {
+	img := NewFloat32Image([]float64{1.0})
+	img.FlipBit(0, 0) // lowest mantissa bit
+	if math.Abs(img.Value(0)-1.0) > 1e-6 {
+		t.Fatalf("mantissa LSB flip gave %v", img.Value(0))
+	}
+}
+
+func TestFloat32FlipBitPanics(t *testing.T) {
+	img := NewFloat32Image([]float64{1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	img.FlipBit(0, 32)
+}
+
+func TestFloat32ImageContract(t *testing.T) {
+	img := NewFloat32Image([]float64{1})
+	if img.Elements() != 1 || img.BitsPerElement() != 32 {
+		t.Fatal("attack image contract wrong")
+	}
+	if order := img.BitDamageOrder(); len(order) != 32 || order[0] != 30 {
+		t.Fatalf("damage order starts %v", order[:3])
+	}
+}
+
+func TestFloat32Sanitize(t *testing.T) {
+	img := NewFloat32Image([]float64{1, 2})
+	// Create an Inf via exponent manipulation: set all exponent bits.
+	for b := 23; b <= 30; b++ {
+		if math.Float32bits(float32(img.Value(0)))>>uint(b)&1 == 0 {
+			img.FlipBit(0, b)
+		}
+	}
+	if n := img.Sanitize(); n != 1 {
+		t.Fatalf("Sanitize replaced %d, want 1 (value was %v)", n, img.Value(0))
+	}
+	if img.Value(0) != 0 || img.Value(1) != 2 {
+		t.Fatalf("after sanitize: %v", img.Values())
+	}
+}
+
+func TestFloat32CloneIndependent(t *testing.T) {
+	img := NewFloat32Image([]float64{1})
+	c := img.Clone()
+	img.FlipBit(0, 31)
+	if c.Value(0) != 1 {
+		t.Fatal("clone aliases original")
+	}
+}

@@ -1,0 +1,154 @@
+// Package am implements a hyperdimensional associative (cleanup)
+// memory: a store of named hypervectors queried by similarity. It is
+// the classic companion structure of HDC systems ([9] in the paper) —
+// bound or noisy hypervectors are "cleaned up" by recalling the
+// nearest stored item — and the data structure a DPIM associative
+// search engine (internal/pim) executes in memory.
+//
+// Recall degrades gracefully under noise exactly like the RobustHD
+// classifier does: because stored items are near-orthogonal, a query
+// remains closest to its item until roughly half its bits are wrong.
+package am
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitvec"
+)
+
+// Memory is an associative store of hypervectors. The zero value is
+// unusable; construct with New.
+type Memory struct {
+	dims  int
+	names []string
+	items []*bitvec.Vector
+	index map[string]int
+}
+
+// New creates an empty memory for hypervectors of the given
+// dimensionality.
+func New(dims int) (*Memory, error) {
+	if dims <= 0 {
+		return nil, fmt.Errorf("am: dimensions must be positive, got %d", dims)
+	}
+	return &Memory{dims: dims, index: make(map[string]int)}, nil
+}
+
+// Dimensions returns the hypervector dimensionality.
+func (m *Memory) Dimensions() int { return m.dims }
+
+// Len returns the number of stored items.
+func (m *Memory) Len() int { return len(m.items) }
+
+// Store inserts or replaces the item under name. The vector is copied.
+func (m *Memory) Store(name string, v *bitvec.Vector) error {
+	if name == "" {
+		return fmt.Errorf("am: empty item name")
+	}
+	if v.Len() != m.dims {
+		return fmt.Errorf("am: item %q has %d dims, want %d", name, v.Len(), m.dims)
+	}
+	if i, ok := m.index[name]; ok {
+		m.items[i] = v.Clone()
+		return nil
+	}
+	m.index[name] = len(m.items)
+	m.names = append(m.names, name)
+	m.items = append(m.items, v.Clone())
+	return nil
+}
+
+// Get returns a copy of the item stored under name.
+func (m *Memory) Get(name string) (*bitvec.Vector, bool) {
+	i, ok := m.index[name]
+	if !ok {
+		return nil, false
+	}
+	return m.items[i].Clone(), true
+}
+
+// Names returns the stored item names in insertion order.
+func (m *Memory) Names() []string { return append([]string(nil), m.names...) }
+
+// Match is one recall result.
+type Match struct {
+	Name       string
+	Similarity float64
+}
+
+// Recall returns the stored item most similar to the query, or false
+// when the memory is empty.
+func (m *Memory) Recall(q *bitvec.Vector) (Match, bool) {
+	if len(m.items) == 0 {
+		return Match{}, false
+	}
+	m.checkDims(q)
+	best := Match{Similarity: -1}
+	for i, item := range m.items {
+		if s := q.Similarity(item); s > best.Similarity {
+			best = Match{Name: m.names[i], Similarity: s}
+		}
+	}
+	return best, true
+}
+
+// RecallAbove returns the best match only when its similarity clears
+// the threshold — the cleanup operation: a query too noisy (or
+// unrelated) to any stored item is rejected rather than misrecalled.
+func (m *Memory) RecallAbove(q *bitvec.Vector, threshold float64) (Match, bool) {
+	best, ok := m.Recall(q)
+	if !ok || best.Similarity < threshold {
+		return Match{}, false
+	}
+	return best, true
+}
+
+// TopK returns the k most similar items, best first. k larger than the
+// store returns everything.
+func (m *Memory) TopK(q *bitvec.Vector, k int) []Match {
+	if k <= 0 || len(m.items) == 0 {
+		return nil
+	}
+	m.checkDims(q)
+	matches := make([]Match, len(m.items))
+	for i, item := range m.items {
+		matches[i] = Match{Name: m.names[i], Similarity: q.Similarity(item)}
+	}
+	sort.SliceStable(matches, func(a, b int) bool {
+		return matches[a].Similarity > matches[b].Similarity
+	})
+	if k > len(matches) {
+		k = len(matches)
+	}
+	return matches[:k]
+}
+
+// Cleanup replaces a noisy hypervector with its recalled stored item
+// when the match clears the threshold; otherwise it returns the input
+// unchanged (copied) and false.
+func (m *Memory) Cleanup(q *bitvec.Vector, threshold float64) (*bitvec.Vector, bool) {
+	best, ok := m.RecallAbove(q, threshold)
+	if !ok {
+		return q.Clone(), false
+	}
+	v, _ := m.Get(best.Name)
+	return v, true
+}
+
+// Margin returns the similarity gap between the best and second-best
+// matches for the query (0 when fewer than two items are stored) — the
+// recall-confidence analog of the classifier's prediction margin.
+func (m *Memory) Margin(q *bitvec.Vector) float64 {
+	top := m.TopK(q, 2)
+	if len(top) < 2 {
+		return 0
+	}
+	return top[0].Similarity - top[1].Similarity
+}
+
+func (m *Memory) checkDims(q *bitvec.Vector) {
+	if q.Len() != m.dims {
+		panic(fmt.Sprintf("am: query has %d dims, want %d", q.Len(), m.dims))
+	}
+}

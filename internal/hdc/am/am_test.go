@@ -1,0 +1,202 @@
+package am
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/stats"
+)
+
+func filled(t *testing.T, dims, n int, seed uint64) (*Memory, []*bitvec.Vector) {
+	t.Helper()
+	m, err := New(dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(seed)
+	items := make([]*bitvec.Vector, n)
+	for i := range items {
+		items[i] = bitvec.Random(dims, rng)
+		if err := m.Store(fmt.Sprintf("item-%d", i), items[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m, items
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Fatal("dims=0 accepted")
+	}
+}
+
+func TestStoreValidation(t *testing.T) {
+	m, _ := New(64)
+	rng := stats.NewRNG(1)
+	if err := m.Store("", bitvec.Random(64, rng)); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := m.Store("x", bitvec.Random(32, rng)); err == nil {
+		t.Fatal("wrong dims accepted")
+	}
+}
+
+func TestStoreCopiesAndReplaces(t *testing.T) {
+	m, _ := New(64)
+	rng := stats.NewRNG(2)
+	v := bitvec.Random(64, rng)
+	if err := m.Store("a", v); err != nil {
+		t.Fatal(err)
+	}
+	v.Flip(0) // must not affect the stored copy
+	got, ok := m.Get("a")
+	if !ok || got.Get(0) == v.Get(0) {
+		t.Fatal("store aliased the caller's vector")
+	}
+	// Replace under the same name keeps Len at 1.
+	if err := m.Store("a", bitvec.Random(64, rng)); err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d after replace", m.Len())
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	m, _ := New(64)
+	if _, ok := m.Get("nope"); ok {
+		t.Fatal("unknown item found")
+	}
+}
+
+func TestRecallExact(t *testing.T) {
+	m, items := filled(t, 2048, 20, 3)
+	for i, item := range items {
+		best, ok := m.Recall(item)
+		if !ok || best.Name != fmt.Sprintf("item-%d", i) {
+			t.Fatalf("item %d recalled as %q", i, best.Name)
+		}
+		if best.Similarity != 1 {
+			t.Fatalf("exact recall similarity %v", best.Similarity)
+		}
+	}
+}
+
+func TestRecallEmptyMemory(t *testing.T) {
+	m, _ := New(64)
+	if _, ok := m.Recall(bitvec.New(64)); ok {
+		t.Fatal("recall from empty memory succeeded")
+	}
+}
+
+func TestRecallUnderNoise(t *testing.T) {
+	// The headline property: recall survives heavy bit noise because
+	// stored items are near-orthogonal.
+	m, items := filled(t, 10000, 50, 4)
+	rng := stats.NewRNG(5)
+	for _, noise := range []float64{0.1, 0.2, 0.3} {
+		correct := 0
+		for i, item := range items {
+			q := item.Clone()
+			q.FlipBernoulli(noise, rng)
+			if best, ok := m.Recall(q); ok && best.Name == fmt.Sprintf("item-%d", i) {
+				correct++
+			}
+		}
+		if correct < len(items)*9/10 {
+			t.Fatalf("at %.0f%% noise only %d/%d recalled", noise*100, correct, len(items))
+		}
+	}
+}
+
+func TestRecallAboveRejectsUnrelated(t *testing.T) {
+	m, _ := filled(t, 10000, 20, 6)
+	rng := stats.NewRNG(7)
+	unrelated := bitvec.Random(10000, rng)
+	if _, ok := m.RecallAbove(unrelated, 0.7); ok {
+		t.Fatal("unrelated query recalled above threshold")
+	}
+	// But a noisy copy of a stored item clears it.
+	item, _ := m.Get("item-3")
+	item.FlipBernoulli(0.1, rng)
+	best, ok := m.RecallAbove(item, 0.7)
+	if !ok || best.Name != "item-3" {
+		t.Fatalf("noisy item rejected: %v %v", best, ok)
+	}
+}
+
+func TestTopKOrdering(t *testing.T) {
+	m, items := filled(t, 4096, 10, 8)
+	rng := stats.NewRNG(9)
+	q := items[4].Clone()
+	q.FlipBernoulli(0.05, rng)
+	top := m.TopK(q, 3)
+	if len(top) != 3 {
+		t.Fatalf("TopK returned %d", len(top))
+	}
+	if top[0].Name != "item-4" {
+		t.Fatalf("best = %q", top[0].Name)
+	}
+	if top[0].Similarity < top[1].Similarity || top[1].Similarity < top[2].Similarity {
+		t.Fatal("TopK not sorted")
+	}
+	if got := m.TopK(q, 100); len(got) != 10 {
+		t.Fatalf("oversized k returned %d", len(got))
+	}
+	if m.TopK(q, 0) != nil {
+		t.Fatal("k=0 should return nil")
+	}
+}
+
+func TestCleanup(t *testing.T) {
+	m, items := filled(t, 10000, 10, 10)
+	rng := stats.NewRNG(11)
+	noisy := items[2].Clone()
+	noisy.FlipBernoulli(0.15, rng)
+	cleaned, ok := m.Cleanup(noisy, 0.7)
+	if !ok {
+		t.Fatal("cleanup rejected a recoverable vector")
+	}
+	if !cleaned.Equal(items[2]) {
+		t.Fatal("cleanup did not restore the stored item exactly")
+	}
+	garbage := bitvec.Random(10000, rng)
+	same, ok := m.Cleanup(garbage, 0.7)
+	if ok || !same.Equal(garbage) {
+		t.Fatal("cleanup should pass unrelated input through unchanged")
+	}
+}
+
+func TestMargin(t *testing.T) {
+	m, items := filled(t, 10000, 5, 12)
+	if m.Margin(items[0]) <= 0.3 {
+		t.Fatalf("exact-item margin %v suspiciously small", m.Margin(items[0]))
+	}
+	single, _ := New(64)
+	single.Store("only", bitvec.New(64))
+	if single.Margin(bitvec.New(64)) != 0 {
+		t.Fatal("margin with one item should be 0")
+	}
+}
+
+func TestNamesInsertionOrder(t *testing.T) {
+	m, _ := filled(t, 64, 3, 13)
+	names := m.Names()
+	want := []string{"item-0", "item-1", "item-2"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names = %v", names)
+		}
+	}
+}
+
+func TestQueryDimsPanic(t *testing.T) {
+	m, _ := filled(t, 64, 2, 14)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Recall(bitvec.New(32))
+}

@@ -1,0 +1,196 @@
+// Package cluster implements unsupervised clustering directly in
+// hyperdimensional space: a k-means-style loop whose centroids are
+// binary hypervectors maintained by majority bundling and whose
+// assignment metric is Hamming similarity. It rounds out the
+// brain-like cognitive substrate (the paper positions HDC as "a
+// complete computational paradigm" for cognitive as well as learning
+// problems) and inherits the same holographic robustness: centroid
+// bits can be attacked and the structure degrades gracefully.
+package cluster
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/bitvec"
+	"repro/internal/stats"
+)
+
+// Config parameterizes clustering.
+type Config struct {
+	// K is the number of clusters (>= 2).
+	K int
+	// MaxIterations caps the refinement loop (default 20).
+	MaxIterations int
+	// Seed drives centroid initialization.
+	Seed uint64
+}
+
+func (c *Config) fillDefaults() {
+	if c.MaxIterations == 0 {
+		c.MaxIterations = 20
+	}
+}
+
+// Result is a finished clustering.
+type Result struct {
+	// Centroids are the final binary cluster hypervectors.
+	Centroids []*bitvec.Vector
+	// Assignments maps each input to its cluster.
+	Assignments []int
+	// Iterations actually run before convergence or the cap.
+	Iterations int
+	// Converged reports whether assignments stabilized before the cap.
+	Converged bool
+}
+
+// Run clusters the encoded hypervectors. Initialization is k-means++
+// style in Hamming space: the first centroid is a random input, each
+// further centroid is the input farthest (probability ∝ distance)
+// from the chosen set.
+func Run(points []*bitvec.Vector, cfg Config) (*Result, error) {
+	cfg.fillDefaults()
+	if cfg.K < 2 {
+		return nil, fmt.Errorf("cluster: k must be >= 2, got %d", cfg.K)
+	}
+	if len(points) < cfg.K {
+		return nil, fmt.Errorf("cluster: %d points for k=%d", len(points), cfg.K)
+	}
+	dims := points[0].Len()
+	for i, p := range points {
+		if p.Len() != dims {
+			return nil, fmt.Errorf("cluster: point %d has %d dims, want %d", i, p.Len(), dims)
+		}
+	}
+	rng := stats.NewRNG(cfg.Seed ^ 0xC2B2AE3D27D4EB4F)
+	centroids := initCentroids(points, cfg.K, rng)
+
+	assign := make([]int, len(points))
+	res := &Result{}
+	for iter := 0; iter < cfg.MaxIterations; iter++ {
+		res.Iterations = iter + 1
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, p.Hamming(centroids[0])
+			for c := 1; c < cfg.K; c++ {
+				if d := p.Hamming(centroids[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best || iter == 0 {
+				if assign[i] != best {
+					changed = true
+				}
+				assign[i] = best
+			}
+		}
+		if iter > 0 && !changed {
+			res.Converged = true
+			break
+		}
+		// Recompute centroids as majority bundles of their members;
+		// empty clusters respawn at the point farthest from its
+		// centroid (standard k-means repair).
+		counters := make([]*bitvec.Counter, cfg.K)
+		sizes := make([]int, cfg.K)
+		for c := range counters {
+			counters[c] = bitvec.NewCounter(dims)
+		}
+		for i, p := range points {
+			counters[assign[i]].Add(p)
+			sizes[assign[i]]++
+		}
+		for c := 0; c < cfg.K; c++ {
+			if sizes[c] == 0 {
+				centroids[c] = farthestPoint(points, assign, centroids).Clone()
+				continue
+			}
+			centroids[c] = counters[c].Threshold()
+		}
+	}
+	res.Centroids = centroids
+	res.Assignments = assign
+	return res, nil
+}
+
+// initCentroids picks k seeds k-means++-style in Hamming space.
+func initCentroids(points []*bitvec.Vector, k int, rng *rand.Rand) []*bitvec.Vector {
+	centroids := make([]*bitvec.Vector, 0, k)
+	centroids = append(centroids, points[rng.IntN(len(points))].Clone())
+	for len(centroids) < k {
+		// Distance of each point to its nearest chosen centroid.
+		weights := make([]float64, len(points))
+		var total float64
+		for i, p := range points {
+			d := p.Hamming(centroids[0])
+			for _, c := range centroids[1:] {
+				if dd := p.Hamming(c); dd < d {
+					d = dd
+				}
+			}
+			w := float64(d) * float64(d)
+			weights[i] = w
+			total += w
+		}
+		if total == 0 {
+			centroids = append(centroids, points[rng.IntN(len(points))].Clone())
+			continue
+		}
+		pick := rng.Float64() * total
+		for i, w := range weights {
+			pick -= w
+			if pick <= 0 {
+				centroids = append(centroids, points[i].Clone())
+				break
+			}
+		}
+		if len(centroids) < k && pick > 0 {
+			centroids = append(centroids, points[len(points)-1].Clone())
+		}
+	}
+	return centroids
+}
+
+// farthestPoint returns the point with the largest distance to its
+// assigned centroid (the respawn location for empty clusters).
+func farthestPoint(points []*bitvec.Vector, assign []int, centroids []*bitvec.Vector) *bitvec.Vector {
+	best, bestD := points[0], -1
+	for i, p := range points {
+		if d := p.Hamming(centroids[assign[i]]); d > bestD {
+			best, bestD = p, d
+		}
+	}
+	return best
+}
+
+// Purity scores a clustering against ground-truth labels: the fraction
+// of points whose cluster's majority label matches their own. It
+// panics on length mismatch.
+func Purity(assignments, labels []int, k int) float64 {
+	if len(assignments) != len(labels) {
+		panic("cluster: Purity length mismatch")
+	}
+	if len(assignments) == 0 {
+		return 0
+	}
+	// counts[cluster][label]
+	counts := make(map[int]map[int]int)
+	for i, c := range assignments {
+		if counts[c] == nil {
+			counts[c] = make(map[int]int)
+		}
+		counts[c][labels[i]]++
+	}
+	correct := 0
+	for _, labelCounts := range counts {
+		best := 0
+		for _, n := range labelCounts {
+			if n > best {
+				best = n
+			}
+		}
+		correct += best
+	}
+	_ = k
+	return float64(correct) / float64(len(assignments))
+}

@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/stats"
+)
+
+// toyClusters draws n points around k well-separated prototype
+// hypervectors.
+func toyClusters(t *testing.T, dims, k, n int, noise float64, seed uint64) ([]*bitvec.Vector, []int) {
+	t.Helper()
+	rng := stats.NewRNG(seed)
+	protos := make([]*bitvec.Vector, k)
+	for c := range protos {
+		protos[c] = bitvec.Random(dims, rng)
+	}
+	points := make([]*bitvec.Vector, n)
+	labels := make([]int, n)
+	for i := range points {
+		c := i % k
+		v := protos[c].Clone()
+		v.FlipBernoulli(noise, rng)
+		points[i], labels[i] = v, c
+	}
+	return points, labels
+}
+
+func TestRunValidation(t *testing.T) {
+	pts, _ := toyClusters(t, 128, 2, 10, 0.1, 1)
+	if _, err := Run(pts, Config{K: 1}); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+	if _, err := Run(pts[:1], Config{K: 2}); err == nil {
+		t.Fatal("fewer points than clusters accepted")
+	}
+	mixed := append(append([]*bitvec.Vector(nil), pts...), bitvec.New(64))
+	if _, err := Run(mixed, Config{K: 2}); err == nil {
+		t.Fatal("ragged dims accepted")
+	}
+}
+
+func TestRunRecoversPlantedClusters(t *testing.T) {
+	pts, labels := toyClusters(t, 4096, 4, 200, 0.1, 2)
+	res, err := Run(pts, Config{K: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if purity := Purity(res.Assignments, labels, 4); purity < 0.95 {
+		t.Fatalf("purity %.3f on well-separated planted clusters", purity)
+	}
+	if len(res.Centroids) != 4 || len(res.Assignments) != 200 {
+		t.Fatal("result shapes wrong")
+	}
+}
+
+func TestRunConverges(t *testing.T) {
+	pts, _ := toyClusters(t, 2048, 3, 120, 0.05, 4)
+	res, err := Run(pts, Config{K: 3, Seed: 5, MaxIterations: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge in %d iterations", res.Iterations)
+	}
+	if res.Iterations >= 50 {
+		t.Fatal("iterations hit the cap despite convergence flag")
+	}
+}
+
+func TestRunDeterministicForSeed(t *testing.T) {
+	pts, _ := toyClusters(t, 1024, 3, 90, 0.1, 6)
+	a, _ := Run(pts, Config{K: 3, Seed: 7})
+	b, _ := Run(pts, Config{K: 3, Seed: 7})
+	for i := range a.Assignments {
+		if a.Assignments[i] != b.Assignments[i] {
+			t.Fatal("same-seed clusterings differ")
+		}
+	}
+}
+
+func TestCentroidsNearPrototypes(t *testing.T) {
+	rng := stats.NewRNG(8)
+	dims := 4096
+	protos := []*bitvec.Vector{bitvec.Random(dims, rng), bitvec.Random(dims, rng)}
+	var pts []*bitvec.Vector
+	for i := 0; i < 100; i++ {
+		v := protos[i%2].Clone()
+		v.FlipBernoulli(0.08, rng)
+		pts = append(pts, v)
+	}
+	res, err := Run(pts, Config{K: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each prototype must have a centroid within noise distance.
+	for pi, p := range protos {
+		best := 1.0
+		for _, c := range res.Centroids {
+			if d := 1 - p.Similarity(c); d < best {
+				best = d
+			}
+		}
+		if best > 0.05 {
+			t.Fatalf("prototype %d: nearest centroid at distance %.3f", pi, best)
+		}
+	}
+}
+
+func TestClusteringRobustToCentroidAttack(t *testing.T) {
+	// The robustness story extends to unsupervised structures: flip
+	// 10% of centroid bits and assignments barely move.
+	pts, _ := toyClusters(t, 4096, 3, 150, 0.08, 10)
+	res, err := Run(pts, Config{K: 3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(12)
+	for _, c := range res.Centroids {
+		c.FlipBernoulli(0.10, rng)
+	}
+	moved := 0
+	for i, p := range pts {
+		best, bestD := 0, p.Hamming(res.Centroids[0])
+		for c := 1; c < 3; c++ {
+			if d := p.Hamming(res.Centroids[c]); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		if best != res.Assignments[i] {
+			moved++
+		}
+	}
+	if moved > len(pts)/20 {
+		t.Fatalf("%d/%d assignments moved after 10%% centroid attack", moved, len(pts))
+	}
+}
+
+func TestPurityEdgeCases(t *testing.T) {
+	if Purity(nil, nil, 2) != 0 {
+		t.Fatal("empty purity should be 0")
+	}
+	if got := Purity([]int{0, 0, 1, 1}, []int{5, 5, 9, 9}, 2); got != 1 {
+		t.Fatalf("perfect clustering purity = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on mismatch")
+		}
+	}()
+	Purity([]int{0}, []int{0, 1}, 2)
+}

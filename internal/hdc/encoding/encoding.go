@@ -1,0 +1,242 @@
+// Package encoding maps original-space feature vectors into binary
+// hypervectors.
+//
+// The primary encoder is the paper's ID–level record encoder
+// (Section 3.1):
+//
+//	H = Σ_k  L(f_k) ⊕ B_k
+//
+// where B_k is the random base hypervector that identifies feature
+// position k, L(f_k) is the level hypervector of the quantized feature
+// value, ⊕ is XOR binding, and Σ is majority bundling. The result is a
+// binary hypervector whose bits spread the sample's information
+// holographically across all D dimensions.
+package encoding
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bitvec"
+	"repro/internal/hdc"
+)
+
+// Encoder converts an original-space feature vector into a binary
+// hypervector of fixed dimensionality.
+type Encoder interface {
+	// Encode maps features to a hypervector. It panics if the feature
+	// count does not match the encoder's configuration.
+	Encode(features []float64) *bitvec.Vector
+	// Dimensions returns the hypervector dimensionality produced.
+	Dimensions() int
+}
+
+// RecordEncoder is the paper's ID–level encoder. It is deterministic
+// given (dims, features, levels, seed), so an encoder never needs to be
+// stored in attackable memory — it can always be regenerated. Encode
+// is safe for concurrent use (all lookup tables are materialized at
+// construction).
+type RecordEncoder struct {
+	items    *hdc.ItemMemory
+	levels   *hdc.LevelMemory
+	features int
+	lo, hi   float64
+}
+
+// NewRecordEncoder builds an encoder for feature vectors of length
+// features, quantizing each feature into levels buckets over the
+// value range [lo, hi].
+func NewRecordEncoder(dims, features, levels int, lo, hi float64, seed uint64) (*RecordEncoder, error) {
+	if features <= 0 {
+		return nil, fmt.Errorf("encoding: features must be positive, got %d", features)
+	}
+	if lo >= hi {
+		return nil, fmt.Errorf("encoding: invalid value range [%v, %v]", lo, hi)
+	}
+	items, err := hdc.NewItemMemory(dims, seed)
+	if err != nil {
+		return nil, err
+	}
+	lv, err := hdc.NewLevelMemory(dims, levels, seed^0xE7037ED1A0B428DB)
+	if err != nil {
+		return nil, err
+	}
+	// Pre-materialize every positional base hypervector so Encode is
+	// purely read-only afterwards — safe for concurrent use.
+	for k := 0; k < features; k++ {
+		items.Vector(k)
+	}
+	return &RecordEncoder{items: items, levels: lv, features: features, lo: lo, hi: hi}, nil
+}
+
+// Dimensions returns the hypervector dimensionality.
+func (e *RecordEncoder) Dimensions() int { return e.items.Dimensions() }
+
+// Features returns the expected original-space feature count.
+func (e *RecordEncoder) Features() int { return e.features }
+
+// Encode maps a feature vector to a hypervector: bind each feature's
+// level vector with its positional base vector, then bundle by
+// majority.
+func (e *RecordEncoder) Encode(features []float64) *bitvec.Vector {
+	if len(features) != e.features {
+		panic(fmt.Sprintf("encoding: got %d features, want %d", len(features), e.features))
+	}
+	d := e.Dimensions()
+	c := bitvec.NewPlaneCounter(d)
+	bound := bitvec.New(d)
+	for k, f := range features {
+		level := e.levels.Quantize(f, e.lo, e.hi)
+		lv := e.levels.Vector(level)
+		lv.XorInto(bound, e.items.Vector(k))
+		c.Add(bound)
+	}
+	return c.Majority()
+}
+
+// NGramEncoder encodes symbol sequences by binding permuted symbol
+// hypervectors over a sliding window and bundling all window vectors —
+// the standard HDC n-gram text/sequence encoder. It exists for the
+// streaming examples and as a second exercise of the primitive layer.
+type NGramEncoder struct {
+	items *hdc.ItemMemory
+	n     int
+}
+
+// NewNGramEncoder builds an n-gram encoder over symbol IDs. n must be
+// at least 1.
+func NewNGramEncoder(dims, n int, seed uint64) (*NGramEncoder, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("encoding: n-gram size must be >= 1, got %d", n)
+	}
+	items, err := hdc.NewItemMemory(dims, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &NGramEncoder{items: items, n: n}, nil
+}
+
+// Dimensions returns the hypervector dimensionality.
+func (e *NGramEncoder) Dimensions() int { return e.items.Dimensions() }
+
+// EncodeSequence maps a symbol sequence to a hypervector. Sequences
+// shorter than n yield the bundle of their permuted symbols. It panics
+// on an empty sequence.
+func (e *NGramEncoder) EncodeSequence(symbols []int) *bitvec.Vector {
+	if len(symbols) == 0 {
+		panic("encoding: empty sequence")
+	}
+	d := e.Dimensions()
+	c := bitvec.NewCounter(d)
+	if len(symbols) < e.n {
+		for i, s := range symbols {
+			c.Add(hdc.Permute(e.items.Vector(s), i))
+		}
+		return c.Threshold()
+	}
+	for start := 0; start+e.n <= len(symbols); start++ {
+		gram := hdc.Permute(e.items.Vector(symbols[start]), e.n-1)
+		for j := 1; j < e.n; j++ {
+			gram.XorInPlace(hdc.Permute(e.items.Vector(symbols[start+j]), e.n-1-j))
+		}
+		c.Add(gram)
+	}
+	return c.Threshold()
+}
+
+// Normalizer rescales features to [0, 1] using per-feature min/max
+// learned from training data, so a single level-memory range serves
+// heterogeneous features.
+type Normalizer struct {
+	min, max []float64
+}
+
+// FitNormalizer learns per-feature min/max from the rows of data. It
+// returns an error on empty or ragged input.
+func FitNormalizer(data [][]float64) (*Normalizer, error) {
+	if len(data) == 0 || len(data[0]) == 0 {
+		return nil, fmt.Errorf("encoding: cannot fit normalizer on empty data")
+	}
+	n := len(data[0])
+	mn := make([]float64, n)
+	mx := make([]float64, n)
+	for j := 0; j < n; j++ {
+		mn[j] = math.Inf(1)
+		mx[j] = math.Inf(-1)
+	}
+	for i, row := range data {
+		if len(row) != n {
+			return nil, fmt.Errorf("encoding: ragged row %d: %d features, want %d", i, len(row), n)
+		}
+		for j, v := range row {
+			if v < mn[j] {
+				mn[j] = v
+			}
+			if v > mx[j] {
+				mx[j] = v
+			}
+		}
+	}
+	return &Normalizer{min: mn, max: mx}, nil
+}
+
+// Features returns the feature count the normalizer was fit on.
+func (n *Normalizer) Features() int { return len(n.min) }
+
+// Ranges returns copies of the fitted per-feature minima and maxima.
+func (n *Normalizer) Ranges() (mins, maxs []float64) {
+	return append([]float64(nil), n.min...), append([]float64(nil), n.max...)
+}
+
+// NormalizerFromRanges reconstructs a normalizer from previously
+// fitted ranges (e.g. loaded from a saved system). The slices must
+// have equal nonzero length.
+func NormalizerFromRanges(mins, maxs []float64) (*Normalizer, error) {
+	if len(mins) == 0 || len(mins) != len(maxs) {
+		return nil, fmt.Errorf("encoding: bad range shapes %d/%d", len(mins), len(maxs))
+	}
+	for j := range mins {
+		if mins[j] > maxs[j] {
+			return nil, fmt.Errorf("encoding: feature %d has min %v > max %v", j, mins[j], maxs[j])
+		}
+	}
+	return &Normalizer{
+		min: append([]float64(nil), mins...),
+		max: append([]float64(nil), maxs...),
+	}, nil
+}
+
+// Apply returns a normalized copy of row with each feature mapped to
+// [0, 1] (values outside the fit range are clamped; constant features
+// map to 0.5). It panics on a feature-count mismatch.
+func (n *Normalizer) Apply(row []float64) []float64 {
+	if len(row) != len(n.min) {
+		panic(fmt.Sprintf("encoding: got %d features, want %d", len(row), len(n.min)))
+	}
+	out := make([]float64, len(row))
+	for j, v := range row {
+		span := n.max[j] - n.min[j]
+		if span == 0 {
+			out[j] = 0.5
+			continue
+		}
+		f := (v - n.min[j]) / span
+		if f < 0 {
+			f = 0
+		}
+		if f > 1 {
+			f = 1
+		}
+		out[j] = f
+	}
+	return out
+}
+
+// ApplyAll normalizes every row of data, returning a new matrix.
+func (n *Normalizer) ApplyAll(data [][]float64) [][]float64 {
+	out := make([][]float64, len(data))
+	for i, row := range data {
+		out[i] = n.Apply(row)
+	}
+	return out
+}

@@ -1,0 +1,194 @@
+package hdc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitvec"
+	"repro/internal/stats"
+)
+
+func TestItemMemoryDeterministic(t *testing.T) {
+	a, err := NewItemMemory(1000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewItemMemory(1000, 42)
+	if !a.Vector(7).Equal(b.Vector(7)) {
+		t.Fatal("same seed/id produced different vectors")
+	}
+	if !a.Vector(7).Equal(a.Vector(7)) {
+		t.Fatal("repeated lookup differs")
+	}
+}
+
+func TestItemMemoryOrthogonality(t *testing.T) {
+	m, _ := NewItemMemory(10000, 1)
+	for i := 1; i <= 5; i++ {
+		s := m.Vector(0).Similarity(m.Vector(i))
+		if math.Abs(s-0.5) > 0.03 {
+			t.Fatalf("ids 0,%d similarity %v, want ~0.5", i, s)
+		}
+	}
+}
+
+func TestItemMemorySeedsDiffer(t *testing.T) {
+	a, _ := NewItemMemory(10000, 1)
+	b, _ := NewItemMemory(10000, 2)
+	if s := a.Vector(0).Similarity(b.Vector(0)); math.Abs(s-0.5) > 0.03 {
+		t.Fatalf("different seeds gave similarity %v", s)
+	}
+}
+
+func TestItemMemoryRejectsBadDims(t *testing.T) {
+	if _, err := NewItemMemory(0, 1); err == nil {
+		t.Fatal("dims=0 accepted")
+	}
+	if _, err := NewItemMemory(-5, 1); err == nil {
+		t.Fatal("dims<0 accepted")
+	}
+}
+
+func TestLevelMemoryMonotoneDistance(t *testing.T) {
+	m, err := NewLevelMemory(10000, 16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := m.Vector(0)
+	prev := -1
+	for l := 1; l < 16; l++ {
+		d := base.Hamming(m.Vector(l))
+		if d <= prev {
+			t.Fatalf("distance not strictly increasing at level %d: %d <= %d", l, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestLevelMemoryNeighborsSimilar(t *testing.T) {
+	m, _ := NewLevelMemory(10000, 20, 4)
+	near := m.Vector(5).Similarity(m.Vector(6))
+	far := m.Vector(0).Similarity(m.Vector(19))
+	if near < 0.9 {
+		t.Fatalf("adjacent levels similarity %v, want > 0.9", near)
+	}
+	if far > 0.6 {
+		t.Fatalf("extreme levels similarity %v, want near 0.5", far)
+	}
+}
+
+func TestLevelMemoryRejectsBadParams(t *testing.T) {
+	if _, err := NewLevelMemory(0, 4, 1); err == nil {
+		t.Fatal("dims=0 accepted")
+	}
+	if _, err := NewLevelMemory(100, 1, 1); err == nil {
+		t.Fatal("levels=1 accepted")
+	}
+}
+
+func TestLevelMemoryQuantize(t *testing.T) {
+	m, _ := NewLevelMemory(100, 10, 1)
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{0, 0}, {0.05, 0}, {0.15, 1}, {0.95, 9}, {1.0, 9},
+		{-5, 0}, {5, 9},
+	}
+	for _, c := range cases {
+		if got := m.Quantize(c.v, 0, 1); got != c.want {
+			t.Errorf("Quantize(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestLevelMemoryQuantizePanicsOnBadRange(t *testing.T) {
+	m, _ := NewLevelMemory(100, 10, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Quantize(0.5, 1, 1)
+}
+
+func TestLevelVectorPanicsOutOfRange(t *testing.T) {
+	m, _ := NewLevelMemory(100, 10, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Vector(10)
+}
+
+func TestBindSelfInverseProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		a := bitvec.Random(512, r)
+		b := bitvec.Random(512, r)
+		return Bind(Bind(a, b), b).Equal(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBindProducesDissimilar(t *testing.T) {
+	r := stats.NewRNG(5)
+	a := bitvec.Random(10000, r)
+	b := bitvec.Random(10000, r)
+	bound := Bind(a, b)
+	if s := bound.Similarity(a); math.Abs(s-0.5) > 0.03 {
+		t.Fatalf("bound vector similarity to operand %v, want ~0.5", s)
+	}
+}
+
+func TestPermuteOrthogonalizes(t *testing.T) {
+	r := stats.NewRNG(6)
+	v := bitvec.Random(10000, r)
+	if s := Permute(v, 1).Similarity(v); math.Abs(s-0.5) > 0.03 {
+		t.Fatalf("permuted similarity %v, want ~0.5", s)
+	}
+	if !Permute(v, 0).Equal(v) {
+		t.Fatal("permute by 0 changed vector")
+	}
+}
+
+func TestBundleMajority(t *testing.T) {
+	a := bitvec.FromBools([]bool{true, true, false})
+	b := bitvec.FromBools([]bool{true, false, false})
+	c := bitvec.FromBools([]bool{true, true, true})
+	out := Bundle(a, b, c)
+	if !out.Get(0) || !out.Get(1) || out.Get(2) {
+		t.Fatalf("bundle wrong: %v", out)
+	}
+}
+
+func TestBundleEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Bundle()
+}
+
+func TestBundleRetrievable(t *testing.T) {
+	// Bundled items stay retrievable: each member is measurably more
+	// similar to the bundle than a fresh random vector is.
+	r := stats.NewRNG(7)
+	items := make([]*bitvec.Vector, 15)
+	for i := range items {
+		items[i] = bitvec.Random(10000, r)
+	}
+	bundle := Bundle(items...)
+	outsider := bitvec.Random(10000, r)
+	threshold := bundle.Similarity(outsider) + 0.03
+	for i, it := range items {
+		if s := bundle.Similarity(it); s < threshold {
+			t.Fatalf("item %d similarity %v below threshold %v", i, s, threshold)
+		}
+	}
+}

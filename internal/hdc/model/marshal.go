@@ -1,0 +1,86 @@
+package model
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/bitvec"
+)
+
+// deployedMagic guards the serialized deployed-model format.
+const deployedMagic = 0x52484443 // "RHDC"
+
+// WriteDeployed serializes the deployed binary class hypervectors —
+// the model state a device would persist (and an attacker would
+// target). Training counters are not persisted: a loaded model can
+// classify and be recovered, but not Retrain.
+func (m *Model) WriteDeployed(w io.Writer) error {
+	if m.deployed == nil {
+		return fmt.Errorf("model: not trained")
+	}
+	bw := bufio.NewWriter(w)
+	header := []uint64{deployedMagic, uint64(m.classes), uint64(m.dims)}
+	for _, v := range header {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("model: write header: %w", err)
+		}
+	}
+	for c, v := range m.deployed {
+		data, err := v.MarshalBinary()
+		if err != nil {
+			return fmt.Errorf("model: marshal class %d: %w", c, err)
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint64(len(data))); err != nil {
+			return fmt.Errorf("model: write class %d: %w", c, err)
+		}
+		if _, err := bw.Write(data); err != nil {
+			return fmt.Errorf("model: write class %d: %w", c, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadDeployed deserializes a deployed model written by WriteDeployed.
+func ReadDeployed(r io.Reader) (*Model, error) {
+	br := bufio.NewReader(r)
+	var magic, classes, dims uint64
+	for _, p := range []*uint64{&magic, &classes, &dims} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("model: read header: %w", err)
+		}
+	}
+	if magic != deployedMagic {
+		return nil, fmt.Errorf("model: bad magic %#x", magic)
+	}
+	if classes < 2 || classes > 1<<20 || dims == 0 || dims > 1<<32 {
+		return nil, fmt.Errorf("model: implausible shape %d classes × %d dims", classes, dims)
+	}
+	m, err := New(int(classes), int(dims))
+	if err != nil {
+		return nil, err
+	}
+	for c := 0; c < int(classes); c++ {
+		var n uint64
+		if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+			return nil, fmt.Errorf("model: read class %d: %w", c, err)
+		}
+		if n > 16+8*(dims/64+1)+64 {
+			return nil, fmt.Errorf("model: class %d blob of %d bytes too large", c, n)
+		}
+		data := make([]byte, n)
+		if _, err := io.ReadFull(br, data); err != nil {
+			return nil, fmt.Errorf("model: read class %d: %w", c, err)
+		}
+		var v bitvec.Vector
+		if err := v.UnmarshalBinary(data); err != nil {
+			return nil, fmt.Errorf("model: class %d: %w", c, err)
+		}
+		if v.Len() != int(dims) {
+			return nil, fmt.Errorf("model: class %d has %d dims, want %d", c, v.Len(), dims)
+		}
+		m.SetClassVector(c, &v)
+	}
+	return m, nil
+}

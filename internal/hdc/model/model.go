@@ -1,0 +1,228 @@
+// Package model implements the hyperdimensional classifier of
+// Section 3.1: class hypervectors built by bundling encoded training
+// samples, optional mistake-driven retraining, a binarized deployment
+// form (the representation the paper attacks and recovers), and a
+// b-bit quantized deployment form for the precision sweep of Table 1.
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/stats"
+)
+
+// Model is an HDC classifier. The integer counters are the training
+// state; the binarized class hypervectors produced by Binarize are the
+// deployed model that lives in (attackable) memory.
+type Model struct {
+	dims     int
+	classes  int
+	counters []*bitvec.Counter
+	deployed []*bitvec.Vector
+}
+
+// New returns an untrained model for the given class count and
+// hypervector dimensionality.
+func New(classes, dims int) (*Model, error) {
+	if classes < 2 {
+		return nil, fmt.Errorf("model: need at least 2 classes, got %d", classes)
+	}
+	if dims <= 0 {
+		return nil, fmt.Errorf("model: dimensions must be positive, got %d", dims)
+	}
+	m := &Model{dims: dims, classes: classes}
+	m.counters = make([]*bitvec.Counter, classes)
+	for c := range m.counters {
+		m.counters[c] = bitvec.NewCounter(dims)
+	}
+	return m, nil
+}
+
+// Dimensions returns the hypervector dimensionality D.
+func (m *Model) Dimensions() int { return m.dims }
+
+// Classes returns the number of classes k.
+func (m *Model) Classes() int { return m.classes }
+
+// Train accumulates each encoded sample into its class counter
+// (single-pass bundling: C_l = Σ H_j over samples with label l) and
+// binarizes. It returns an error on shape or label problems.
+func (m *Model) Train(encoded []*bitvec.Vector, labels []int) error {
+	if len(encoded) != len(labels) {
+		return fmt.Errorf("model: %d samples but %d labels", len(encoded), len(labels))
+	}
+	if len(encoded) == 0 {
+		return fmt.Errorf("model: no training samples")
+	}
+	for i, h := range encoded {
+		y := labels[i]
+		if y < 0 || y >= m.classes {
+			return fmt.Errorf("model: label %d out of range [0,%d)", y, m.classes)
+		}
+		if h.Len() != m.dims {
+			return fmt.Errorf("model: sample %d has %d dims, want %d", i, h.Len(), m.dims)
+		}
+		m.counters[y].Add(h)
+	}
+	m.Binarize()
+	return nil
+}
+
+// Retrain performs mistake-driven refinement for the given number of
+// epochs: each misclassified sample is added to its true class counter
+// and subtracted from the wrongly predicted one, then the model is
+// re-binarized after every epoch (predictions during an epoch use the
+// binarized deployed model, matching inference). It returns the number
+// of mistakes in the final epoch.
+func (m *Model) Retrain(encoded []*bitvec.Vector, labels []int, epochs int) (int, error) {
+	if len(encoded) != len(labels) {
+		return 0, fmt.Errorf("model: %d samples but %d labels", len(encoded), len(labels))
+	}
+	if m.deployed == nil {
+		return 0, fmt.Errorf("model: Retrain before Train")
+	}
+	mistakes := 0
+	for e := 0; e < epochs; e++ {
+		mistakes = 0
+		for i, h := range encoded {
+			y := labels[i]
+			pred := m.Predict(h)
+			if pred == y {
+				continue
+			}
+			mistakes++
+			m.counters[y].Add(h)
+			m.counters[pred].Sub(h)
+		}
+		m.Binarize()
+		if mistakes == 0 {
+			break
+		}
+	}
+	return mistakes, nil
+}
+
+// Binarize refreshes the deployed binary class hypervectors from the
+// training counters (majority threshold per dimension).
+func (m *Model) Binarize() {
+	if m.deployed == nil {
+		m.deployed = make([]*bitvec.Vector, m.classes)
+	}
+	for c := range m.counters {
+		m.binarizeClass(c)
+	}
+}
+
+// binarizeClass refreshes one class's deployed vector.
+func (m *Model) binarizeClass(c int) {
+	if m.deployed == nil {
+		m.deployed = make([]*bitvec.Vector, m.classes)
+	}
+	m.deployed[c] = m.counters[c].Threshold()
+}
+
+// ClassVector returns the deployed binary hypervector for class c.
+// This is the attackable memory image: attackers flip its bits and the
+// recovery framework rewrites them in place.
+func (m *Model) ClassVector(c int) *bitvec.Vector {
+	if m.deployed == nil {
+		panic("model: not trained")
+	}
+	return m.deployed[c]
+}
+
+// SetClassVector replaces the deployed hypervector for class c (used
+// when restoring a snapshot). The vector is used directly, not copied.
+func (m *Model) SetClassVector(c int, v *bitvec.Vector) {
+	if v.Len() != m.dims {
+		panic(fmt.Sprintf("model: vector has %d dims, want %d", v.Len(), m.dims))
+	}
+	if m.deployed == nil {
+		m.deployed = make([]*bitvec.Vector, m.classes)
+	}
+	m.deployed[c] = v
+}
+
+// SnapshotDeployed returns deep copies of the deployed class vectors.
+func (m *Model) SnapshotDeployed() []*bitvec.Vector {
+	if m.deployed == nil {
+		panic("model: not trained")
+	}
+	out := make([]*bitvec.Vector, m.classes)
+	for c, v := range m.deployed {
+		out[c] = v.Clone()
+	}
+	return out
+}
+
+// RestoreDeployed installs deep copies of the given vectors as the
+// deployed model.
+func (m *Model) RestoreDeployed(vs []*bitvec.Vector) {
+	if len(vs) != m.classes {
+		panic(fmt.Sprintf("model: snapshot has %d classes, want %d", len(vs), m.classes))
+	}
+	for c, v := range vs {
+		m.SetClassVector(c, v.Clone())
+	}
+}
+
+// Similarities returns the normalized Hamming similarity of the query
+// to every deployed class hypervector.
+func (m *Model) Similarities(q *bitvec.Vector) []float64 {
+	if m.deployed == nil {
+		panic("model: not trained")
+	}
+	out := make([]float64, m.classes)
+	for c, cv := range m.deployed {
+		out[c] = q.Similarity(cv)
+	}
+	return out
+}
+
+// Predict returns the class whose hypervector is most similar to the
+// query.
+func (m *Model) Predict(q *bitvec.Vector) int {
+	return stats.ArgMax(m.Similarities(q))
+}
+
+// PredictBatch classifies every query.
+func (m *Model) PredictBatch(qs []*bitvec.Vector) []int {
+	out := make([]int, len(qs))
+	for i, q := range qs {
+		out[i] = m.Predict(q)
+	}
+	return out
+}
+
+// Accuracy evaluates classification accuracy on encoded queries.
+func (m *Model) Accuracy(qs []*bitvec.Vector, labels []int) float64 {
+	return stats.Accuracy(m.PredictBatch(qs), labels)
+}
+
+// DefaultConfidenceTemperature converts raw similarity values (which
+// differ by only a few hundredths between classes) into softmax logits
+// with a meaningful spread. δ′ = softmax(δ · temperature).
+const DefaultConfidenceTemperature = 120
+
+// Confidences returns the softmax-normalized confidence δ′ of the
+// query against each class (Section 4.1), using the given temperature
+// (≤ 0 selects DefaultConfidenceTemperature).
+func (m *Model) Confidences(q *bitvec.Vector, temperature float64) []float64 {
+	if temperature <= 0 {
+		temperature = DefaultConfidenceTemperature
+	}
+	sims := m.Similarities(q)
+	for i := range sims {
+		sims[i] *= temperature
+	}
+	return stats.Softmax(sims)
+}
+
+// PredictWithConfidence returns the predicted class and its softmax
+// confidence.
+func (m *Model) PredictWithConfidence(q *bitvec.Vector, temperature float64) (int, float64) {
+	conf := m.Confidences(q, temperature)
+	best := stats.ArgMax(conf)
+	return best, conf[best]
+}

@@ -1,0 +1,89 @@
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+)
+
+// OnlineTrain performs OnlineHD-style single-pass adaptive training
+// (the paper's reference [10]): each sample updates the model with a
+// weight proportional to how badly it is currently handled, instead of
+// the uniform accumulation of plain bundling. A sample that is already
+// confidently correct contributes nothing; a misclassified sample is
+// added to its true class and subtracted from the winning class with
+// weight ∝ (1 − similarity margin). The integer-counter realization
+// scales the update to [1, maxWeight].
+//
+// Compared with Train + Retrain epochs, OnlineTrain reaches comparable
+// accuracy in one pass over the stream — the property that makes HDC
+// attractive for on-device learning.
+func (m *Model) OnlineTrain(encoded []*bitvec.Vector, labels []int, maxWeight int) error {
+	if len(encoded) != len(labels) {
+		return fmt.Errorf("model: %d samples but %d labels", len(encoded), len(labels))
+	}
+	if len(encoded) == 0 {
+		return fmt.Errorf("model: no training samples")
+	}
+	if maxWeight < 1 || maxWeight > 127 {
+		return fmt.Errorf("model: max weight %d out of [1,127]", maxWeight)
+	}
+	for i, h := range encoded {
+		y := labels[i]
+		if y < 0 || y >= m.classes {
+			return fmt.Errorf("model: label %d out of range [0,%d)", y, m.classes)
+		}
+		if h.Len() != m.dims {
+			return fmt.Errorf("model: sample %d has %d dims, want %d", i, h.Len(), m.dims)
+		}
+		if m.deployed == nil {
+			// Bootstrap: the very first samples just accumulate.
+			m.counters[y].Add(h)
+			m.Binarize()
+			continue
+		}
+		sims := m.Similarities(h)
+		pred := 0
+		for c := 1; c < m.classes; c++ {
+			if sims[c] > sims[pred] {
+				pred = c
+			}
+		}
+		if pred == y {
+			// Correct: reinforce only weakly-held samples.
+			margin := sims[y] - secondBest(sims, y)
+			if margin > 0.05 {
+				continue
+			}
+			m.counters[y].AddWeighted(h, 1)
+			m.binarizeClass(y)
+		} else {
+			// Wrong: pull the true class toward the sample and push
+			// the impostor away, scaled by how wrong the model was.
+			// The impostor update stays unit-weight: early in the
+			// stream counters are shallow and heavyweight subtraction
+			// destabilizes them.
+			severity := sims[pred] - sims[y] // > 0
+			w := int32(1 + severity*20)
+			if w > int32(maxWeight) {
+				w = int32(maxWeight)
+			}
+			m.counters[y].AddWeighted(h, w)
+			m.counters[pred].Sub(h)
+			m.binarizeClass(y)
+			m.binarizeClass(pred)
+		}
+	}
+	return nil
+}
+
+// secondBest returns the highest similarity excluding class skip.
+func secondBest(sims []float64, skip int) float64 {
+	best := -1.0
+	for c, s := range sims {
+		if c != skip && s > best {
+			best = s
+		}
+	}
+	return best
+}

@@ -1,0 +1,115 @@
+package model
+
+import (
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+func TestOnlineTrainValidation(t *testing.T) {
+	m, _ := New(2, 64)
+	rng := stats.NewRNG(1)
+	v := bitvec.Random(64, rng)
+	if err := m.OnlineTrain([]*bitvec.Vector{v}, []int{0, 1}, 8); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if err := m.OnlineTrain(nil, nil, 8); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if err := m.OnlineTrain([]*bitvec.Vector{v}, []int{0}, 0); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+	if err := m.OnlineTrain([]*bitvec.Vector{v}, []int{5}, 8); err == nil {
+		t.Fatal("bad label accepted")
+	}
+	if err := m.OnlineTrain([]*bitvec.Vector{bitvec.Random(32, rng)}, []int{0}, 8); err == nil {
+		t.Fatal("wrong dims accepted")
+	}
+}
+
+func TestOnlineTrainFromScratch(t *testing.T) {
+	spec := dataset.PAMAP()
+	spec.TrainSize, spec.TestSize = 250, 100
+	tr, te, try, tey := encodeDataset(t, spec, 4096)
+	m, _ := New(spec.Classes, 4096)
+	if err := m.OnlineTrain(tr, try, 16); err != nil {
+		t.Fatal(err)
+	}
+	if acc := m.Accuracy(te, tey); acc < 0.7 {
+		t.Fatalf("online-trained accuracy %.3f too low", acc)
+	}
+}
+
+func TestOnlineTrainAtLeastMatchesSinglePass(t *testing.T) {
+	spec := dataset.UCIHAR()
+	spec.TrainSize, spec.TestSize = 250, 120
+	tr, te, try, tey := encodeDataset(t, spec, 4096)
+
+	plain, _ := New(spec.Classes, 4096)
+	if err := plain.Train(tr, try); err != nil {
+		t.Fatal(err)
+	}
+	online, _ := New(spec.Classes, 4096)
+	if err := online.OnlineTrain(tr, try, 16); err != nil {
+		t.Fatal(err)
+	}
+	pAcc := plain.Accuracy(te, tey)
+	oAcc := online.Accuracy(te, tey)
+	if oAcc < pAcc-0.05 {
+		t.Fatalf("online %.3f clearly below single-pass %.3f", oAcc, pAcc)
+	}
+}
+
+func TestOnlineTrainIncremental(t *testing.T) {
+	// Online training accepts data in chunks — the streaming usage.
+	spec := dataset.PAMAP()
+	spec.TrainSize, spec.TestSize = 200, 80
+	tr, te, try, tey := encodeDataset(t, spec, 2048)
+	m, _ := New(spec.Classes, 2048)
+	half := len(tr) / 2
+	if err := m.OnlineTrain(tr[:half], try[:half], 8); err != nil {
+		t.Fatal(err)
+	}
+	first := m.Accuracy(te, tey)
+	if err := m.OnlineTrain(tr[half:], try[half:], 8); err != nil {
+		t.Fatal(err)
+	}
+	second := m.Accuracy(te, tey)
+	if second < first-0.1 {
+		t.Fatalf("more data hurt online model badly: %.3f -> %.3f", first, second)
+	}
+}
+
+func TestOnlineTrainSkipsConfidentSamples(t *testing.T) {
+	// Feeding the same easy data twice should change the model little:
+	// confidently-correct samples are skipped.
+	rng := stats.NewRNG(60)
+	const d = 2048
+	protos := []*bitvec.Vector{bitvec.Random(d, rng), bitvec.Random(d, rng)}
+	var tr []*bitvec.Vector
+	var try []int
+	for i := 0; i < 40; i++ {
+		c := i % 2
+		v := protos[c].Clone()
+		v.FlipBernoulli(0.05, rng)
+		tr = append(tr, v)
+		try = append(try, c)
+	}
+	m, _ := New(2, d)
+	if err := m.OnlineTrain(tr, try, 8); err != nil {
+		t.Fatal(err)
+	}
+	before := m.SnapshotDeployed()
+	if err := m.OnlineTrain(tr, try, 8); err != nil {
+		t.Fatal(err)
+	}
+	drift := 0
+	for c := 0; c < 2; c++ {
+		drift += m.ClassVector(c).Hamming(before[c])
+	}
+	if drift > d/20 {
+		t.Fatalf("second pass over easy data moved %d bits", drift)
+	}
+}

@@ -1,0 +1,181 @@
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/stats"
+)
+
+// Quantized is a deployed HDC model whose class hypervector elements
+// carry b bits of precision (sign + magnitude levels) instead of a
+// single bit. Table 1 of the paper sweeps this precision to show that
+// lower-precision models are *more* robust: a flip in a multi-bit
+// element can change a large magnitude, while a flip in a binary
+// element changes exactly one vote.
+//
+// The memory image of a Quantized model is classes × dims × bits bits:
+// for each element, bit 0 is the sign and bits 1..b-1 are the
+// magnitude (little-endian). Attacks flip bits of that image through
+// FlipBit.
+type Quantized struct {
+	bits    int
+	dims    int
+	classes int
+	// levels[c][i] is the signed level of class c, dimension i:
+	// sign·magnitude with magnitude in [1, 2^(b-1)], never zero. The
+	// stored form is a sign bit plus b-1 magnitude bits holding
+	// magnitude-1.
+	levels [][]int8
+}
+
+// QuantizeModel produces a b-bit deployment of a trained model from
+// its training counters. bits must be in [1, 8].
+func QuantizeModel(m *Model, bits int) (*Quantized, error) {
+	if bits < 1 || bits > 8 {
+		return nil, fmt.Errorf("model: quantization bits %d out of [1,8]", bits)
+	}
+	q := &Quantized{bits: bits, dims: m.dims, classes: m.classes}
+	q.levels = make([][]int8, m.classes)
+	for c := range q.levels {
+		q.levels[c] = m.counters[c].Quantize(bits)
+	}
+	return q, nil
+}
+
+// Bits returns the per-element precision.
+func (q *Quantized) Bits() int { return q.bits }
+
+// Dimensions returns the hypervector dimensionality.
+func (q *Quantized) Dimensions() int { return q.dims }
+
+// Classes returns the class count.
+func (q *Quantized) Classes() int { return q.classes }
+
+// BitLength returns the total number of bits in the deployed memory
+// image (the attack surface).
+func (q *Quantized) BitLength() int { return q.classes * q.dims * q.bits }
+
+// Level returns the signed level of class c, dimension i.
+func (q *Quantized) Level(c, i int) int8 { return q.levels[c][i] }
+
+// FlipBit flips one bit of the deployed memory image, addressed
+// globally in [0, BitLength()). Bit layout: class-major, then
+// dimension, then bit-within-element (bit 0 = sign, bits 1.. =
+// magnitude).
+func (q *Quantized) FlipBit(global int) {
+	if global < 0 || global >= q.BitLength() {
+		panic(fmt.Sprintf("model: bit %d out of range [0,%d)", global, q.BitLength()))
+	}
+	perClass := q.dims * q.bits
+	c := global / perClass
+	rem := global % perClass
+	i := rem / q.bits
+	b := rem % q.bits
+	q.levels[c][i] = flipElementBit(q.levels[c][i], b, q.bits)
+}
+
+// flipElementBit flips bit b of the sign-magnitude encoding of level:
+// bit 0 is the sign, bits 1..bits-1 hold magnitude-1.
+func flipElementBit(level int8, b, bits int) int8 {
+	neg := level < 0
+	mag := int(level)
+	if neg {
+		mag = -mag
+	}
+	if b == 0 {
+		neg = !neg
+	} else {
+		stored := mag - 1
+		stored ^= 1 << uint(b-1)
+		mag = stored + 1
+		if mag > 127 {
+			mag = 127 // int8 ceiling (affects only bits = 8)
+		}
+	}
+	_ = bits // magnitude-1 occupies exactly bits-1 bits
+	out := int8(mag)
+	if neg {
+		out = -out
+	}
+	return out
+}
+
+// MagnitudeBitsPerElement returns q.bits-1, the number of magnitude
+// bits (zero for the binary model, whose only bit is the sign).
+func (q *Quantized) MagnitudeBitsPerElement() int { return q.bits - 1 }
+
+// IsSignBit reports whether global bit index addresses a sign bit —
+// the most significant position of the element, which targeted attacks
+// prefer.
+func (q *Quantized) IsSignBit(global int) bool {
+	return global%q.bits == 0
+}
+
+// MSBIndices returns the global indices of every element's most
+// damaging bit: the sign bit for 1-bit models, the top magnitude bit
+// otherwise (flipping it changes the element by the largest step).
+func (q *Quantized) MSBIndices() []int {
+	out := make([]int, 0, q.classes*q.dims)
+	for c := 0; c < q.classes; c++ {
+		for i := 0; i < q.dims; i++ {
+			base := (c*q.dims + i) * q.bits
+			out = append(out, base) // sign bit dominates sign-magnitude
+		}
+	}
+	return out
+}
+
+// Score returns the dot-product score of a binary query against class
+// c: Σ_i level[c][i] · (2·q_i − 1). Higher is more similar.
+func (q *Quantized) Score(query *bitvec.Vector, c int) int {
+	if query.Len() != q.dims {
+		panic(fmt.Sprintf("model: query has %d dims, want %d", query.Len(), q.dims))
+	}
+	lv := q.levels[c]
+	score := 0
+	words := query.Words()
+	for w, word := range words {
+		base := w * 64
+		end := base + 64
+		if end > q.dims {
+			end = q.dims
+		}
+		for i := base; i < end; i++ {
+			if word>>(uint(i-base))&1 == 1 {
+				score += int(lv[i])
+			} else {
+				score -= int(lv[i])
+			}
+		}
+	}
+	return score
+}
+
+// Predict returns the class with the highest score for the query.
+func (q *Quantized) Predict(query *bitvec.Vector) int {
+	scores := make([]float64, q.classes)
+	for c := range scores {
+		scores[c] = float64(q.Score(query, c))
+	}
+	return stats.ArgMax(scores)
+}
+
+// Accuracy evaluates classification accuracy on encoded queries.
+func (q *Quantized) Accuracy(qs []*bitvec.Vector, labels []int) float64 {
+	pred := make([]int, len(qs))
+	for i, query := range qs {
+		pred[i] = q.Predict(query)
+	}
+	return stats.Accuracy(pred, labels)
+}
+
+// Clone returns an independent copy (used to snapshot before attack).
+func (q *Quantized) Clone() *Quantized {
+	out := &Quantized{bits: q.bits, dims: q.dims, classes: q.classes}
+	out.levels = make([][]int8, q.classes)
+	for c := range q.levels {
+		out.levels[c] = append([]int8(nil), q.levels[c]...)
+	}
+	return out
+}

@@ -1,0 +1,188 @@
+package model
+
+import (
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/stats"
+)
+
+func trainedToy(t *testing.T) (*Model, []*bitvec.Vector, []int) {
+	t.Helper()
+	rng := stats.NewRNG(40)
+	const d = 2048
+	proto := []*bitvec.Vector{bitvec.Random(d, rng), bitvec.Random(d, rng), bitvec.Random(d, rng)}
+	var tr []*bitvec.Vector
+	var try []int
+	for i := 0; i < 60; i++ {
+		c := i % 3
+		v := proto[c].Clone()
+		v.FlipBernoulli(0.1, rng)
+		tr = append(tr, v)
+		try = append(try, c)
+	}
+	m, _ := New(3, d)
+	if err := m.Train(tr, try); err != nil {
+		t.Fatal(err)
+	}
+	var te []*bitvec.Vector
+	var tey []int
+	for i := 0; i < 30; i++ {
+		c := i % 3
+		v := proto[c].Clone()
+		v.FlipBernoulli(0.15, rng)
+		te = append(te, v)
+		tey = append(tey, c)
+	}
+	return m, te, tey
+}
+
+func TestQuantizeModelValidation(t *testing.T) {
+	m, _, _ := trainedToy(t)
+	if _, err := QuantizeModel(m, 0); err == nil {
+		t.Fatal("bits=0 accepted")
+	}
+	if _, err := QuantizeModel(m, 9); err == nil {
+		t.Fatal("bits=9 accepted")
+	}
+}
+
+func TestQuantized1BitMatchesBinaryPredictions(t *testing.T) {
+	m, te, _ := trainedToy(t)
+	q, err := QuantizeModel(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, query := range te {
+		if q.Predict(query) != m.Predict(query) {
+			t.Fatalf("query %d: 1-bit quantized disagrees with binary model", i)
+		}
+	}
+}
+
+func TestQuantizedAccuracyReasonable(t *testing.T) {
+	m, te, tey := trainedToy(t)
+	for _, bits := range []int{1, 2, 4} {
+		q, _ := QuantizeModel(m, bits)
+		if acc := q.Accuracy(te, tey); acc < 0.9 {
+			t.Fatalf("%d-bit accuracy %.3f too low on easy toy data", bits, acc)
+		}
+	}
+}
+
+func TestQuantizedBitLength(t *testing.T) {
+	m, _, _ := trainedToy(t)
+	q, _ := QuantizeModel(m, 2)
+	if q.BitLength() != 3*2048*2 {
+		t.Fatalf("BitLength = %d", q.BitLength())
+	}
+	if q.Bits() != 2 || q.Dimensions() != 2048 || q.Classes() != 3 {
+		t.Fatal("accessors wrong")
+	}
+}
+
+func TestFlipBitSignChangesLevelSign(t *testing.T) {
+	m, _, _ := trainedToy(t)
+	q, _ := QuantizeModel(m, 2)
+	before := q.Level(0, 0)
+	q.FlipBit(0) // class 0, dim 0, sign bit
+	after := q.Level(0, 0)
+	if before == after || (before < 0) == (after < 0) {
+		t.Fatalf("sign flip: %d -> %d", before, after)
+	}
+	// Flipping again restores (sign flips are involutive; magnitude
+	// unchanged here).
+	q.FlipBit(0)
+	if q.Level(0, 0) != before {
+		t.Fatalf("double sign flip not identity: %d -> %d", before, q.Level(0, 0))
+	}
+}
+
+func TestFlipBitMagnitude(t *testing.T) {
+	m, _, _ := trainedToy(t)
+	q, _ := QuantizeModel(m, 4)
+	idx := 1 // class 0, dim 0, magnitude bit 0
+	before := q.Level(0, 0)
+	q.FlipBit(idx)
+	after := q.Level(0, 0)
+	if before == after {
+		t.Fatal("magnitude flip changed nothing")
+	}
+	if (before < 0) != (after < 0) && after != 0 {
+		t.Fatalf("magnitude flip changed sign: %d -> %d", before, after)
+	}
+}
+
+func TestFlipBitOutOfRangePanics(t *testing.T) {
+	m, _, _ := trainedToy(t)
+	q, _ := QuantizeModel(m, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	q.FlipBit(q.BitLength())
+}
+
+func TestIsSignBitAndMSBIndices(t *testing.T) {
+	m, _, _ := trainedToy(t)
+	q, _ := QuantizeModel(m, 2)
+	if !q.IsSignBit(0) || q.IsSignBit(1) || !q.IsSignBit(2) {
+		t.Fatal("IsSignBit wrong for 2-bit layout")
+	}
+	msb := q.MSBIndices()
+	if len(msb) != 3*2048 {
+		t.Fatalf("MSBIndices len %d", len(msb))
+	}
+	for _, i := range msb[:10] {
+		if !q.IsSignBit(i) {
+			t.Fatalf("MSB index %d is not a sign bit", i)
+		}
+	}
+	if q.MagnitudeBitsPerElement() != 1 {
+		t.Fatal("magnitude bits wrong")
+	}
+}
+
+func TestQuantizedCloneIndependent(t *testing.T) {
+	m, _, _ := trainedToy(t)
+	q, _ := QuantizeModel(m, 2)
+	c := q.Clone()
+	q.FlipBit(0)
+	if c.Level(0, 0) != -q.Level(0, 0) && c.Level(0, 0) == q.Level(0, 0) {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestHigherPrecisionMoreVulnerable(t *testing.T) {
+	// Table 1's core claim, in miniature: at the same bit-flip *rate*
+	// over the deployed image, the multi-bit model loses at least as
+	// much accuracy as the binary one (usually strictly more).
+	m, te, tey := trainedToy(t)
+	rng := stats.NewRNG(41)
+	losses := map[int]float64{}
+	for _, bits := range []int{1, 4} {
+		q, _ := QuantizeModel(m, bits)
+		clean := q.Accuracy(te, tey)
+		total := q.BitLength()
+		flips := total * 15 / 100
+		for f := 0; f < flips; f++ {
+			q.FlipBit(rng.IntN(total))
+		}
+		losses[bits] = clean - q.Accuracy(te, tey)
+	}
+	if losses[4] < losses[1]-0.02 {
+		t.Fatalf("4-bit loss %.3f unexpectedly below 1-bit loss %.3f", losses[4], losses[1])
+	}
+}
+
+func TestQuantizedScorePanicsOnDimsMismatch(t *testing.T) {
+	m, _, _ := trainedToy(t)
+	q, _ := QuantizeModel(m, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	q.Score(bitvec.New(10), 0)
+}

@@ -1,0 +1,239 @@
+// Package regress implements hyperdimensional regression in the style
+// of RegHD (the paper's reference [8]): a single real-valued model
+// hypervector is fit so that its bipolar dot product with an encoded
+// input predicts the target. Like the classifier, the deployed form is
+// compact, holographic, and attackable — and because every dimension
+// contributes 1/D of the prediction, bit flips on the deployed model
+// degrade the output gracefully instead of exploding it, extending the
+// paper's robustness story from classification to regression (PECAN,
+// the paper's electricity dataset, is natively a prediction task).
+package regress
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bitvec"
+	"repro/internal/fixed"
+)
+
+// Config sets training hyperparameters.
+type Config struct {
+	// Epochs is the number of passes over the data (default 20).
+	Epochs int
+	// LearningRate scales the per-sample update (default 0.05).
+	LearningRate float64
+}
+
+func (c *Config) fillDefaults() {
+	if c.Epochs == 0 {
+		c.Epochs = 20
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = 0.05
+	}
+}
+
+// Regressor predicts a scalar from an encoded hypervector:
+// ŷ = lo + (hi−lo) · σ(w·bipolar(h)/D), trained by stochastic gradient
+// steps on the squared error. Targets are normalized to the fitted
+// [lo, hi] range internally.
+type Regressor struct {
+	dims   int
+	w      []float64
+	lo, hi float64
+}
+
+// Train fits a regressor on encoded inputs and real targets.
+func Train(encoded []*bitvec.Vector, targets []float64, cfg Config) (*Regressor, error) {
+	cfg.fillDefaults()
+	if len(encoded) == 0 {
+		return nil, fmt.Errorf("regress: no training data")
+	}
+	if len(encoded) != len(targets) {
+		return nil, fmt.Errorf("regress: %d samples but %d targets", len(encoded), len(targets))
+	}
+	dims := encoded[0].Len()
+	lo, hi := targets[0], targets[0]
+	for i, h := range encoded {
+		if h.Len() != dims {
+			return nil, fmt.Errorf("regress: sample %d has %d dims, want %d", i, h.Len(), dims)
+		}
+		if targets[i] < lo {
+			lo = targets[i]
+		}
+		if targets[i] > hi {
+			hi = targets[i]
+		}
+	}
+	if lo == hi {
+		return nil, fmt.Errorf("regress: constant targets")
+	}
+	r := &Regressor{dims: dims, w: make([]float64, dims), lo: lo, hi: hi}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for i, h := range encoded {
+			yNorm := (targets[i] - lo) / (hi - lo)
+			pred := r.rawPredict(r.w, h)
+			grad := cfg.LearningRate * (yNorm - pred)
+			addBipolarScaled(r.w, h, grad)
+		}
+	}
+	return r, nil
+}
+
+// rawPredict computes σ(w·bipolar(h)/√D) in [0, 1].
+func (r *Regressor) rawPredict(w []float64, h *bitvec.Vector) float64 {
+	dot := dotBipolar(w, h)
+	z := dot / math.Sqrt(float64(r.dims))
+	return 1 / (1 + math.Exp(-z))
+}
+
+// dotBipolar returns Σ_i w_i · (2·h_i − 1).
+func dotBipolar(w []float64, h *bitvec.Vector) float64 {
+	var dot float64
+	words := h.Words()
+	for wi, word := range words {
+		base := wi * 64
+		end := base + 64
+		if end > len(w) {
+			end = len(w)
+		}
+		for i := base; i < end; i++ {
+			if word>>(uint(i-base))&1 == 1 {
+				dot += w[i]
+			} else {
+				dot -= w[i]
+			}
+		}
+	}
+	return dot
+}
+
+// addBipolarScaled performs w += s · bipolar(h).
+func addBipolarScaled(w []float64, h *bitvec.Vector, s float64) {
+	words := h.Words()
+	for wi, word := range words {
+		base := wi * 64
+		end := base + 64
+		if end > len(w) {
+			end = len(w)
+		}
+		for i := base; i < end; i++ {
+			if word>>(uint(i-base))&1 == 1 {
+				w[i] += s
+			} else {
+				w[i] -= s
+			}
+		}
+	}
+}
+
+// Dimensions returns the hypervector dimensionality.
+func (r *Regressor) Dimensions() int { return r.dims }
+
+// Predict returns the regressed value for an encoded input.
+func (r *Regressor) Predict(h *bitvec.Vector) float64 {
+	return r.lo + (r.hi-r.lo)*r.rawPredict(r.w, h)
+}
+
+// MSE evaluates mean squared error over encoded inputs.
+func (r *Regressor) MSE(encoded []*bitvec.Vector, targets []float64) float64 {
+	if len(encoded) == 0 {
+		return 0
+	}
+	var sum float64
+	for i, h := range encoded {
+		d := r.Predict(h) - targets[i]
+		sum += d * d
+	}
+	return sum / float64(len(encoded))
+}
+
+// R2 evaluates the coefficient of determination over encoded inputs.
+func (r *Regressor) R2(encoded []*bitvec.Vector, targets []float64) float64 {
+	if len(encoded) == 0 {
+		return 0
+	}
+	var mean float64
+	for _, y := range targets {
+		mean += y
+	}
+	mean /= float64(len(targets))
+	var ssRes, ssTot float64
+	for i, h := range encoded {
+		d := r.Predict(h) - targets[i]
+		ssRes += d * d
+		t := targets[i] - mean
+		ssTot += t * t
+	}
+	if ssTot == 0 {
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}
+
+// Deploy quantizes the model hypervector to 8-bit fixed point — the
+// attackable stored form.
+func (r *Regressor) Deploy() *Deployed {
+	return &Deployed{
+		w:    fixed.Quantize(r.w),
+		dims: r.dims,
+		lo:   r.lo,
+		hi:   r.hi,
+	}
+}
+
+// Deployed is the quantized regressor; it implements attack.Image.
+type Deployed struct {
+	w    *fixed.Tensor
+	dims int
+	lo   float64
+	hi   float64
+}
+
+// Elements returns the model dimensionality.
+func (d *Deployed) Elements() int { return d.w.Elements() }
+
+// BitsPerElement returns 8.
+func (d *Deployed) BitsPerElement() int { return 8 }
+
+// BitDamageOrder returns two's-complement bits from the sign down.
+func (d *Deployed) BitDamageOrder() []int { return []int{7, 6, 5, 4, 3, 2, 1, 0} }
+
+// FlipBit flips bit b of dimension i.
+func (d *Deployed) FlipBit(i, b int) { d.w.FlipBit(i, b) }
+
+// Predict regresses through the (possibly corrupted) quantized model.
+func (d *Deployed) Predict(h *bitvec.Vector) float64 {
+	if h.Len() != d.dims {
+		panic(fmt.Sprintf("regress: query has %d dims, want %d", h.Len(), d.dims))
+	}
+	var dot float64
+	for i := 0; i < d.dims; i++ {
+		if h.Get(i) {
+			dot += d.w.Value(i)
+		} else {
+			dot -= d.w.Value(i)
+		}
+	}
+	z := dot / math.Sqrt(float64(d.dims))
+	return d.lo + (d.hi-d.lo)/(1+math.Exp(-z))
+}
+
+// MSE evaluates mean squared error through the deployed model.
+func (d *Deployed) MSE(encoded []*bitvec.Vector, targets []float64) float64 {
+	if len(encoded) == 0 {
+		return 0
+	}
+	var sum float64
+	for i, h := range encoded {
+		diff := d.Predict(h) - targets[i]
+		sum += diff * diff
+	}
+	return sum / float64(len(encoded))
+}
+
+// Clone deep-copies the deployment.
+func (d *Deployed) Clone() *Deployed {
+	return &Deployed{w: d.w.Clone(), dims: d.dims, lo: d.lo, hi: d.hi}
+}

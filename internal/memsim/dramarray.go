@@ -1,0 +1,172 @@
+package memsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/stats"
+)
+
+// DRAMArray is a functional refresh-relaxed DRAM: 64-bit words whose
+// cells each carry a retention time sampled from the array's weak-cell
+// populations. Cells whose retention falls below the refresh interval
+// discharge before the next refresh — they read back as 0 regardless
+// of what was written. Optionally each word carries a SECDED check
+// byte (stored in equally unreliable cells), letting tests exercise
+// the full protect/decay/correct chain that the cost models above
+// price analytically.
+type DRAMArray struct {
+	words  []uint64
+	checks []uint8
+
+	// retentionMs[i*64+b] is cell (i,b)'s retention; +Inf for strong
+	// cells. checkRetention mirrors it for the 8 check bits per word.
+	retentionMs    []float64
+	checkRetention []float64
+
+	refreshMs float64
+	ecc       bool
+	codec     SECDED
+}
+
+// NewDRAMArray allocates an array of the given word count, sampling
+// each cell's retention from the retention model. With ecc true every
+// word is protected by a SECDED(72,64) check byte.
+func NewDRAMArray(words int, retention DRAMRetention, ecc bool, seed uint64) (*DRAMArray, error) {
+	if words <= 0 {
+		return nil, fmt.Errorf("memsim: word count must be positive, got %d", words)
+	}
+	rng := stats.NewRNG(seed ^ 0xDA7A4A7A4A7A4A7A)
+	a := &DRAMArray{
+		words:          make([]uint64, words),
+		checks:         make([]uint8, words),
+		retentionMs:    sampleRetention(words*64, retention, rng),
+		checkRetention: sampleRetention(words*8, retention, rng),
+		refreshMs:      64,
+		ecc:            ecc,
+	}
+	return a, nil
+}
+
+// sampleRetention draws per-cell retention times: each weak population
+// claims its fraction of cells with log-normal retention; everything
+// else never decays in the modeled range.
+func sampleRetention(cells int, retention DRAMRetention, rng *rand.Rand) []float64 {
+	out := make([]float64, cells)
+	for i := range out {
+		out[i] = math.Inf(1)
+		u := rng.Float64()
+		for _, p := range retention.Populations {
+			if u < p.Fraction {
+				out[i] = math.Exp(p.MuLogMs + p.SigmaLog*rng.NormFloat64())
+				break
+			}
+			u -= p.Fraction
+		}
+	}
+	return out
+}
+
+// Words returns the array capacity in 64-bit words.
+func (a *DRAMArray) Words() int { return len(a.words) }
+
+// ECC reports whether SECDED protection is enabled.
+func (a *DRAMArray) ECC() bool { return a.ecc }
+
+// SetRefreshInterval changes the refresh interval (milliseconds).
+func (a *DRAMArray) SetRefreshInterval(ms float64) error {
+	if ms <= 0 {
+		return fmt.Errorf("memsim: refresh interval must be positive, got %v", ms)
+	}
+	a.refreshMs = ms
+	return nil
+}
+
+// RefreshInterval returns the active refresh interval (ms).
+func (a *DRAMArray) RefreshInterval() float64 { return a.refreshMs }
+
+// WriteWord stores a word (and its check byte when ECC is on).
+func (a *DRAMArray) WriteWord(i int, v uint64) {
+	a.words[i] = v
+	if a.ecc {
+		a.checks[i] = a.codec.Encode(v)
+	}
+}
+
+// rawRead applies retention decay to the stored bits: any cell whose
+// retention is below the refresh interval has discharged to 0.
+func (a *DRAMArray) rawRead(i int) (uint64, uint8) {
+	v := a.words[i]
+	for b := 0; b < 64; b++ {
+		if a.retentionMs[i*64+b] < a.refreshMs {
+			v &^= 1 << uint(b)
+		}
+	}
+	c := a.checks[i]
+	for b := 0; b < 8; b++ {
+		if a.checkRetention[i*8+b] < a.refreshMs {
+			c &^= 1 << uint(b)
+		}
+	}
+	return v, c
+}
+
+// ReadWord reads a word through the decay (and, when enabled, the
+// SECDED decode) path. The DecodeResult is DecodeClean for unprotected
+// arrays.
+func (a *DRAMArray) ReadWord(i int) (uint64, DecodeResult) {
+	v, c := a.rawRead(i)
+	if !a.ecc {
+		return v, DecodeClean
+	}
+	data, _, res := a.codec.Decode(v, c)
+	return data, res
+}
+
+// MeasureBER writes an alternating test pattern, reads it back raw,
+// and returns the observed bit error rate (ones that discharged). The
+// array contents are clobbered.
+func (a *DRAMArray) MeasureBER() float64 {
+	const pattern uint64 = 0xAAAAAAAAAAAAAAAA // ones in odd positions
+	errs, ones := 0, 0
+	for i := range a.words {
+		a.words[i] = pattern
+		v, _ := a.rawRead(i)
+		for b := 0; b < 64; b++ {
+			if pattern>>uint(b)&1 == 1 {
+				ones++
+				if v>>uint(b)&1 == 0 {
+					errs++
+				}
+			}
+		}
+	}
+	// Only stored ones can visibly decay (discharge reads as 0); the
+	// cell-level error rate is half the population rate for random
+	// data, so scale back up.
+	return float64(errs) / float64(ones)
+}
+
+// CorruptionStats reads every word and tallies SECDED outcomes
+// (meaningful only with ECC enabled).
+type CorruptionStats struct {
+	Clean, Corrected, Uncorrectable int
+}
+
+// Scan reads the whole array and classifies each word.
+func (a *DRAMArray) Scan() CorruptionStats {
+	var s CorruptionStats
+	for i := range a.words {
+		_, res := a.ReadWord(i)
+		switch res {
+		case DecodeClean:
+			s.Clean++
+		case DecodeCorrected:
+			s.Corrected++
+		default:
+			s.Uncorrectable++
+		}
+	}
+	return s
+}

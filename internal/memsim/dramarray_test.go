@@ -1,0 +1,136 @@
+package memsim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDRAMArrayValidation(t *testing.T) {
+	if _, err := NewDRAMArray(0, DefaultDRAMRetention(), false, 1); err == nil {
+		t.Fatal("zero words accepted")
+	}
+	a, _ := NewDRAMArray(4, DefaultDRAMRetention(), false, 1)
+	if err := a.SetRefreshInterval(0); err == nil {
+		t.Fatal("zero interval accepted")
+	}
+}
+
+func TestDRAMArrayCleanAtConventionalRefresh(t *testing.T) {
+	a, err := NewDRAMArray(2000, DefaultDRAMRetention(), false, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.RefreshInterval(); got != 64 {
+		t.Fatalf("default interval %v", got)
+	}
+	if ber := a.MeasureBER(); ber > 0.01 {
+		t.Fatalf("BER at 64ms = %v, want ~0", ber)
+	}
+}
+
+func TestDRAMArrayBERTracksRetentionModel(t *testing.T) {
+	retention := DefaultDRAMRetention()
+	a, _ := NewDRAMArray(4000, retention, false, 3)
+	for _, target := range []float64{0.02, 0.04, 0.06} {
+		interval, err := retention.IntervalForBER(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.SetRefreshInterval(interval); err != nil {
+			t.Fatal(err)
+		}
+		got := a.MeasureBER()
+		if math.Abs(got-target) > target/2+0.005 {
+			t.Fatalf("interval %v: measured BER %v, model %v", interval, got, target)
+		}
+	}
+}
+
+func TestDRAMArrayRoundTripWhenClean(t *testing.T) {
+	a, _ := NewDRAMArray(100, DefaultDRAMRetention(), false, 4)
+	for i := 0; i < 100; i++ {
+		a.WriteWord(i, uint64(i)*0x9E3779B97F4A7C15)
+	}
+	// At a conservative (shorter-than-64ms) interval nothing decays.
+	if err := a.SetRefreshInterval(16); err != nil {
+		t.Fatal(err)
+	}
+	bad := 0
+	for i := 0; i < 100; i++ {
+		if v, _ := a.ReadWord(i); v != uint64(i)*0x9E3779B97F4A7C15 {
+			bad++
+		}
+	}
+	if bad > 1 {
+		t.Fatalf("%d words corrupted at 16ms refresh", bad)
+	}
+}
+
+func TestDRAMArrayECCCorrectsMildRelaxation(t *testing.T) {
+	retention := DefaultDRAMRetention()
+	protected, _ := NewDRAMArray(3000, retention, true, 5)
+	raw, _ := NewDRAMArray(3000, retention, false, 5) // same seed → same cells
+	for i := 0; i < 3000; i++ {
+		v := uint64(i) * 0xD1B54A32D192ED03
+		protected.WriteWord(i, v)
+		raw.WriteWord(i, v)
+	}
+	// Mild relaxation: mostly single-bit errors per word; SECDED
+	// should repair nearly all of them.
+	interval, _ := retention.IntervalForBER(0.002)
+	protected.SetRefreshInterval(interval)
+	raw.SetRefreshInterval(interval)
+
+	rawBad, protBad := 0, 0
+	for i := 0; i < 3000; i++ {
+		want := uint64(i) * 0xD1B54A32D192ED03
+		if v, _ := raw.ReadWord(i); v != want {
+			rawBad++
+		}
+		if v, _ := protected.ReadWord(i); v != want {
+			protBad++
+		}
+	}
+	if rawBad == 0 {
+		t.Fatal("expected some raw corruption at this relaxation")
+	}
+	if protBad*4 > rawBad {
+		t.Fatalf("ECC left %d/%d corrupted words (raw %d)", protBad, 3000, rawBad)
+	}
+}
+
+func TestDRAMArrayECCOverwhelmedAtHighBER(t *testing.T) {
+	retention := DefaultDRAMRetention()
+	a, _ := NewDRAMArray(3000, retention, true, 6)
+	for i := 0; i < 3000; i++ {
+		a.WriteWord(i, 0xFFFFFFFFFFFFFFFF)
+	}
+	interval, _ := retention.IntervalForBER(0.05)
+	a.SetRefreshInterval(interval)
+	s := a.Scan()
+	if s.Uncorrectable == 0 {
+		t.Fatal("5% BER should overwhelm SECDED on many words")
+	}
+	// The analytic model predicts the double-error fraction; measured
+	// should be the same order.
+	want := DefaultECC().UncorrectableRate(0.05) // on stored ones, all decayable
+	got := float64(s.Uncorrectable) / 3000
+	if got < want/4 {
+		t.Fatalf("uncorrectable fraction %v far below model %v", got, want)
+	}
+}
+
+func TestDRAMArrayScanCleanWithoutRelaxation(t *testing.T) {
+	a, _ := NewDRAMArray(500, DefaultDRAMRetention(), true, 7)
+	for i := 0; i < 500; i++ {
+		a.WriteWord(i, uint64(i))
+	}
+	a.SetRefreshInterval(16)
+	s := a.Scan()
+	if s.Uncorrectable > 0 {
+		t.Fatalf("uncorrectable words at 16ms: %+v", s)
+	}
+	if s.Clean+s.Corrected != 500 {
+		t.Fatalf("scan total wrong: %+v", s)
+	}
+}

@@ -1,0 +1,120 @@
+package memsim
+
+import (
+	"fmt"
+	"math"
+)
+
+// EnduranceModel captures NVM cell wear-out: each cell survives a
+// log-normally distributed number of write/switch events around the
+// nominal endurance (the paper uses 10^9 [2]). Once a cell's write
+// count exceeds its endurance it becomes stuck at its last value — for
+// a stored bit pattern, half of the stuck cells hold the wrong value,
+// so the effective bit error rate is half the failed fraction.
+type EnduranceModel struct {
+	// NominalWrites is the median endurance (writes to failure).
+	NominalWrites float64
+	// SigmaLog is the log-std of the endurance distribution
+	// (device-to-device variability; ~0.4 is typical for ReRAM).
+	SigmaLog float64
+}
+
+// DefaultEndurance returns the paper's 10^9-write device with moderate
+// variability.
+func DefaultEndurance() EnduranceModel {
+	return EnduranceModel{NominalWrites: 1e9, SigmaLog: 0.4}
+}
+
+// FailedFraction returns the fraction of cells that have worn out
+// after the given number of writes per cell (wear leveling makes
+// per-cell write counts uniform across the array).
+func (e EnduranceModel) FailedFraction(writesPerCell float64) float64 {
+	if writesPerCell <= 0 {
+		return 0
+	}
+	return normalCDF((math.Log(writesPerCell) - math.Log(e.NominalWrites)) / e.SigmaLog)
+}
+
+// StuckBitErrorRate converts a failed-cell fraction into the effective
+// bit error rate of a stored random pattern: a stuck cell is wrong
+// with probability 1/2.
+func StuckBitErrorRate(failedFraction float64) float64 {
+	return failedFraction / 2
+}
+
+// WritesForFailedFraction inverts FailedFraction.
+func (e EnduranceModel) WritesForFailedFraction(frac float64) (float64, error) {
+	if frac <= 0 || frac >= 1 {
+		return 0, fmt.Errorf("memsim: failed fraction %v outside (0,1)", frac)
+	}
+	// Φ⁻¹ by bisection on z.
+	lo, hi := -10.0, 10.0
+	for i := 0; i < 100; i++ {
+		mid := (lo + hi) / 2
+		if normalCDF(mid) < frac {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	z := (lo + hi) / 2
+	return math.Exp(math.Log(e.NominalWrites) + e.SigmaLog*z), nil
+}
+
+// WearLeveling distributes write traffic across an array. With
+// leveling on, every cell sees the average rate; with it off, traffic
+// concentrates on a hot fraction of cells, which then wear out early.
+type WearLeveling struct {
+	// Enabled selects uniform distribution.
+	Enabled bool
+	// HotFraction is the share of cells receiving the traffic when
+	// leveling is off (e.g. 0.1: 10% of cells take all writes).
+	HotFraction float64
+}
+
+// PerCellWrites converts total array write traffic into the write
+// count of the most-stressed cells.
+func (w WearLeveling) PerCellWrites(totalWrites float64, cells int) float64 {
+	if cells <= 0 {
+		panic("memsim: cells must be positive")
+	}
+	if w.Enabled {
+		return totalWrites / float64(cells)
+	}
+	hf := w.HotFraction
+	if hf <= 0 || hf > 1 {
+		hf = 0.1
+	}
+	return totalWrites / (float64(cells) * hf)
+}
+
+// LifetimeSeries evaluates failed-cell fraction over operating time.
+type LifetimeSeries struct {
+	// WritesPerCellPerSecond is the leveled per-cell write rate of the
+	// running workload.
+	WritesPerCellPerSecond float64
+	Endurance              EnduranceModel
+}
+
+// FailedAt returns the failed-cell fraction after the given seconds of
+// continuous operation.
+func (l LifetimeSeries) FailedAt(seconds float64) float64 {
+	return l.Endurance.FailedFraction(l.WritesPerCellPerSecond * seconds)
+}
+
+// SecondsPerYear converts operating years to seconds (continuous
+// operation, as the paper's lifetime axis assumes).
+const SecondsPerYear = 365.25 * 24 * 3600
+
+// YearsUntilFailedFraction returns how long the workload can run
+// before the failed-cell fraction crosses the threshold.
+func (l LifetimeSeries) YearsUntilFailedFraction(frac float64) (float64, error) {
+	if l.WritesPerCellPerSecond <= 0 {
+		return 0, fmt.Errorf("memsim: write rate must be positive")
+	}
+	writes, err := l.Endurance.WritesForFailedFraction(frac)
+	if err != nil {
+		return 0, err
+	}
+	return writes / l.WritesPerCellPerSecond / SecondsPerYear, nil
+}

@@ -1,0 +1,47 @@
+package memsim
+
+import "testing"
+
+// FuzzSECDEDDecode throws arbitrary (data, check) pairs at the
+// decoder: it must never panic, and whenever it claims a correction it
+// must return a codeword-consistent pair.
+func FuzzSECDEDDecode(f *testing.F) {
+	var c SECDED
+	f.Add(uint64(0), uint8(0))
+	f.Add(uint64(0xDEADBEEF), c.Encode(0xDEADBEEF))
+	f.Add(^uint64(0), uint8(0xFF))
+	f.Fuzz(func(t *testing.T, data uint64, check uint8) {
+		fixedData, fixedCheck, res := c.Decode(data, check)
+		if res == DecodeClean || res == DecodeCorrected {
+			// The returned pair must itself decode clean.
+			d2, c2, r2 := c.Decode(fixedData, fixedCheck)
+			if r2 != DecodeClean || d2 != fixedData || c2 != fixedCheck {
+				t.Fatalf("repair not idempotent: %v -> %v", res, r2)
+			}
+		}
+	})
+}
+
+// FuzzSECDEDSingleError asserts the correction guarantee over
+// arbitrary words and bit positions.
+func FuzzSECDEDSingleError(f *testing.F) {
+	f.Add(uint64(42), uint8(3))
+	f.Fuzz(func(t *testing.T, word uint64, pos uint8) {
+		var c SECDED
+		check := c.Encode(word)
+		b := int(pos) % 72
+		corruptedData, corruptedCheck := word, check
+		if b < 64 {
+			corruptedData ^= 1 << uint(b)
+		} else {
+			corruptedCheck ^= 1 << uint(b-64)
+		}
+		data, chk, res := c.Decode(corruptedData, corruptedCheck)
+		if res != DecodeCorrected {
+			t.Fatalf("single error at %d classified %v", b, res)
+		}
+		if data != word || chk != check {
+			t.Fatalf("single error at %d repaired wrong", b)
+		}
+	})
+}

@@ -1,0 +1,202 @@
+package memsim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRetentionMonotone(t *testing.T) {
+	d := DefaultDRAMRetention()
+	prev := -1.0
+	for _, ms := range []float64{16, 32, 64, 100, 200, 500, 1000, 5000} {
+		ber := d.BitErrorRate(ms)
+		if ber < prev {
+			t.Fatalf("BER not monotone at %v ms", ms)
+		}
+		if ber < 0 || ber > 1 {
+			t.Fatalf("BER %v out of range", ber)
+		}
+		prev = ber
+	}
+}
+
+func TestRetentionCalibrationAnchors(t *testing.T) {
+	d := DefaultDRAMRetention()
+	// Conventional refresh: almost no error.
+	if ber := d.BitErrorRate(64); ber > 0.005 {
+		t.Fatalf("BER at 64 ms = %v, want < 0.5%%", ber)
+	}
+	// The paper's operating points must exist in range.
+	t4, err := d.IntervalForBER(0.04)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t6, err := d.IntervalForBER(0.06)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t4 <= 64 || t6 <= t4 {
+		t.Fatalf("intervals not ordered: 64 < %v < %v expected", t4, t6)
+	}
+	// Round trip.
+	if got := d.BitErrorRate(t4); math.Abs(got-0.04) > 0.002 {
+		t.Fatalf("round trip BER(t4) = %v", got)
+	}
+}
+
+func TestRetentionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	DefaultDRAMRetention().BitErrorRate(0)
+}
+
+func TestIntervalForBEROutOfRange(t *testing.T) {
+	d := DefaultDRAMRetention()
+	if _, err := d.IntervalForBER(0); err == nil {
+		t.Fatal("BER 0 accepted")
+	}
+	if _, err := d.IntervalForBER(0.5); err == nil {
+		t.Fatal("BER beyond weak fraction accepted")
+	}
+}
+
+func TestPowerModel(t *testing.T) {
+	p := DefaultDRAMPower()
+	if got := p.RelativePower(64); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("baseline power = %v, want 1", got)
+	}
+	if p.RelativePower(128) >= 1 {
+		t.Fatal("relaxing refresh did not reduce power")
+	}
+	// Asymptote: all refresh power saved.
+	if got := p.EfficiencyImprovement(1e9); math.Abs(got-p.RefreshFraction) > 1e-6 {
+		t.Fatalf("asymptotic improvement = %v, want %v", got, p.RefreshFraction)
+	}
+}
+
+func TestFigure4bCalibration(t *testing.T) {
+	// The headline anchors: ~14% improvement at the 4% error point,
+	// ~22% at the 6% point.
+	d := DefaultDRAMRetention()
+	p := DefaultDRAMPower()
+	t4, _ := d.IntervalForBER(0.04)
+	t6, _ := d.IntervalForBER(0.06)
+	i4 := p.EfficiencyImprovement(t4)
+	i6 := p.EfficiencyImprovement(t6)
+	if math.Abs(i4-0.14) > 0.03 {
+		t.Fatalf("improvement at 4%% error = %.3f, want ≈0.14", i4)
+	}
+	if math.Abs(i6-0.22) > 0.03 {
+		t.Fatalf("improvement at 6%% error = %.3f, want ≈0.22", i6)
+	}
+	if i6 <= i4 {
+		t.Fatal("improvement must grow with relaxation")
+	}
+}
+
+func TestECCModel(t *testing.T) {
+	e := DefaultECC()
+	if e.WordErrorRate(0) != 0 {
+		t.Fatal("zero BER should give zero word errors")
+	}
+	if got := e.WordErrorRate(1); math.Abs(got-1) > 1e-12 {
+		t.Fatal("BER 1 should corrupt every word")
+	}
+	w := e.WordErrorRate(0.001)
+	u := e.UncorrectableRate(0.001)
+	if u >= w {
+		t.Fatalf("uncorrectable %v must be rarer than any-error %v", u, w)
+	}
+	if e.RelativeAccessEnergy(0) <= 1 {
+		t.Fatal("ECC must cost something even error-free")
+	}
+	if e.RelativeAccessEnergy(0.01) <= e.RelativeAccessEnergy(0) {
+		t.Fatal("ECC energy must grow with BER")
+	}
+}
+
+func TestEnduranceModel(t *testing.T) {
+	e := DefaultEndurance()
+	if e.FailedFraction(0) != 0 {
+		t.Fatal("no writes, no failures")
+	}
+	if got := e.FailedFraction(e.NominalWrites); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("failed fraction at nominal endurance = %v, want 0.5", got)
+	}
+	if e.FailedFraction(1e6) > 0.001 {
+		t.Fatal("far below endurance should have ~no failures")
+	}
+	if e.FailedFraction(1e12) < 0.999 {
+		t.Fatal("far beyond endurance should have ~all failed")
+	}
+}
+
+func TestEnduranceInversion(t *testing.T) {
+	e := DefaultEndurance()
+	for _, frac := range []float64{0.001, 0.01, 0.1, 0.5} {
+		w, err := e.WritesForFailedFraction(frac)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := e.FailedFraction(w); math.Abs(got-frac) > 1e-6 {
+			t.Fatalf("inversion at %v: got %v", frac, got)
+		}
+	}
+	if _, err := e.WritesForFailedFraction(0); err == nil {
+		t.Fatal("fraction 0 accepted")
+	}
+}
+
+func TestStuckBitErrorRate(t *testing.T) {
+	if StuckBitErrorRate(0.1) != 0.05 {
+		t.Fatal("stuck cells are wrong half the time")
+	}
+}
+
+func TestWearLeveling(t *testing.T) {
+	on := WearLeveling{Enabled: true}
+	off := WearLeveling{Enabled: false, HotFraction: 0.1}
+	if on.PerCellWrites(1000, 100) != 10 {
+		t.Fatal("leveled writes wrong")
+	}
+	if off.PerCellWrites(1000, 100) != 100 {
+		t.Fatal("unleveled hot-cell writes wrong")
+	}
+	if off.PerCellWrites(1000, 100) <= on.PerCellWrites(1000, 100) {
+		t.Fatal("disabling wear leveling must stress hot cells more")
+	}
+}
+
+func TestLifetimeSeries(t *testing.T) {
+	l := LifetimeSeries{
+		WritesPerCellPerSecond: 10,
+		Endurance:              DefaultEndurance(),
+	}
+	if l.FailedAt(0) != 0 {
+		t.Fatal("no failures at t=0")
+	}
+	y, err := l.YearsUntilFailedFraction(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1e9 writes at 10/s ≈ 3.2 years to median; 1% failures earlier.
+	if y <= 0 || y > 3.2 {
+		t.Fatalf("1%% failure horizon = %v years", y)
+	}
+	if f := l.FailedAt(y * SecondsPerYear); math.Abs(f-0.01) > 1e-4 {
+		t.Fatalf("round trip failed fraction %v", f)
+	}
+}
+
+func TestLifetimeScalesInverselyWithWriteRate(t *testing.T) {
+	slow := LifetimeSeries{WritesPerCellPerSecond: 1, Endurance: DefaultEndurance()}
+	fast := LifetimeSeries{WritesPerCellPerSecond: 100, Endurance: DefaultEndurance()}
+	ys, _ := slow.YearsUntilFailedFraction(0.01)
+	yf, _ := fast.YearsUntilFailedFraction(0.01)
+	if math.Abs(ys/yf-100) > 1e-6 {
+		t.Fatalf("lifetime ratio %v, want 100", ys/yf)
+	}
+}

@@ -1,0 +1,126 @@
+package memsim
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// SECDED implements the single-error-correct, double-error-detect
+// Hamming(72,64) code conventional memories wrap around every 64-bit
+// word — the machinery Section 5.2 describes and RobustHD renders
+// unnecessary. The functional codec exists so the cost models above
+// rest on a working implementation (and so failure injection on coded
+// words can be exercised end to end).
+//
+// Layout: 7 Hamming check bits (positions 1,2,4,...,64 of the
+// classical extended code) plus one overall parity bit, packed into a
+// separate 8-bit check byte.
+type SECDED struct{}
+
+// CodewordBits returns the total stored bits per 64-bit word (72).
+func (SECDED) CodewordBits() int { return 72 }
+
+// hammingPositions maps each of the 64 data bits to its position in
+// the classical Hamming layout (positions that are not powers of two,
+// starting from 3).
+var hammingPositions = func() [64]uint {
+	var out [64]uint
+	pos := uint(3)
+	for i := 0; i < 64; i++ {
+		for bits.OnesCount(pos) == 1 { // skip power-of-two (check) positions
+			pos++
+		}
+		out[i] = pos
+		pos++
+	}
+	return out
+}()
+
+// Encode computes the 8-bit check byte for a data word: 7 Hamming
+// check bits (bit i of the byte covers Hamming position 2^i) plus the
+// overall parity in bit 7.
+func (SECDED) Encode(data uint64) uint8 {
+	var syndrome uint
+	for i := 0; i < 64; i++ {
+		if data>>uint(i)&1 == 1 {
+			syndrome ^= hammingPositions[i]
+		}
+	}
+	var check uint8
+	for b := 0; b < 7; b++ {
+		if syndrome>>uint(b)&1 == 1 {
+			check |= 1 << uint(b)
+		}
+	}
+	// Overall parity over data plus the 7 check bits.
+	parity := uint(bits.OnesCount64(data)+bits.OnesCount8(check&0x7F)) & 1
+	check |= uint8(parity << 7)
+	return check
+}
+
+// DecodeResult classifies what Decode found.
+type DecodeResult int
+
+const (
+	// DecodeClean means no error was detected.
+	DecodeClean DecodeResult = iota
+	// DecodeCorrected means a single-bit error was found and fixed.
+	DecodeCorrected
+	// DecodeUncorrectable means a double (or worse, detected) error.
+	DecodeUncorrectable
+)
+
+// String names the result.
+func (r DecodeResult) String() string {
+	switch r {
+	case DecodeClean:
+		return "clean"
+	case DecodeCorrected:
+		return "corrected"
+	case DecodeUncorrectable:
+		return "uncorrectable"
+	default:
+		return fmt.Sprintf("DecodeResult(%d)", int(r))
+	}
+}
+
+// Decode checks (and where possible repairs) a stored word against its
+// stored check byte, returning the repaired data, the repaired check
+// byte, and the classification. Both the data and check bits may have
+// been corrupted in memory.
+func (s SECDED) Decode(data uint64, check uint8) (uint64, uint8, DecodeResult) {
+	expected := s.Encode(data)
+	// The Hamming syndrome compares the stored check bits against the
+	// ones recomputed from the (possibly corrupted) data.
+	syndrome := uint((check ^ expected) & 0x7F)
+	// The overall parity is evaluated across every *received* bit of
+	// the 72-bit codeword: any single flipped bit — data, check, or
+	// the parity bit itself — makes it odd.
+	received := (bits.OnesCount64(data) + bits.OnesCount8(check)) & 1
+	oddErrors := received == 1
+
+	switch {
+	case syndrome == 0 && !oddErrors:
+		return data, check, DecodeClean
+	case syndrome == 0 && oddErrors:
+		// Error in the overall parity bit itself.
+		return data, expected, DecodeCorrected
+	case oddErrors:
+		// Odd error count with a nonzero syndrome: assume a single
+		// error; the syndrome names the flipped Hamming position.
+		if bits.OnesCount(syndrome) == 1 {
+			// A check bit itself was corrupted.
+			return data, expected, DecodeCorrected
+		}
+		for i := 0; i < 64; i++ {
+			if hammingPositions[i] == syndrome {
+				fixed := data ^ (1 << uint(i))
+				return fixed, s.Encode(fixed), DecodeCorrected
+			}
+		}
+		return data, check, DecodeUncorrectable
+	default:
+		// Nonzero syndrome with even parity: a double error.
+		return data, check, DecodeUncorrectable
+	}
+}

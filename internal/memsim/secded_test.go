@@ -1,0 +1,106 @@
+package memsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestSECDEDCleanRoundTrip(t *testing.T) {
+	var c SECDED
+	for _, word := range []uint64{0, 1, 0xFFFFFFFFFFFFFFFF, 0xDEADBEEFCAFEBABE} {
+		check := c.Encode(word)
+		data, chk, res := c.Decode(word, check)
+		if res != DecodeClean || data != word || chk != check {
+			t.Fatalf("clean word %x decoded as %v", word, res)
+		}
+	}
+}
+
+func TestSECDEDCorrectsEverySingleDataBit(t *testing.T) {
+	var c SECDED
+	word := uint64(0x0123456789ABCDEF)
+	check := c.Encode(word)
+	for b := 0; b < 64; b++ {
+		corrupted := word ^ (1 << uint(b))
+		data, _, res := c.Decode(corrupted, check)
+		if res != DecodeCorrected {
+			t.Fatalf("bit %d: result %v, want corrected", b, res)
+		}
+		if data != word {
+			t.Fatalf("bit %d: repaired to %x, want %x", b, data, word)
+		}
+	}
+}
+
+func TestSECDEDCorrectsCheckBitErrors(t *testing.T) {
+	var c SECDED
+	word := uint64(0xA5A5A5A5A5A5A5A5)
+	check := c.Encode(word)
+	for b := 0; b < 8; b++ {
+		data, chk, res := c.Decode(word, check^(1<<uint(b)))
+		if res != DecodeCorrected {
+			t.Fatalf("check bit %d: result %v, want corrected", b, res)
+		}
+		if data != word || chk != check {
+			t.Fatalf("check bit %d: repair wrong", b)
+		}
+	}
+}
+
+func TestSECDEDDetectsDoubleErrors(t *testing.T) {
+	var c SECDED
+	word := uint64(0x0F0F0F0F0F0F0F0F)
+	check := c.Encode(word)
+	rng := stats.NewRNG(5)
+	for trial := 0; trial < 200; trial++ {
+		b1 := rng.IntN(64)
+		b2 := rng.IntN(64)
+		if b1 == b2 {
+			continue
+		}
+		corrupted := word ^ (1 << uint(b1)) ^ (1 << uint(b2))
+		_, _, res := c.Decode(corrupted, check)
+		if res != DecodeUncorrectable {
+			t.Fatalf("double error (%d,%d) classified %v", b1, b2, res)
+		}
+	}
+}
+
+func TestSECDEDQuickSingleErrorProperty(t *testing.T) {
+	var c SECDED
+	f := func(word uint64, bit uint8) bool {
+		b := int(bit) % 64
+		check := c.Encode(word)
+		data, _, res := c.Decode(word^(1<<uint(b)), check)
+		return res == DecodeCorrected && data == word
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSECDEDCodewordBits(t *testing.T) {
+	var c SECDED
+	if c.CodewordBits() != 72 {
+		t.Fatalf("CodewordBits = %d", c.CodewordBits())
+	}
+	if got := DecodeClean.String(); got != "clean" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := DecodeResult(99).String(); got == "" {
+		t.Fatal("unknown result should still render")
+	}
+}
+
+func TestSECDEDMatchesCostModelStorage(t *testing.T) {
+	// The analytic ECC cost model's storage overhead must agree with
+	// the functional codec's layout.
+	e := DefaultECC()
+	var c SECDED
+	overhead := float64(c.CodewordBits()-64) / 64.0
+	if overhead != e.StorageOverhead {
+		t.Fatalf("codec overhead %v != cost model %v", overhead, e.StorageOverhead)
+	}
+}

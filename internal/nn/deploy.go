@@ -1,0 +1,218 @@
+package nn
+
+import (
+	"repro/internal/fixed"
+	"repro/internal/stats"
+)
+
+// Biases stay clean in both deployments: the paper's attacks target
+// the bulk weight memory, which dominates the footprint.
+
+type deployedLayer struct {
+	w       *fixed.Tensor
+	b       []float64
+	in, out int
+}
+
+// Deployed is the 8-bit fixed-point deployment of an MLP. It
+// implements attack.Image over the concatenation of all layer weight
+// tensors.
+type Deployed struct {
+	layers  []deployedLayer
+	classes int
+	inputs  int
+}
+
+// Classes returns the class count.
+func (d *Deployed) Classes() int { return d.classes }
+
+// Inputs returns the expected feature count.
+func (d *Deployed) Inputs() int { return d.inputs }
+
+// Elements returns the total weight count (attack surface).
+func (d *Deployed) Elements() int {
+	n := 0
+	for _, l := range d.layers {
+		n += l.w.Elements()
+	}
+	return n
+}
+
+// BitsPerElement returns 8.
+func (d *Deployed) BitsPerElement() int { return 8 }
+
+// BitDamageOrder returns two's-complement bits from the sign down.
+func (d *Deployed) BitDamageOrder() []int { return []int{7, 6, 5, 4, 3, 2, 1, 0} }
+
+// FlipBit flips bit b of global weight element i.
+func (d *Deployed) FlipBit(i, b int) {
+	for _, l := range d.layers {
+		if i < l.w.Elements() {
+			l.w.FlipBit(i, b)
+			return
+		}
+		i -= l.w.Elements()
+	}
+	panic("nn: weight index out of range")
+}
+
+// Predict classifies one raw feature vector through the (possibly
+// corrupted) quantized weights.
+func (d *Deployed) Predict(x []float64) int {
+	return stats.ArgMax(d.logits(x))
+}
+
+func (d *Deployed) logits(x []float64) []float64 {
+	cur := x
+	for li, l := range d.layers {
+		out := make([]float64, l.out)
+		for o := 0; o < l.out; o++ {
+			sum := l.b[o]
+			row := o * l.in
+			for in := 0; in < l.in; in++ {
+				sum += l.w.Value(row+in) * cur[in]
+			}
+			out[o] = sum
+		}
+		if li < len(d.layers)-1 {
+			for i, v := range out {
+				if v < 0 {
+					out[i] = 0
+				}
+			}
+		}
+		cur = out
+	}
+	return cur
+}
+
+// Accuracy evaluates classification accuracy on raw features.
+func (d *Deployed) Accuracy(x [][]float64, y []int) float64 {
+	pred := make([]int, len(x))
+	for i := range x {
+		pred[i] = d.Predict(x[i])
+	}
+	return stats.Accuracy(pred, y)
+}
+
+// Clone deep-copies the deployment (to snapshot before an attack).
+func (d *Deployed) Clone() *Deployed {
+	out := &Deployed{classes: d.classes, inputs: d.inputs}
+	for _, l := range d.layers {
+		out.layers = append(out.layers, deployedLayer{
+			w:  l.w.Clone(),
+			b:  append([]float64(nil), l.b...),
+			in: l.in, out: l.out,
+		})
+	}
+	return out
+}
+
+type deployedLayerF32 struct {
+	w       *fixed.Float32Image
+	b       []float64
+	in, out int
+}
+
+// DeployedF32 is the float32 deployment of an MLP, attackable at the
+// IEEE-754 bit level (32 bits per weight, exponent MSB critical).
+type DeployedF32 struct {
+	layers  []deployedLayerF32
+	classes int
+	inputs  int
+}
+
+// Classes returns the class count.
+func (d *DeployedF32) Classes() int { return d.classes }
+
+// Elements returns the total weight count.
+func (d *DeployedF32) Elements() int {
+	n := 0
+	for _, l := range d.layers {
+		n += l.w.Elements()
+	}
+	return n
+}
+
+// BitsPerElement returns 32.
+func (d *DeployedF32) BitsPerElement() int { return 32 }
+
+// BitDamageOrder returns IEEE-754 bits from the exponent MSB down,
+// then sign, then mantissa.
+func (d *DeployedF32) BitDamageOrder() []int {
+	order := []int{30, 29, 28, 27, 26, 25, 24, 23, 31}
+	for b := 22; b >= 0; b-- {
+		order = append(order, b)
+	}
+	return order
+}
+
+// FlipBit flips bit b of global weight element i.
+func (d *DeployedF32) FlipBit(i, b int) {
+	for _, l := range d.layers {
+		if i < l.w.Elements() {
+			l.w.FlipBit(i, b)
+			return
+		}
+		i -= l.w.Elements()
+	}
+	panic("nn: weight index out of range")
+}
+
+// Predict classifies one raw feature vector through the (possibly
+// corrupted) float32 weights. NaN logits never win the argmax.
+func (d *DeployedF32) Predict(x []float64) int {
+	cur := x
+	for li, l := range d.layers {
+		out := make([]float64, l.out)
+		for o := 0; o < l.out; o++ {
+			sum := l.b[o]
+			row := o * l.in
+			for in := 0; in < l.in; in++ {
+				sum += l.w.Value(row+in) * cur[in]
+			}
+			out[o] = sum
+		}
+		if li < len(d.layers)-1 {
+			for i, v := range out {
+				if v < 0 || v != v { // ReLU also squashes NaN
+					out[i] = 0
+				}
+			}
+		}
+		cur = out
+	}
+	best, bestV := 0, 0.0
+	first := true
+	for i, v := range cur {
+		if v != v {
+			continue // NaN
+		}
+		if first || v > bestV {
+			best, bestV, first = i, v, false
+		}
+	}
+	return best
+}
+
+// Accuracy evaluates classification accuracy on raw features.
+func (d *DeployedF32) Accuracy(x [][]float64, y []int) float64 {
+	pred := make([]int, len(x))
+	for i := range x {
+		pred[i] = d.Predict(x[i])
+	}
+	return stats.Accuracy(pred, y)
+}
+
+// Clone deep-copies the deployment.
+func (d *DeployedF32) Clone() *DeployedF32 {
+	out := &DeployedF32{classes: d.classes, inputs: d.inputs}
+	for _, l := range d.layers {
+		out.layers = append(out.layers, deployedLayerF32{
+			w:  l.w.Clone(),
+			b:  append([]float64(nil), l.b...),
+			in: l.in, out: l.out,
+		})
+	}
+	return out
+}

@@ -1,0 +1,293 @@
+// Package nn implements the DNN baseline: a from-scratch multilayer
+// perceptron (dense layers, ReLU, softmax cross-entropy, SGD with
+// momentum) trained in float64 and deployed with 8-bit fixed-point
+// weights — the representation the paper's bit-flip attacks target.
+// A float32 deployment exists for the full-precision variant of
+// Figure 4a, where exponent-bit flips explode weight values.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/fixed"
+	"repro/internal/stats"
+)
+
+// Config sets MLP architecture and training hyperparameters.
+type Config struct {
+	// Hidden lists hidden-layer widths (default [128]).
+	Hidden []int
+	// Epochs is the number of training passes (default 12).
+	Epochs int
+	// LearningRate is the SGD step size (default 0.05).
+	LearningRate float64
+	// Momentum is the SGD momentum coefficient (default 0.9).
+	Momentum float64
+	// BatchSize is the minibatch size (default 32).
+	BatchSize int
+	// WeightDecay is the L2 regularization coefficient (default 1e-4).
+	WeightDecay float64
+	// Seed drives initialization and shuffling.
+	Seed uint64
+}
+
+// DefaultConfig returns sensible training hyperparameters for the
+// synthetic benchmark datasets.
+func DefaultConfig() Config {
+	return Config{
+		Hidden:       []int{128},
+		Epochs:       12,
+		LearningRate: 0.05,
+		Momentum:     0.9,
+		BatchSize:    32,
+		WeightDecay:  1e-4,
+		Seed:         1,
+	}
+}
+
+func (c *Config) fillDefaults() {
+	if len(c.Hidden) == 0 {
+		c.Hidden = []int{128}
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 12
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = 0.05
+	}
+	if c.Momentum == 0 {
+		c.Momentum = 0.9
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 32
+	}
+	if c.WeightDecay == 0 {
+		c.WeightDecay = 1e-4
+	}
+}
+
+// layer is one dense layer: out = W·in + b, W is out×in row-major.
+type layer struct {
+	w, b   []float64
+	vw, vb []float64 // momentum buffers
+	in     int
+	out    int
+}
+
+func newLayer(in, out int, rng *rand.Rand) *layer {
+	l := &layer{
+		w: make([]float64, in*out), b: make([]float64, out),
+		vw: make([]float64, in*out), vb: make([]float64, out),
+		in: in, out: out,
+	}
+	// He initialization for ReLU networks.
+	std := math.Sqrt(2.0 / float64(in))
+	for i := range l.w {
+		l.w[i] = rng.NormFloat64() * std
+	}
+	return l
+}
+
+// MLP is a trained multilayer perceptron.
+type MLP struct {
+	cfg     Config
+	layers  []*layer
+	classes int
+	inputs  int
+}
+
+// Train fits an MLP on raw feature vectors with labels in
+// [0, classes).
+func Train(x [][]float64, y []int, classes int, cfg Config) (*MLP, error) {
+	cfg.fillDefaults()
+	if len(x) == 0 {
+		return nil, fmt.Errorf("nn: no training data")
+	}
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("nn: %d samples but %d labels", len(x), len(y))
+	}
+	if classes < 2 {
+		return nil, fmt.Errorf("nn: need at least 2 classes, got %d", classes)
+	}
+	for i, yi := range y {
+		if yi < 0 || yi >= classes {
+			return nil, fmt.Errorf("nn: label %d out of range at sample %d", yi, i)
+		}
+	}
+	rng := stats.NewRNG(cfg.Seed ^ 0xB5297A4D3A2F1C9E)
+	inputs := len(x[0])
+	sizes := append([]int{inputs}, cfg.Hidden...)
+	sizes = append(sizes, classes)
+	m := &MLP{cfg: cfg, classes: classes, inputs: inputs}
+	for i := 0; i+1 < len(sizes); i++ {
+		m.layers = append(m.layers, newLayer(sizes[i], sizes[i+1], rng))
+	}
+
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for start := 0; start < len(idx); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			m.trainBatch(x, y, idx[start:end])
+		}
+	}
+	return m, nil
+}
+
+// trainBatch accumulates gradients over the batch and applies one
+// momentum-SGD step.
+func (m *MLP) trainBatch(x [][]float64, y []int, batch []int) {
+	type grads struct{ gw, gb []float64 }
+	gs := make([]grads, len(m.layers))
+	for li, l := range m.layers {
+		gs[li] = grads{gw: make([]float64, len(l.w)), gb: make([]float64, len(l.b))}
+	}
+	for _, i := range batch {
+		acts, pre := m.forward(x[i])
+		// Softmax cross-entropy gradient on the output layer.
+		probs := stats.Softmax(acts[len(acts)-1])
+		delta := probs
+		delta[y[i]] -= 1
+		for li := len(m.layers) - 1; li >= 0; li-- {
+			l := m.layers[li]
+			input := acts[li]
+			g := gs[li]
+			for o := 0; o < l.out; o++ {
+				d := delta[o]
+				if d == 0 {
+					continue
+				}
+				g.gb[o] += d
+				row := o * l.in
+				for in := 0; in < l.in; in++ {
+					g.gw[row+in] += d * input[in]
+				}
+			}
+			if li == 0 {
+				break
+			}
+			// Backprop through W and the previous ReLU.
+			next := make([]float64, l.in)
+			for o := 0; o < l.out; o++ {
+				d := delta[o]
+				if d == 0 {
+					continue
+				}
+				row := o * l.in
+				for in := 0; in < l.in; in++ {
+					next[in] += d * l.w[row+in]
+				}
+			}
+			for in := range next {
+				if pre[li-1][in] <= 0 {
+					next[in] = 0
+				}
+			}
+			delta = next
+		}
+	}
+	scale := 1.0 / float64(len(batch))
+	for li, l := range m.layers {
+		g := gs[li]
+		for i := range l.w {
+			grad := g.gw[i]*scale + m.cfg.WeightDecay*l.w[i]
+			l.vw[i] = m.cfg.Momentum*l.vw[i] - m.cfg.LearningRate*grad
+			l.w[i] += l.vw[i]
+		}
+		for i := range l.b {
+			l.vb[i] = m.cfg.Momentum*l.vb[i] - m.cfg.LearningRate*g.gb[i]*scale
+			l.b[i] += l.vb[i]
+		}
+	}
+}
+
+// forward returns per-layer activations (post-ReLU, acts[0] is the
+// input, acts[last] the logits) and pre-activations of hidden layers.
+func (m *MLP) forward(x []float64) (acts [][]float64, pre [][]float64) {
+	acts = make([][]float64, len(m.layers)+1)
+	pre = make([][]float64, len(m.layers))
+	acts[0] = x
+	cur := x
+	for li, l := range m.layers {
+		out := make([]float64, l.out)
+		for o := 0; o < l.out; o++ {
+			sum := l.b[o]
+			row := o * l.in
+			for in := 0; in < l.in; in++ {
+				sum += l.w[row+in] * cur[in]
+			}
+			out[o] = sum
+		}
+		pre[li] = out
+		if li < len(m.layers)-1 {
+			relu := make([]float64, l.out)
+			for i, v := range out {
+				if v > 0 {
+					relu[i] = v
+				}
+			}
+			acts[li+1] = relu
+			cur = relu
+		} else {
+			acts[li+1] = out
+			cur = out
+		}
+	}
+	return acts, pre
+}
+
+// Inputs returns the expected feature count.
+func (m *MLP) Inputs() int { return m.inputs }
+
+// Classes returns the class count.
+func (m *MLP) Classes() int { return m.classes }
+
+// Predict classifies one raw feature vector with float64 weights.
+func (m *MLP) Predict(x []float64) int {
+	acts, _ := m.forward(x)
+	return stats.ArgMax(acts[len(acts)-1])
+}
+
+// Accuracy evaluates float64-weight classification accuracy.
+func (m *MLP) Accuracy(x [][]float64, y []int) float64 {
+	pred := make([]int, len(x))
+	for i := range x {
+		pred[i] = m.Predict(x[i])
+	}
+	return stats.Accuracy(pred, y)
+}
+
+// Deploy produces the attackable 8-bit fixed-point deployment.
+func (m *MLP) Deploy() *Deployed {
+	d := &Deployed{classes: m.classes, inputs: m.inputs}
+	for _, l := range m.layers {
+		d.layers = append(d.layers, deployedLayer{
+			w:  fixed.Quantize(l.w),
+			b:  append([]float64(nil), l.b...),
+			in: l.in, out: l.out,
+		})
+	}
+	return d
+}
+
+// DeployFloat32 produces the attackable float32 deployment used by the
+// full-precision lifetime experiments.
+func (m *MLP) DeployFloat32() *DeployedF32 {
+	d := &DeployedF32{classes: m.classes, inputs: m.inputs}
+	for _, l := range m.layers {
+		d.layers = append(d.layers, deployedLayerF32{
+			w:  fixed.NewFloat32Image(l.w),
+			b:  append([]float64(nil), l.b...),
+			in: l.in, out: l.out,
+		})
+	}
+	return d
+}

@@ -1,0 +1,212 @@
+package nn
+
+import (
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+func smallData(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	spec := dataset.PAMAP()
+	spec.TrainSize, spec.TestSize = 400, 150
+	ds, err := dataset.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func smallConfig() Config {
+	return Config{Hidden: []int{32}, Epochs: 8, Seed: 3}
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil, nil, 2, Config{}); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := Train([][]float64{{1}}, []int{0, 1}, 2, Config{}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := Train([][]float64{{1}}, []int{0}, 1, Config{}); err == nil {
+		t.Fatal("single class accepted")
+	}
+	if _, err := Train([][]float64{{1}}, []int{5}, 2, Config{}); err == nil {
+		t.Fatal("bad label accepted")
+	}
+}
+
+func TestTrainLearns(t *testing.T) {
+	ds := smallData(t)
+	m, err := Train(ds.TrainX, ds.TrainY, ds.Spec.Classes, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := m.Accuracy(ds.TestX, ds.TestY)
+	if acc < 0.8 {
+		t.Fatalf("MLP test accuracy %.3f too low", acc)
+	}
+	if m.Inputs() != ds.Spec.Features || m.Classes() != ds.Spec.Classes {
+		t.Fatal("accessors wrong")
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	ds := smallData(t)
+	a, _ := Train(ds.TrainX, ds.TrainY, ds.Spec.Classes, smallConfig())
+	b, _ := Train(ds.TrainX, ds.TrainY, ds.Spec.Classes, smallConfig())
+	for i, x := range ds.TestX {
+		if a.Predict(x) != b.Predict(x) {
+			t.Fatalf("same-seed models disagree on sample %d", i)
+		}
+	}
+}
+
+func TestDeployedMatchesFloatModel(t *testing.T) {
+	ds := smallData(t)
+	m, _ := Train(ds.TrainX, ds.TrainY, ds.Spec.Classes, smallConfig())
+	d := m.Deploy()
+	accF := m.Accuracy(ds.TestX, ds.TestY)
+	accQ := d.Accuracy(ds.TestX, ds.TestY)
+	if accQ < accF-0.05 {
+		t.Fatalf("quantized accuracy %.3f far below float %.3f", accQ, accF)
+	}
+}
+
+func TestDeployedAttackSurface(t *testing.T) {
+	ds := smallData(t)
+	m, _ := Train(ds.TrainX, ds.TrainY, ds.Spec.Classes, smallConfig())
+	d := m.Deploy()
+	wantElems := ds.Spec.Features*32 + 32*ds.Spec.Classes
+	if d.Elements() != wantElems {
+		t.Fatalf("Elements = %d, want %d", d.Elements(), wantElems)
+	}
+	if d.BitsPerElement() != 8 || d.BitDamageOrder()[0] != 7 {
+		t.Fatal("image contract wrong")
+	}
+	var _ attack.Image = d
+}
+
+func TestDeployedFlipBitSpansLayers(t *testing.T) {
+	ds := smallData(t)
+	m, _ := Train(ds.TrainX, ds.TrainY, ds.Spec.Classes, smallConfig())
+	d := m.Deploy()
+	// Flipping the last element must not panic and must change some
+	// prediction path state (check via clone comparison on accuracy of
+	// logits: here just exercise the index routing).
+	d.FlipBit(d.Elements()-1, 7)
+	d.FlipBit(0, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range index")
+		}
+	}()
+	d.FlipBit(d.Elements(), 0)
+}
+
+func TestTargetedAttackWorseThanRandom(t *testing.T) {
+	// Table 3's DNN asymmetry: targeted (sign-bit) flips at the same
+	// rate must hurt at least as much as random flips.
+	ds := smallData(t)
+	m, _ := Train(ds.TrainX, ds.TrainY, ds.Spec.Classes, smallConfig())
+	losses := map[bool]float64{}
+	for _, targeted := range []bool{false, true} {
+		d := m.Deploy()
+		clean := d.Accuracy(ds.TestX, ds.TestY)
+		if targeted {
+			attack.Targeted(d, 0.08, stats.NewRNG(5))
+		} else {
+			attack.Random(d, 0.08, stats.NewRNG(5))
+		}
+		losses[targeted] = clean - d.Accuracy(ds.TestX, ds.TestY)
+	}
+	if losses[true] < losses[false]-0.03 {
+		t.Fatalf("targeted loss %.3f clearly below random loss %.3f", losses[true], losses[false])
+	}
+	if losses[true] <= 0 {
+		t.Fatal("targeted attack at 8% caused no loss at all")
+	}
+}
+
+func TestDNNFragileVsAttack(t *testing.T) {
+	// The motivating observation: a modest bit-flip attack on the DNN
+	// weight memory costs far more accuracy than the same rate costs
+	// an HDC model (compare TestRobustnessHeadline in core).
+	ds := smallData(t)
+	m, _ := Train(ds.TrainX, ds.TrainY, ds.Spec.Classes, smallConfig())
+	d := m.Deploy()
+	clean := d.Accuracy(ds.TestX, ds.TestY)
+	attack.Targeted(d, 0.10, stats.NewRNG(7))
+	loss := clean - d.Accuracy(ds.TestX, ds.TestY)
+	if loss < 0.10 {
+		t.Fatalf("10%% targeted attack cost DNN only %.1f points — should be fragile", loss*100)
+	}
+}
+
+func TestDeployedCloneIndependent(t *testing.T) {
+	ds := smallData(t)
+	m, _ := Train(ds.TrainX, ds.TrainY, ds.Spec.Classes, smallConfig())
+	d := m.Deploy()
+	c := d.Clone()
+	cleanAcc := c.Accuracy(ds.TestX, ds.TestY)
+	attack.Targeted(d, 0.2, stats.NewRNG(9))
+	if got := c.Accuracy(ds.TestX, ds.TestY); got != cleanAcc {
+		t.Fatal("clone affected by attack on original")
+	}
+}
+
+func TestDeployedF32Contract(t *testing.T) {
+	ds := smallData(t)
+	m, _ := Train(ds.TrainX, ds.TrainY, ds.Spec.Classes, smallConfig())
+	d := m.DeployFloat32()
+	if d.BitsPerElement() != 32 || d.BitDamageOrder()[0] != 30 {
+		t.Fatal("f32 image contract wrong")
+	}
+	var _ attack.Image = d
+	accF := m.Accuracy(ds.TestX, ds.TestY)
+	if got := d.Accuracy(ds.TestX, ds.TestY); got < accF-0.02 {
+		t.Fatalf("f32 deployment accuracy %.3f below float64 %.3f", got, accF)
+	}
+}
+
+func TestF32ExponentAttackCatastrophic(t *testing.T) {
+	// Exponent flips explode float weights; even a 2% targeted attack
+	// should visibly damage the float32 deployment.
+	ds := smallData(t)
+	m, _ := Train(ds.TrainX, ds.TrainY, ds.Spec.Classes, smallConfig())
+	d := m.DeployFloat32()
+	clean := d.Accuracy(ds.TestX, ds.TestY)
+	attack.Targeted(d, 0.02, stats.NewRNG(11))
+	loss := clean - d.Accuracy(ds.TestX, ds.TestY)
+	if loss < 0.05 {
+		t.Fatalf("2%% exponent attack cost only %.1f points", loss*100)
+	}
+}
+
+func TestF32PredictHandlesNaN(t *testing.T) {
+	ds := smallData(t)
+	m, _ := Train(ds.TrainX, ds.TrainY, ds.Spec.Classes, smallConfig())
+	d := m.DeployFloat32()
+	// Saturate the model with exponent flips; predictions must still
+	// return valid class indices.
+	attack.Targeted(d, 1.0, stats.NewRNG(13))
+	for _, x := range ds.TestX[:10] {
+		p := d.Predict(x)
+		if p < 0 || p >= ds.Spec.Classes {
+			t.Fatalf("prediction %d out of range under NaN logits", p)
+		}
+	}
+}
+
+func TestDeployedF32CloneIndependent(t *testing.T) {
+	ds := smallData(t)
+	m, _ := Train(ds.TrainX, ds.TrainY, ds.Spec.Classes, smallConfig())
+	d := m.DeployFloat32()
+	c := d.Clone()
+	attack.Targeted(d, 0.5, stats.NewRNG(15))
+	if c.Accuracy(ds.TestX, ds.TestY) != m.DeployFloat32().Accuracy(ds.TestX, ds.TestY) {
+		t.Fatal("clone affected by attack")
+	}
+}

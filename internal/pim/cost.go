@@ -1,0 +1,167 @@
+package pim
+
+import "fmt"
+
+// Cost is an accumulated execution cost. Cycles count the sequential
+// critical path (each MAGIC NOR takes an initialization step and an
+// evaluation step); CellWrites count memristor switching events, the
+// quantity that consumes endurance; EnergyPJ integrates switching
+// energy. Lanes captures row-parallelism: a Cost executed across R
+// rows keeps its Cycles but multiplies CellWrites and EnergyPJ by R
+// (see Parallel).
+type Cost struct {
+	Cycles     int64
+	NORs       int64
+	CellWrites int64
+	EnergyPJ   float64
+}
+
+// Add returns the sequential composition of two costs.
+func (c Cost) Add(o Cost) Cost {
+	return Cost{
+		Cycles:     c.Cycles + o.Cycles,
+		NORs:       c.NORs + o.NORs,
+		CellWrites: c.CellWrites + o.CellWrites,
+		EnergyPJ:   c.EnergyPJ + o.EnergyPJ,
+	}
+}
+
+// Times returns the cost of n sequential repetitions.
+func (c Cost) Times(n int64) Cost {
+	return Cost{
+		Cycles:     c.Cycles * n,
+		NORs:       c.NORs * n,
+		CellWrites: c.CellWrites * n,
+		EnergyPJ:   c.EnergyPJ * float64(n),
+	}
+}
+
+// Parallel returns the cost of executing across lanes rows in
+// row-parallel fashion: same critical path, lanes× the work.
+func (c Cost) Parallel(lanes int64) Cost {
+	return Cost{
+		Cycles:     c.Cycles,
+		NORs:       c.NORs * lanes,
+		CellWrites: c.CellWrites * lanes,
+		EnergyPJ:   c.EnergyPJ * float64(lanes),
+	}
+}
+
+// LatencyNs converts the critical path into nanoseconds.
+func (c Cost) LatencyNs(d Device) float64 {
+	return float64(c.Cycles) * d.SwitchingDelayNs
+}
+
+// String renders the cost compactly.
+func (c Cost) String() string {
+	return fmt.Sprintf("cycles=%d nors=%d writes=%d energy=%.3gpJ",
+		c.Cycles, c.NORs, c.CellWrites, c.EnergyPJ)
+}
+
+// CostModel synthesizes arithmetic from the MAGIC NOR primitive and
+// prices each operation in cycles, writes, and energy.
+type CostModel struct {
+	Dev Device
+}
+
+// NewCostModel returns a cost model over the default device.
+func NewCostModel() CostModel { return CostModel{Dev: DefaultDevice()} }
+
+// NOR prices one MAGIC NOR evaluation in one row: the output cell is
+// initialized to R_ON (one switching event) and conditionally switched
+// during evaluation (expected half the time for random data — counted
+// as a full write to stay conservative for endurance).
+func (m CostModel) NOR() Cost {
+	return Cost{
+		Cycles:     2, // initialization step + evaluation step
+		NORs:       1,
+		CellWrites: 2,
+		EnergyPJ:   m.Dev.SetEnergyPJ() + m.Dev.ResetEnergyPJ(),
+	}
+}
+
+// NOT is a single one-input NOR.
+func (m CostModel) NOT() Cost { return m.NOR() }
+
+// OR2 is NOR followed by NOT.
+func (m CostModel) OR2() Cost { return m.NOR().Times(2) }
+
+// AND2 is two NOTs feeding a NOR (De Morgan).
+func (m CostModel) AND2() Cost { return m.NOR().Times(3) }
+
+// XOR2 uses the standard 5-NOR MAGIC realization.
+func (m CostModel) XOR2() Cost { return m.NOR().Times(5) }
+
+// FullAdder uses the 12-NOR MAGIC full adder (sum and carry).
+func (m CostModel) FullAdder() Cost { return m.NOR().Times(12) }
+
+// Adder prices an n-bit ripple-carry addition (n full adders on the
+// sequential carry chain).
+func (m CostModel) Adder(bits int) Cost {
+	if bits < 1 {
+		panic("pim: adder width must be positive")
+	}
+	return m.FullAdder().Times(int64(bits))
+}
+
+// Multiplier prices an n×n-bit shift-add multiplication: n² partial
+// product ANDs plus n−1 ripple additions of width n — the quadratic
+// cycle growth with bit-width that Section 5.3 identifies as the
+// endurance killer.
+func (m CostModel) Multiplier(bits int) Cost {
+	if bits < 1 {
+		panic("pim: multiplier width must be positive")
+	}
+	partials := m.AND2().Times(int64(bits * bits))
+	adds := m.Adder(bits).Times(int64(bits - 1))
+	return partials.Add(adds)
+}
+
+// MAC prices one multiply-accumulate at the given weight width, with a
+// 2×bits-wide accumulator addition.
+func (m CostModel) MAC(bits int) Cost {
+	return m.Multiplier(bits).Add(m.Adder(2 * bits))
+}
+
+// Popcount prices counting the ones of an n-bit vector with a
+// carry-save adder tree: n−1 full adders of growing width; the
+// critical path is log₂(n) stages of ripple adders.
+func (m CostModel) Popcount(n int) Cost {
+	if n < 1 {
+		panic("pim: popcount width must be positive")
+	}
+	if n == 1 {
+		return Cost{}
+	}
+	total := Cost{}
+	width := 1
+	remaining := int64(n)
+	for remaining > 1 {
+		pairs := remaining / 2
+		// One stage: pairwise additions at the current width, executed
+		// in parallel lanes; the stage's critical path is one ripple
+		// adder of that width.
+		stage := m.Adder(width)
+		total = total.Add(Cost{
+			Cycles:     stage.Cycles,
+			NORs:       stage.NORs * pairs,
+			CellWrites: stage.CellWrites * pairs,
+			EnergyPJ:   stage.EnergyPJ * float64(pairs),
+		})
+		remaining = (remaining + 1) / 2
+		width++
+	}
+	return total
+}
+
+// HammingDistance prices computing the Hamming distance of two n-bit
+// vectors: a bitwise XOR executed row-parallel across all n bit lanes
+// (constant critical path) followed by a popcount of the result.
+func (m CostModel) HammingDistance(n int) Cost {
+	xor := m.XOR2().Parallel(int64(n))
+	return xor.Add(m.Popcount(n))
+}
+
+// Comparator prices an n-bit magnitude comparison (≈ a subtractor:
+// one ripple adder).
+func (m CostModel) Comparator(bits int) Cost { return m.Adder(bits) }

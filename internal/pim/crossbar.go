@@ -1,0 +1,225 @@
+package pim
+
+import "fmt"
+
+// Crossbar is a functional simulator of a memristive MAGIC array: bits
+// live in cells addressed (row, column), the only compute primitive is
+// the in-memory NOR of Section 5.1 (executed row-parallel across all
+// rows for a fixed set of columns), and every switching event is
+// charged against per-cell wear. Cells whose write count exceeds their
+// endurance become stuck at their last value — the failure mode behind
+// Figure 4a — and the simulator keeps honoring reads/writes of stuck
+// cells with their frozen value.
+//
+// The CostModel above prices workloads analytically; the Crossbar
+// exists to validate those prices against an executable model and to
+// let tests drive real data through in-memory logic under wear.
+type Crossbar struct {
+	rows, cols int
+	bits       []bool
+	writes     []uint64
+	stuck      []bool
+
+	endurance uint64 // writes to failure per cell (0 = unlimited)
+
+	// Accounting.
+	cost Cost
+	dev  Device
+}
+
+// NewCrossbar allocates a rows×cols array of the default device with
+// the given per-cell endurance (0 disables wear-out).
+func NewCrossbar(rows, cols int, endurance uint64) (*Crossbar, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("pim: crossbar dimensions %dx%d invalid", rows, cols)
+	}
+	n := rows * cols
+	return &Crossbar{
+		rows: rows, cols: cols,
+		bits:      make([]bool, n),
+		writes:    make([]uint64, n),
+		stuck:     make([]bool, n),
+		endurance: endurance,
+		dev:       DefaultDevice(),
+	}, nil
+}
+
+// Rows returns the row count.
+func (x *Crossbar) Rows() int { return x.rows }
+
+// Cols returns the column count.
+func (x *Crossbar) Cols() int { return x.cols }
+
+// Cost returns the accumulated execution cost.
+func (x *Crossbar) Cost() Cost { return x.cost }
+
+func (x *Crossbar) idx(row, col int) int {
+	if row < 0 || row >= x.rows || col < 0 || col >= x.cols {
+		panic(fmt.Sprintf("pim: cell (%d,%d) outside %dx%d array", row, col, x.rows, x.cols))
+	}
+	return row*x.cols + col
+}
+
+// Read returns the stored bit (stuck cells return their frozen value).
+func (x *Crossbar) Read(row, col int) bool { return x.bits[x.idx(row, col)] }
+
+// Write stores a bit, charging one switching event when the value
+// changes. Writes to stuck cells are silently lost — exactly what a
+// worn-out memristor does.
+func (x *Crossbar) Write(row, col int, v bool) {
+	i := x.idx(row, col)
+	if x.bits[i] == v {
+		return // no switching event, no wear
+	}
+	x.chargeWrite(i)
+	if x.stuck[i] {
+		return
+	}
+	x.bits[i] = v
+}
+
+func (x *Crossbar) chargeWrite(i int) {
+	x.writes[i]++
+	x.cost.CellWrites++
+	x.cost.EnergyPJ += x.dev.SetEnergyPJ()
+	if x.endurance > 0 && x.writes[i] > x.endurance && !x.stuck[i] {
+		x.stuck[i] = true
+	}
+}
+
+// CellWrites returns the wear counter of one cell.
+func (x *Crossbar) CellWrites(row, col int) uint64 { return x.writes[x.idx(row, col)] }
+
+// StuckCells counts worn-out cells.
+func (x *Crossbar) StuckCells() int {
+	n := 0
+	for _, s := range x.stuck {
+		if s {
+			n++
+		}
+	}
+	return n
+}
+
+// FailedFraction returns the stuck-cell fraction, comparable to
+// memsim.EnduranceModel outputs.
+func (x *Crossbar) FailedFraction() float64 {
+	return float64(x.StuckCells()) / float64(len(x.bits))
+}
+
+// NOR executes the MAGIC primitive row-parallel: for every row, the
+// output cell at outCol is initialized to logic 1 (R_ON) and then
+// conditionally switched to 0 when any input column holds 1. Two
+// sequential cycles regardless of the row count — the row-parallelism
+// the paper's Section 5.1 describes. It panics on empty input sets.
+func (x *Crossbar) NOR(inCols []int, outCol int) {
+	if len(inCols) == 0 {
+		panic("pim: NOR needs at least one input column")
+	}
+	for _, c := range inCols {
+		if c == outCol {
+			panic("pim: NOR output column must differ from its inputs")
+		}
+	}
+	x.cost.Cycles += 2
+	x.cost.NORs += int64(x.rows)
+	for row := 0; row < x.rows; row++ {
+		// Initialization step: output forced to R_ON (logic 1).
+		x.Write(row, outCol, true)
+		// Evaluation step: any 1 input switches the output to 0.
+		any := false
+		for _, c := range inCols {
+			if x.Read(row, c) {
+				any = true
+				break
+			}
+		}
+		if any {
+			x.Write(row, outCol, false)
+		}
+	}
+}
+
+// NOT computes ¬a into out (one NOR).
+func (x *Crossbar) NOT(aCol, outCol int) { x.NOR([]int{aCol}, outCol) }
+
+// OR computes a∨b into out using a scratch column.
+func (x *Crossbar) OR(aCol, bCol, scratch, outCol int) {
+	x.NOR([]int{aCol, bCol}, scratch)
+	x.NOT(scratch, outCol)
+}
+
+// AND computes a∧b into out using two scratch columns (De Morgan).
+func (x *Crossbar) AND(aCol, bCol, s1, s2, outCol int) {
+	x.NOT(aCol, s1)
+	x.NOT(bCol, s2)
+	x.NOR([]int{s1, s2}, outCol)
+}
+
+// XOR computes a⊕b into out using the 5-NOR MAGIC realization with
+// three scratch columns.
+func (x *Crossbar) XOR(aCol, bCol, s1, s2, s3, outCol int) {
+	x.NOR([]int{aCol, bCol}, s1) // ¬(a∨b)
+	x.NOR([]int{aCol, s1}, s2)   // ¬(a ∨ ¬(a∨b)) = ¬a ∧ b
+	x.NOR([]int{bCol, s1}, s3)   // a ∧ ¬b
+	x.NOR([]int{s2, s3}, s1)     // ¬xor (reuses s1)
+	x.NOT(s1, outCol)            // xor
+}
+
+// LoadColumn writes a bit per row into a column (e.g. staging a
+// hypervector with one bit per row).
+func (x *Crossbar) LoadColumn(col int, bits []bool) error {
+	if len(bits) != x.rows {
+		return fmt.Errorf("pim: column load of %d bits into %d rows", len(bits), x.rows)
+	}
+	for row, v := range bits {
+		x.Write(row, col, v)
+	}
+	return nil
+}
+
+// ReadColumn reads a column into a bool slice.
+func (x *Crossbar) ReadColumn(col int) []bool {
+	out := make([]bool, x.rows)
+	for row := range out {
+		out[row] = x.Read(row, col)
+	}
+	return out
+}
+
+// PopcountColumn counts ones in a column through the sense circuitry
+// (no cell writes).
+func (x *Crossbar) PopcountColumn(col int) int {
+	n := 0
+	for row := 0; row < x.rows; row++ {
+		if x.Read(row, col) {
+			n++
+		}
+	}
+	return n
+}
+
+// HammingColumns computes the Hamming distance of two columns by an
+// in-memory XOR into a scratch region followed by a sensed popcount.
+// Columns s1..s3 and out are scratch/output columns.
+func (x *Crossbar) HammingColumns(aCol, bCol, s1, s2, s3, outCol int) int {
+	x.XOR(aCol, bCol, s1, s2, s3, outCol)
+	return x.PopcountColumn(outCol)
+}
+
+// LevelWear models one ideal wear-leveling epoch: the controller
+// remaps logical cells so accumulated wear spreads evenly (represented
+// by averaging the wear counters). The remapping itself costs one
+// write per cell, which is why real systems level infrequently.
+func (x *Crossbar) LevelWear() {
+	var total uint64
+	for _, w := range x.writes {
+		total += w
+	}
+	avg := total / uint64(len(x.writes))
+	for i := range x.writes {
+		x.writes[i] = avg
+		x.cost.CellWrites++
+		x.cost.EnergyPJ += x.dev.SetEnergyPJ()
+	}
+}

@@ -1,0 +1,251 @@
+package pim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitvec"
+	"repro/internal/stats"
+)
+
+func newXB(t *testing.T, rows, cols int, endurance uint64) *Crossbar {
+	t.Helper()
+	x, err := NewCrossbar(rows, cols, endurance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+func TestCrossbarValidation(t *testing.T) {
+	if _, err := NewCrossbar(0, 4, 0); err == nil {
+		t.Fatal("zero rows accepted")
+	}
+	if _, err := NewCrossbar(4, -1, 0); err == nil {
+		t.Fatal("negative cols accepted")
+	}
+}
+
+func TestCrossbarReadWrite(t *testing.T) {
+	x := newXB(t, 4, 4, 0)
+	x.Write(1, 2, true)
+	if !x.Read(1, 2) || x.Read(0, 0) {
+		t.Fatal("read/write broken")
+	}
+	// Writing the same value again must not charge a switching event.
+	before := x.Cost().CellWrites
+	x.Write(1, 2, true)
+	if x.Cost().CellWrites != before {
+		t.Fatal("same-value write charged a switching event")
+	}
+}
+
+func TestCrossbarNORTruthTable(t *testing.T) {
+	// Rows enumerate all 2-input combinations; one NOR evaluates all
+	// rows in parallel.
+	x := newXB(t, 4, 4, 0)
+	a := []bool{false, false, true, true}
+	b := []bool{false, true, false, true}
+	if err := x.LoadColumn(0, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.LoadColumn(1, b); err != nil {
+		t.Fatal(err)
+	}
+	x.NOR([]int{0, 1}, 2)
+	want := []bool{true, false, false, false}
+	for row, w := range want {
+		if x.Read(row, 2) != w {
+			t.Fatalf("NOR row %d = %v, want %v", row, x.Read(row, 2), w)
+		}
+	}
+	if x.Cost().Cycles != 2 {
+		t.Fatalf("one NOR took %d cycles, want 2 (row-parallel)", x.Cost().Cycles)
+	}
+}
+
+func TestCrossbarGateTruthTables(t *testing.T) {
+	a := []bool{false, false, true, true}
+	b := []bool{false, true, false, true}
+	cases := []struct {
+		name string
+		run  func(x *Crossbar)
+		out  int
+		want []bool
+	}{
+		{"NOT", func(x *Crossbar) { x.NOT(0, 2) }, 2, []bool{true, true, false, false}},
+		{"OR", func(x *Crossbar) { x.OR(0, 1, 2, 3) }, 3, []bool{false, true, true, true}},
+		{"AND", func(x *Crossbar) { x.AND(0, 1, 2, 3, 4) }, 4, []bool{false, false, false, true}},
+		{"XOR", func(x *Crossbar) { x.XOR(0, 1, 2, 3, 4, 5) }, 5, []bool{false, true, true, false}},
+	}
+	for _, c := range cases {
+		x := newXB(t, 4, 6, 0)
+		if err := x.LoadColumn(0, a); err != nil {
+			t.Fatal(err)
+		}
+		if err := x.LoadColumn(1, b); err != nil {
+			t.Fatal(err)
+		}
+		c.run(x)
+		for row, w := range c.want {
+			if got := x.Read(row, c.out); got != w {
+				t.Fatalf("%s row %d = %v, want %v", c.name, row, got, w)
+			}
+		}
+	}
+}
+
+func TestCrossbarXORQuickAgainstBitvec(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		const rows = 128
+		va := bitvec.Random(rows, rng)
+		vb := bitvec.Random(rows, rng)
+		x, err := NewCrossbar(rows, 6, 0)
+		if err != nil {
+			return false
+		}
+		if err := x.LoadColumn(0, toBools(va)); err != nil {
+			return false
+		}
+		if err := x.LoadColumn(1, toBools(vb)); err != nil {
+			return false
+		}
+		x.XOR(0, 1, 2, 3, 4, 5)
+		want := va.Xor(vb)
+		for i := 0; i < rows; i++ {
+			if x.Read(i, 5) != want.Get(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrossbarHammingMatchesBitvec(t *testing.T) {
+	rng := stats.NewRNG(7)
+	const rows = 500
+	va := bitvec.Random(rows, rng)
+	vb := bitvec.Random(rows, rng)
+	x := newXB(t, rows, 6, 0)
+	if err := x.LoadColumn(0, toBools(va)); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.LoadColumn(1, toBools(vb)); err != nil {
+		t.Fatal(err)
+	}
+	if got := x.HammingColumns(0, 1, 2, 3, 4, 5); got != va.Hamming(vb) {
+		t.Fatalf("in-memory Hamming %d != %d", got, va.Hamming(vb))
+	}
+}
+
+func TestCrossbarWearAndStuckCells(t *testing.T) {
+	x := newXB(t, 1, 2, 3) // endurance: 3 writes
+	for i := 0; i < 10; i++ {
+		x.Write(0, 0, i%2 == 0)
+	}
+	if x.CellWrites(0, 0) <= 3 {
+		t.Fatal("wear counter not advancing")
+	}
+	if x.StuckCells() != 1 {
+		t.Fatalf("StuckCells = %d, want 1", x.StuckCells())
+	}
+	// The cell froze at the value it held when it wore out; further
+	// writes are lost.
+	frozen := x.Read(0, 0)
+	x.Write(0, 0, !frozen)
+	if x.Read(0, 0) != frozen {
+		t.Fatal("stuck cell changed value")
+	}
+	if x.FailedFraction() != 0.5 {
+		t.Fatalf("FailedFraction = %v", x.FailedFraction())
+	}
+}
+
+func TestCrossbarStuckCellsCorruptLogic(t *testing.T) {
+	// Wear out the output column, then show the NOR result is wrong —
+	// the Figure 4a failure mode made concrete.
+	x := newXB(t, 1, 3, 2)
+	// Exhaust endurance of the output cell with alternating writes.
+	for i := 0; i < 6; i++ {
+		x.Write(0, 2, i%2 == 0)
+	}
+	if x.StuckCells() == 0 {
+		t.Fatal("output cell should be worn out")
+	}
+	frozen := x.Read(0, 2)
+	x.Write(0, 0, false)
+	x.Write(0, 1, false)
+	x.NOR([]int{0, 1}, 2) // true NOR(0,0) = 1
+	if x.Read(0, 2) != frozen {
+		t.Fatal("stuck output cell should hold its frozen value")
+	}
+}
+
+func TestCrossbarNORPanicsOnAliasedOutput(t *testing.T) {
+	x := newXB(t, 2, 2, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	x.NOR([]int{0, 1}, 1)
+}
+
+func TestCrossbarCostAgreesWithCostModelXOR(t *testing.T) {
+	// The functional array and the analytic model must agree on the
+	// NOR count of an XOR (the critical calibration between them).
+	const rows = 64
+	x := newXB(t, rows, 6, 0)
+	rng := stats.NewRNG(9)
+	x.LoadColumn(0, toBools(bitvec.Random(rows, rng)))
+	x.LoadColumn(1, toBools(bitvec.Random(rows, rng)))
+	base := x.Cost()
+	x.XOR(0, 1, 2, 3, 4, 5)
+	spent := x.Cost().NORs - base.NORs
+	m := NewCostModel()
+	want := m.XOR2().Parallel(rows).NORs
+	if spent != want {
+		t.Fatalf("functional XOR used %d NORs, cost model prices %d", spent, want)
+	}
+}
+
+func TestCrossbarLevelWear(t *testing.T) {
+	x := newXB(t, 2, 2, 0)
+	for i := 0; i < 10; i++ {
+		x.Write(0, 0, i%2 == 0) // all wear on one cell
+	}
+	x.LevelWear()
+	if x.CellWrites(0, 0) != x.CellWrites(1, 1) {
+		t.Fatal("wear not leveled")
+	}
+}
+
+func TestCrossbarReadColumn(t *testing.T) {
+	x := newXB(t, 3, 1, 0)
+	in := []bool{true, false, true}
+	if err := x.LoadColumn(0, in); err != nil {
+		t.Fatal(err)
+	}
+	out := x.ReadColumn(0)
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatal("ReadColumn mismatch")
+		}
+	}
+	if err := x.LoadColumn(0, []bool{true}); err == nil {
+		t.Fatal("short column load accepted")
+	}
+}
+
+// toBools expands a bitvec into one bool per bit.
+func toBools(v *bitvec.Vector) []bool {
+	out := make([]bool, v.Len())
+	for i := range out {
+		out[i] = v.Get(i)
+	}
+	return out
+}

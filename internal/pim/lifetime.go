@@ -1,0 +1,69 @@
+package pim
+
+import (
+	"fmt"
+
+	"repro/internal/memsim"
+)
+
+// LifetimeConfig ties a DPIM workload to the endurance model of the
+// underlying NVM: running the workload continuously wears the array,
+// worn cells become stuck bits, and stuck bits corrupt whatever model
+// the array stores (Figure 4a).
+type LifetimeConfig struct {
+	Workload Workload
+	// InferencesPerSecond is the sustained query rate (the lifetime
+	// figure assumes a continuously-serving edge accelerator; 0.1 Hz
+	// by default).
+	InferencesPerSecond float64
+	Endurance           memsim.EnduranceModel
+	WearLeveling        memsim.WearLeveling
+}
+
+// DefaultLifetimeConfig wraps a workload with the paper's endurance
+// (10^9 writes) at a 0.1 Hz serving rate (an IoT/edge duty cycle of
+// one inference per ten seconds — the rate anchor that puts the
+// DNN-8bit lifetime at the paper's "under three months") with wear
+// leveling on.
+func DefaultLifetimeConfig(w Workload) LifetimeConfig {
+	return LifetimeConfig{
+		Workload:            w,
+		InferencesPerSecond: 0.1,
+		Endurance:           memsim.DefaultEndurance(),
+		WearLeveling:        memsim.WearLeveling{Enabled: true},
+	}
+}
+
+// WritesPerCellPerSecond returns the leveled per-cell wear rate.
+func (c LifetimeConfig) WritesPerCellPerSecond() float64 {
+	if c.InferencesPerSecond <= 0 {
+		panic("pim: inference rate must be positive")
+	}
+	total := float64(c.Workload.PerInference.CellWrites) * c.InferencesPerSecond
+	return c.WearLeveling.PerCellWrites(total, int(c.Workload.ArrayCells))
+}
+
+// FailedFractionAt returns the worn-out cell fraction after the given
+// operating years.
+func (c LifetimeConfig) FailedFractionAt(years float64) float64 {
+	return c.Endurance.FailedFraction(c.WritesPerCellPerSecond() * years * memsim.SecondsPerYear)
+}
+
+// StuckErrorRateAt returns the effective bit error rate of the stored
+// model after the given operating years.
+func (c LifetimeConfig) StuckErrorRateAt(years float64) float64 {
+	return memsim.StuckBitErrorRate(c.FailedFractionAt(years))
+}
+
+// YearsUntilErrorRate returns when the stuck-bit error rate crosses
+// the target.
+func (c LifetimeConfig) YearsUntilErrorRate(target float64) (float64, error) {
+	if target <= 0 || target >= 0.5 {
+		return 0, fmt.Errorf("pim: stuck error rate target %v outside (0, 0.5)", target)
+	}
+	series := memsim.LifetimeSeries{
+		WritesPerCellPerSecond: c.WritesPerCellPerSecond(),
+		Endurance:              c.Endurance,
+	}
+	return series.YearsUntilFailedFraction(2 * target)
+}

@@ -1,0 +1,151 @@
+package pim
+
+import "fmt"
+
+// Workload is a priced inference task: the per-inference Cost on the
+// DPIM plus the cell population it wears (for lifetime modeling).
+type Workload struct {
+	// Name labels the workload in reports.
+	Name string
+	// PerInference is the DPIM cost of one inference.
+	PerInference Cost
+	// ArrayCells is the number of memristor cells the workload's model
+	// and scratch regions occupy; wear leveling spreads PerInference's
+	// CellWrites uniformly across them.
+	ArrayCells int64
+}
+
+// WritesPerCellPerInference returns the leveled per-cell wear of one
+// inference.
+func (w Workload) WritesPerCellPerInference() float64 {
+	if w.ArrayCells <= 0 {
+		panic("pim: workload has no cells")
+	}
+	return float64(w.PerInference.CellWrites) / float64(w.ArrayCells)
+}
+
+// DNNWorkload prices an MLP inference executed FloatPIM-style: within
+// a layer all multiplications run in parallel rows (critical path =
+// one multiplier), followed by a log-depth adder-tree reduction;
+// layers are sequential. bits is the weight precision (8 for the
+// fixed-point deployment, 32-bit mantissa-scale arithmetic
+// approximated as 24-bit multiplies for the float variant).
+func DNNWorkload(m CostModel, layers []int, bits int) (Workload, error) {
+	if len(layers) < 2 {
+		return Workload{}, fmt.Errorf("pim: MLP needs at least 2 layer sizes")
+	}
+	if bits < 1 {
+		return Workload{}, fmt.Errorf("pim: bits must be positive")
+	}
+	total := Cost{}
+	var weightCells int64
+	for li := 0; li+1 < len(layers); li++ {
+		nIn, nOut := int64(layers[li]), int64(layers[li+1])
+		if nIn <= 0 || nOut <= 0 {
+			return Workload{}, fmt.Errorf("pim: layer sizes must be positive")
+		}
+		// All nIn×nOut products in parallel lanes.
+		mult := m.Multiplier(bits).Parallel(nIn * nOut)
+		// Adder-tree reduction per output neuron: nIn−1 adds, log
+		// critical path; all outputs reduce in parallel.
+		tree := reductionTree(m, nIn, 2*bits, 0).Parallel(nOut)
+		total = total.Add(mult).Add(tree)
+		weightCells += nIn * nOut * int64(bits)
+	}
+	// FloatPIM-style in-place arithmetic computes inside the weight
+	// region (inputs stream through; partial products and reductions
+	// reuse rows adjacent to the weights), so the wear of every
+	// inference lands on the weight array itself — the paper's
+	// Section 5.3 endurance argument.
+	return Workload{
+		Name:         fmt.Sprintf("DNN-%dbit", bits),
+		PerInference: total,
+		ArrayCells:   weightCells,
+	}, nil
+}
+
+// reductionTree prices summing n values of the given starting width
+// with a binary adder tree: pairs add in parallel lanes, the critical
+// path is one adder per stage, widths grow by one bit per stage. A
+// positive cap saturates the stage width (saturating-counter
+// arithmetic).
+func reductionTree(m CostModel, n int64, width, cap int) Cost {
+	total := Cost{}
+	remaining := n
+	w := width
+	for remaining > 1 {
+		pairs := remaining / 2
+		sw := w
+		if cap > 0 && sw > cap {
+			sw = cap
+		}
+		stage := m.Adder(sw)
+		total = total.Add(Cost{
+			Cycles:     stage.Cycles,
+			NORs:       stage.NORs * pairs,
+			CellWrites: stage.CellWrites * pairs,
+			EnergyPJ:   stage.EnergyPJ * float64(pairs),
+		})
+		remaining = (remaining + 1) / 2
+		w++
+	}
+	return total
+}
+
+// HDCEncoderCounterBits is the width of the saturating bundling
+// counters the DPIM encoder uses. HDC accelerators bundle with small
+// saturating counters rather than full log₂(n)-bit precision — the
+// majority bit only needs the counter sign, and saturation at ±7
+// changes the bundle by well under a percent while cutting encode
+// energy ~2.5×.
+const HDCEncoderCounterBits = 4
+
+// HDCWorkload prices one RobustHD inference: record encoding (bind
+// all n features in parallel lanes, then reduce their level
+// hypervectors into D-lane saturating counters with a log-depth tree,
+// then threshold), followed by the associative search (row-parallel
+// XOR + popcount against every class, classes in parallel tiles, and
+// a k-way argmax).
+func HDCWorkload(m CostModel, features, dims, classes int) (Workload, error) {
+	if features < 1 || dims < 1 || classes < 2 {
+		return Workload{}, fmt.Errorf("pim: invalid HDC workload %d/%d/%d", features, dims, classes)
+	}
+	n, d, k := int64(features), int64(dims), int64(classes)
+
+	// Encoding: bind = XOR of each feature's level hypervector with
+	// its base hypervector, all n·D bit lanes in parallel.
+	bind := m.XOR2().Parallel(n * d)
+	// Bundle: reduce n bound hypervectors into per-dimension counters;
+	// the tree runs in parallel across the D dimensions.
+	bundleStage := reductionTree(m, n, 2, HDCEncoderCounterBits)
+	bundle := Cost{
+		Cycles:     bundleStage.Cycles,
+		NORs:       bundleStage.NORs * d,
+		CellWrites: bundleStage.CellWrites * d,
+		EnergyPJ:   bundleStage.EnergyPJ * float64(d),
+	}
+	// Threshold to the majority bit: one comparator per dimension.
+	threshold := m.Comparator(HDCEncoderCounterBits).Parallel(d)
+
+	// Associative search: Hamming distance to each class hypervector;
+	// classes are mapped to parallel tiles, so the critical path is a
+	// single distance plus the argmax chain.
+	search := m.HammingDistance(dims)
+	searchAll := Cost{
+		Cycles:     search.Cycles,
+		NORs:       search.NORs * k,
+		CellWrites: search.CellWrites * k,
+		EnergyPJ:   search.EnergyPJ * float64(k),
+	}
+	argmax := m.Comparator(16).Times(k - 1)
+
+	total := bind.Add(bundle).Add(threshold).Add(searchAll).Add(argmax)
+	// Cells: class hypervectors + encode scratch (bound vectors and
+	// counters).
+	cells := k*d + n*d + d*int64(HDCEncoderCounterBits)
+	return Workload{
+		Name:         fmt.Sprintf("HDC-D%d", dims),
+		PerInference: total,
+		ArrayCells:   cells,
+	}, nil
+}

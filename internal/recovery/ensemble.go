@@ -1,0 +1,83 @@
+package recovery
+
+import (
+	"repro/internal/bitvec"
+)
+
+// Ensemble substitution is an extension beyond the paper. The paper's
+// probabilistic substitution copies bits from a single trusted query,
+// so a repeatedly-substituted chunk converges to a *sample* of the
+// class's queries — its residual distance from the clean class bundle
+// is (1 − within-class coherence)/2 per bit, which bounds how far the
+// loop can heal. Bundling the last W trusted queries per class and
+// substituting from their majority instead shrinks that residue by
+// roughly √W while keeping the hardware story (a small ring of W
+// hypervectors per class plus a majority, no arithmetic on the model
+// itself).
+//
+// EnsembleWindow = 0 (the default) reproduces the paper exactly.
+
+// queryRing keeps the last W trusted queries of one class and their
+// running majority.
+type queryRing struct {
+	window  int
+	queries []*bitvec.Vector
+	next    int
+	full    bool
+}
+
+func newQueryRing(window int) *queryRing {
+	return &queryRing{window: window, queries: make([]*bitvec.Vector, window)}
+}
+
+// add stores a copy of q, evicting the oldest entry once full.
+func (r *queryRing) add(q *bitvec.Vector) {
+	r.queries[r.next] = q.Clone()
+	r.next = (r.next + 1) % r.window
+	if r.next == 0 {
+		r.full = true
+	}
+}
+
+// count returns how many queries are held.
+func (r *queryRing) count() int {
+	if r.full {
+		return r.window
+	}
+	return r.next
+}
+
+// majority bundles the held queries. It returns nil when empty.
+func (r *queryRing) majority() *bitvec.Vector {
+	n := r.count()
+	if n == 0 {
+		return nil
+	}
+	c := bitvec.NewCounter(r.queries[0].Len())
+	for i := 0; i < n; i++ {
+		c.Add(r.queries[i])
+	}
+	return c.Threshold()
+}
+
+// substitutionSource returns the vector faulty chunks are rewritten
+// from: the raw query in paper mode, or the majority of the class's
+// recent trusted queries (including this one) in ensemble mode.
+func (r *Recoverer) substitutionSource(pred int, q *bitvec.Vector) *bitvec.Vector {
+	if r.cfg.EnsembleWindow <= 1 {
+		return q
+	}
+	if r.rings == nil {
+		r.rings = make(map[int]*queryRing)
+	}
+	ring, ok := r.rings[pred]
+	if !ok {
+		ring = newQueryRing(r.cfg.EnsembleWindow)
+		r.rings[pred] = ring
+	}
+	ring.add(q)
+	if m := ring.majority(); m != nil {
+		return m
+	}
+	return q
+}

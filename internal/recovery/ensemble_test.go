@@ -1,0 +1,120 @@
+package recovery
+
+import (
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/stats"
+)
+
+func TestQueryRingBasics(t *testing.T) {
+	rng := stats.NewRNG(50)
+	r := newQueryRing(3)
+	if r.majority() != nil {
+		t.Fatal("empty ring should have no majority")
+	}
+	a := bitvec.Random(64, rng)
+	r.add(a)
+	if r.count() != 1 {
+		t.Fatalf("count = %d", r.count())
+	}
+	if !r.majority().Equal(a) {
+		t.Fatal("single-entry majority should equal the entry")
+	}
+	r.add(bitvec.Random(64, rng))
+	r.add(bitvec.Random(64, rng))
+	r.add(bitvec.Random(64, rng)) // evicts a
+	if r.count() != 3 {
+		t.Fatalf("count after wrap = %d", r.count())
+	}
+}
+
+func TestQueryRingCopiesEntries(t *testing.T) {
+	rng := stats.NewRNG(51)
+	r := newQueryRing(2)
+	a := bitvec.Random(64, rng)
+	r.add(a)
+	a.Flip(0)
+	if r.majority().Get(0) == a.Get(0) {
+		t.Fatal("ring aliased the caller's vector")
+	}
+}
+
+func TestEnsembleWindowValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.EnsembleWindow = -1
+	if err := cfg.Validate(1000); err == nil {
+		t.Fatal("negative window accepted")
+	}
+	cfg.EnsembleWindow = 4096
+	if err := cfg.Validate(1000); err == nil {
+		t.Fatal("huge window accepted")
+	}
+}
+
+func TestEnsembleSubstitutionReducesResidue(t *testing.T) {
+	// The extension's core claim: after heavy substitution of a
+	// corrupted model region, the ensemble-mode class vector sits
+	// closer to the clean bundle than the paper-mode one, because the
+	// majority of W queries has less sampling noise than any single
+	// query.
+	residue := func(window int) int {
+		m, stream, _, _ := toyProblem(t, 4096, 600, 10, 0.04, 0.06)
+		snap := m.SnapshotDeployed()
+		rng := stats.NewRNG(52)
+		for c := 0; c < m.Classes(); c++ {
+			m.ClassVector(c).FlipBernoulli(0.25, rng)
+		}
+		cfg := DefaultConfig()
+		cfg.GuardZ = -1
+		cfg.ConfidenceThreshold = 0.80
+		cfg.EnsembleWindow = window
+		r, err := New(m, cfg, 53)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Run(stream)
+		dist := 0
+		for c := 0; c < m.Classes(); c++ {
+			dist += m.ClassVector(c).Hamming(snap[c])
+		}
+		return dist
+	}
+	single := residue(0)
+	ensemble := residue(8)
+	if ensemble >= single {
+		t.Fatalf("ensemble residue %d not below single-query residue %d", ensemble, single)
+	}
+}
+
+func TestEnsembleModeStillPredicts(t *testing.T) {
+	m, stream, evalX, evalY := toyProblem(t, 2048, 60, 30, 0.04, 0.02)
+	cfg := DefaultConfig()
+	cfg.EnsembleWindow = 4
+	r, err := New(m, cfg, 54)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Run(stream)
+	if acc := m.Accuracy(evalX, evalY); acc < 0.95 {
+		t.Fatalf("ensemble recovery damaged a healthy model: %.3f", acc)
+	}
+}
+
+func TestEnsembleWindowOneEqualsPaperMode(t *testing.T) {
+	run := func(window int) Stats {
+		m, stream, _, _ := toyProblem(t, 1024, 60, 10, 0.04, 0.03)
+		rng := stats.NewRNG(55)
+		for c := 0; c < m.Classes(); c++ {
+			m.ClassVector(c).FlipBernoulli(0.1, rng)
+		}
+		cfg := DefaultConfig()
+		cfg.EnsembleWindow = window
+		r, _ := New(m, cfg, 56)
+		r.Run(stream)
+		return r.Stats()
+	}
+	if run(0) != run(1) {
+		t.Fatal("window 1 should behave exactly like the paper mode")
+	}
+}

@@ -1,0 +1,264 @@
+// Package recovery implements RobustHD's adaptive self-recovery
+// framework (Section 4 of the paper), the primary contribution of the
+// reproduction.
+//
+// The deployed HDC model lives in attackable memory; no clean copy
+// exists anywhere. Recovery therefore works unsupervised, from the
+// inference stream itself:
+//
+//  1. Confidence gate (§4.1) — every query is classified and its
+//     similarity vector is softmax-normalized; only predictions whose
+//     confidence clears the threshold T_C are trusted as pseudo-labels.
+//  2. Noisy chunk detection (§4.2) — the D dimensions are split into m
+//     chunks; each chunk is scored as an independent sub-model. Chunks
+//     where the trusted class does not win the chunk-local similarity
+//     contest are flagged faulty.
+//  3. Probabilistic substitution (§4.3) — each bit of a faulty chunk of
+//     the trusted class hypervector is overwritten by the query's bit
+//     with probability p (the substitution rate S). Small p is
+//     conservative: healthy bits that already agree are unaffected, and
+//     a single mispredicted query cannot destroy a chunk.
+//
+// Repeated over the stream, faulty dimensions are pulled back toward
+// the (consistent) query statistics and the model self-heals without
+// labels, ECC, or redundant storage.
+package recovery
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/bitvec"
+	"repro/internal/hdc/model"
+	"repro/internal/stats"
+)
+
+// Config parameterizes the recovery framework.
+type Config struct {
+	// ConfidenceThreshold is T_C: queries predicted with softmax
+	// confidence below it are ignored for recovery. Must be in (0, 1).
+	ConfidenceThreshold float64
+	// Chunks is m, the number of chunks the hypervector is split into
+	// for fault detection. Must be >= 1 and <= dimensions.
+	Chunks int
+	// SubstitutionRate is p (the paper's S): the per-bit probability of
+	// copying the query bit into a faulty chunk. Must be in (0, 1].
+	SubstitutionRate float64
+	// Temperature scales similarities before the softmax; <= 0 selects
+	// model.DefaultConfidenceTemperature.
+	Temperature float64
+	// EnsembleWindow enables the ensemble-substitution extension
+	// (beyond the paper): faulty chunks are rewritten from the
+	// majority of the class's last EnsembleWindow trusted queries
+	// instead of the single current query, shrinking the sampling
+	// residue of repeated substitution by ~√W. 0 or 1 reproduces the
+	// paper's single-query substitution.
+	EnsembleWindow int
+	// GuardZ is the detection guard band in standard deviations of
+	// chunk-similarity noise (σ = 1/(2·sqrt(chunkSize))): a chunk is
+	// flagged faulty only when a rival class beats the trusted class
+	// by more than GuardZ·σ. The guard keeps finite-chunk sampling
+	// noise from flagging healthy chunks on models whose class margins
+	// are comparable to σ — exactly corrupted chunks invert far beyond
+	// it. Zero means "use DefaultGuardZ"; negative disables the guard
+	// (the paper's raw mismatch criterion).
+	GuardZ float64
+}
+
+// DefaultGuardZ is the default detection guard band width.
+const DefaultGuardZ = 1.0
+
+// DefaultConfig returns the operating point used for the paper's
+// Table 4 results: a strict gate (T_C = 0.95 — at the default
+// confidence temperature this trusts only queries whose similarity
+// margin exceeds ~3%, which keeps near-boundary samples from poisoning
+// the substitution), 10 chunks (chunk noise must stay below typical
+// class margins or fault detection false-positives corrupt healthy
+// chunks), and a conservative substitution rate.
+func DefaultConfig() Config {
+	return Config{
+		ConfidenceThreshold: 0.95,
+		Chunks:              10,
+		SubstitutionRate:    0.25,
+		Temperature:         0,
+	}
+}
+
+// Validate reports whether the configuration is usable for a model
+// with the given hypervector dimensionality.
+func (c Config) Validate(dims int) error {
+	switch {
+	case c.ConfidenceThreshold <= 0 || c.ConfidenceThreshold >= 1:
+		return fmt.Errorf("recovery: confidence threshold %v out of (0,1)", c.ConfidenceThreshold)
+	case c.Chunks < 1:
+		return fmt.Errorf("recovery: chunks %d must be >= 1", c.Chunks)
+	case c.Chunks > dims:
+		return fmt.Errorf("recovery: chunks %d exceed dimensions %d", c.Chunks, dims)
+	case c.SubstitutionRate <= 0 || c.SubstitutionRate > 1:
+		return fmt.Errorf("recovery: substitution rate %v out of (0,1]", c.SubstitutionRate)
+	case c.EnsembleWindow < 0 || c.EnsembleWindow > 1024:
+		return fmt.Errorf("recovery: ensemble window %d out of [0,1024]", c.EnsembleWindow)
+	}
+	return nil
+}
+
+// Stats accumulates recovery activity over a stream.
+type Stats struct {
+	// Queries is the total number of observed queries.
+	Queries int
+	// Trusted is how many cleared the confidence gate.
+	Trusted int
+	// ChunksChecked counts chunk-level fault tests performed.
+	ChunksChecked int
+	// FaultyChunks counts chunks flagged faulty.
+	FaultyChunks int
+	// BitsSubstituted counts bit positions rewritten (including
+	// rewrites that matched the existing bit).
+	BitsSubstituted int
+}
+
+// Recoverer wires the framework onto a deployed model. It mutates the
+// model's deployed class hypervectors in place — exactly the memory an
+// attacker corrupts.
+type Recoverer struct {
+	model *model.Model
+	cfg   Config
+	rng   *rand.Rand
+	stats Stats
+	// chunk boundaries, precomputed
+	bounds []int
+	// per-class rings of recent trusted queries (ensemble mode only)
+	rings map[int]*queryRing
+}
+
+// New creates a Recoverer for the given trained model.
+func New(m *model.Model, cfg Config, seed uint64) (*Recoverer, error) {
+	if err := cfg.Validate(m.Dimensions()); err != nil {
+		return nil, err
+	}
+	if cfg.GuardZ == 0 {
+		cfg.GuardZ = DefaultGuardZ
+	}
+	r := &Recoverer{model: m, cfg: cfg, rng: stats.NewRNG(seed ^ 0x2545F4914F6CDD1D)}
+	d := m.Dimensions()
+	r.bounds = make([]int, cfg.Chunks+1)
+	for i := 0; i <= cfg.Chunks; i++ {
+		r.bounds[i] = i * d / cfg.Chunks
+	}
+	return r, nil
+}
+
+// Config returns the active configuration.
+func (r *Recoverer) Config() Config { return r.cfg }
+
+// Stats returns the accumulated counters.
+func (r *Recoverer) Stats() Stats { return r.stats }
+
+// Observe processes a single unlabeled query: it returns the model's
+// prediction and, when the confidence gate passes, runs chunk fault
+// detection and probabilistic substitution on the predicted class.
+// The second result reports whether any chunk was repaired.
+func (r *Recoverer) Observe(q *bitvec.Vector) (pred int, updated bool) {
+	r.stats.Queries++
+	pred, conf := r.model.PredictWithConfidence(q, r.cfg.Temperature)
+	if conf < r.cfg.ConfidenceThreshold {
+		return pred, false
+	}
+	r.stats.Trusted++
+
+	classVec := r.model.ClassVector(pred)
+	source := r.substitutionSource(pred, q)
+	k := r.model.Classes()
+	for c := 0; c < r.cfg.Chunks; c++ {
+		lo, hi := r.bounds[c], r.bounds[c+1]
+		if lo == hi {
+			continue
+		}
+		r.stats.ChunksChecked++
+		// Chunk-local similarity contest: the chunk is healthy when
+		// the trusted class wins (ties resolve in its favor). The
+		// guard band absorbs finite-chunk sampling noise.
+		guard := 0.0
+		if r.cfg.GuardZ > 0 {
+			guard = r.cfg.GuardZ / (2 * math.Sqrt(float64(hi-lo)))
+		}
+		own := q.SimilarityRange(classVec, lo, hi)
+		faulty := false
+		for other := 0; other < k; other++ {
+			if other == pred {
+				continue
+			}
+			if q.SimilarityRange(r.model.ClassVector(other), lo, hi) > own+guard {
+				faulty = true
+				break
+			}
+		}
+		if !faulty {
+			continue
+		}
+		r.stats.FaultyChunks++
+		r.stats.BitsSubstituted += classVec.SubstituteRange(source, lo, hi, r.cfg.SubstitutionRate, r.rng)
+		updated = true
+	}
+	return pred, updated
+}
+
+// Run observes every query in order and returns the predictions.
+func (r *Recoverer) Run(queries []*bitvec.Vector) []int {
+	preds := make([]int, len(queries))
+	for i, q := range queries {
+		preds[i], _ = r.Observe(q)
+	}
+	return preds
+}
+
+// TracePoint is one sample of an instrumented recovery run.
+type TracePoint struct {
+	// Queries observed so far.
+	Queries int
+	// Accuracy on the held-out evaluation set at this point.
+	Accuracy float64
+	// Trusted queries so far.
+	Trusted int
+	// BitsSubstituted so far.
+	BitsSubstituted int
+}
+
+// RunTraced observes the query stream, evaluating held-out accuracy
+// every interval queries (and once before the stream and once at the
+// end). It is the instrumentation behind Figure 3's recovery dynamics.
+func (r *Recoverer) RunTraced(queries []*bitvec.Vector, evalQ []*bitvec.Vector, evalY []int, interval int) []TracePoint {
+	if interval < 1 {
+		interval = 1
+	}
+	trace := []TracePoint{{
+		Queries:  r.stats.Queries,
+		Accuracy: r.model.Accuracy(evalQ, evalY),
+		Trusted:  r.stats.Trusted,
+	}}
+	for i, q := range queries {
+		r.Observe(q)
+		if (i+1)%interval == 0 || i == len(queries)-1 {
+			trace = append(trace, TracePoint{
+				Queries:         r.stats.Queries,
+				Accuracy:        r.model.Accuracy(evalQ, evalY),
+				Trusted:         r.stats.Trusted,
+				BitsSubstituted: r.stats.BitsSubstituted,
+			})
+		}
+	}
+	return trace
+}
+
+// SamplesToRecover scans a trace for the first point whose accuracy
+// reaches target and returns its query count, or -1 when the trace
+// never recovers.
+func SamplesToRecover(trace []TracePoint, target float64) int {
+	for _, p := range trace {
+		if p.Accuracy >= target {
+			return p.Queries
+		}
+	}
+	return -1
+}

@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table accumulates rows of strings and renders them as an aligned
+// plain-text table. It is used by the experiment drivers to print the
+// paper's tables in a shape directly comparable to the publication.
+type Table struct {
+	Title   string
+	Header  []string
+	rows    [][]string
+	aligned bool
+}
+
+// NewTable creates a table with the given title and column header.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// AddRow appends a row. Cells beyond the header width are kept; the
+// renderer sizes columns from the widest cell in each position.
+func (t *Table) AddRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// AddRowf appends a row formatted from (format, value) pairs: each cell
+// is fmt.Sprintf(formats[i], values[i]).
+func (t *Table) AddRowf(formats []string, values ...any) {
+	if len(formats) != len(values) {
+		panic("stats: AddRowf format/value length mismatch")
+	}
+	cells := make([]string, len(values))
+	for i, v := range values {
+		cells[i] = fmt.Sprintf(formats[i], v)
+	}
+	t.AddRow(cells...)
+}
+
+// NumRows reports how many data rows the table holds.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Render returns the table as aligned text, title first, header
+// underlined, one line per row.
+func (t *Table) Render() string {
+	cols := len(t.Header)
+	for _, r := range t.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(r []string) {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.Header)
+	for _, r := range t.rows {
+		measure(r)
+	}
+
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(r []string) {
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(r) {
+				cell = r[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+		}
+		// Trim trailing spaces for tidy output.
+		s := b.String()
+		trimmed := strings.TrimRight(s, " ")
+		b.Reset()
+		b.WriteString(trimmed)
+		b.WriteByte('\n')
+	}
+	if len(t.Header) > 0 {
+		writeRow(t.Header)
+		total := 0
+		for i, w := range widths {
+			total += w
+			if i > 0 {
+				total += 2
+			}
+		}
+		b.WriteString(strings.Repeat("-", total))
+		b.WriteByte('\n')
+	}
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Pct formats a fraction (0..1) as a percentage with two decimals, e.g.
+// 0.0312 -> "3.12%".
+func Pct(frac float64) string {
+	return fmt.Sprintf("%.2f%%", frac*100)
+}
+
+// PctPoints formats a value already expressed in percentage points,
+// e.g. 3.12 -> "3.12%".
+func PctPoints(points float64) string {
+	return fmt.Sprintf("%.2f%%", points)
+}

@@ -1,0 +1,211 @@
+// Package svm implements the linear SVM baseline: one-vs-rest hinge
+// loss trained with SGD and L2 regularization, deployed with 8-bit
+// fixed-point weights for bit-flip attack experiments (Table 3).
+package svm
+
+import (
+	"fmt"
+
+	"repro/internal/fixed"
+	"repro/internal/stats"
+)
+
+// Config sets SVM training hyperparameters.
+type Config struct {
+	// Epochs is the number of SGD passes (default 20).
+	Epochs int
+	// LearningRate is the initial step size (default 0.05), decayed
+	// as 1/(1+epoch).
+	LearningRate float64
+	// Lambda is the L2 regularization coefficient (default 1e-3).
+	Lambda float64
+	// Seed drives shuffling.
+	Seed uint64
+}
+
+// DefaultConfig returns sensible hyperparameters for the benchmark
+// datasets.
+func DefaultConfig() Config {
+	return Config{Epochs: 20, LearningRate: 0.05, Lambda: 1e-3, Seed: 1}
+}
+
+func (c *Config) fillDefaults() {
+	if c.Epochs == 0 {
+		c.Epochs = 20
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = 0.05
+	}
+	if c.Lambda == 0 {
+		c.Lambda = 1e-3
+	}
+}
+
+// SVM is a trained linear one-vs-rest classifier: score_c = w_c·x+b_c.
+type SVM struct {
+	w       [][]float64 // [class][feature]
+	b       []float64
+	classes int
+	inputs  int
+}
+
+// Train fits the model on raw feature vectors with labels in
+// [0, classes).
+func Train(x [][]float64, y []int, classes int, cfg Config) (*SVM, error) {
+	cfg.fillDefaults()
+	if len(x) == 0 {
+		return nil, fmt.Errorf("svm: no training data")
+	}
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("svm: %d samples but %d labels", len(x), len(y))
+	}
+	if classes < 2 {
+		return nil, fmt.Errorf("svm: need at least 2 classes, got %d", classes)
+	}
+	for i, yi := range y {
+		if yi < 0 || yi >= classes {
+			return nil, fmt.Errorf("svm: label %d out of range at sample %d", yi, i)
+		}
+	}
+	inputs := len(x[0])
+	m := &SVM{classes: classes, inputs: inputs, b: make([]float64, classes)}
+	m.w = make([][]float64, classes)
+	for c := range m.w {
+		m.w[c] = make([]float64, inputs)
+	}
+	rng := stats.NewRNG(cfg.Seed ^ 0x94D049BB133111EB)
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		lr := cfg.LearningRate / (1 + float64(epoch))
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for _, i := range idx {
+			xi := x[i]
+			for c := 0; c < classes; c++ {
+				target := -1.0
+				if y[i] == c {
+					target = 1.0
+				}
+				score := m.b[c]
+				wc := m.w[c]
+				for j, v := range xi {
+					score += wc[j] * v
+				}
+				// Hinge subgradient with L2 shrinkage.
+				if target*score < 1 {
+					for j, v := range xi {
+						wc[j] += lr * (target*v - cfg.Lambda*wc[j])
+					}
+					m.b[c] += lr * target
+				} else {
+					for j := range wc {
+						wc[j] -= lr * cfg.Lambda * wc[j]
+					}
+				}
+			}
+		}
+	}
+	return m, nil
+}
+
+// Inputs returns the expected feature count.
+func (m *SVM) Inputs() int { return m.inputs }
+
+// Classes returns the class count.
+func (m *SVM) Classes() int { return m.classes }
+
+// Predict classifies one raw feature vector with float weights.
+func (m *SVM) Predict(x []float64) int {
+	scores := make([]float64, m.classes)
+	for c := 0; c < m.classes; c++ {
+		s := m.b[c]
+		for j, v := range x {
+			s += m.w[c][j] * v
+		}
+		scores[c] = s
+	}
+	return stats.ArgMax(scores)
+}
+
+// Accuracy evaluates float-weight accuracy.
+func (m *SVM) Accuracy(x [][]float64, y []int) float64 {
+	pred := make([]int, len(x))
+	for i := range x {
+		pred[i] = m.Predict(x[i])
+	}
+	return stats.Accuracy(pred, y)
+}
+
+// Deploy produces the attackable 8-bit fixed-point deployment (the
+// flattened class-major weight matrix; biases stay clean).
+func (m *SVM) Deploy() *Deployed {
+	flat := make([]float64, 0, m.classes*m.inputs)
+	for c := 0; c < m.classes; c++ {
+		flat = append(flat, m.w[c]...)
+	}
+	return &Deployed{
+		w:       fixed.Quantize(flat),
+		b:       append([]float64(nil), m.b...),
+		classes: m.classes,
+		inputs:  m.inputs,
+	}
+}
+
+// Deployed is the quantized SVM; it implements attack.Image.
+type Deployed struct {
+	w       *fixed.Tensor
+	b       []float64
+	classes int
+	inputs  int
+}
+
+// Classes returns the class count.
+func (d *Deployed) Classes() int { return d.classes }
+
+// Elements returns the weight count.
+func (d *Deployed) Elements() int { return d.w.Elements() }
+
+// BitsPerElement returns 8.
+func (d *Deployed) BitsPerElement() int { return 8 }
+
+// BitDamageOrder returns two's-complement bits from the sign down.
+func (d *Deployed) BitDamageOrder() []int { return []int{7, 6, 5, 4, 3, 2, 1, 0} }
+
+// FlipBit flips bit b of weight element i.
+func (d *Deployed) FlipBit(i, b int) { d.w.FlipBit(i, b) }
+
+// Predict classifies through the (possibly corrupted) quantized
+// weights.
+func (d *Deployed) Predict(x []float64) int {
+	scores := make([]float64, d.classes)
+	for c := 0; c < d.classes; c++ {
+		s := d.b[c]
+		base := c * d.inputs
+		for j, v := range x {
+			s += d.w.Value(base+j) * v
+		}
+		scores[c] = s
+	}
+	return stats.ArgMax(scores)
+}
+
+// Accuracy evaluates quantized-weight accuracy.
+func (d *Deployed) Accuracy(x [][]float64, y []int) float64 {
+	pred := make([]int, len(x))
+	for i := range x {
+		pred[i] = d.Predict(x[i])
+	}
+	return stats.Accuracy(pred, y)
+}
+
+// Clone deep-copies the deployment.
+func (d *Deployed) Clone() *Deployed {
+	return &Deployed{
+		w:       d.w.Clone(),
+		b:       append([]float64(nil), d.b...),
+		classes: d.classes,
+		inputs:  d.inputs,
+	}
+}

@@ -1,0 +1,116 @@
+package svm
+
+import (
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+func smallData(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	spec := dataset.PAMAP()
+	spec.TrainSize, spec.TestSize = 400, 150
+	ds, err := dataset.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil, nil, 2, Config{}); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := Train([][]float64{{1}}, []int{0, 1}, 2, Config{}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := Train([][]float64{{1}}, []int{0}, 1, Config{}); err == nil {
+		t.Fatal("single class accepted")
+	}
+	if _, err := Train([][]float64{{1}}, []int{3}, 2, Config{}); err == nil {
+		t.Fatal("bad label accepted")
+	}
+}
+
+func TestTrainLearns(t *testing.T) {
+	ds := smallData(t)
+	m, err := Train(ds.TrainX, ds.TrainY, ds.Spec.Classes, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := m.Accuracy(ds.TestX, ds.TestY); acc < 0.8 {
+		t.Fatalf("SVM accuracy %.3f too low", acc)
+	}
+	if m.Inputs() != ds.Spec.Features || m.Classes() != ds.Spec.Classes {
+		t.Fatal("accessors wrong")
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	ds := smallData(t)
+	a, _ := Train(ds.TrainX, ds.TrainY, ds.Spec.Classes, DefaultConfig())
+	b, _ := Train(ds.TrainX, ds.TrainY, ds.Spec.Classes, DefaultConfig())
+	for i, x := range ds.TestX {
+		if a.Predict(x) != b.Predict(x) {
+			t.Fatalf("same-seed models disagree on sample %d", i)
+		}
+	}
+}
+
+func TestDeployedMatchesFloat(t *testing.T) {
+	ds := smallData(t)
+	m, _ := Train(ds.TrainX, ds.TrainY, ds.Spec.Classes, DefaultConfig())
+	d := m.Deploy()
+	accF := m.Accuracy(ds.TestX, ds.TestY)
+	if accQ := d.Accuracy(ds.TestX, ds.TestY); accQ < accF-0.05 {
+		t.Fatalf("quantized accuracy %.3f far below float %.3f", accQ, accF)
+	}
+}
+
+func TestDeployedImageContract(t *testing.T) {
+	ds := smallData(t)
+	m, _ := Train(ds.TrainX, ds.TrainY, ds.Spec.Classes, DefaultConfig())
+	d := m.Deploy()
+	if d.Elements() != ds.Spec.Classes*ds.Spec.Features {
+		t.Fatalf("Elements = %d", d.Elements())
+	}
+	if d.BitsPerElement() != 8 || d.BitDamageOrder()[0] != 7 {
+		t.Fatal("contract wrong")
+	}
+	var _ attack.Image = d
+}
+
+func TestTargetedWorseThanRandomPerFlip(t *testing.T) {
+	// With an equal flip budget, worst-case (sign-bit) flips must hurt
+	// at least as much as random bit flips.
+	ds := smallData(t)
+	m, _ := Train(ds.TrainX, ds.TrainY, ds.Spec.Classes, DefaultConfig())
+	loss := func(targeted bool) float64 {
+		d := m.Deploy()
+		clean := d.Accuracy(ds.TestX, ds.TestY)
+		if targeted {
+			attack.Targeted(d, 0.05, stats.NewRNG(3))
+		} else {
+			attack.Random(d, 0.05, stats.NewRNG(3))
+		}
+		return clean - d.Accuracy(ds.TestX, ds.TestY)
+	}
+	lr, lt := loss(false), loss(true)
+	if lt < lr-0.03 {
+		t.Fatalf("targeted loss %.3f clearly below random %.3f at equal budget", lt, lr)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	ds := smallData(t)
+	m, _ := Train(ds.TrainX, ds.TrainY, ds.Spec.Classes, DefaultConfig())
+	d := m.Deploy()
+	c := d.Clone()
+	clean := c.Accuracy(ds.TestX, ds.TestY)
+	attack.Targeted(d, 0.3, stats.NewRNG(5))
+	if c.Accuracy(ds.TestX, ds.TestY) != clean {
+		t.Fatal("clone affected by attack")
+	}
+}
