@@ -15,6 +15,7 @@ package repro_test
 
 import (
 	"math/rand/v2"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/attack"
@@ -30,6 +31,7 @@ import (
 	"repro/internal/memsim"
 	"repro/internal/pim"
 	"repro/internal/recovery"
+	"repro/internal/serve"
 	"repro/internal/stats"
 )
 
@@ -201,6 +203,42 @@ func BenchmarkPredict(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sys.Predict(ds.TestX[i%len(ds.TestX)])
+	}
+}
+
+// BenchmarkServeBatchPredict measures end-to-end serving throughput
+// through the sharded batching pool across shard counts and batch
+// sizes — the perf baseline for the serve package. Recovery is
+// disabled so the numbers isolate the request path; parallel clients
+// keep every shard's batcher saturated.
+func BenchmarkServeBatchPredict(b *testing.B) {
+	sys, ds := benchSystem(b)
+	for _, shards := range []int{1, 4} {
+		for _, batch := range []int{16, 128} {
+			name := "shards" + itoa(shards) + "/batch" + itoa(batch)
+			b.Run(name, func(b *testing.B) {
+				srv, err := serve.New(sys, serve.Config{
+					Shards:          shards,
+					BatchSize:       batch,
+					DisableRecovery: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer srv.Close()
+				var next atomic.Int64
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					for pb.Next() {
+						i := int(next.Add(1)) % len(ds.TestX)
+						if _, err := srv.Predict(ds.TestX[i]); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				})
+			})
+		}
 	}
 }
 

@@ -1,0 +1,158 @@
+// Command servehd runs the RobustHD online inference server: an
+// HTTP/JSON service whose deployed class hypervectors self-heal from
+// bit-flip faults while it serves traffic.
+//
+// Start it from a saved checkpoint:
+//
+//	robusthd -dataset PAMAP -save model.rhd
+//	servehd -addr :8080 -load model.rhd
+//
+// or let it train at startup on a built-in benchmark dataset (the
+// test split is installed as the held-out accuracy probe):
+//
+//	servehd -addr :8080 -dataset PAMAP -dims 8000 -probe 5s
+//
+// Then classify, drill, and watch it recover:
+//
+//	curl -s localhost:8080/predict -d '{"x":[...]}'
+//	curl -s localhost:8080/attack  -d '{"kind":"targeted","rate":0.10}'
+//	curl -s localhost:8080/metrics
+//
+// SIGINT/SIGTERM trigger a graceful drain: in-flight predictions are
+// answered and the recovery backlog is applied before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/recovery"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	loadFile := flag.String("load", "", "start from a saved system (robusthd -save / GET /snapshot format)")
+	dsName := flag.String("dataset", "", "train at startup on this built-in dataset (MNIST, UCIHAR, ISOLET, FACE, PAMAP, PECAN)")
+	dims := flag.Int("dims", 10000, "hypervector dimensionality (with -dataset)")
+	seed := flag.Uint64("seed", 1, "training seed (with -dataset)")
+	shards := flag.Int("shards", 0, "batching shards (0 = default)")
+	batch := flag.Int("batch", 0, "max batch size (0 = default)")
+	window := flag.Duration("window", 0, "batch fill window (0 = default)")
+	probe := flag.Duration("probe", 0, "held-out accuracy probe interval (0 disables)")
+	tc := flag.Float64("tc", 0, "recovery confidence threshold T_C (0 = default)")
+	chunks := flag.Int("chunks", 0, "recovery fault-detection chunks m (0 = default)")
+	sub := flag.Float64("sub", 0, "recovery substitution rate S (0 = default)")
+	noRecover := flag.Bool("norecover", false, "disable the background recovery loop")
+	flag.Parse()
+
+	recCfg := recovery.DefaultConfig()
+	if *tc > 0 {
+		recCfg.ConfidenceThreshold = *tc
+	}
+	if *chunks > 0 {
+		recCfg.Chunks = *chunks
+	}
+	if *sub > 0 {
+		recCfg.SubstitutionRate = *sub
+	}
+
+	var sys *core.System
+	var probeX [][]float64
+	var probeY []int
+	switch {
+	case *loadFile != "":
+		f, err := os.Open(*loadFile)
+		if err != nil {
+			fail(err)
+		}
+		sys, err = core.Load(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("loaded system from %s (D=%d, %d classes, %d features)\n",
+			*loadFile, sys.Dimensions(), sys.Classes(), sys.Features())
+	case *dsName != "":
+		spec, ok := dataset.ByName(strings.ToUpper(*dsName))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown dataset %q\n", *dsName)
+			os.Exit(2)
+		}
+		ds, err := dataset.Generate(spec)
+		if err != nil {
+			fail(err)
+		}
+		sys, err = core.Train(ds.TrainX, ds.TrainY, spec.Classes, core.Config{
+			Dimensions: *dims,
+			Seed:       *seed,
+		})
+		if err != nil {
+			fail(err)
+		}
+		probeX, probeY = ds.TestX, ds.TestY
+		fmt.Printf("trained on %s: D=%d, %d classes, clean accuracy %.4f\n",
+			spec.Name, sys.Dimensions(), sys.Classes(), sys.Accuracy(ds.TestX, ds.TestY))
+	default:
+		fmt.Println("no -load or -dataset: serving starts once POST /train or POST /restore installs a model")
+	}
+
+	srv, err := serve.New(sys, serve.Config{
+		Shards:          *shards,
+		BatchSize:       *batch,
+		BatchWindow:     *window,
+		Recovery:        recCfg,
+		RecoverySeed:    *seed + 2,
+		DisableRecovery: *noRecover,
+		ProbeInterval:   *probe,
+	})
+	if err != nil {
+		fail(err)
+	}
+	if probeX != nil {
+		if err := srv.SetProbe(probeX, probeY); err != nil {
+			fail(err)
+		}
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Printf("servehd listening on %s\n", *addr)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		fmt.Printf("\n%s: draining...\n", sig)
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fail(err)
+		}
+	}
+
+	// Stop accepting connections and let in-flight HTTP requests
+	// finish, then drain the batching pool and recovery backlog.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		httpSrv.Close()
+	}
+	srv.Close()
+	fmt.Println("servehd: drained, bye")
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "servehd:", err)
+	os.Exit(1)
+}

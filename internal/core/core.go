@@ -110,6 +110,11 @@ func (s *System) Classes() int { return s.model.Classes() }
 // Dimensions returns the hypervector dimensionality.
 func (s *System) Dimensions() int { return s.model.Dimensions() }
 
+// Features returns the original-space feature count the encoder
+// expects; Encode panics on any other input arity, so request-facing
+// callers (the serve package) validate against this first.
+func (s *System) Features() int { return s.encoder.Features() }
+
 // Encode normalizes and encodes one raw feature vector.
 func (s *System) Encode(x []float64) *bitvec.Vector {
 	return s.encoder.Encode(s.norm.Apply(x))
@@ -165,14 +170,33 @@ func (s *System) Predict(x []float64) int {
 }
 
 // PredictWithConfidence classifies one raw feature vector and returns
-// the softmax confidence of the winning class.
+// the winning class with a normalized confidence.
+//
+// Contract: the confidence is the softmax of the class similarities at
+// model.DefaultConfidenceTemperature — a value in (1/k, 1] for k
+// classes, where 1/k means "no margin over the rivals" and values near
+// 1 mean the winner dominates. This is exactly the normalization the
+// recovery gate applies (recovery.Config.Temperature = 0), so the
+// returned confidence is directly comparable to
+// recovery.Config.ConfidenceThreshold (T_C): a query reported here
+// with confidence >= T_C is one the recovery loop would trust as a
+// pseudo-label. Callers running recovery at a custom temperature
+// should use PredictWithConfidenceAt with the same temperature.
 func (s *System) PredictWithConfidence(x []float64) (int, float64) {
-	return s.model.PredictWithConfidence(s.Encode(x), 0)
+	return s.PredictWithConfidenceAt(x, 0)
 }
 
-// Accuracy evaluates on raw feature vectors.
+// PredictWithConfidenceAt is PredictWithConfidence at an explicit
+// softmax temperature (<= 0 selects model.DefaultConfidenceTemperature).
+func (s *System) PredictWithConfidenceAt(x []float64, temperature float64) (int, float64) {
+	return s.model.PredictWithConfidence(s.Encode(x), temperature)
+}
+
+// Accuracy evaluates on raw feature vectors, encoding and scoring in
+// parallel across all cores (the serve package's periodic accuracy
+// probe and the experiment drivers sit on this path).
 func (s *System) Accuracy(xs [][]float64, ys []int) float64 {
-	return s.model.Accuracy(s.EncodeAll(xs), ys)
+	return s.model.AccuracyParallel(s.EncodeAllParallel(xs, 0), ys, 0)
 }
 
 // AttackImage returns the attack surface of the deployed model.
@@ -189,6 +213,17 @@ func (s *System) AttackRandom(rate float64, seed uint64) (attack.Result, error) 
 // AttackTargeted performs the worst-case attack at the given rate.
 func (s *System) AttackTargeted(rate float64, seed uint64) (attack.Result, error) {
 	return attack.Targeted(s.AttackImage(), rate, stats.NewRNG(seed))
+}
+
+// AttackBurst injects a row-hammer-style clustered fault: every bit in
+// a contiguous span covering spanFrac of the deployed elements flips
+// independently with flipProb. Physical attacks corrupt adjacent
+// memory rows rather than uniformly scattered bits, and this localized
+// shape is the damage the recovery loop's chunk detection is most
+// sensitive to — the serve package's live attack drills use it to
+// demonstrate online self-healing.
+func (s *System) AttackBurst(spanFrac, flipProb float64, seed uint64) (attack.Result, error) {
+	return attack.Burst(s.AttackImage(), spanFrac, flipProb, stats.NewRNG(seed))
 }
 
 // Snapshot captures the deployed class hypervectors (e.g. to measure

@@ -208,3 +208,69 @@ func TestEncodeAllParallelEmpty(t *testing.T) {
 		t.Fatal("empty input should yield empty output")
 	}
 }
+
+func TestPredictWithConfidenceMatchesRecoveryGate(t *testing.T) {
+	// The documented contract: PredictWithConfidence reports exactly
+	// the softmax confidence the recovery gate computes, so a caller
+	// comparing it against T_C predicts the gate's trust decision.
+	s, ds := trainSmall(t)
+	cfg := recovery.DefaultConfig()
+	for i := 0; i < 40; i++ {
+		pred, conf := s.PredictWithConfidence(ds.TestX[i])
+		q := s.Encode(ds.TestX[i])
+		mPred, mConf := s.Model().PredictWithConfidence(q, cfg.Temperature)
+		if pred != mPred || conf != mConf {
+			t.Fatalf("sample %d: system (%d, %v) != model-at-default-temp (%d, %v)",
+				i, pred, conf, mPred, mConf)
+		}
+		at, confAt := s.PredictWithConfidenceAt(ds.TestX[i], 0)
+		if at != pred || confAt != conf {
+			t.Fatalf("sample %d: PredictWithConfidenceAt(x, 0) diverged", i)
+		}
+	}
+}
+
+func TestPredictWithConfidenceAtTemperatureSharpens(t *testing.T) {
+	// Higher temperature must push confidence toward 1, lower toward
+	// the uninformative 1/k floor — monotone in temperature.
+	s, ds := trainSmall(t)
+	_, lo := s.PredictWithConfidenceAt(ds.TestX[0], 30)
+	_, mid := s.PredictWithConfidenceAt(ds.TestX[0], 120)
+	_, hi := s.PredictWithConfidenceAt(ds.TestX[0], 400)
+	if !(lo < mid && mid < hi) {
+		t.Fatalf("confidence not monotone in temperature: %v, %v, %v", lo, mid, hi)
+	}
+	floor := 1.0 / float64(s.Classes())
+	if lo <= floor || hi > 1 {
+		t.Fatalf("confidence out of (1/k, 1]: lo=%v hi=%v floor=%v", lo, hi, floor)
+	}
+}
+
+func TestAttackBurstIsLocalized(t *testing.T) {
+	s, _ := trainSmall(t)
+	snap := s.Snapshot()
+	res, err := s.AttackBurst(0.05, 0.5, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BitsFlipped == 0 {
+		t.Fatal("burst flipped nothing")
+	}
+	// A 5% contiguous span of the element space cannot straddle more
+	// than two of the per-class vector regions.
+	damaged := 0
+	for c := 0; c < s.Classes(); c++ {
+		if !s.Model().ClassVector(c).Equal(snap[c]) {
+			damaged++
+		}
+	}
+	if damaged == 0 {
+		t.Fatal("no class vector changed")
+	}
+	if damaged > 2 {
+		t.Fatalf("burst at 5%% span damaged %d of %d classes; not localized", damaged, s.Classes())
+	}
+	if err := func() error { _, err := s.AttackBurst(1.5, 0.5, 1); return err }(); err == nil {
+		t.Fatal("span fraction > 1 accepted")
+	}
+}

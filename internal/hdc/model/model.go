@@ -7,6 +7,9 @@ package model
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/bitvec"
 	"repro/internal/stats"
@@ -195,9 +198,57 @@ func (m *Model) PredictBatch(qs []*bitvec.Vector) []int {
 	return out
 }
 
-// Accuracy evaluates classification accuracy on encoded queries.
+// predictParallelMin is the batch size below which PredictBatchParallel
+// stays serial: spawning workers costs more than scoring a handful of
+// queries.
+const predictParallelMin = 64
+
+// PredictBatchParallel classifies every query across the given number
+// of worker goroutines (<= 0 selects GOMAXPROCS). Scoring reads only
+// the deployed class hypervectors, so workers share the model safely;
+// results are in input order and identical to PredictBatch. Callers
+// that mutate the model concurrently (recovery, attack drills) must
+// serialize those writes against this read, exactly as for Predict.
+func (m *Model) PredictBatchParallel(qs []*bitvec.Vector, workers int) []int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(qs) {
+		workers = len(qs)
+	}
+	if workers <= 1 || len(qs) < predictParallelMin {
+		return m.PredictBatch(qs)
+	}
+	out := make([]int, len(qs))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(qs) {
+					return
+				}
+				out[i] = m.Predict(qs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// Accuracy evaluates classification accuracy on encoded queries,
+// scoring large batches in parallel across all cores.
 func (m *Model) Accuracy(qs []*bitvec.Vector, labels []int) float64 {
-	return stats.Accuracy(m.PredictBatch(qs), labels)
+	return m.AccuracyParallel(qs, labels, 0)
+}
+
+// AccuracyParallel evaluates accuracy with an explicit scoring worker
+// count (<= 0 selects GOMAXPROCS).
+func (m *Model) AccuracyParallel(qs []*bitvec.Vector, labels []int, workers int) float64 {
+	return stats.Accuracy(m.PredictBatchParallel(qs, workers), labels)
 }
 
 // DefaultConfidenceTemperature converts raw similarity values (which

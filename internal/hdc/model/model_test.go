@@ -282,3 +282,32 @@ func TestTrainOrderInvariance(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestPredictBatchParallelMatchesSerial(t *testing.T) {
+	tr, te, try, tey := encodeDataset(t, smallSpec(), 2048)
+	m, err := New(5, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Train(tr, try); err != nil {
+		t.Fatal(err)
+	}
+	serial := m.PredictBatch(te)
+	for _, workers := range []int{0, 1, 2, 7, 64, 1000} {
+		got := m.PredictBatchParallel(te, workers)
+		if len(got) != len(serial) {
+			t.Fatalf("workers=%d: length %d != %d", workers, len(got), len(serial))
+		}
+		for i := range serial {
+			if got[i] != serial[i] {
+				t.Fatalf("workers=%d query %d: parallel %d != serial %d", workers, i, got[i], serial[i])
+			}
+		}
+	}
+	if a, b := m.Accuracy(te, tey), m.AccuracyParallel(te, tey, 1); a != b {
+		t.Fatalf("Accuracy %.4f != AccuracyParallel(workers=1) %.4f", a, b)
+	}
+	if got := m.PredictBatchParallel(nil, 4); len(got) != 0 {
+		t.Fatal("empty batch should yield empty predictions")
+	}
+}

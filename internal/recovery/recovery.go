@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"sync"
 
 	"repro/internal/bitvec"
 	"repro/internal/hdc/model"
@@ -121,9 +122,21 @@ type Stats struct {
 // Recoverer wires the framework onto a deployed model. It mutates the
 // model's deployed class hypervectors in place — exactly the memory an
 // attacker corrupts.
+//
+// Concurrency: the Recoverer's own state (RNG, counters, ensemble
+// rings) is guarded by an internal mutex, so Observe, Run, and Stats
+// are safe to call from multiple goroutines. The deployed model is
+// NOT covered by that mutex: Observe both reads and rewrites the class
+// hypervectors, so callers that read the model concurrently (serving
+// predictions) or write it (attack drills, restores) must serialize
+// model access externally — the serve package's single-writer lock is
+// the reference pattern.
 type Recoverer struct {
 	model *model.Model
 	cfg   Config
+
+	// mu guards everything below it; see the concurrency note above.
+	mu    sync.Mutex
 	rng   *rand.Rand
 	stats Stats
 	// chunk boundaries, precomputed
@@ -152,14 +165,25 @@ func New(m *model.Model, cfg Config, seed uint64) (*Recoverer, error) {
 // Config returns the active configuration.
 func (r *Recoverer) Config() Config { return r.cfg }
 
-// Stats returns the accumulated counters.
-func (r *Recoverer) Stats() Stats { return r.stats }
+// Stats returns the accumulated counters. It is safe to call while
+// another goroutine is inside Observe (the serve package's metrics
+// endpoint does exactly that).
+func (r *Recoverer) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
 
 // Observe processes a single unlabeled query: it returns the model's
 // prediction and, when the confidence gate passes, runs chunk fault
 // detection and probabilistic substitution on the predicted class.
 // The second result reports whether any chunk was repaired.
+//
+// Observe serializes against other Observe and Stats calls; see the
+// Recoverer concurrency note for the model-access contract.
 func (r *Recoverer) Observe(q *bitvec.Vector) (pred int, updated bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.stats.Queries++
 	pred, conf := r.model.PredictWithConfidence(q, r.cfg.Temperature)
 	if conf < r.cfg.ConfidenceThreshold {
@@ -232,19 +256,21 @@ func (r *Recoverer) RunTraced(queries []*bitvec.Vector, evalQ []*bitvec.Vector, 
 	if interval < 1 {
 		interval = 1
 	}
+	st := r.Stats()
 	trace := []TracePoint{{
-		Queries:  r.stats.Queries,
+		Queries:  st.Queries,
 		Accuracy: r.model.Accuracy(evalQ, evalY),
-		Trusted:  r.stats.Trusted,
+		Trusted:  st.Trusted,
 	}}
 	for i, q := range queries {
 		r.Observe(q)
 		if (i+1)%interval == 0 || i == len(queries)-1 {
+			st = r.Stats()
 			trace = append(trace, TracePoint{
-				Queries:         r.stats.Queries,
+				Queries:         st.Queries,
 				Accuracy:        r.model.Accuracy(evalQ, evalY),
-				Trusted:         r.stats.Trusted,
-				BitsSubstituted: r.stats.BitsSubstituted,
+				Trusted:         st.Trusted,
+				BitsSubstituted: st.BitsSubstituted,
 			})
 		}
 	}

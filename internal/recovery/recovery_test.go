@@ -1,6 +1,7 @@
 package recovery
 
 import (
+	"sync"
 	"testing"
 
 	"repro/internal/bitvec"
@@ -318,5 +319,62 @@ func TestHigherSubstitutionRecoversFaster(t *testing.T) {
 	low, high := bitsFor(0.05), bitsFor(0.5)
 	if high <= low {
 		t.Fatalf("substitution rate 0.5 rewrote %d bits, rate 0.05 rewrote %d", high, low)
+	}
+}
+
+func TestConcurrentObserveAndStats(t *testing.T) {
+	// The serve package calls Observe from its recovery goroutine
+	// while /metrics reads Stats from request handlers. With the
+	// model untouched by other writers (as serve's single-writer lock
+	// guarantees), concurrent Observe+Stats must be race-free and
+	// lose no counts. Run under -race to make the check meaningful.
+	m, stream, _, _ := toyProblem(t, 2048, 400, 16, 0.10, 0.02)
+	r, err := New(m, Config{
+		ConfidenceThreshold: 0.55,
+		Chunks:              8,
+		SubstitutionRate:    0.25,
+	}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Stats readers hammering alongside the observers.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					st := r.Stats()
+					if st.Trusted > st.Queries {
+						t.Error("stats torn: trusted > queries")
+						return
+					}
+				}
+			}
+		}()
+	}
+	// Concurrent observers; the internal mutex serializes them.
+	var obs sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		obs.Add(1)
+		go func(w int) {
+			defer obs.Done()
+			for i := w; i < len(stream); i += 4 {
+				r.Observe(stream[i])
+			}
+		}(w)
+	}
+	obs.Wait()
+	close(stop)
+	wg.Wait()
+
+	if st := r.Stats(); st.Queries != len(stream) {
+		t.Fatalf("lost observations: %d counted, %d sent", st.Queries, len(stream))
 	}
 }

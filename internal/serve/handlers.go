@@ -1,0 +1,269 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+)
+
+// maxBodyBytes bounds request bodies (training sets and snapshots
+// included); oversized requests fail decoding rather than exhausting
+// memory.
+const maxBodyBytes = 256 << 20
+
+// Handler returns the server's HTTP API:
+//
+//	POST /predict   {"x":[...]} or {"xs":[[...],...]} → predictions
+//	POST /train     train a fresh system from inline data
+//	GET  /snapshot  binary core.Save checkpoint of the live system
+//	POST /restore   install a checkpoint (the /snapshot format)
+//	POST /attack    live bit-flip drill on the deployed model
+//	GET  /metrics   operational counters + recovery stats + probe
+//	GET  /healthz   200 once a model is installed, 503 before
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /predict", s.handlePredict)
+	mux.HandleFunc("POST /train", s.handleTrain)
+	mux.HandleFunc("GET /snapshot", s.handleSnapshot)
+	mux.HandleFunc("POST /restore", s.handleRestore)
+	mux.HandleFunc("POST /attack", s.handleAttack)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// writeJSON emits a JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeErr maps serving errors onto HTTP statuses.
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrBadInput):
+		status = http.StatusBadRequest
+	case errors.Is(err, ErrNoModel):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, ErrClosed):
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	return nil
+}
+
+// predictRequest accepts a single sample or a batch.
+type predictRequest struct {
+	X  []float64   `json:"x,omitempty"`
+	Xs [][]float64 `json:"xs,omitempty"`
+}
+
+type predictResponse struct {
+	Prediction  *Prediction  `json:"prediction,omitempty"`
+	Predictions []Prediction `json:"predictions,omitempty"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var req predictRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	switch {
+	case req.X != nil && req.Xs != nil:
+		writeErr(w, fmt.Errorf("%w: provide x or xs, not both", ErrBadInput))
+	case req.X != nil:
+		pred, err := s.Predict(req.X)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, predictResponse{Prediction: &pred})
+	case len(req.Xs) > 0:
+		preds, err := s.PredictMany(req.Xs)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, predictResponse{Predictions: preds})
+	default:
+		writeErr(w, fmt.Errorf("%w: empty request: provide x or xs", ErrBadInput))
+	}
+}
+
+// trainRequest carries an inline training set plus the core
+// configuration. ProbeX/ProbeY optionally install a held-out set for
+// the accuracy probe in the same call.
+type trainRequest struct {
+	X       [][]float64 `json:"x"`
+	Y       []int       `json:"y"`
+	Classes int         `json:"classes"`
+
+	Dimensions    int    `json:"dimensions,omitempty"`
+	Levels        int    `json:"levels,omitempty"`
+	RetrainEpochs int    `json:"retrain_epochs,omitempty"`
+	Seed          uint64 `json:"seed,omitempty"`
+
+	ProbeX [][]float64 `json:"probe_x,omitempty"`
+	ProbeY []int       `json:"probe_y,omitempty"`
+}
+
+func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
+	var req trainRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if len(req.X) == 0 || len(req.X) != len(req.Y) || req.Classes < 2 {
+		writeErr(w, fmt.Errorf("%w: need x, matching y, and classes >= 2", ErrBadInput))
+		return
+	}
+	cfg := core.Config{
+		Dimensions:    req.Dimensions,
+		Levels:        req.Levels,
+		RetrainEpochs: req.RetrainEpochs,
+		Seed:          req.Seed,
+	}
+	// Training is expensive; run it outside any lock and swap the
+	// finished system in atomically.
+	sys, err := core.Train(req.X, req.Y, req.Classes, cfg)
+	if err != nil {
+		writeErr(w, fmt.Errorf("%w: %v", ErrBadInput, err))
+		return
+	}
+	if err := s.install(sys); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if len(req.ProbeX) > 0 {
+		if err := s.SetProbe(req.ProbeX, req.ProbeY); err != nil {
+			writeErr(w, err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"classes":    sys.Classes(),
+		"dimensions": sys.Dimensions(),
+		"features":   sys.Features(),
+	})
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	sys := s.system()
+	if sys == nil {
+		writeErr(w, ErrNoModel)
+		return
+	}
+	// Serialize under the read lock so a concurrent recovery write or
+	// attack drill cannot tear the snapshot.
+	var buf bytes.Buffer
+	s.mu.RLock()
+	err := sys.Save(&buf)
+	s.mu.RUnlock()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", fmt.Sprint(buf.Len()))
+	_, _ = w.Write(buf.Bytes())
+}
+
+func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	sys, err := core.Load(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	if err != nil {
+		// Corrupted, truncated, or wrong-format snapshots are the
+		// caller's fault, not the server's.
+		writeErr(w, fmt.Errorf("%w: %v", ErrBadInput, err))
+		return
+	}
+	if err := s.install(sys); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"classes":    sys.Classes(),
+		"dimensions": sys.Dimensions(),
+		"features":   sys.Features(),
+	})
+}
+
+// attackRequest injects a live fault drill.
+type attackRequest struct {
+	// Kind is "random", "targeted", or "burst".
+	Kind string `json:"kind"`
+	// Rate is the flipped fraction for random/targeted drills.
+	Rate float64 `json:"rate,omitempty"`
+	// SpanFrac and FlipProb parameterize burst drills.
+	SpanFrac float64 `json:"span_frac,omitempty"`
+	FlipProb float64 `json:"flip_prob,omitempty"`
+	Seed     uint64  `json:"seed,omitempty"`
+}
+
+func (s *Server) handleAttack(w http.ResponseWriter, r *http.Request) {
+	var req attackRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	sys := s.system()
+	if sys == nil {
+		writeErr(w, ErrNoModel)
+		return
+	}
+	// The drill rewrites deployed memory: exclusive lock, like any
+	// other model write.
+	var res attack.Result
+	var err error
+	s.mu.Lock()
+	switch req.Kind {
+	case "random":
+		res, err = sys.AttackRandom(req.Rate, req.Seed)
+	case "targeted":
+		res, err = sys.AttackTargeted(req.Rate, req.Seed)
+	case "burst":
+		res, err = sys.AttackBurst(req.SpanFrac, req.FlipProb, req.Seed)
+	default:
+		err = fmt.Errorf("%w: unknown attack kind %q", ErrBadInput, req.Kind)
+	}
+	s.mu.Unlock()
+	if err != nil {
+		if !errors.Is(err, ErrBadInput) {
+			err = fmt.Errorf("%w: %v", ErrBadInput, err)
+		}
+		writeErr(w, err)
+		return
+	}
+	s.metrics.recordAttack(res.BitsFlipped)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"kind":         req.Kind,
+		"bits_flipped": res.BitsFlipped,
+		"elements_hit": res.ElementsHit,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.MetricsSnapshot())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !s.Ready() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "no model"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/recovery"
+)
+
+// metrics holds the server's operational counters. Everything is
+// atomic so the serving path never takes a lock to count; floats
+// accumulate via CAS on their bit patterns.
+type metrics struct {
+	predicts        atomic.Int64 // answered predictions
+	errors          atomic.Int64 // rejected requests (bad input, no model)
+	batches         atomic.Int64 // batches flushed
+	batchedItems    atomic.Int64 // predictions summed over batches
+	confidenceSum   atomic.Uint64 // float bits: Σ confidence
+	trusted         atomic.Int64 // predictions that cleared the recovery gate
+	recoveryDropped atomic.Int64 // trusted queries dropped on a full queue
+
+	attacks    atomic.Int64 // /attack drills executed
+	attackBits atomic.Int64 // total bits flipped by drills
+
+	probes   atomic.Int64  // accuracy probes run
+	probeAcc atomic.Uint64 // float bits: latest probe accuracy
+	probeAt  atomic.Int64  // unix nanos of the latest probe
+}
+
+// addFloat accumulates delta into a float64 stored as bits in u.
+func addFloat(u *atomic.Uint64, delta float64) {
+	for {
+		old := u.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if u.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// observeBatch records one flushed batch of predictions.
+func (m *metrics) observeBatch(preds []Prediction) {
+	m.batches.Add(1)
+	m.batchedItems.Add(int64(len(preds)))
+	m.predicts.Add(int64(len(preds)))
+	sum := 0.0
+	trusted := 0
+	for _, p := range preds {
+		sum += p.Confidence
+		if p.Trusted {
+			trusted++
+		}
+	}
+	addFloat(&m.confidenceSum, sum)
+	m.trusted.Add(int64(trusted))
+}
+
+// recordAttack records one fault-injection drill.
+func (m *metrics) recordAttack(bitsFlipped int) {
+	m.attacks.Add(1)
+	m.attackBits.Add(int64(bitsFlipped))
+}
+
+// recordProbe records the latest held-out accuracy measurement.
+func (m *metrics) recordProbe(acc float64) {
+	m.probes.Add(1)
+	m.probeAcc.Store(math.Float64bits(acc))
+	m.probeAt.Store(time.Now().UnixNano())
+}
+
+// ModelInfo describes the installed model in a metrics snapshot.
+type ModelInfo struct {
+	Classes    int `json:"classes"`
+	Dimensions int `json:"dimensions"`
+	Features   int `json:"features"`
+}
+
+// RecoveryInfo reports the self-healing loop's state.
+type RecoveryInfo struct {
+	Enabled bool `json:"enabled"`
+	// Queued is the current trusted-query backlog.
+	Queued int `json:"queued"`
+	// Dropped counts trusted queries discarded on a full queue.
+	Dropped int64          `json:"dropped"`
+	Stats   recovery.Stats `json:"stats"`
+}
+
+// ProbeInfo reports the latest held-out accuracy probe.
+type ProbeInfo struct {
+	Runs     int64   `json:"runs"`
+	Accuracy float64 `json:"accuracy"`
+	// AgeSeconds is how stale the reading is; -1 when no probe ran yet.
+	AgeSeconds float64 `json:"age_seconds"`
+}
+
+// Metrics is the JSON document served at /metrics.
+type Metrics struct {
+	UptimeSeconds  float64      `json:"uptime_seconds"`
+	Ready          bool         `json:"ready"`
+	Model          *ModelInfo   `json:"model,omitempty"`
+	Predictions    int64        `json:"predictions"`
+	Errors         int64        `json:"errors"`
+	Batches        int64        `json:"batches"`
+	MeanBatchSize  float64      `json:"mean_batch_size"`
+	MeanConfidence float64      `json:"mean_confidence"`
+	Trusted        int64        `json:"trusted"`
+	Attacks        int64        `json:"attacks"`
+	AttackBits     int64        `json:"attack_bits_flipped"`
+	Recovery       RecoveryInfo `json:"recovery"`
+	Probe          ProbeInfo    `json:"probe"`
+}
+
+// Snapshot assembles the current metrics document.
+func (s *Server) MetricsSnapshot() Metrics {
+	m := &s.metrics
+	out := Metrics{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Predictions:   m.predicts.Load(),
+		Errors:        m.errors.Load(),
+		Batches:       m.batches.Load(),
+		Trusted:       m.trusted.Load(),
+		Attacks:       m.attacks.Load(),
+		AttackBits:    m.attackBits.Load(),
+	}
+	if items := m.batchedItems.Load(); items > 0 {
+		out.MeanBatchSize = float64(items) / float64(out.Batches)
+		out.MeanConfidence = math.Float64frombits(m.confidenceSum.Load()) / float64(items)
+	}
+	out.Recovery = RecoveryInfo{
+		Enabled: !s.cfg.DisableRecovery,
+		Queued:  len(s.recCh),
+		Dropped: m.recoveryDropped.Load(),
+	}
+	s.mu.RLock()
+	if s.sys != nil {
+		out.Ready = true
+		out.Model = &ModelInfo{
+			Classes:    s.sys.Classes(),
+			Dimensions: s.sys.Dimensions(),
+			Features:   s.sys.Features(),
+		}
+	}
+	if s.rec != nil {
+		out.Recovery.Stats = s.rec.Stats()
+	}
+	s.mu.RUnlock()
+	out.Probe = ProbeInfo{Runs: m.probes.Load(), AgeSeconds: -1}
+	if out.Probe.Runs > 0 {
+		out.Probe.Accuracy = math.Float64frombits(m.probeAcc.Load())
+		out.Probe.AgeSeconds = time.Since(time.Unix(0, m.probeAt.Load())).Seconds()
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// request is one in-flight prediction. resp is buffered (capacity 1)
+// so batchers never block answering it.
+type request struct {
+	x    []float64
+	resp chan result
+}
+
+type result struct {
+	pred Prediction
+	err  error
+}
+
+// pool is the sharded batching layer. Each shard owns a queue and a
+// batcher goroutine; submissions round-robin across shards. Batching
+// amortizes the per-request overhead into one EncodeAllParallel call
+// and one pass under the shared model lock.
+type pool struct {
+	server *Server
+	shards []chan *request
+	next   atomic.Uint64
+
+	// closing lets close() wait out in-flight submits before closing
+	// the shard channels: submits hold it shared, close holds it
+	// exclusively. "Send on closed channel" is otherwise racy here.
+	closing sync.RWMutex
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+func newPool(s *Server, shards, depth int) *pool {
+	p := &pool{server: s, shards: make([]chan *request, shards)}
+	for i := range p.shards {
+		p.shards[i] = make(chan *request, depth)
+		p.wg.Add(1)
+		go p.batcher(p.shards[i])
+	}
+	return p
+}
+
+// submit enqueues a request on the next shard, blocking when the
+// shard's queue is full (backpressure). It returns ErrClosed once the
+// pool is shutting down.
+func (p *pool) submit(r *request) error {
+	p.closing.RLock()
+	defer p.closing.RUnlock()
+	if p.closed {
+		return ErrClosed
+	}
+	shard := p.shards[p.next.Add(1)%uint64(len(p.shards))]
+	shard <- r
+	return nil
+}
+
+// batcher accumulates requests into batches bounded by BatchSize and
+// BatchWindow, serving each through Server.serveBatch. After close it
+// drains its queue completely — every accepted request is answered.
+func (p *pool) batcher(queue chan *request) {
+	defer p.wg.Done()
+	cfg := &p.server.cfg
+	batch := make([]*request, 0, cfg.BatchSize)
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		// Block for the batch's first request.
+		first, ok := <-queue
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], first)
+		timer.Reset(cfg.BatchWindow)
+	fill:
+		for len(batch) < cfg.BatchSize {
+			select {
+			case r, ok := <-queue:
+				if !ok {
+					break fill
+				}
+				batch = append(batch, r)
+			case <-timer.C:
+				break fill
+			}
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		p.server.serveBatch(batch)
+	}
+}
+
+// close stops accepting submissions, lets the batchers drain, and
+// waits for them to finish their final batches.
+func (p *pool) close() {
+	p.closing.Lock()
+	if p.closed {
+		p.closing.Unlock()
+		return
+	}
+	p.closed = true
+	p.closing.Unlock()
+	for _, shard := range p.shards {
+		close(shard)
+	}
+	p.wg.Wait()
+}

@@ -1,0 +1,395 @@
+// Package serve turns a trained core.System into a long-lived online
+// inference service — the setting the paper's threat model actually
+// describes. In-memory HDC deployments are always-on inference
+// engines, bit-flip attacks on deployed class memory are an online
+// phenomenon, and the adaptive recovery loop is a *runtime* mechanism:
+// it belongs in the request path, not in a batch script.
+//
+// The server wires four pieces around one System:
+//
+//   - A sharded worker pool batches incoming predictions and encodes
+//     them via EncodeAllParallel (pool.go). Encoding is lock-free —
+//     the encoder is derived from (seed, config) and immutable — so
+//     the heavy work never touches the model lock.
+//   - A background recovery goroutine feeds high-confidence queries
+//     into recovery.Recoverer.Observe under the single-writer model
+//     lock, so the deployed class hypervectors self-heal while the
+//     server keeps answering queries.
+//   - Operational endpoints (handlers.go): /predict, /train,
+//     /snapshot + /restore checkpointing, /attack fault-injection
+//     drills, /metrics and /healthz.
+//   - Graceful shutdown: Close drains the pool (every accepted
+//     request gets an answer), then drains the recovery queue, then
+//     stops the probe loop.
+//
+// Locking discipline: s.mu is the single-writer lock over the
+// deployed model. Predictions and accuracy probes take it shared;
+// recovery observation, attack drills, and system swaps
+// (train/restore) take it exclusively. Encoding happens outside the
+// lock entirely.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/recovery"
+)
+
+// Errors surfaced by the serving path.
+var (
+	// ErrClosed reports a request arriving after Close began.
+	ErrClosed = errors.New("serve: server closed")
+	// ErrNoModel reports a request before any model was installed.
+	ErrNoModel = errors.New("serve: no model loaded")
+	// ErrBadInput reports a malformed prediction request.
+	ErrBadInput = errors.New("serve: bad input")
+)
+
+// Config parameterizes the server.
+type Config struct {
+	// Shards is the number of independent batching workers (default
+	// 4, capped at GOMAXPROCS by the pool). Each shard accumulates
+	// its own batch, so shards bound both parallelism and tail
+	// latency spread.
+	Shards int
+	// BatchSize is the largest batch a shard encodes at once
+	// (default 64).
+	BatchSize int
+	// BatchWindow is how long a shard waits for a batch to fill
+	// before flushing a partial one (default 2ms). Smaller windows
+	// trade throughput for latency.
+	BatchWindow time.Duration
+	// QueueDepth is the per-shard request queue (default 4×BatchSize).
+	// Submissions block once it fills — backpressure, not load
+	// shedding.
+	QueueDepth int
+	// EncodeWorkers caps the goroutines encoding one batch (<= 0
+	// selects GOMAXPROCS).
+	EncodeWorkers int
+
+	// DisableRecovery turns the background self-healing loop off
+	// (used by benchmarks and as an experimental control).
+	DisableRecovery bool
+	// Recovery parameterizes the recovery loop; the zero value
+	// selects recovery.DefaultConfig().
+	Recovery recovery.Config
+	// RecoveryQueue is the capacity of the trusted-query buffer
+	// between the serving path and the recovery goroutine (default
+	// 1024). When it is full, queries are dropped and counted —
+	// recovery is best-effort and must never add backpressure to
+	// serving.
+	RecoveryQueue int
+	// RecoverySeed drives the recovery loop's substitution RNG.
+	RecoverySeed uint64
+
+	// ProbeInterval is how often the held-out accuracy probe runs (0
+	// disables the periodic probe; ProbeNow is always available).
+	ProbeInterval time.Duration
+}
+
+func (c *Config) fillDefaults() {
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 64
+	}
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.BatchSize
+	}
+	if c.Recovery == (recovery.Config{}) {
+		c.Recovery = recovery.DefaultConfig()
+	}
+	if c.RecoveryQueue <= 0 {
+		c.RecoveryQueue = 1024
+	}
+	if c.RecoverySeed == 0 {
+		c.RecoverySeed = 1
+	}
+}
+
+// Prediction is one served classification.
+type Prediction struct {
+	// Class is the predicted label.
+	Class int `json:"class"`
+	// Confidence is the normalized softmax confidence in (1/k, 1],
+	// on the same scale as recovery.Config.ConfidenceThreshold (see
+	// core.System.PredictWithConfidence).
+	Confidence float64 `json:"confidence"`
+	// Trusted reports whether the confidence cleared the recovery
+	// gate — i.e. whether this query was handed to the self-healing
+	// loop as a pseudo-label.
+	Trusted bool `json:"trusted"`
+}
+
+// Server is an online inference service over a core.System.
+type Server struct {
+	cfg     Config
+	start   time.Time
+	metrics metrics
+
+	// mu is the single-writer lock over the deployed model (and the
+	// sys/rec pair as a unit). See the package comment.
+	mu  sync.RWMutex
+	sys *core.System
+	rec *recovery.Recoverer
+
+	pool  *pool
+	recCh chan *bitvec.Vector
+
+	probeMu sync.Mutex
+	probeX  [][]float64
+	probeY  []int
+
+	done   chan struct{}
+	bg     sync.WaitGroup
+	closed atomic.Bool
+}
+
+// New starts a server. sys may be nil: the server then answers
+// ErrNoModel until /train or /restore installs one.
+func New(sys *core.System, cfg Config) (*Server, error) {
+	cfg.fillDefaults()
+	s := &Server{
+		cfg:   cfg,
+		start: time.Now(),
+		recCh: make(chan *bitvec.Vector, cfg.RecoveryQueue),
+		done:  make(chan struct{}),
+	}
+	if sys != nil {
+		if err := s.install(sys); err != nil {
+			return nil, err
+		}
+	}
+	s.pool = newPool(s, cfg.Shards, cfg.QueueDepth)
+	s.bg.Add(1)
+	go s.recoveryLoop()
+	if cfg.ProbeInterval > 0 {
+		s.bg.Add(1)
+		go s.probeLoop()
+	}
+	return s, nil
+}
+
+// install wires a system (and a fresh recoverer over its model) in
+// under the write lock.
+func (s *Server) install(sys *core.System) error {
+	var rec *recovery.Recoverer
+	if !s.cfg.DisableRecovery {
+		r, err := sys.NewRecoverer(s.cfg.Recovery, s.cfg.RecoverySeed)
+		if err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+		rec = r
+	}
+	s.mu.Lock()
+	s.sys, s.rec = sys, rec
+	s.mu.Unlock()
+	return nil
+}
+
+// system returns the current system (nil before the first install).
+func (s *Server) system() *core.System {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sys
+}
+
+// Ready reports whether a model is installed.
+func (s *Server) Ready() bool { return s.system() != nil }
+
+// Predict classifies one raw feature vector through the batching
+// pool. It blocks until a shard flushes the batch containing this
+// request (at most BatchWindow once a shard picks it up).
+func (s *Server) Predict(x []float64) (Prediction, error) {
+	req := &request{x: x, resp: make(chan result, 1)}
+	if err := s.pool.submit(req); err != nil {
+		return Prediction{}, err
+	}
+	res := <-req.resp
+	return res.pred, res.err
+}
+
+// PredictMany classifies a batch, fanning the samples out across the
+// pool's shards and collecting in order. The returned error is the
+// first submission failure; predictions before it are still valid.
+func (s *Server) PredictMany(xs [][]float64) ([]Prediction, error) {
+	reqs := make([]*request, len(xs))
+	var submitErr error
+	for i, x := range xs {
+		reqs[i] = &request{x: x, resp: make(chan result, 1)}
+		if err := s.pool.submit(reqs[i]); err != nil {
+			reqs[i] = nil
+			if submitErr == nil {
+				submitErr = err
+			}
+		}
+	}
+	out := make([]Prediction, len(xs))
+	for i, req := range reqs {
+		if req == nil {
+			continue
+		}
+		res := <-req.resp
+		if res.err != nil {
+			if submitErr == nil {
+				submitErr = res.err
+			}
+			continue
+		}
+		out[i] = res.pred
+	}
+	return out, submitErr
+}
+
+// serveBatch is the pool's flush hook: encode the batch lock-free,
+// score it under the shared lock, enqueue trusted queries for
+// recovery, and answer every request.
+func (s *Server) serveBatch(batch []*request) {
+	sys := s.system()
+	if sys == nil {
+		for _, r := range batch {
+			s.metrics.errors.Add(1)
+			r.resp <- result{err: ErrNoModel}
+		}
+		return
+	}
+	want := sys.Features()
+	xs := make([][]float64, 0, len(batch))
+	live := make([]*request, 0, len(batch))
+	for _, r := range batch {
+		if len(r.x) != want {
+			s.metrics.errors.Add(1)
+			r.resp <- result{err: fmt.Errorf("%w: got %d features, want %d", ErrBadInput, len(r.x), want)}
+			continue
+		}
+		xs = append(xs, r.x)
+		live = append(live, r)
+	}
+	if len(xs) == 0 {
+		return
+	}
+	encoded := sys.EncodeAllParallel(xs, s.cfg.EncodeWorkers)
+
+	gate := s.cfg.Recovery.ConfidenceThreshold
+	preds := make([]Prediction, len(encoded))
+	s.mu.RLock()
+	m := sys.Model()
+	for i, q := range encoded {
+		class, conf := m.PredictWithConfidence(q, s.cfg.Recovery.Temperature)
+		preds[i] = Prediction{Class: class, Confidence: conf, Trusted: conf >= gate}
+	}
+	s.mu.RUnlock()
+
+	s.metrics.observeBatch(preds)
+	for i, p := range preds {
+		if p.Trusted && !s.cfg.DisableRecovery {
+			s.enqueueRecovery(encoded[i])
+		}
+		live[i].resp <- result{pred: p}
+	}
+}
+
+// enqueueRecovery hands a trusted query to the background loop
+// without ever blocking the serving path.
+func (s *Server) enqueueRecovery(q *bitvec.Vector) {
+	select {
+	case s.recCh <- q:
+	default:
+		s.metrics.recoveryDropped.Add(1)
+	}
+}
+
+// recoveryLoop is the background self-healing goroutine: it drains
+// the trusted-query buffer, running each observation under the
+// exclusive model lock (recovery rewrites the deployed class
+// hypervectors in place). It exits once the channel is closed and
+// fully drained, so Close never abandons queued observations.
+func (s *Server) recoveryLoop() {
+	defer s.bg.Done()
+	for q := range s.recCh {
+		s.mu.Lock()
+		// A /train or /restore may have swapped in a model of a
+		// different shape between enqueue and observation.
+		if s.rec != nil && s.sys != nil && q.Len() == s.sys.Dimensions() {
+			s.rec.Observe(q)
+		}
+		s.mu.Unlock()
+	}
+}
+
+// SetProbe installs a labeled held-out set for the accuracy probe
+// (copied, so callers may reuse their slices).
+func (s *Server) SetProbe(xs [][]float64, ys []int) error {
+	if len(xs) != len(ys) {
+		return fmt.Errorf("%w: %d probe samples but %d labels", ErrBadInput, len(xs), len(ys))
+	}
+	cx := make([][]float64, len(xs))
+	for i, x := range xs {
+		cx[i] = append([]float64(nil), x...)
+	}
+	cy := append([]int(nil), ys...)
+	s.probeMu.Lock()
+	s.probeX, s.probeY = cx, cy
+	s.probeMu.Unlock()
+	return nil
+}
+
+// ProbeNow evaluates held-out accuracy immediately. It reports false
+// when no probe set is installed, no model is loaded, or the probe
+// set's arity does not match the current encoder.
+func (s *Server) ProbeNow() (float64, bool) {
+	s.probeMu.Lock()
+	xs, ys := s.probeX, s.probeY
+	s.probeMu.Unlock()
+	sys := s.system()
+	if sys == nil || len(xs) == 0 || len(xs[0]) != sys.Features() {
+		return 0, false
+	}
+	// Encode outside the lock (immutable encoder), score under it.
+	encoded := sys.EncodeAllParallel(xs, s.cfg.EncodeWorkers)
+	s.mu.RLock()
+	acc := sys.Model().AccuracyParallel(encoded, ys, s.cfg.EncodeWorkers)
+	s.mu.RUnlock()
+	s.metrics.recordProbe(acc)
+	return acc, true
+}
+
+// probeLoop re-evaluates held-out accuracy on a timer.
+func (s *Server) probeLoop() {
+	defer s.bg.Done()
+	t := time.NewTicker(s.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.ProbeNow()
+		case <-s.done:
+			return
+		}
+	}
+}
+
+// Close drains and stops the server: the pool answers every accepted
+// request, the recovery goroutine finishes its backlog, and the probe
+// loop stops. Close is idempotent; requests after it return
+// ErrClosed.
+func (s *Server) Close() {
+	if !s.closed.CompareAndSwap(false, true) {
+		return
+	}
+	s.pool.close()  // flush pending batches; batchers are the only recCh senders
+	close(s.recCh)  // recovery drains the backlog, then exits
+	close(s.done)   // stop the probe loop
+	s.bg.Wait()
+}
