@@ -196,6 +196,88 @@ func BenchmarkEncode(b *testing.B) {
 	}
 }
 
+// BenchmarkEncodeCached isolates the bound-pair cache: the same
+// encoder-level Encode with the cache active (the default) versus
+// forced off (bind recomputed into scratch every feature).
+func BenchmarkEncodeCached(b *testing.B) {
+	for _, cached := range []bool{true, false} {
+		name := "cache=off"
+		if cached {
+			name = "cache=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			enc, err := encoding.NewRecordEncoder(10000, 75, 8, 0, 1, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			enc.SetBoundCache(cached)
+			rng := stats.NewRNG(2)
+			x := make([]float64, 75)
+			for i := range x {
+				x[i] = rng.Float64()
+			}
+			enc.Encode(x) // warm the cache outside the timed region
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				enc.Encode(x)
+			}
+		})
+	}
+}
+
+// BenchmarkEncodeAllocs pins the zero-allocation contract of the
+// steady-state encode path: EncodeInto with a caller-owned destination
+// and scratch must not allocate.
+func BenchmarkEncodeAllocs(b *testing.B) {
+	enc, err := encoding.NewRecordEncoder(10000, 75, 8, 0, 1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := stats.NewRNG(3)
+	x := make([]float64, 75)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	dst := bitvec.New(10000)
+	scratch := enc.NewScratch()
+	enc.EncodeInto(dst, x, scratch) // warm cache + scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc.EncodeInto(dst, x, scratch)
+	}
+}
+
+// BenchmarkHammingMany measures the fused multi-class scoring kernel
+// against the per-class Hamming loop it replaced, over 12 classes at
+// D=10k (the paper's largest class count and main dimensionality).
+func BenchmarkHammingMany(b *testing.B) {
+	rng := stats.NewRNG(4)
+	q := bitvec.Random(10000, rng)
+	cs := make([]*bitvec.Vector, 12)
+	for i := range cs {
+		cs[i] = bitvec.Random(10000, rng)
+	}
+	dists := make([]int, len(cs))
+	b.Run("fused", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			bitvec.HammingMany(q, cs, dists)
+		}
+	})
+	b.Run("nearest", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			bitvec.Nearest(q, cs, dists)
+		}
+	})
+	b.Run("perclass", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for c, cv := range cs {
+				dists[c] = q.Hamming(cv)
+			}
+		}
+	})
+}
+
 // BenchmarkPredict measures end-to-end classification (encode +
 // associative search).
 func BenchmarkPredict(b *testing.B) {

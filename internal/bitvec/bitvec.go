@@ -14,6 +14,7 @@ package bitvec
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 	"math/rand/v2"
 )
@@ -289,16 +290,41 @@ func (v *Vector) FlipRandom(k int, rng *rand.Rand) {
 
 // FlipBernoulli flips each bit independently with probability p and
 // returns the number of flips performed. It panics unless 0 <= p <= 1.
+//
+// Positions are drawn by geometric skip-sampling — the gap to the next
+// flipped bit is Geometric(p) — so the cost is O(expected flips), not
+// O(Len). The marginal distribution of the flip pattern is identical to
+// the per-bit Bernoulli trial, but the RNG consumption differs, so
+// seeded streams produce different (equally valid) patterns than the
+// old per-dimension implementation.
 func (v *Vector) FlipBernoulli(p float64, rng *rand.Rand) int {
 	if p < 0 || p > 1 {
 		panic("bitvec: probability out of range")
 	}
-	flips := 0
-	for i := 0; i < v.n; i++ {
-		if rng.Float64() < p {
-			v.Flip(i)
-			flips++
+	if p == 0 || v.n == 0 {
+		return 0
+	}
+	if p == 1 {
+		for i := range v.words {
+			v.words[i] = ^v.words[i]
 		}
+		v.maskTail()
+		return v.n
+	}
+	// Skip ~ floor(log(U)/log(1-p)) with U uniform on (0, 1] is
+	// Geometric(p) on {0, 1, 2, ...}: the number of untouched bits
+	// before the next flip.
+	denom := math.Log1p(-p)
+	flips, i := 0, 0
+	for {
+		skip := math.Floor(math.Log(1-rng.Float64()) / denom)
+		if skip >= float64(v.n-i) { // also catches +Inf
+			break
+		}
+		i += int(skip)
+		v.Flip(i)
+		flips++
+		i++
 	}
 	return flips
 }
@@ -341,30 +367,64 @@ func (v *Vector) OverwriteRange(src *Vector, lo, hi int) {
 
 // RotateLeft returns a new vector equal to v cyclically rotated left by
 // k bit positions (bit i of the result is bit (i+k) mod Len of v).
-// Rotation implements the HDC permutation operator.
+// Rotation implements the HDC permutation operator. It runs word-wise:
+// the result is the n-bit funnel (v >> k) | (v << (n-k)), two shifted
+// passes over the packed words instead of a per-bit loop.
 func (v *Vector) RotateLeft(k int) *Vector {
 	out := New(v.n)
 	if v.n == 0 {
 		return out
 	}
 	k = ((k % v.n) + v.n) % v.n
-	for i := 0; i < v.n; i++ {
-		if v.Get((i + k) % v.n) {
-			out.Set(i, true)
-		}
+	if k == 0 {
+		copy(out.words, v.words)
+		return out
 	}
+	// Low part: out bits [0, n-k) = v bits [k, n). The tail-mask
+	// invariant guarantees v's bits at positions >= n read as zero.
+	shiftRightWords(out.words, v.words, k)
+	// High part: out bits [n-k, n) = v bits [0, k), OR-ed in as the
+	// left shift by n-k; maskTail clears the spill past n.
+	m := v.n - k
+	ws, s := m/wordBits, uint(m%wordBits)
+	for j := len(out.words) - 1; j >= ws; j-- {
+		w := v.words[j-ws] << s
+		if j-ws-1 >= 0 {
+			w |= v.words[j-ws-1] >> (wordBits - s) // s == 0 shifts out to 0
+		}
+		out.words[j] |= w
+	}
+	out.maskTail()
 	return out
 }
 
-// Slice returns a new vector holding bits [lo, hi) of v.
+// shiftRightWords writes src logically shifted down by k bits into dst
+// (dst bit i = src bit i+k; vacated high bits are zero). dst may be
+// shorter than src — extra source words feed the final dst words.
+func shiftRightWords(dst, src []uint64, k int) {
+	ws, s := k/wordBits, uint(k%wordBits)
+	for j := range dst {
+		var w uint64
+		if j+ws < len(src) {
+			w = src[j+ws] >> s
+			if j+ws+1 < len(src) {
+				w |= src[j+ws+1] << (wordBits - s) // s == 0 shifts out to 0
+			}
+		}
+		dst[j] = w
+	}
+}
+
+// Slice returns a new vector holding bits [lo, hi) of v. It runs
+// word-wise as a logical shift of the packed words by lo.
 func (v *Vector) Slice(lo, hi int) *Vector {
 	v.checkRange(lo, hi)
 	out := New(hi - lo)
-	for i := lo; i < hi; i++ {
-		if v.Get(i) {
-			out.Set(i-lo, true)
-		}
+	if hi == lo {
+		return out
 	}
+	shiftRightWords(out.words, v.words, lo)
+	out.maskTail()
 	return out
 }
 

@@ -1,0 +1,115 @@
+package bitvec
+
+import "math/bits"
+
+// hammingBlockWords is the word granularity of the fused multi-vector
+// Hamming kernels: the query is walked in blocks of this many words
+// (4 KiB) against every candidate before advancing, so the query block
+// stays cache-resident across the whole candidate set instead of being
+// re-streamed once per candidate.
+const hammingBlockWords = 512
+
+// HammingMany writes the Hamming distance from q to each candidate
+// into out[i] and returns out (allocating it only when nil or too
+// short). This is the fused multi-class scoring kernel behind model
+// inference: one blocked pass over the query scores every deployed
+// class hypervector, with no per-candidate allocation. Every candidate
+// must have q's length.
+func HammingMany(q *Vector, cs []*Vector, out []int) []int {
+	if len(out) < len(cs) {
+		out = make([]int, len(cs))
+	}
+	out = out[:len(cs)]
+	for i, cv := range cs {
+		q.mustMatch(cv)
+		out[i] = 0
+	}
+	qw := q.words
+	for lo := 0; lo < len(qw); lo += hammingBlockWords {
+		hi := lo + hammingBlockWords
+		if hi > len(qw) {
+			hi = len(qw)
+		}
+		qb := qw[lo:hi]
+		for i, cv := range cs {
+			w := cv.words[lo:hi]
+			t := 0
+			for j, x := range qb {
+				t += bits.OnesCount64(x ^ w[j])
+			}
+			out[i] += t
+		}
+	}
+	return out
+}
+
+// Nearest returns the index of the candidate with the smallest Hamming
+// distance to q (ties resolve to the lowest index, matching an argmax
+// over similarities). scratch, when at least len(cs) long, is used for
+// the running distances so the call does not allocate.
+//
+// The kernel walks the same blocked word-major order as HammingMany
+// and early-abandons: once a candidate's partial distance exceeds the
+// current minimum by more than the bits still unscanned, it can no
+// longer win and is skipped for the remaining blocks. The result is
+// bit-identical to a full HammingMany argmin. It panics if cs is
+// empty.
+func Nearest(q *Vector, cs []*Vector, scratch []int) int {
+	if len(cs) == 0 {
+		panic("bitvec: Nearest over no candidates")
+	}
+	dists := scratch
+	if len(dists) < len(cs) {
+		dists = make([]int, len(cs))
+	}
+	dists = dists[:len(cs)]
+	for i, cv := range cs {
+		q.mustMatch(cv)
+		dists[i] = 0
+	}
+	qw := q.words
+	alive := len(cs)
+	for lo := 0; lo < len(qw); lo += hammingBlockWords {
+		hi := lo + hammingBlockWords
+		if hi > len(qw) {
+			hi = len(qw)
+		}
+		qb := qw[lo:hi]
+		for i, cv := range cs {
+			if dists[i] < 0 { // abandoned
+				continue
+			}
+			w := cv.words[lo:hi]
+			t := 0
+			for j, x := range qb {
+				t += bits.OnesCount64(x ^ w[j])
+			}
+			dists[i] += t
+		}
+		if alive > 1 {
+			remaining := (len(qw) - hi) * wordBits
+			min := -1
+			for _, d := range dists {
+				if d >= 0 && (min < 0 || d < min) {
+					min = d
+				}
+			}
+			// A candidate whose partial distance already exceeds the
+			// best candidate's worst possible final distance is dead:
+			// final(c) >= dists[c] > min+remaining >= final(best).
+			for i, d := range dists {
+				if d > min+remaining {
+					dists[i] = -1
+					alive--
+				}
+			}
+		}
+	}
+	best, bestDist := -1, 0
+	for i, d := range dists {
+		if d >= 0 && (best < 0 || d < bestDist) {
+			best, bestDist = i, d
+		}
+	}
+	return best
+}

@@ -1,6 +1,9 @@
 package bitvec
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // PlaneCounter counts, per dimension, how many added vectors had that
 // bit set. Counts are stored bit-sliced: plane b holds bit b of every
@@ -8,11 +11,21 @@ import "fmt"
 // (O(words · log adds)) instead of a per-bit loop. This is the hot
 // accumulator behind record encoding, where every sample bundles
 // hundreds of bound feature hypervectors.
+//
+// A PlaneCounter is built for reuse: Add's carry scratch lives on the
+// counter (no per-call allocation), Presize pre-allocates the planes a
+// known add-count needs, and Reset keeps every buffer for the next
+// accumulation. Encoding scratch pools rely on this — a warmed counter
+// makes the steady-state encode path allocation-free.
 type PlaneCounter struct {
 	planes [][]uint64
-	words  int
-	n      int
-	adds   int
+	carry  []uint64 // Add's ripple-carry scratch, reused across calls
+	// AddMany's carry-save accumulators (weights 1, 2, and 4), reused
+	// across calls.
+	ones, twos, fours []uint64
+	words             int
+	n                 int
+	adds              int
 }
 
 // NewPlaneCounter returns a zeroed counter over n dimensions.
@@ -29,6 +42,19 @@ func (p *PlaneCounter) Len() int { return p.n }
 // Adds returns how many vectors have been accumulated.
 func (p *PlaneCounter) Adds() int { return p.adds }
 
+// Presize allocates enough planes up front for per-dimension counts up
+// to adds, so no Add in a bundle of that many vectors grows the plane
+// stack. Presizing an already-large counter is a no-op; the planes
+// survive Reset, so a pooled counter pays the allocation once.
+func (p *PlaneCounter) Presize(adds int) {
+	if adds < 0 || p.words == 0 {
+		return
+	}
+	for len(p.planes) < bits.Len(uint(adds)) {
+		p.planes = append(p.planes, make([]uint64, p.words))
+	}
+}
+
 // Add accumulates v: every dimension where v has a 1 bit is
 // incremented. v must match the counter's length.
 func (p *PlaneCounter) Add(v *Vector) {
@@ -40,9 +66,21 @@ func (p *PlaneCounter) Add(v *Vector) {
 		return
 	}
 	// Ripple-carry across planes: carry starts as the incoming bits.
-	carry := make([]uint64, p.words)
-	copy(carry, v.words)
-	for _, plane := range p.planes {
+	if p.carry == nil {
+		p.carry = make([]uint64, p.words)
+	}
+	copy(p.carry, v.words)
+	p.rippleFrom(0, p.carry)
+	p.adds++
+}
+
+// rippleFrom propagates carry (one word per counter word) into the
+// planes starting at plane index start, growing the plane stack if the
+// carry escapes the top. carry is consumed: on return it holds the
+// residual carry words (all zero unless the stack grew).
+func (p *PlaneCounter) rippleFrom(start int, carry []uint64) {
+	for pi := start; pi < len(p.planes); pi++ {
+		plane := p.planes[pi]
 		done := true
 		for i, c := range carry {
 			if c == 0 {
@@ -56,13 +94,121 @@ func (p *PlaneCounter) Add(v *Vector) {
 			}
 		}
 		if done {
-			p.adds++
 			return
 		}
 	}
-	// Carry out of the top plane: grow.
-	p.planes = append(p.planes, carry)
-	p.adds++
+	// Carry out of the top plane: grow. Missing intermediate planes
+	// (start beyond the current stack) are zero-filled first. The carry
+	// scratch is reused next call, so the new plane is an independent
+	// copy.
+	for len(p.planes) < start {
+		p.planes = append(p.planes, make([]uint64, p.words))
+	}
+	top := make([]uint64, p.words)
+	copy(top, carry)
+	p.planes = append(p.planes, top)
+	for i := range carry {
+		carry[i] = 0
+	}
+}
+
+// AddMany accumulates every vector in vs, equivalent to calling Add on
+// each in turn but substantially faster for large bundles: vectors are
+// compressed eight at a time through a carry-save adder tree (Harley-
+// Seal style ones/twos/fours accumulators), so the bit-sliced planes
+// are only touched by the rare weight-8 carries and one final flush,
+// instead of once per added vector. This is the record-encoding hot
+// path: bundling a sample's bound feature vectors dominates encode
+// time.
+func (p *PlaneCounter) AddMany(vs []*Vector) {
+	for _, v := range vs {
+		if v.n != p.n {
+			panic(fmt.Sprintf("bitvec: plane counter length %d != vector length %d", p.n, v.n))
+		}
+	}
+	if p.words == 0 {
+		p.adds += len(vs)
+		return
+	}
+	if len(vs) < 8 {
+		for _, v := range vs {
+			p.Add(v)
+		}
+		return
+	}
+	p.Presize(p.adds + len(vs))
+	if p.carry == nil {
+		p.carry = make([]uint64, p.words)
+	}
+	if p.ones == nil {
+		p.ones = make([]uint64, p.words)
+		p.twos = make([]uint64, p.words)
+		p.fours = make([]uint64, p.words)
+	}
+	ones, twos, fours, eights := p.ones, p.twos, p.fours, p.carry
+	for i := range ones {
+		ones[i], twos[i], fours[i] = 0, 0, 0
+	}
+	g := 0
+	for ; g+8 <= len(vs); g += 8 {
+		w0, w1 := vs[g].words, vs[g+1].words
+		w2, w3 := vs[g+2].words, vs[g+3].words
+		w4, w5 := vs[g+4].words, vs[g+5].words
+		w6, w7 := vs[g+6].words, vs[g+7].words
+		var anyEights uint64
+		for i := range ones {
+			// Three CSA layers: eight weight-1 inputs fold into the
+			// running ones/twos/fours accumulators; only the weight-8
+			// carry escapes to the planes.
+			o := ones[i]
+			s01 := w0[i] ^ w1[i]
+			c01 := w0[i] & w1[i]
+			s23 := w2[i] ^ w3[i]
+			c23 := w2[i] & w3[i]
+			sA := s01 ^ s23
+			cA := (s01 & s23) | (o & sA)
+			o ^= sA
+			s45 := w4[i] ^ w5[i]
+			c45 := w4[i] & w5[i]
+			s67 := w6[i] ^ w7[i]
+			c67 := w6[i] & w7[i]
+			sB := s45 ^ s67
+			cB := (s45 & s67) | (o & sB)
+			ones[i] = o ^ sB
+
+			t := twos[i]
+			sC := c01 ^ c23
+			cC := (c01 & c23) | (t & sC)
+			t ^= sC
+			sD := c45 ^ c67
+			cD := (c45 & c67) | (t & sD)
+			t ^= sD
+			sE := cA ^ cB
+			cE := (cA & cB) | (t & sE)
+			twos[i] = t ^ sE
+
+			f := fours[i]
+			sF := cC ^ cD
+			cF := (cC & cD) | (f & sF)
+			f ^= sF
+			e := (f & cE) | cF
+			fours[i] = f ^ cE
+			eights[i] = e
+			anyEights |= e
+		}
+		if anyEights != 0 {
+			p.rippleFrom(3, eights)
+		}
+	}
+	// Flush the pending sub-8 accumulators into the planes at their
+	// weights, then fold in any leftover vectors one at a time.
+	p.rippleFrom(0, ones)
+	p.rippleFrom(1, twos)
+	p.rippleFrom(2, fours)
+	p.adds += g
+	for ; g < len(vs); g++ {
+		p.Add(vs[g])
+	}
 }
 
 // Count returns the accumulated count for dimension i.
@@ -81,17 +227,50 @@ func (p *PlaneCounter) Count(i int) int {
 // Threshold returns the binary vector with bit i set when
 // Count(i) > thresh. For a majority bundle of m added vectors use
 // thresh = m/2 (ties at even m resolve to 0; callers wanting the
-// Counter parity tie-break should add a deterministic padding vector).
+// Counter parity tie-break should use Majority).
 func (p *PlaneCounter) Threshold(thresh int) *Vector {
 	out := New(p.n)
-	if p.words == 0 {
-		return out
+	p.ThresholdInto(out, thresh)
+	return out
+}
+
+// ThresholdInto writes the Threshold result into dst without
+// allocating. dst must have the counter's length.
+func (p *PlaneCounter) ThresholdInto(dst *Vector, thresh int) {
+	p.compareInto(dst, thresh, false)
+}
+
+// compareInto writes the count > thresh mask into dst; when withTies is
+// set it additionally sets even dimensions whose count equals thresh
+// exactly (the deterministic parity tie-break shared with Counter).
+func (p *PlaneCounter) compareInto(dst *Vector, thresh int, withTies bool) {
+	if dst.n != p.n {
+		panic(fmt.Sprintf("bitvec: plane counter length %d != vector length %d", p.n, dst.n))
 	}
-	// Word-wise bit-serial comparison: for each word position compute
-	// gt mask across planes from most significant plane down.
+	if p.words == 0 {
+		return
+	}
 	nPlanes := len(p.planes)
+	if thresh < 0 || thresh>>uint(nPlanes) != 0 {
+		// thresh outside the representable count range: no count can
+		// exceed it (or all do, for negative thresh), and no tie can
+		// occur above the range.
+		var fill uint64
+		if thresh < 0 {
+			fill = ^uint64(0)
+		}
+		for w := 0; w < p.words; w++ {
+			dst.words[w] = fill
+		}
+		dst.maskTail()
+		return
+	}
+	// evenMask selects even global bit indices; word offsets are
+	// multiples of 64, so global parity equals in-word parity.
+	const evenMask = 0x5555555555555555
 	for w := 0; w < p.words; w++ {
-		var gt, eq uint64 = 0, ^uint64(0)
+		var gt uint64 = 0
+		var eq = ^uint64(0)
 		for b := nPlanes - 1; b >= 0; b-- {
 			pb := p.planes[b][w]
 			var tb uint64
@@ -101,28 +280,29 @@ func (p *PlaneCounter) Threshold(thresh int) *Vector {
 			gt |= eq & pb & ^tb
 			eq &= ^(pb ^ tb)
 		}
-		out.words[w] = gt
+		out := gt
+		if withTies {
+			out |= eq & evenMask
+		}
+		dst.words[w] = out
 	}
-	out.maskTail()
-	return out
+	dst.maskTail()
 }
 
 // Majority returns the bundle with bit i set when strictly more than
 // half of the added vectors had bit i set; exact ties at even counts
 // break by dimension parity, matching Counter.Threshold.
 func (p *PlaneCounter) Majority() *Vector {
-	out := p.Threshold(p.adds / 2)
-	if p.adds%2 == 0 {
-		// Strictly-greater comparison already excludes ties; flip the
-		// even dimensions whose count equals exactly adds/2 back on.
-		half := p.adds / 2
-		for i := 0; i < p.n; i += 2 {
-			if !out.Get(i) && p.Count(i) == half {
-				out.Set(i, true)
-			}
-		}
-	}
+	out := New(p.n)
+	p.MajorityInto(out)
 	return out
+}
+
+// MajorityInto writes the Majority bundle into dst without allocating.
+// The even-adds parity tie-break is folded into the same word-wise
+// comparison pass as the threshold itself.
+func (p *PlaneCounter) MajorityInto(dst *Vector) {
+	p.compareInto(dst, p.adds/2, p.adds%2 == 0)
 }
 
 // Reset zeroes the counter for reuse without reallocating planes.

@@ -60,7 +60,30 @@ type System struct {
 	norm    *encoding.Normalizer
 	encoder *encoding.RecordEncoder
 	model   *model.Model
+
+	// enc pools per-worker encode scratch (normalized-feature buffer +
+	// encoder scratch) so the steady-state encode path only allocates
+	// the output hypervector.
+	enc sync.Pool
 }
+
+// encodeScratch is one worker's reusable encode state.
+type encodeScratch struct {
+	features []float64
+	scratch  *encoding.Scratch
+}
+
+func (s *System) getScratch() *encodeScratch {
+	if sc, ok := s.enc.Get().(*encodeScratch); ok {
+		return sc
+	}
+	return &encodeScratch{
+		features: make([]float64, s.encoder.Features()),
+		scratch:  s.encoder.NewScratch(),
+	}
+}
+
+func (s *System) putScratch(sc *encodeScratch) { s.enc.Put(sc) }
 
 // Train builds and trains a system on raw feature vectors with labels
 // in [0, classes).
@@ -115,17 +138,43 @@ func (s *System) Dimensions() int { return s.model.Dimensions() }
 // callers (the serve package) validate against this first.
 func (s *System) Features() int { return s.encoder.Features() }
 
-// Encode normalizes and encodes one raw feature vector.
+// Encode normalizes and encodes one raw feature vector. Only the
+// returned hypervector is allocated; normalization and bundling run in
+// pooled scratch.
 func (s *System) Encode(x []float64) *bitvec.Vector {
-	return s.encoder.Encode(s.norm.Apply(x))
+	sc := s.getScratch()
+	out := s.encodeWith(x, sc)
+	s.putScratch(sc)
+	return out
+}
+
+// EncodeInto normalizes and encodes one raw feature vector into dst —
+// the fully allocation-free variant for callers that recycle query
+// vectors. dst must have the system's dimensionality.
+func (s *System) EncodeInto(dst *bitvec.Vector, x []float64) {
+	sc := s.getScratch()
+	s.norm.ApplyInto(sc.features, x)
+	s.encoder.EncodeInto(dst, sc.features, sc.scratch)
+	s.putScratch(sc)
+}
+
+// encodeWith encodes through the given scratch, allocating only the
+// output vector.
+func (s *System) encodeWith(x []float64, sc *encodeScratch) *bitvec.Vector {
+	s.norm.ApplyInto(sc.features, x)
+	out := bitvec.New(s.encoder.Dimensions())
+	s.encoder.EncodeInto(out, sc.features, sc.scratch)
+	return out
 }
 
 // EncodeAll encodes a batch of raw feature vectors.
 func (s *System) EncodeAll(xs [][]float64) []*bitvec.Vector {
 	out := make([]*bitvec.Vector, len(xs))
+	sc := s.getScratch()
 	for i, x := range xs {
-		out[i] = s.Encode(x)
+		out[i] = s.encodeWith(x, sc)
 	}
+	s.putScratch(sc)
 	return out
 }
 
@@ -151,12 +200,16 @@ func (s *System) EncodeAllParallel(xs [][]float64, workers int) []*bitvec.Vector
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Worker-local scratch: one normalization buffer and one
+			// bundling counter per goroutine for the whole batch.
+			sc := s.getScratch()
+			defer s.putScratch(sc)
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(xs) {
 					return
 				}
-				out[i] = s.Encode(xs[i])
+				out[i] = s.encodeWith(xs[i], sc)
 			}
 		}()
 	}

@@ -16,6 +16,8 @@ package encoding
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/bitvec"
 	"repro/internal/hdc"
@@ -31,16 +33,41 @@ type Encoder interface {
 	Dimensions() int
 }
 
+// DefaultBoundCacheBudget caps the memory the bound-pair cache may
+// occupy (64 MiB). The full table costs BoundCacheBytes; encoders whose
+// table fits the budget materialize cached bound vectors lazily, others
+// fall back to computing the bind on the fly into scratch.
+const DefaultBoundCacheBudget = 64 << 20
+
+// BoundCacheBytes returns the memory cost of a full bound-pair cache:
+// features·levels vectors of dims bits, i.e. features·levels·dims/8
+// bytes (rounded up to whole 64-bit words per vector).
+func BoundCacheBytes(dims, features, levels int) int64 {
+	words := int64((dims + 63) / 64)
+	return int64(features) * int64(levels) * words * 8
+}
+
 // RecordEncoder is the paper's ID–level encoder. It is deterministic
 // given (dims, features, levels, seed), so an encoder never needs to be
 // stored in attackable memory — it can always be regenerated. Encode
-// is safe for concurrent use (all lookup tables are materialized at
-// construction).
+// is safe for concurrent use: the item/level tables are materialized at
+// construction and the bound-pair cache fills lazily through atomic
+// slots (every filler computes the same deterministic vector).
+//
+// The bound-pair cache stores the bind L(l) ⊕ B_k for each
+// (feature, level) slot that encoding actually touches, turning the
+// per-feature XOR of the encode hot loop into a cached-vector add. It
+// is enabled whenever the full table fits DefaultBoundCacheBudget.
 type RecordEncoder struct {
 	items    *hdc.ItemMemory
 	levels   *hdc.LevelMemory
 	features int
 	lo, hi   float64
+
+	// bound[k·levels+l] lazily holds L(l) ⊕ B_k; nil slice = cache
+	// disabled (table would exceed the budget).
+	bound   []atomic.Pointer[bitvec.Vector]
+	scratch sync.Pool // *Scratch, for Encode calls without caller scratch
 }
 
 // NewRecordEncoder builds an encoder for feature vectors of length
@@ -66,8 +93,29 @@ func NewRecordEncoder(dims, features, levels int, lo, hi float64, seed uint64) (
 	for k := 0; k < features; k++ {
 		items.Vector(k)
 	}
-	return &RecordEncoder{items: items, levels: lv, features: features, lo: lo, hi: hi}, nil
+	e := &RecordEncoder{items: items, levels: lv, features: features, lo: lo, hi: hi}
+	if BoundCacheBytes(dims, features, levels) <= DefaultBoundCacheBudget {
+		e.bound = make([]atomic.Pointer[bitvec.Vector], features*levels)
+	}
+	return e, nil
 }
+
+// SetBoundCache enables or disables the bound-pair cache explicitly,
+// overriding the budget decision (tests exercise the uncached path
+// through it; memory-constrained embedders may force it off). It must
+// not be called concurrently with Encode.
+func (e *RecordEncoder) SetBoundCache(enabled bool) {
+	if !enabled {
+		e.bound = nil
+		return
+	}
+	if e.bound == nil {
+		e.bound = make([]atomic.Pointer[bitvec.Vector], e.features*e.levels.Levels())
+	}
+}
+
+// BoundCacheEnabled reports whether the bound-pair cache is active.
+func (e *RecordEncoder) BoundCacheEnabled() bool { return e.bound != nil }
 
 // Dimensions returns the hypervector dimensionality.
 func (e *RecordEncoder) Dimensions() int { return e.items.Dimensions() }
@@ -75,23 +123,96 @@ func (e *RecordEncoder) Dimensions() int { return e.items.Dimensions() }
 // Features returns the expected original-space feature count.
 func (e *RecordEncoder) Features() int { return e.features }
 
+// Scratch holds the reusable working state of one encode call: the
+// bit-sliced bundling counter and (for the uncached path) the bound
+// vector the per-feature bind is computed into. A Scratch is not safe
+// for concurrent use — give each worker its own.
+type Scratch struct {
+	counter *bitvec.PlaneCounter
+	bound   *bitvec.Vector
+	vecs    []*bitvec.Vector // cached-path gather list for AddMany
+}
+
+// NewScratch returns encode scratch sized for this encoder, with the
+// counter pre-sized so the steady-state encode path never allocates.
+func (e *RecordEncoder) NewScratch() *Scratch {
+	c := bitvec.NewPlaneCounter(e.Dimensions())
+	c.Presize(e.features)
+	return &Scratch{
+		counter: c,
+		bound:   bitvec.New(e.Dimensions()),
+		vecs:    make([]*bitvec.Vector, 0, e.features),
+	}
+}
+
 // Encode maps a feature vector to a hypervector: bind each feature's
 // level vector with its positional base vector, then bundle by
-// majority.
+// majority. Only the returned vector is allocated; working state comes
+// from an internal scratch pool.
 func (e *RecordEncoder) Encode(features []float64) *bitvec.Vector {
+	out := bitvec.New(e.Dimensions())
+	e.EncodeInto(out, features, nil)
+	return out
+}
+
+// EncodeInto encodes features into dst, reusing s for all intermediate
+// state; with a caller-owned dst and scratch the call is allocation-
+// free. A nil s borrows scratch from the encoder's internal pool. dst
+// must have the encoder's dimensionality. The result is bit-identical
+// to Encode.
+func (e *RecordEncoder) EncodeInto(dst *bitvec.Vector, features []float64, s *Scratch) {
 	if len(features) != e.features {
 		panic(fmt.Sprintf("encoding: got %d features, want %d", len(features), e.features))
 	}
-	d := e.Dimensions()
-	c := bitvec.NewPlaneCounter(d)
-	bound := bitvec.New(d)
-	for k, f := range features {
-		level := e.levels.Quantize(f, e.lo, e.hi)
-		lv := e.levels.Vector(level)
-		lv.XorInto(bound, e.items.Vector(k))
-		c.Add(bound)
+	if dst.Len() != e.Dimensions() {
+		panic(fmt.Sprintf("encoding: dst has %d dims, want %d", dst.Len(), e.Dimensions()))
 	}
-	return c.Majority()
+	if s == nil {
+		if pooled, ok := e.scratch.Get().(*Scratch); ok {
+			s = pooled
+		} else {
+			s = e.NewScratch()
+		}
+		defer e.scratch.Put(s)
+	}
+	c := s.counter
+	c.Reset()
+	c.Presize(len(features))
+	if e.bound != nil {
+		// Cached path: every bound vector is a stable cache entry, so
+		// the whole bundle can be gathered and fed to the carry-save
+		// AddMany kernel in one shot.
+		vs := s.vecs[:0]
+		for k, f := range features {
+			level := e.levels.Quantize(f, e.lo, e.hi)
+			vs = append(vs, e.cachedBound(k, level))
+		}
+		s.vecs = vs[:0]
+		c.AddMany(vs)
+	} else {
+		// Uncached path: binds share one scratch vector, so they must
+		// be accumulated one at a time.
+		for k, f := range features {
+			level := e.levels.Quantize(f, e.lo, e.hi)
+			e.levels.Vector(level).XorInto(s.bound, e.items.Vector(k))
+			c.Add(s.bound)
+		}
+	}
+	c.MajorityInto(dst)
+}
+
+// cachedBound returns the cached L(level) ⊕ B_k, filling the slot on
+// first touch. The cache must be enabled.
+func (e *RecordEncoder) cachedBound(k, level int) *bitvec.Vector {
+	slot := &e.bound[k*e.levels.Levels()+level]
+	if v := slot.Load(); v != nil {
+		return v
+	}
+	v := e.levels.Vector(level).Xor(e.items.Vector(k))
+	if !slot.CompareAndSwap(nil, v) {
+		v = slot.Load() // another goroutine won with identical bits
+	}
+	return v
 }
 
 // NGramEncoder encodes symbol sequences by binding permuted symbol
@@ -210,14 +331,25 @@ func NormalizerFromRanges(mins, maxs []float64) (*Normalizer, error) {
 // [0, 1] (values outside the fit range are clamped; constant features
 // map to 0.5). It panics on a feature-count mismatch.
 func (n *Normalizer) Apply(row []float64) []float64 {
+	out := make([]float64, len(row))
+	n.ApplyInto(out, row)
+	return out
+}
+
+// ApplyInto normalizes row into dst without allocating (the zero-alloc
+// variant the encode scratch path uses). dst and row must both have the
+// fitted feature count.
+func (n *Normalizer) ApplyInto(dst, row []float64) {
 	if len(row) != len(n.min) {
 		panic(fmt.Sprintf("encoding: got %d features, want %d", len(row), len(n.min)))
 	}
-	out := make([]float64, len(row))
+	if len(dst) != len(row) {
+		panic(fmt.Sprintf("encoding: dst has %d features, want %d", len(dst), len(row)))
+	}
 	for j, v := range row {
 		span := n.max[j] - n.min[j]
 		if span == 0 {
-			out[j] = 0.5
+			dst[j] = 0.5
 			continue
 		}
 		f := (v - n.min[j]) / span
@@ -227,9 +359,8 @@ func (n *Normalizer) Apply(row []float64) []float64 {
 		if f > 1 {
 			f = 1
 		}
-		out[j] = f
+		dst[j] = f
 	}
-	return out
 }
 
 // ApplyAll normalizes every row of data, returning a new matrix.

@@ -1,0 +1,152 @@
+package encoding
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/stats"
+)
+
+// encodeRef is the reference record encoder: the textbook
+// bind-then-bundle with the integer Counter, no bound-pair cache, no
+// plane-counter fast path. The kernel paths must stay bit-identical to
+// it (Counter.Threshold and PlaneCounter.Majority share the strict
+// majority + parity tie-break).
+func encodeRef(e *RecordEncoder, features []float64) *bitvec.Vector {
+	c := bitvec.NewCounter(e.Dimensions())
+	for k, f := range features {
+		level := e.levels.Quantize(f, e.lo, e.hi)
+		c.Add(e.levels.Vector(level).Xor(e.items.Vector(k)))
+	}
+	return c.Threshold()
+}
+
+func randFeatures(n int, seed uint64) []float64 {
+	rng := stats.NewRNG(seed)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.Float64()
+	}
+	return out
+}
+
+// TestEncodeCachedMatchesReference proves the tentpole equivalence:
+// cached encode, uncached encode, and scratch-reusing EncodeInto all
+// reproduce the reference bind-bundle bit for bit. Even feature counts
+// exercise the majority tie-break, odd ones the plain path.
+func TestEncodeCachedMatchesReference(t *testing.T) {
+	for _, nf := range []int{1, 7, 8, 20, 75} {
+		e, err := NewRecordEncoder(2048, nf, 8, 0, 1, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !e.BoundCacheEnabled() {
+			t.Fatalf("nf=%d: bound cache should fit the default budget", nf)
+		}
+		uncached, err := NewRecordEncoder(2048, nf, 8, 0, 1, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		uncached.SetBoundCache(false)
+		scratch := e.NewScratch()
+		dst := bitvec.New(2048)
+		for trial := 0; trial < 10; trial++ {
+			x := randFeatures(nf, uint64(100+trial))
+			want := encodeRef(e, x)
+			if got := e.Encode(x); !got.Equal(want) {
+				t.Fatalf("nf=%d trial %d: cached Encode diverges from reference", nf, trial)
+			}
+			if got := uncached.Encode(x); !got.Equal(want) {
+				t.Fatalf("nf=%d trial %d: uncached Encode diverges from reference", nf, trial)
+			}
+			e.EncodeInto(dst, x, scratch)
+			if !dst.Equal(want) {
+				t.Fatalf("nf=%d trial %d: EncodeInto with reused scratch diverges", nf, trial)
+			}
+		}
+	}
+}
+
+// TestEncodeConcurrentCacheFill hammers a cold cache from many
+// goroutines: lazy CAS filling must stay consistent (run under -race
+// in CI).
+func TestEncodeConcurrentCacheFill(t *testing.T) {
+	e, err := NewRecordEncoder(1024, 30, 8, 0, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randFeatures(30, 9)
+	want := encodeRef(e, x)
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if !e.Encode(x).Equal(want) {
+					errs <- "concurrent cached encode diverged"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+}
+
+func TestBoundCacheBudgetDisablesLargeTables(t *testing.T) {
+	// 200k dims × 200 features × 64 levels ≈ 320 MB > 64 MiB budget.
+	e, err := NewRecordEncoder(200000, 200, 64, 0, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.BoundCacheEnabled() {
+		t.Fatalf("cache enabled for a %d-byte table over the %d budget",
+			BoundCacheBytes(200000, 200, 64), int64(DefaultBoundCacheBudget))
+	}
+	e.SetBoundCache(true)
+	if !e.BoundCacheEnabled() {
+		t.Fatal("explicit SetBoundCache(true) ignored")
+	}
+}
+
+func TestBoundCacheBytesFormula(t *testing.T) {
+	// 10000 bits → 157 words → 1256 bytes per vector.
+	if got, want := BoundCacheBytes(10000, 75, 8), int64(75*8*157*8); got != want {
+		t.Fatalf("BoundCacheBytes = %d, want %d", got, want)
+	}
+}
+
+func TestEncodeIntoValidatesShapes(t *testing.T) {
+	e, err := NewRecordEncoder(512, 4, 8, 0, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EncodeInto accepted a wrong-sized dst")
+		}
+	}()
+	e.EncodeInto(bitvec.New(256), randFeatures(4, 1), nil)
+}
+
+func TestNormalizerApplyIntoMatchesApply(t *testing.T) {
+	n, err := FitNormalizer([][]float64{{0, 10, -5}, {2, 20, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := []float64{1, 25, 0}
+	want := n.Apply(row)
+	dst := make([]float64, 3)
+	n.ApplyInto(dst, row)
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("feature %d: ApplyInto %v != Apply %v", i, dst[i], want[i])
+		}
+	}
+}

@@ -23,7 +23,34 @@ type Model struct {
 	classes  int
 	counters []*bitvec.Counter
 	deployed []*bitvec.Vector
+
+	// score holds *scoreScratch buffers so the steady-state inference
+	// path (Predict / PredictWithConfidence) allocates nothing; the
+	// pool is shared safely by PredictBatchParallel workers.
+	score sync.Pool
 }
+
+// scoreScratch is the per-call working state of the fused scoring
+// kernel: integer distances to every class plus the float views the
+// similarity/softmax conversions write into.
+type scoreScratch struct {
+	dists []int
+	sims  []float64
+	conf  []float64
+}
+
+func (m *Model) getScratch() *scoreScratch {
+	if s, ok := m.score.Get().(*scoreScratch); ok {
+		return s
+	}
+	return &scoreScratch{
+		dists: make([]int, m.classes),
+		sims:  make([]float64, m.classes),
+		conf:  make([]float64, m.classes),
+	}
+}
+
+func (m *Model) putScratch(s *scoreScratch) { m.score.Put(s) }
 
 // New returns an untrained model for the given class count and
 // hypervector dimensionality.
@@ -173,20 +200,42 @@ func (m *Model) RestoreDeployed(vs []*bitvec.Vector) {
 // Similarities returns the normalized Hamming similarity of the query
 // to every deployed class hypervector.
 func (m *Model) Similarities(q *bitvec.Vector) []float64 {
-	if m.deployed == nil {
-		panic("model: not trained")
-	}
 	out := make([]float64, m.classes)
-	for c, cv := range m.deployed {
-		out[c] = q.Similarity(cv)
-	}
+	m.SimilaritiesInto(out, q)
 	return out
 }
 
+// SimilaritiesInto writes the per-class similarities into dst without
+// allocating, scoring all classes through the fused bitvec.HammingMany
+// kernel (one blocked pass over the query instead of one full pass per
+// class). dst must have length Classes.
+func (m *Model) SimilaritiesInto(dst []float64, q *bitvec.Vector) {
+	if m.deployed == nil {
+		panic("model: not trained")
+	}
+	if len(dst) != m.classes {
+		panic(fmt.Sprintf("model: dst has %d slots, want %d", len(dst), m.classes))
+	}
+	s := m.getScratch()
+	bitvec.HammingMany(q, m.deployed, s.dists)
+	n := float64(m.dims)
+	for c, d := range s.dists {
+		dst[c] = 1 - float64(d)/n
+	}
+	m.putScratch(s)
+}
+
 // Predict returns the class whose hypervector is most similar to the
-// query.
+// query. It runs the early-abandoning nearest-class kernel and is
+// bit-identical to an argmax over Similarities.
 func (m *Model) Predict(q *bitvec.Vector) int {
-	return stats.ArgMax(m.Similarities(q))
+	if m.deployed == nil {
+		panic("model: not trained")
+	}
+	s := m.getScratch()
+	best := bitvec.Nearest(q, m.deployed, s.dists)
+	m.putScratch(s)
+	return best
 }
 
 // PredictBatch classifies every query.
@@ -260,20 +309,37 @@ const DefaultConfidenceTemperature = 120
 // query against each class (Section 4.1), using the given temperature
 // (≤ 0 selects DefaultConfidenceTemperature).
 func (m *Model) Confidences(q *bitvec.Vector, temperature float64) []float64 {
+	out := make([]float64, m.classes)
+	m.ConfidencesInto(out, q, temperature)
+	return out
+}
+
+// ConfidencesInto computes Confidences into dst without allocating.
+// dst must have length Classes.
+func (m *Model) ConfidencesInto(dst []float64, q *bitvec.Vector, temperature float64) {
 	if temperature <= 0 {
 		temperature = DefaultConfidenceTemperature
 	}
-	sims := m.Similarities(q)
-	for i := range sims {
-		sims[i] *= temperature
+	if len(dst) != m.classes {
+		panic(fmt.Sprintf("model: dst has %d slots, want %d", len(dst), m.classes))
 	}
-	return stats.Softmax(sims)
+	s := m.getScratch()
+	m.SimilaritiesInto(s.sims, q)
+	for i := range s.sims {
+		s.sims[i] *= temperature
+	}
+	stats.SoftmaxInto(dst, s.sims)
+	m.putScratch(s)
 }
 
 // PredictWithConfidence returns the predicted class and its softmax
-// confidence.
+// confidence. The steady-state call allocates nothing: scoring and the
+// softmax run in pooled scratch.
 func (m *Model) PredictWithConfidence(q *bitvec.Vector, temperature float64) (int, float64) {
-	conf := m.Confidences(q, temperature)
-	best := stats.ArgMax(conf)
-	return best, conf[best]
+	s := m.getScratch()
+	m.ConfidencesInto(s.conf, q, temperature)
+	best := stats.ArgMax(s.conf)
+	conf := s.conf[best]
+	m.putScratch(s)
+	return best, conf
 }

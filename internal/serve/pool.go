@@ -25,7 +25,13 @@ type result struct {
 type pool struct {
 	server *Server
 	shards []chan *request
-	next   atomic.Uint64
+	// pending[i] counts shard i's submitted-but-not-yet-batched
+	// requests. A batcher lingers for BatchWindow only while its count
+	// is nonzero — when no submission is in flight, waiting cannot grow
+	// the batch, so it flushes immediately (idle clients see compute
+	// latency, not the batching window).
+	pending []atomic.Int64
+	next    atomic.Uint64
 
 	// closing lets close() wait out in-flight submits before closing
 	// the shard channels: submits hold it shared, close holds it
@@ -36,11 +42,15 @@ type pool struct {
 }
 
 func newPool(s *Server, shards, depth int) *pool {
-	p := &pool{server: s, shards: make([]chan *request, shards)}
+	p := &pool{
+		server:  s,
+		shards:  make([]chan *request, shards),
+		pending: make([]atomic.Int64, shards),
+	}
 	for i := range p.shards {
 		p.shards[i] = make(chan *request, depth)
 		p.wg.Add(1)
-		go p.batcher(p.shards[i])
+		go p.batcher(p.shards[i], &p.pending[i])
 	}
 	return p
 }
@@ -54,17 +64,26 @@ func (p *pool) submit(r *request) error {
 	if p.closed {
 		return ErrClosed
 	}
-	shard := p.shards[p.next.Add(1)%uint64(len(p.shards))]
-	shard <- r
+	i := p.next.Add(1) % uint64(len(p.shards))
+	p.pending[i].Add(1)
+	p.shards[i] <- r
 	return nil
 }
 
 // batcher accumulates requests into batches bounded by BatchSize and
 // BatchWindow, serving each through Server.serveBatch. After close it
 // drains its queue completely — every accepted request is answered.
-func (p *pool) batcher(queue chan *request) {
+// Each batcher owns one batchScratch, so the per-flush slice state is
+// reused for the goroutine's lifetime instead of reallocated per batch.
+//
+// The window is adaptive: the batcher only arms the linger timer while
+// the shard's pending count shows submissions still in flight. Once
+// nothing is pending the batch cannot grow, so it is served at once —
+// a lone client pays encode+score latency instead of BatchWindow.
+func (p *pool) batcher(queue chan *request, pending *atomic.Int64) {
 	defer p.wg.Done()
 	cfg := &p.server.cfg
+	scratch := newBatchScratch(cfg.BatchSize)
 	batch := make([]*request, 0, cfg.BatchSize)
 	timer := time.NewTimer(0)
 	if !timer.Stop() {
@@ -76,27 +95,49 @@ func (p *pool) batcher(queue chan *request) {
 		if !ok {
 			return
 		}
+		pending.Add(-1)
 		batch = append(batch[:0], first)
-		timer.Reset(cfg.BatchWindow)
+		armed := false
 	fill:
 		for len(batch) < cfg.BatchSize {
+			// Drain whatever is already queued without waiting.
 			select {
 			case r, ok := <-queue:
 				if !ok {
 					break fill
 				}
+				pending.Add(-1)
+				batch = append(batch, r)
+				continue
+			default:
+			}
+			if pending.Load() == 0 {
+				// Nobody is mid-submit: lingering cannot help.
+				break fill
+			}
+			if !armed {
+				timer.Reset(cfg.BatchWindow)
+				armed = true
+			}
+			select {
+			case r, ok := <-queue:
+				if !ok {
+					break fill
+				}
+				pending.Add(-1)
 				batch = append(batch, r)
 			case <-timer.C:
+				armed = false
 				break fill
 			}
 		}
-		if !timer.Stop() {
+		if armed && !timer.Stop() {
 			select {
 			case <-timer.C:
 			default:
 			}
 		}
-		p.server.serveBatch(batch)
+		p.server.serveBatch(batch, scratch)
 	}
 }
 

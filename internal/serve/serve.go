@@ -62,9 +62,11 @@ type Config struct {
 	// BatchSize is the largest batch a shard encodes at once
 	// (default 64).
 	BatchSize int
-	// BatchWindow is how long a shard waits for a batch to fill
-	// before flushing a partial one (default 2ms). Smaller windows
-	// trade throughput for latency.
+	// BatchWindow bounds how long a shard waits for a batch to fill
+	// before flushing a partial one (default 2ms). The wait is
+	// adaptive: a shard lingers only while more submissions are in
+	// flight, so an idle or lone client is served immediately and
+	// never pays the window as latency.
 	BatchWindow time.Duration
 	// QueueDepth is the per-shard request queue (default 4×BatchSize).
 	// Submissions block once it fills — backpressure, not load
@@ -252,10 +254,29 @@ func (s *Server) PredictMany(xs [][]float64) ([]Prediction, error) {
 	return out, submitErr
 }
 
+// batchScratch is a batcher goroutine's reusable flush state: the
+// valid-input views, the surviving requests, and the prediction
+// results. Encoded query vectors are NOT pooled here — trusted ones
+// outlive the batch on the recovery queue.
+type batchScratch struct {
+	xs    [][]float64
+	live  []*request
+	preds []Prediction
+}
+
+func newBatchScratch(batchSize int) *batchScratch {
+	return &batchScratch{
+		xs:    make([][]float64, 0, batchSize),
+		live:  make([]*request, 0, batchSize),
+		preds: make([]Prediction, 0, batchSize),
+	}
+}
+
 // serveBatch is the pool's flush hook: encode the batch lock-free,
 // score it under the shared lock, enqueue trusted queries for
-// recovery, and answer every request.
-func (s *Server) serveBatch(batch []*request) {
+// recovery, and answer every request. sc is the calling batcher's
+// private scratch.
+func (s *Server) serveBatch(batch []*request, sc *batchScratch) {
 	sys := s.system()
 	if sys == nil {
 		for _, r := range batch {
@@ -265,8 +286,8 @@ func (s *Server) serveBatch(batch []*request) {
 		return
 	}
 	want := sys.Features()
-	xs := make([][]float64, 0, len(batch))
-	live := make([]*request, 0, len(batch))
+	xs := sc.xs[:0]
+	live := sc.live[:0]
 	for _, r := range batch {
 		if len(r.x) != want {
 			s.metrics.errors.Add(1)
@@ -276,13 +297,18 @@ func (s *Server) serveBatch(batch []*request) {
 		xs = append(xs, r.x)
 		live = append(live, r)
 	}
+	sc.xs, sc.live = xs, live
 	if len(xs) == 0 {
 		return
 	}
 	encoded := sys.EncodeAllParallel(xs, s.cfg.EncodeWorkers)
 
 	gate := s.cfg.Recovery.ConfidenceThreshold
-	preds := make([]Prediction, len(encoded))
+	if cap(sc.preds) < len(encoded) {
+		sc.preds = make([]Prediction, len(encoded))
+	}
+	preds := sc.preds[:len(encoded)]
+	sc.preds = preds
 	s.mu.RLock()
 	m := sys.Model()
 	for i, q := range encoded {
@@ -298,6 +324,13 @@ func (s *Server) serveBatch(batch []*request) {
 		}
 		live[i].resp <- result{pred: p}
 	}
+
+	// Drop request pointers so finished requests are collectable while
+	// the scratch idles between batches.
+	for i := range live {
+		live[i] = nil
+	}
+	sc.live = sc.live[:0]
 }
 
 // enqueueRecovery hands a trusted query to the background loop
