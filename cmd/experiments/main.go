@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	experiments [-run all|table1|table2|table3|table4|fig2|fig3|fig4a|fig4b]
+//	experiments [-run all|table1|table2|table3|table4|fig2|fig3|fig4a|fig4b|equilibrium]
 //	            [-dims 10000] [-trials 3] [-scale 1.0] [-full] [-seed 2022]
 //
 // Each experiment prints its result shaped like the publication, with
@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiments to run (comma separated): all, table1, table2, table3, table4, fig2, fig3, fig4a, fig4b")
+	run := flag.String("run", "all", "experiments to run (comma separated): all, table1, table2, table3, table4, fig2, fig3, fig4a, fig4b, equilibrium")
 	dims := flag.Int("dims", 10000, "hypervector dimensionality")
 	trials := flag.Int("trials", 3, "attack trials averaged per cell")
 	scale := flag.Float64("scale", 1.0, "dataset size scale factor")
@@ -56,6 +56,7 @@ func main() {
 		{"fig3", func() (fmt.Stringer, error) { return render(orErr(experiments.Fig3(ctx))) }},
 		{"fig4a", func() (fmt.Stringer, error) { return render(orErr(experiments.Fig4a(ctx))) }},
 		{"fig4b", func() (fmt.Stringer, error) { return render(orErr(experiments.Fig4b(ctx))) }},
+		{"equilibrium", func() (fmt.Stringer, error) { return render(orErr(experiments.Equilibrium(ctx))) }},
 	}
 
 	want := map[string]bool{}

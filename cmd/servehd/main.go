@@ -18,6 +18,12 @@
 //	curl -s localhost:8080/attack  -d '{"kind":"targeted","rate":0.10}'
 //	curl -s localhost:8080/metrics
 //
+// Or mount the deployed model on a continuously faulting substrate and
+// let the watchdog checkpoint, escalate, and roll back on its own:
+//
+//	servehd -dataset PAMAP -probe 2s -substrate dram -timescale 100 \
+//	        -cluster 400 -watchdog 5s
+//
 // SIGINT/SIGTERM trigger a graceful drain: in-flight predictions are
 // answered and the recovery backlog is applied before exit.
 package main
@@ -38,6 +44,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/recovery"
 	"repro/internal/serve"
+	"repro/internal/substrate"
 )
 
 func main() {
@@ -54,6 +61,18 @@ func main() {
 	chunks := flag.Int("chunks", 0, "recovery fault-detection chunks m (0 = default)")
 	sub := flag.Float64("sub", 0, "recovery substitution rate S (0 = default)")
 	noRecover := flag.Bool("norecover", false, "disable the background recovery loop")
+	subKind := flag.String("substrate", "", "mount a live fault process: dram, endurance, or adversarial ('' disables)")
+	subSeed := flag.Uint64("substrate-seed", 1, "fault-process seed (weak cells, victim selection)")
+	scrub := flag.Duration("scrub", 0, "substrate scrub tick (0 = default 100ms; with -substrate)")
+	timeScale := flag.Float64("timescale", 0, "dram: wall-clock to simulated-time multiplier (0 = 1x)")
+	refreshMs := flag.Float64("refresh", 0, "dram: simulated refresh interval in ms (0 = default 1000)")
+	clusterRun := flag.Int("cluster", 0, "dram: weak cells per wordline-correlated run (0 = independent)")
+	campaignRate := flag.Float64("campaign-rate", 0, "adversarial: image fraction flipped per step (0 = default)")
+	campaignEvery := flag.Duration("campaign-every", 0, "adversarial: period between campaign steps (0 = default 1s)")
+	campaignTargeted := flag.Bool("campaign-targeted", false, "adversarial: pick worst-case victim bits")
+	watchdog := flag.Duration("watchdog", 0, "degradation watchdog window interval (0 disables)")
+	accDrop := flag.Float64("watchdog-drop", 0, "watchdog: tolerated probe-accuracy drop below the checkpoint stamp (0 = default 0.02)")
+	cpFloor := flag.Float64("checkpoint-floor", 0, "minimum stamped accuracy for checkpoints and /restore uploads (0 = default 0.5)")
 	flag.Parse()
 
 	recCfg := recovery.DefaultConfig()
@@ -107,6 +126,20 @@ func main() {
 		fmt.Println("no -load or -dataset: serving starts once POST /train or POST /restore installs a model")
 	}
 
+	var subCfg *substrate.Config
+	if *subKind != "" {
+		subCfg = &substrate.Config{
+			Kind:              *subKind,
+			Seed:              *subSeed,
+			TimeScale:         *timeScale,
+			RefreshIntervalMs: *refreshMs,
+			ClusterRun:        *clusterRun,
+			RatePerStep:       *campaignRate,
+			StepEvery:         *campaignEvery,
+			Targeted:          *campaignTargeted,
+		}
+	}
+
 	srv, err := serve.New(sys, serve.Config{
 		Shards:          *shards,
 		BatchSize:       *batch,
@@ -115,6 +148,13 @@ func main() {
 		RecoverySeed:    *seed + 2,
 		DisableRecovery: *noRecover,
 		ProbeInterval:   *probe,
+		Substrate:       subCfg,
+		ScrubTick:       *scrub,
+		Watchdog: serve.WatchdogConfig{
+			Interval:              *watchdog,
+			AccuracyDrop:          *accDrop,
+			MinCheckpointAccuracy: *cpFloor,
+		},
 	})
 	if err != nil {
 		fail(err)

@@ -6,6 +6,17 @@ import (
 	"repro/internal/hdc/model"
 )
 
+// BitReader is optionally implemented by images whose stored bits can
+// be read back. Substrate fault processes use it to model physically
+// faithful faults: DRAM decay discharges a cell toward a fixed leak
+// value (a flip only when the stored bit disagrees), and worn NVM
+// cells latch the value they held when they failed.
+type BitReader interface {
+	// BitValue reports the stored value of bit b of element i, under
+	// the same addressing as Image.FlipBit.
+	BitValue(i, b int) bool
+}
+
 // BinaryModel adapts a deployed binary HDC model to the Image
 // interface: one element per (class, dimension) bit. With a single bit
 // per element, random and targeted attacks are identical — the
@@ -27,13 +38,30 @@ func (b *BinaryModel) BitsPerElement() int { return 1 }
 // weight in a holographic representation.
 func (b *BinaryModel) BitDamageOrder() []int { return []int{0} }
 
-// FlipBit flips the single bit of element i (class-major layout).
-func (b *BinaryModel) FlipBit(i, bit int) {
+// checkAddr validates an (element, bit) address. An out-of-range
+// element index must never be truncated into a neighboring class's
+// dimension range, so both coordinates panic loudly instead.
+func (b *BinaryModel) checkAddr(i, bit int) {
+	if i < 0 || i >= b.Elements() {
+		panic(fmt.Sprintf("attack: element %d out of range [0,%d)", i, b.Elements()))
+	}
 	if bit != 0 {
 		panic(fmt.Sprintf("attack: binary element has no bit %d", bit))
 	}
+}
+
+// FlipBit flips the single bit of element i (class-major layout).
+func (b *BinaryModel) FlipBit(i, bit int) {
+	b.checkAddr(i, bit)
 	d := b.m.Dimensions()
 	b.m.ClassVector(i / d).Flip(i % d)
+}
+
+// BitValue reports the stored value of element i's single bit.
+func (b *BinaryModel) BitValue(i, bit int) bool {
+	b.checkAddr(i, bit)
+	d := b.m.Dimensions()
+	return b.m.ClassVector(i / d).Get(i % d)
 }
 
 // QuantizedModel adapts a b-bit quantized HDC deployment to the Image
@@ -63,7 +91,27 @@ func (a *QuantizedModel) BitDamageOrder() []int {
 	return order
 }
 
+// checkAddr validates an (element, bit) address before it is folded
+// into a global bit index: without it, a bit >= Bits() would silently
+// land in the next element — memory corruption of a neighboring
+// dimension (or class) rather than a clear failure.
+func (a *QuantizedModel) checkAddr(i, bit int) {
+	if i < 0 || i >= a.Elements() {
+		panic(fmt.Sprintf("attack: element %d out of range [0,%d)", i, a.Elements()))
+	}
+	if bit < 0 || bit >= a.q.Bits() {
+		panic(fmt.Sprintf("attack: bit %d out of range [0,%d)", bit, a.q.Bits()))
+	}
+}
+
 // FlipBit flips bit within element i of the deployed image.
 func (a *QuantizedModel) FlipBit(i, bit int) {
+	a.checkAddr(i, bit)
 	a.q.FlipBit(i*a.q.Bits() + bit)
+}
+
+// BitValue reports the stored value of bit within element i.
+func (a *QuantizedModel) BitValue(i, bit int) bool {
+	a.checkAddr(i, bit)
+	return a.q.Bit(i*a.q.Bits() + bit)
 }

@@ -2,8 +2,10 @@ package core
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 
@@ -11,25 +13,52 @@ import (
 	"repro/internal/hdc/model"
 )
 
-// systemMagic guards the serialized system format.
-const systemMagic = 0x52485359 // "RHSY"
+// systemMagic guards the serialized system format. Version 2 ("RHS2")
+// seals the payload with a CRC32 trailer and carries a held-out
+// probe-accuracy stamp, so a restore path can reject both a corrupted
+// image and a checkpoint that was already degraded when it was taken.
+const systemMagic = 0x52485332 // "RHS2"
+
+// ErrChecksum reports a snapshot whose CRC32 trailer does not match
+// its payload — the stored image rotted (or was tampered with) between
+// Save and Load, exactly the corruption a verified checkpoint must
+// never restore.
+var ErrChecksum = fmt.Errorf("core: snapshot checksum mismatch")
 
 // Save persists the system: configuration (from which the encoder is
 // regenerated — base hypervectors never need to be stored), the fitted
-// normalizer ranges, and the deployed class hypervectors. Training
-// counters are not persisted; a loaded system classifies and recovers
-// but cannot Retrain.
+// normalizer ranges, and the deployed class hypervectors, sealed with
+// a CRC32 trailer. Training counters are not persisted; a loaded
+// system classifies and recovers but cannot Retrain. The snapshot
+// carries no accuracy stamp; use SaveStamped for verified checkpoints.
 func (s *System) Save(w io.Writer) error {
+	return s.SaveStamped(w, math.NaN())
+}
+
+// SaveStamped is Save with a held-out probe-accuracy stamp embedded in
+// the header. Restore paths compare the stamp against their minimum
+// acceptable floor, so an image captured after the model had already
+// degraded is rejected rather than rolled back to. NaN means
+// "unstamped" (no probe ran); otherwise the stamp must be in [0, 1].
+func (s *System) SaveStamped(w io.Writer, probeAccuracy float64) error {
 	if s.encoder == nil || s.norm == nil || s.model == nil {
 		return fmt.Errorf("core: cannot save an untrained system")
 	}
-	bw := bufio.NewWriter(w)
+	if !math.IsNaN(probeAccuracy) && (probeAccuracy < 0 || probeAccuracy > 1) {
+		return fmt.Errorf("core: accuracy stamp %v out of [0,1]", probeAccuracy)
+	}
+	// Everything written through mw feeds the CRC; the trailer itself
+	// goes to w alone.
+	sum := crc32.NewIEEE()
+	mw := io.MultiWriter(w, sum)
+	bw := bufio.NewWriter(mw)
 	header := []uint64{
 		systemMagic,
 		uint64(s.cfg.Dimensions),
 		uint64(s.cfg.Levels),
 		s.cfg.Seed,
 		uint64(s.encoder.Features()),
+		math.Float64bits(probeAccuracy),
 	}
 	for _, v := range header {
 		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
@@ -47,23 +76,52 @@ func (s *System) Save(w io.Writer) error {
 	if err := bw.Flush(); err != nil {
 		return err
 	}
-	return s.model.WriteDeployed(w)
+	if err := s.model.WriteDeployed(mw); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, sum.Sum32())
 }
 
-// Load reconstructs a system saved by Save.
+// Load reconstructs a system saved by Save or SaveStamped, discarding
+// the stamp.
 func Load(r io.Reader) (*System, error) {
-	br := bufio.NewReader(r)
-	var magic, dims, levels, seed, features uint64
-	for _, p := range []*uint64{&magic, &dims, &levels, &seed, &features} {
+	s, _, err := LoadStamped(r)
+	return s, err
+}
+
+// LoadStamped reconstructs a system and returns its probe-accuracy
+// stamp (NaN when the snapshot was written unstamped). The CRC32
+// trailer is verified before any of the payload is trusted; a mismatch
+// returns ErrChecksum.
+func LoadStamped(r io.Reader) (*System, float64, error) {
+	nan := math.NaN()
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, nan, fmt.Errorf("core: load snapshot: %w", err)
+	}
+	if len(data) < 4 {
+		return nil, nan, fmt.Errorf("core: snapshot truncated (%d bytes)", len(data))
+	}
+	payload, trailer := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(trailer) {
+		return nil, nan, ErrChecksum
+	}
+	br := bytes.NewReader(payload)
+	var magic, dims, levels, seed, features, stampBits uint64
+	for _, p := range []*uint64{&magic, &dims, &levels, &seed, &features, &stampBits} {
 		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
-			return nil, fmt.Errorf("core: load header: %w", err)
+			return nil, nan, fmt.Errorf("core: load header: %w", err)
 		}
 	}
 	if magic != systemMagic {
-		return nil, fmt.Errorf("core: bad magic %#x", magic)
+		return nil, nan, fmt.Errorf("core: bad magic %#x", magic)
+	}
+	stamp := math.Float64frombits(stampBits)
+	if !math.IsNaN(stamp) && (stamp < 0 || stamp > 1) {
+		return nil, nan, fmt.Errorf("core: accuracy stamp %v out of [0,1]", stamp)
 	}
 	if features == 0 || features > 1<<24 {
-		return nil, fmt.Errorf("core: implausible feature count %d", features)
+		return nil, nan, fmt.Errorf("core: implausible feature count %d", features)
 	}
 	mins := make([]float64, features)
 	maxs := make([]float64, features)
@@ -71,30 +129,30 @@ func Load(r io.Reader) (*System, error) {
 		for i := range slice {
 			var bits uint64
 			if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
-				return nil, fmt.Errorf("core: load normalizer: %w", err)
+				return nil, nan, fmt.Errorf("core: load normalizer: %w", err)
 			}
 			slice[i] = math.Float64frombits(bits)
 		}
 	}
 	norm, err := encoding.NormalizerFromRanges(mins, maxs)
 	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
+		return nil, nan, fmt.Errorf("core: %w", err)
 	}
 	enc, err := encoding.NewRecordEncoder(int(dims), int(features), int(levels), 0, 1, seed)
 	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
+		return nil, nan, fmt.Errorf("core: %w", err)
 	}
 	m, err := model.ReadDeployed(br)
 	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
+		return nil, nan, fmt.Errorf("core: %w", err)
 	}
 	if m.Dimensions() != int(dims) {
-		return nil, fmt.Errorf("core: model dims %d != config dims %d", m.Dimensions(), dims)
+		return nil, nan, fmt.Errorf("core: model dims %d != config dims %d", m.Dimensions(), dims)
 	}
 	return &System{
 		cfg:     Config{Dimensions: int(dims), Levels: int(levels), Seed: seed},
 		norm:    norm,
 		encoder: enc,
 		model:   m,
-	}, nil
+	}, stamp, nil
 }

@@ -2,6 +2,8 @@ package core
 
 import (
 	"bytes"
+	"errors"
+	"math"
 	"testing"
 
 	"repro/internal/recovery"
@@ -87,6 +89,63 @@ func TestLoadRejectsGarbage(t *testing.T) {
 	// Truncated body.
 	if _, err := Load(bytes.NewReader(buf.Bytes()[:buf.Len()/2])); err == nil {
 		t.Fatal("truncated input accepted")
+	}
+}
+
+func TestLoadRejectsCRCCorruption(t *testing.T) {
+	s, _ := trainSmall(t)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit in the middle of the payload (deployed-model body,
+	// past the header): only the CRC trailer can catch this.
+	data := append([]byte(nil), buf.Bytes()...)
+	data[len(data)/2] ^= 0x04
+	_, err := Load(bytes.NewReader(data))
+	if !errors.Is(err, ErrChecksum) {
+		t.Fatalf("mid-payload corruption: got %v, want ErrChecksum", err)
+	}
+	// A corrupted trailer is equally fatal.
+	data = append([]byte(nil), buf.Bytes()...)
+	data[len(data)-1] ^= 0xFF
+	if _, err := Load(bytes.NewReader(data)); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("corrupt trailer: got %v, want ErrChecksum", err)
+	}
+}
+
+func TestStampedSnapshotRoundTrip(t *testing.T) {
+	s, ds := trainSmall(t)
+	var buf bytes.Buffer
+	if err := s.SaveStamped(&buf, 0.9375); err != nil {
+		t.Fatal(err)
+	}
+	loaded, stamp, err := LoadStamped(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stamp != 0.9375 {
+		t.Fatalf("stamp %v survived as %v", 0.9375, stamp)
+	}
+	if loaded.Predict(ds.TestX[0]) != s.Predict(ds.TestX[0]) {
+		t.Fatal("stamped snapshot changed predictions")
+	}
+
+	// Unstamped snapshots read back as NaN.
+	buf.Reset()
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, stamp, err = LoadStamped(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(stamp) {
+		t.Fatalf("unstamped snapshot read back stamp %v, want NaN", stamp)
+	}
+
+	// Out-of-range stamps are rejected at save time.
+	if err := s.SaveStamped(&buf, 1.5); err == nil {
+		t.Fatal("stamp 1.5 accepted")
 	}
 }
 

@@ -329,3 +329,40 @@ func TestFig4bShape(t *testing.T) {
 		t.Fatal("render broken")
 	}
 }
+
+func TestEquilibriumShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("equilibrium sweep is slow")
+	}
+	ctx := testContext()
+	res, err := Equilibrium(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(EquilibriumRates) {
+		t.Fatalf("equilibrium has %d rows, want %d", len(res.Rows), len(EquilibriumRates))
+	}
+	for _, row := range res.Rows {
+		if len(row.Cells) != len(EquilibriumThroughputs) {
+			t.Fatalf("rate %.2f has %d cells, want %d",
+				row.RatePerWindow, len(row.Cells), len(EquilibriumThroughputs))
+		}
+		if row.FluxPerWindow <= 0 {
+			t.Errorf("rate %.2f: no flux recorded", row.RatePerWindow)
+		}
+	}
+	// The heaviest campaign must push the unprotected floor well below
+	// the lightest one: the fault-rate axis has to actually bite.
+	first, last := res.Rows[0].Cells[0], res.Rows[len(res.Rows)-1].Cells[0]
+	if last.Floor >= first.Floor {
+		t.Errorf("unprotected floor did not degrade with rate: %.3f -> %.3f",
+			first.Floor, last.Floor)
+	}
+	if res.KneeRate[0] < 0 {
+		t.Error("no unprotected knee found within the sweep")
+	}
+	out := res.Render()
+	if !strings.Contains(out, "knee") || !strings.Contains(out, "flux b/win") {
+		t.Fatal("render broken")
+	}
+}

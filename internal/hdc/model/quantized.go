@@ -75,6 +75,30 @@ func (q *Quantized) FlipBit(global int) {
 	q.levels[c][i] = flipElementBit(q.levels[c][i], b, q.bits)
 }
 
+// Bit reports the stored value of one bit of the deployed memory
+// image, addressed globally like FlipBit (bit 0 = sign, bits 1.. =
+// magnitude-1, little-endian).
+func (q *Quantized) Bit(global int) bool {
+	if global < 0 || global >= q.BitLength() {
+		panic(fmt.Sprintf("model: bit %d out of range [0,%d)", global, q.BitLength()))
+	}
+	perClass := q.dims * q.bits
+	c := global / perClass
+	rem := global % perClass
+	i := rem / q.bits
+	b := rem % q.bits
+	level := q.levels[c][i]
+	neg := level < 0
+	mag := int(level)
+	if neg {
+		mag = -mag
+	}
+	if b == 0 {
+		return neg
+	}
+	return (mag-1)>>uint(b-1)&1 == 1
+}
+
 // flipElementBit flips bit b of the sign-magnitude encoding of level:
 // bit 0 is the sign, bits 1..bits-1 hold magnitude-1.
 func flipElementBit(level int8, b, bits int) int8 {

@@ -163,7 +163,33 @@ func New(m *model.Model, cfg Config, seed uint64) (*Recoverer, error) {
 }
 
 // Config returns the active configuration.
-func (r *Recoverer) Config() Config { return r.cfg }
+func (r *Recoverer) Config() Config {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cfg
+}
+
+// SubstitutionRate returns the active per-bit substitution probability.
+func (r *Recoverer) SubstitutionRate() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cfg.SubstitutionRate
+}
+
+// SetSubstitutionRate retunes the substitution rate on a live
+// recoverer — the serve watchdog's tier-1 response raises it when the
+// fault flux outpaces the default healing rate, then restores it once
+// the model holds steady. Counters, chunk bounds, and ensemble rings
+// are untouched. The rate must be in (0, 1].
+func (r *Recoverer) SetSubstitutionRate(p float64) error {
+	if p <= 0 || p > 1 {
+		return fmt.Errorf("recovery: substitution rate %v out of (0,1]", p)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.cfg.SubstitutionRate = p
+	return nil
+}
 
 // Stats returns the accumulated counters. It is safe to call while
 // another goroutine is inside Observe (the serve package's metrics

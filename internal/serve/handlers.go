@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 
 	"repro/internal/attack"
@@ -168,11 +169,18 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, ErrNoModel)
 		return
 	}
-	// Serialize under the read lock so a concurrent recovery write or
-	// attack drill cannot tear the snapshot.
+	// Stamp the snapshot with the latest probe accuracy when one ran,
+	// so a later /restore (or rollback) can verify the image was taken
+	// while the model was still healthy. Serialize under the read lock
+	// so a concurrent recovery write, attack drill, or scrub tick
+	// cannot tear the snapshot.
+	stamp := math.NaN()
+	if s.metrics.probes.Load() > 0 {
+		stamp = math.Float64frombits(s.metrics.probeAcc.Load())
+	}
 	var buf bytes.Buffer
 	s.mu.RLock()
-	err := sys.Save(&buf)
+	err := sys.SaveStamped(&buf, stamp)
 	s.mu.RUnlock()
 	if err != nil {
 		writeErr(w, err)
@@ -184,22 +192,34 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
-	sys, err := core.Load(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	sys, stamp, err := core.LoadStamped(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
 	if err != nil {
-		// Corrupted, truncated, or wrong-format snapshots are the
-		// caller's fault, not the server's.
+		// Corrupted (CRC mismatch), truncated, or wrong-format
+		// snapshots are the caller's fault, not the server's.
 		writeErr(w, fmt.Errorf("%w: %v", ErrBadInput, err))
+		return
+	}
+	// A stamped snapshot whose held-out accuracy was already below the
+	// checkpoint floor when it was taken is not a restore target — it
+	// would install a degraded model as "known good". Unstamped (NaN)
+	// snapshots carry no claim and install as before.
+	if floor := s.cfg.Watchdog.MinCheckpointAccuracy; !math.IsNaN(stamp) && stamp < floor {
+		writeErr(w, fmt.Errorf("%w: snapshot stamped at accuracy %.4f, below the %.4f checkpoint floor", ErrBadInput, stamp, floor))
 		return
 	}
 	if err := s.install(sys); err != nil {
 		writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"classes":    sys.Classes(),
 		"dimensions": sys.Dimensions(),
 		"features":   sys.Features(),
-	})
+	}
+	if !math.IsNaN(stamp) {
+		resp["stamped_accuracy"] = stamp
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // attackRequest injects a live fault drill.

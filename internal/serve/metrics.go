@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/recovery"
+	"repro/internal/substrate"
 )
 
 // metrics holds the server's operational counters. Everything is
@@ -26,6 +27,14 @@ type metrics struct {
 	probes   atomic.Int64  // accuracy probes run
 	probeAcc atomic.Uint64 // float bits: latest probe accuracy
 	probeAt  atomic.Int64  // unix nanos of the latest probe
+
+	scrubs         atomic.Int64 // substrate scrub ticks run
+	scrubBits      atomic.Int64 // bits the substrate flipped (decay/wear/campaign)
+	recoveryWrites atomic.Int64 // recovery substitution writes charged to the substrate
+	watchdogRuns   atomic.Int64 // watchdog windows evaluated
+	watchdogTrips  atomic.Int64 // watchdog escalations (tier 0 → 1)
+	rollbacks      atomic.Int64 // verified checkpoint rollbacks executed
+	checkpoints    atomic.Int64 // verified checkpoints captured
 }
 
 // addFloat accumulates delta into a float64 stored as bits in u.
@@ -86,6 +95,36 @@ type RecoveryInfo struct {
 	Stats   recovery.Stats `json:"stats"`
 }
 
+// SubstrateInfo reports the mounted fault process and scrubber
+// activity.
+type SubstrateInfo struct {
+	Enabled bool   `json:"enabled"`
+	Kind    string `json:"kind,omitempty"`
+	// Scrubs is how many scrub ticks the server ran; BitsDecayed is
+	// what they flipped in deployed memory.
+	Scrubs      int64 `json:"scrubs"`
+	BitsDecayed int64 `json:"bits_decayed"`
+	// RecoveryWritesCharged counts recovery substitution writes billed
+	// to the substrate as wear traffic.
+	RecoveryWritesCharged int64 `json:"recovery_writes_charged"`
+	// Process is the fault process's own cumulative counters.
+	Process substrate.Stats `json:"process"`
+}
+
+// WatchdogInfo reports the degradation watchdog's posture and history.
+type WatchdogInfo struct {
+	Enabled bool `json:"enabled"`
+	// Tier is the current posture: 0 normal, 1 escalated.
+	Tier        int   `json:"tier"`
+	Windows     int64 `json:"windows"`
+	Trips       int64 `json:"trips"`
+	Rollbacks   int64 `json:"rollbacks"`
+	Checkpoints int64 `json:"checkpoints"`
+	// CheckpointAccuracy is the stamped accuracy of the current
+	// rollback target; -1 when none is held.
+	CheckpointAccuracy float64 `json:"checkpoint_accuracy"`
+}
+
 // ProbeInfo reports the latest held-out accuracy probe.
 type ProbeInfo struct {
 	Runs     int64   `json:"runs"`
@@ -107,8 +146,10 @@ type Metrics struct {
 	Trusted        int64        `json:"trusted"`
 	Attacks        int64        `json:"attacks"`
 	AttackBits     int64        `json:"attack_bits_flipped"`
-	Recovery       RecoveryInfo `json:"recovery"`
-	Probe          ProbeInfo    `json:"probe"`
+	Recovery       RecoveryInfo  `json:"recovery"`
+	Substrate      SubstrateInfo `json:"substrate"`
+	Watchdog       WatchdogInfo  `json:"watchdog"`
+	Probe          ProbeInfo     `json:"probe"`
 }
 
 // Snapshot assembles the current metrics document.
@@ -132,6 +173,12 @@ func (s *Server) MetricsSnapshot() Metrics {
 		Queued:  len(s.recCh),
 		Dropped: m.recoveryDropped.Load(),
 	}
+	out.Substrate = SubstrateInfo{
+		Enabled:               s.cfg.Substrate != nil,
+		Scrubs:                m.scrubs.Load(),
+		BitsDecayed:           m.scrubBits.Load(),
+		RecoveryWritesCharged: m.recoveryWrites.Load(),
+	}
 	s.mu.RLock()
 	if s.sys != nil {
 		out.Ready = true
@@ -144,7 +191,25 @@ func (s *Server) MetricsSnapshot() Metrics {
 	if s.rec != nil {
 		out.Recovery.Stats = s.rec.Stats()
 	}
+	if s.sub != nil {
+		out.Substrate.Kind = s.sub.Name()
+		out.Substrate.Process = s.sub.Stats()
+	}
 	s.mu.RUnlock()
+	out.Watchdog = WatchdogInfo{
+		Enabled:     s.cfg.Watchdog.Interval > 0,
+		Windows:     m.watchdogRuns.Load(),
+		Trips:       m.watchdogTrips.Load(),
+		Rollbacks:   m.rollbacks.Load(),
+		Checkpoints: m.checkpoints.Load(),
+	}
+	s.wd.mu.Lock()
+	out.Watchdog.Tier = s.wd.tier
+	out.Watchdog.CheckpointAccuracy = -1
+	if s.wd.cp != nil {
+		out.Watchdog.CheckpointAccuracy = s.wd.cp.accuracy
+	}
+	s.wd.mu.Unlock()
 	out.Probe = ProbeInfo{Runs: m.probes.Load(), AgeSeconds: -1}
 	if out.Probe.Runs > 0 {
 		out.Probe.Accuracy = math.Float64frombits(m.probeAcc.Load())

@@ -1,0 +1,50 @@
+package serve
+
+import (
+	"time"
+
+	"repro/internal/attack"
+)
+
+// ScrubNow advances the mounted fault process by elapsed wall time
+// under the exclusive model lock — a fault process writes the deployed
+// class hypervectors through the same attack.Image the drills use.
+// It reports what the substrate flipped; with no substrate mounted (or
+// no model installed) it is a no-op. The periodic scrubber calls this
+// on every tick; tests and drills call it directly to simulate time
+// deterministically.
+func (s *Server) ScrubNow(elapsed time.Duration) (attack.Result, error) {
+	s.mu.Lock()
+	sub := s.sub
+	var res attack.Result
+	var err error
+	if sub != nil && s.sys != nil {
+		res, err = sub.Advance(elapsed)
+	}
+	s.mu.Unlock()
+	if sub == nil {
+		return res, err
+	}
+	s.metrics.scrubs.Add(1)
+	s.metrics.scrubBits.Add(int64(res.BitsFlipped))
+	return res, err
+}
+
+// scrubLoop ticks the substrate on the configured cadence, feeding it
+// real elapsed wall time so a stalled tick (lock contention, GC pause)
+// still accrues the right amount of simulated decay.
+func (s *Server) scrubLoop() {
+	defer s.bg.Done()
+	t := time.NewTicker(s.cfg.ScrubTick)
+	defer t.Stop()
+	last := time.Now()
+	for {
+		select {
+		case now := <-t.C:
+			_, _ = s.ScrubNow(now.Sub(last))
+			last = now
+		case <-s.done:
+			return
+		}
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"repro/internal/bitvec"
 	"repro/internal/core"
 	"repro/internal/recovery"
+	"repro/internal/substrate"
 )
 
 // Errors surfaced by the serving path.
@@ -94,6 +95,18 @@ type Config struct {
 	// ProbeInterval is how often the held-out accuracy probe runs (0
 	// disables the periodic probe; ProbeNow is always available).
 	ProbeInterval time.Duration
+
+	// Substrate mounts the deployed model on a continuously faulting
+	// simulated memory substrate (nil disables it). The scrubber
+	// advances the fault process every ScrubTick under the exclusive
+	// model lock, and the recovery loop's substitution writes are
+	// charged to it as wear traffic.
+	Substrate *substrate.Config
+	// ScrubTick is the substrate scrubber period (default 100ms).
+	ScrubTick time.Duration
+	// Watchdog parameterizes the degradation watchdog; its Interval
+	// enables the periodic loop (WatchdogNow is always available).
+	Watchdog WatchdogConfig
 }
 
 func (c *Config) fillDefaults() {
@@ -118,6 +131,10 @@ func (c *Config) fillDefaults() {
 	if c.RecoverySeed == 0 {
 		c.RecoverySeed = 1
 	}
+	if c.ScrubTick <= 0 {
+		c.ScrubTick = 100 * time.Millisecond
+	}
+	c.Watchdog.fillDefaults()
 }
 
 // Prediction is one served classification.
@@ -141,10 +158,15 @@ type Server struct {
 	metrics metrics
 
 	// mu is the single-writer lock over the deployed model (and the
-	// sys/rec pair as a unit). See the package comment.
+	// sys/rec/sub triple as a unit). See the package comment.
 	mu  sync.RWMutex
 	sys *core.System
 	rec *recovery.Recoverer
+	sub substrate.FaultProcess
+
+	// wd is the degradation watchdog's state; wd.mu nests OUTSIDE s.mu
+	// (watchdog code locks wd.mu first, then s.mu — never the reverse).
+	wd watchdogState
 
 	pool  *pool
 	recCh chan *bitvec.Vector
@@ -180,12 +202,25 @@ func New(sys *core.System, cfg Config) (*Server, error) {
 		s.bg.Add(1)
 		go s.probeLoop()
 	}
+	if cfg.Substrate != nil {
+		s.bg.Add(1)
+		go s.scrubLoop()
+	}
+	if cfg.Watchdog.Interval > 0 {
+		s.bg.Add(1)
+		go s.watchdogLoop()
+	}
 	return s, nil
 }
 
-// install wires a system (and a fresh recoverer over its model) in
-// under the write lock.
+// install wires a system (and a fresh recoverer over its model, and a
+// fresh fault process over its attack image) in under the write lock.
+// The old checkpoint and watchdog posture are discarded: they describe
+// a model that no longer exists.
 func (s *Server) install(sys *core.System) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
 	var rec *recovery.Recoverer
 	if !s.cfg.DisableRecovery {
 		r, err := sys.NewRecoverer(s.cfg.Recovery, s.cfg.RecoverySeed)
@@ -194,9 +229,18 @@ func (s *Server) install(sys *core.System) error {
 		}
 		rec = r
 	}
+	var sub substrate.FaultProcess
+	if s.cfg.Substrate != nil {
+		p, err := substrate.New(*s.cfg.Substrate, sys.AttackImage())
+		if err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+		sub = p
+	}
 	s.mu.Lock()
-	s.sys, s.rec = sys, rec
+	s.sys, s.rec, s.sub = sys, rec, sub
 	s.mu.Unlock()
+	s.wd.reset()
 	return nil
 }
 
@@ -355,7 +399,19 @@ func (s *Server) recoveryLoop() {
 		// A /train or /restore may have swapped in a model of a
 		// different shape between enqueue and observation.
 		if s.rec != nil && s.sys != nil && q.Len() == s.sys.Dimensions() {
-			s.rec.Observe(q)
+			if s.sub == nil {
+				s.rec.Observe(q)
+			} else {
+				// Recovery substitutions are memory writes: charge them
+				// to the substrate so wear-driven processes see the
+				// recovery loop consuming the array's endurance.
+				before := s.rec.Stats().BitsSubstituted
+				s.rec.Observe(q)
+				if d := s.rec.Stats().BitsSubstituted - before; d > 0 {
+					s.sub.NoteWrites(d)
+					s.metrics.recoveryWrites.Add(int64(d))
+				}
+			}
 		}
 		s.mu.Unlock()
 	}

@@ -25,7 +25,7 @@ var testProblem struct {
 	err  error
 }
 
-func problem(t *testing.T) (*dataset.Dataset, dataset.Spec, *core.System) {
+func problem(t testing.TB) (*dataset.Dataset, dataset.Spec, *core.System) {
 	t.Helper()
 	p := &testProblem
 	p.once.Do(func() {
@@ -58,7 +58,7 @@ func problem(t *testing.T) (*dataset.Dataset, dataset.Spec, *core.System) {
 
 // freshServer trains a private system (tests mutate the model) and
 // wraps it in a server + httptest.Server.
-func freshServer(t *testing.T, cfg Config) (*Server, *httptest.Server, *dataset.Dataset) {
+func freshServer(t testing.TB, cfg Config) (*Server, *httptest.Server, *dataset.Dataset) {
 	t.Helper()
 	ds, spec, _ := problem(t)
 	sys, err := core.Train(ds.TrainX, ds.TrainY, spec.Classes, core.Config{

@@ -1,0 +1,80 @@
+package substrate
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/attack"
+)
+
+// AdversarialCampaign is a sustained targeted (or random) bit-flip
+// campaign: an attack.Process stepped on a fixed wall-clock cadence,
+// so an attacker with continuous access injects RatePerStep of the
+// image every StepEvery — the threat model of Yang & Ren's adversarial
+// HDC attacks, run against the live server instead of a batch script.
+type AdversarialCampaign struct {
+	proc      *attack.Process
+	stepEvery time.Duration
+	carry     time.Duration
+	stats     Stats
+}
+
+// NewAdversarialCampaign wraps an attack.Process over the image.
+func NewAdversarialCampaign(cfg Config, img attack.Image) (*AdversarialCampaign, error) {
+	rate := cfg.RatePerStep
+	if rate <= 0 {
+		rate = 0.001
+	}
+	every := cfg.StepEvery
+	if every <= 0 {
+		every = time.Second
+	}
+	proc, err := attack.NewProcess(img, rate, cfg.Targeted, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("substrate: %w", err)
+	}
+	return &AdversarialCampaign{proc: proc, stepEvery: every}, nil
+}
+
+// Name returns "adversarial".
+func (a *AdversarialCampaign) Name() string { return "adversarial" }
+
+// Steps returns how many campaign steps have fired.
+func (a *AdversarialCampaign) Steps() int { return a.proc.Steps() }
+
+// Advance fires one campaign step per StepEvery of accumulated wall
+// time (fractional remainders carry over to the next tick).
+func (a *AdversarialCampaign) Advance(elapsed time.Duration) (attack.Result, error) {
+	if elapsed < 0 {
+		return attack.Result{}, fmt.Errorf("substrate: negative elapsed %v", elapsed)
+	}
+	a.stats.Advances++
+	a.stats.SimulatedMs += elapsed.Seconds() * 1000
+	a.carry += elapsed
+	var res attack.Result
+	// Bound a huge gap: a long stall fires at most maxSteps rounds.
+	const maxSteps = 64
+	for steps := 0; a.carry >= a.stepEvery && steps < maxSteps; steps++ {
+		a.carry -= a.stepEvery
+		r, err := a.proc.Step()
+		if err != nil {
+			return res, err
+		}
+		res.BitsFlipped += r.BitsFlipped
+		res.ElementsHit += r.ElementsHit
+	}
+	if a.carry > a.stepEvery {
+		a.carry = a.stepEvery // drop the unfired backlog
+	}
+	a.stats.BitsFlipped += int64(res.BitsFlipped)
+	return res, nil
+}
+
+// NoteWrites is a no-op: the campaign does not model wear.
+func (a *AdversarialCampaign) NoteWrites(int) {}
+
+// Refresh is a no-op: a rollback does not stop an attacker.
+func (a *AdversarialCampaign) Refresh() {}
+
+// Stats returns cumulative counters.
+func (a *AdversarialCampaign) Stats() Stats { return a.stats }

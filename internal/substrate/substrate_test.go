@@ -1,0 +1,239 @@
+package substrate
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/bitvec"
+	"repro/internal/hdc/model"
+	"repro/internal/memsim"
+	"repro/internal/stats"
+)
+
+// testImage builds a small trained binary model and its attack image.
+func testImage(t *testing.T) (*model.Model, *attack.BinaryModel) {
+	t.Helper()
+	const classes, dims = 4, 512
+	rng := stats.NewRNG(7)
+	m, err := model.New(classes, dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encoded := make([]*bitvec.Vector, 20)
+	labels := make([]int, len(encoded))
+	for i := range encoded {
+		encoded[i] = bitvec.Random(dims, rng)
+		labels[i] = i % classes
+	}
+	if err := m.Train(encoded, labels); err != nil {
+		t.Fatal(err)
+	}
+	return m, attack.NewBinaryModel(m)
+}
+
+// damage counts deployed bits differing from the snapshot.
+func damage(m *model.Model, snap []*bitvec.Vector) int {
+	total := 0
+	for c, v := range snap {
+		total += m.ClassVector(c).Hamming(v)
+	}
+	return total
+}
+
+func TestNewRejectsUnknownKind(t *testing.T) {
+	_, img := testImage(t)
+	if _, err := New(Config{Kind: "cosmic-rays"}, img); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestDRAMDecayLeaksSaturatesAndRefreshPreservesErrors(t *testing.T) {
+	m, img := testImage(t)
+	clean := m.SnapshotDeployed()
+	p, err := New(Config{
+		Kind: "dram",
+		Seed: 3,
+		Retention: memsim.DRAMRetention{Populations: []memsim.RetentionPopulation{
+			{Fraction: 0.10, MuLogMs: math.Log(100), SigmaLog: 0.3},
+		}},
+		RefreshIntervalMs: 1000,
+	}, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := p.(*DRAMDecay)
+	if w := d.WeakCells(); w < 150 || w > 260 {
+		t.Fatalf("sampled %d weak cells, want ~205 (10%% of %d)", w, 4*512)
+	}
+
+	// One simulated second: past every cell's retention time.
+	res, err := p.Advance(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Roughly half the weak cells stored their discharge value already;
+	// the rest leak into errors.
+	if res.BitsFlipped < d.WeakCells()/4 || res.BitsFlipped > d.WeakCells() {
+		t.Fatalf("first epoch flipped %d bits over %d weak cells", res.BitsFlipped, d.WeakCells())
+	}
+	if got := damage(m, clean); got != res.BitsFlipped {
+		t.Fatalf("model damage %d != reported flips %d", got, res.BitsFlipped)
+	}
+
+	// Saturation: refresh recharges the leaked values, so further
+	// epochs inject nothing new on an unwritten image.
+	for i := 0; i < 3; i++ {
+		res, err = p.Advance(1500 * time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.BitsFlipped != 0 {
+			t.Fatalf("epoch %d flipped %d bits on a saturated, unwritten image", i, res.BitsFlipped)
+		}
+	}
+	before := damage(m, clean)
+
+	// A rewrite (what recovery does) recharges the cell — and the cell
+	// leaks again next epoch: repair the whole image and watch decay
+	// re-assert the same leak pattern.
+	m.RestoreDeployed(clean)
+	res, err = p.Advance(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BitsFlipped != before {
+		t.Fatalf("after full repair, decay re-flipped %d bits, want the original %d", res.BitsFlipped, before)
+	}
+
+	// Refresh() (rollback hook) restarts the epoch: with the image
+	// still degraded, re-enforcement finds nothing to change.
+	p.Refresh()
+	if res, _ = p.Advance(time.Second); res.BitsFlipped != 0 {
+		t.Fatalf("post-Refresh epoch flipped %d bits without any rewrite", res.BitsFlipped)
+	}
+	st := p.Stats()
+	if st.Advances != 6 || st.BitsFlipped != int64(2*before) {
+		t.Fatalf("stats %+v: want 6 advances, %d cumulative flips", st, 2*before)
+	}
+}
+
+func TestDRAMDecayClusterRunsAreContiguous(t *testing.T) {
+	_, img := testImage(t)
+	p, err := NewDRAMDecay(Config{
+		Kind: "dram",
+		Seed: 9,
+		Retention: memsim.DRAMRetention{Populations: []memsim.RetentionPopulation{
+			{Fraction: 0.05, MuLogMs: math.Log(50), SigmaLog: 0.2},
+		}},
+		ClusterRun: 16,
+	}, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cells sharing a retention time must form contiguous position runs.
+	byRetention := map[float64][]int{}
+	for _, c := range p.cells {
+		byRetention[c.retentionMs] = append(byRetention[c.retentionMs], c.pos)
+	}
+	if len(byRetention) == 0 {
+		t.Fatal("no runs sampled")
+	}
+	for ret, ps := range byRetention {
+		lo, hi := ps[0], ps[0]
+		for _, x := range ps {
+			lo, hi = min(lo, x), max(hi, x)
+		}
+		if hi-lo != len(ps)-1 {
+			t.Fatalf("run at retention %.2fms spans [%d,%d] with %d cells: not contiguous", ret, lo, hi, len(ps))
+		}
+	}
+}
+
+func TestEnduranceWearSticksCellsAgainstRewrites(t *testing.T) {
+	m, img := testImage(t)
+	p, err := New(Config{
+		Kind:      "endurance",
+		Seed:      5,
+		Endurance: memsim.EnduranceModel{NominalWrites: 100, SigmaLog: 0.4},
+	}, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := p.(*EnduranceWear)
+	total := imageBits(img)
+
+	// No traffic, no wear.
+	if res, _ := p.Advance(time.Second); res.BitsFlipped != 0 || e.FailedCells() != 0 {
+		t.Fatalf("wear without writes: %+v, %d failed", res, e.FailedCells())
+	}
+
+	// Charge ~50 leveled writes per cell: ~4% of cells wear out
+	// (Φ((ln50−ln100)/0.4) ≈ 0.042). Latching is silent — cells stick
+	// at the value they hold.
+	p.NoteWrites(50 * total)
+	res, err := p.Advance(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := e.FailedCells()
+	if failed < total/100 || failed > total/10 {
+		t.Fatalf("%d of %d cells failed at 50/100 leveled writes", failed, total)
+	}
+	if res.BitsFlipped != 0 {
+		t.Fatalf("latching flipped %d bits; stuck-at-current must be silent", res.BitsFlipped)
+	}
+
+	// Rewrite every stuck cell to the opposite value (a recovery write
+	// into worn memory): the next scrub re-asserts every latched value.
+	for i := 0; i < failed; i++ {
+		img.FlipBit(e.cells[i].pos, 0)
+	}
+	res, err = p.Advance(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BitsFlipped != failed {
+		t.Fatalf("re-assertion flipped %d bits, want %d (every stuck cell)", res.BitsFlipped, failed)
+	}
+	if d := damage(m, m.SnapshotDeployed()); d != 0 {
+		t.Fatalf("snapshot disagrees with itself: %d", d)
+	}
+	st := p.Stats()
+	if st.WritesCharged != int64(50*total) || st.FailedCells != int64(failed) {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestAdversarialCampaignStepsOnCadence(t *testing.T) {
+	_, img := testImage(t)
+	p, err := New(Config{
+		Kind:        "adversarial",
+		Seed:        11,
+		RatePerStep: 0.01,
+		StepEvery:   10 * time.Millisecond,
+	}, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perStep := int(0.01 * float64(imageBits(img)))
+
+	res, err := p.Advance(25 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BitsFlipped != 2*perStep {
+		t.Fatalf("25ms advance flipped %d bits, want 2 steps × %d", res.BitsFlipped, perStep)
+	}
+	// 5ms carry + 5ms: exactly one more step.
+	if res, _ = p.Advance(2 * time.Millisecond); res.BitsFlipped != 0 {
+		t.Fatalf("7ms of carry fired a step early: %d flips", res.BitsFlipped)
+	}
+	if res, _ = p.Advance(3 * time.Millisecond); res.BitsFlipped != perStep {
+		t.Fatalf("10ms of carry flipped %d bits, want %d", res.BitsFlipped, perStep)
+	}
+	if got := p.(*AdversarialCampaign).Steps(); got != 3 {
+		t.Fatalf("campaign ran %d steps, want 3", got)
+	}
+}
