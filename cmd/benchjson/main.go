@@ -1,0 +1,112 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON document, so CI can publish benchmark runs as
+// artifacts (BENCH_train.json) that trend tooling and reviewers can
+// diff without scraping the text format.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem . | benchjson > BENCH.json
+//	benchjson bench-train.txt > BENCH_train.json
+//
+// Each benchmark result line ("BenchmarkFoo/w4-8  100  123 ns/op ...")
+// becomes one entry; repeated names (from -count=N) stay separate
+// entries so variance is preserved. Header lines (goos/goarch/pkg/cpu)
+// are captured as run context. Unparseable lines are ignored, so the
+// converter is safe to point at a full `go test` transcript.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	// Name is the full benchmark name including sub-bench path and
+	// the -GOMAXPROCS suffix, exactly as printed.
+	Name string `json:"name"`
+	// Runs is the iteration count the harness settled on.
+	Runs int64 `json:"runs"`
+	// Metrics maps unit → value for every reported pair, including
+	// custom b.ReportMetric units.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the emitted document.
+type Report struct {
+	// Context holds the goos/goarch/pkg/cpu header values.
+	Context    map[string]string `json:"context"`
+	Benchmarks []Benchmark       `json:"benchmarks"`
+}
+
+func main() {
+	var in io.Reader = os.Stdin
+	if len(os.Args) > 1 {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	rep, err := parse(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// headerKeys are the `go test -bench` preamble lines worth keeping.
+var headerKeys = map[string]bool{"goos": true, "goarch": true, "pkg": true, "cpu": true}
+
+func parse(in io.Reader) (*Report, error) {
+	rep := &Report{Context: map[string]string{}, Benchmarks: []Benchmark{}}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if key, val, ok := strings.Cut(line, ": "); ok && headerKeys[key] {
+			// Later packages overwrite pkg/cpu; the last one wins,
+			// which is fine for the single-package runs CI does.
+			rep.Context[key] = strings.TrimSpace(val)
+			continue
+		}
+		if b, ok := parseBenchLine(line); ok {
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+	}
+	return rep, sc.Err()
+}
+
+// parseBenchLine parses "BenchmarkName-P  N  v1 u1  v2 u2 ...".
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Runs: runs, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}

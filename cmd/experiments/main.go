@@ -4,6 +4,7 @@
 //
 //	experiments [-run all|table1|table2|table3|table4|fig2|fig3|fig4a|fig4b|equilibrium]
 //	            [-dims 10000] [-trials 3] [-scale 1.0] [-full] [-seed 2022]
+//	            [-workers N]
 //
 // Each experiment prints its result shaped like the publication, with
 // the paper's published value next to each measured cell where the
@@ -14,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -27,6 +29,7 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "dataset size scale factor")
 	full := flag.Bool("full", false, "use paper-scale dataset sizes (slow)")
 	seed := flag.Uint64("seed", 2022, "master experiment seed")
+	workers := flag.Int("workers", runtime.NumCPU(), "goroutines fanning experiment cells×trials out (per-trial seeds keep every number identical across worker counts)")
 	flag.Parse()
 
 	ctx := experiments.NewContext(experiments.Options{
@@ -35,6 +38,7 @@ func main() {
 		SizeScale:  *scale,
 		Full:       *full,
 		Seed:       *seed,
+		Workers:    *workers,
 	})
 
 	type driver struct {

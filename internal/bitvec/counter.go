@@ -8,6 +8,14 @@ import "fmt"
 // decrements where it is 0. Threshold() then produces the majority
 // bundle, the HDC class-hypervector construction
 // C = sign(Σ H_j).
+//
+// Bookkeeping invariant: Adds() is the net signed weight of every
+// accumulation the counter has absorbed — +w per AddWeighted(v, w)
+// (so +1 per Add), -1 per Sub, plus the counterpart's net weight on
+// Merge and minus it on MergeSub. Every mutating method maintains it,
+// which is what lets sharded training accumulate per-worker delta
+// counters and reduce them with Merge without skewing the count a
+// sequential Add/Sub run would have produced.
 type Counter struct {
 	tallies []int32
 	adds    int
@@ -53,6 +61,39 @@ func (c *Counter) addScaled(v *Vector, w int32) {
 		}
 	}
 	c.adds += int(w)
+}
+
+// Merge folds another counter's tallies into this one element-wise and
+// absorbs its net accumulation count. Merging per-worker delta counters
+// into a canonical counter is the reduce step of sharded training: the
+// result (tallies and Adds alike) is identical to having replayed the
+// worker's Add/Sub/AddWeighted calls on the canonical counter directly.
+func (c *Counter) Merge(other *Counter) {
+	c.mergeScaled(other, 1)
+}
+
+// MergeSub subtracts another counter's tallies from this one
+// element-wise and removes its net accumulation count, undoing a prior
+// Merge of the same counter.
+func (c *Counter) MergeSub(other *Counter) {
+	c.mergeScaled(other, -1)
+}
+
+func (c *Counter) mergeScaled(other *Counter, sign int32) {
+	if len(other.tallies) != len(c.tallies) {
+		panic(fmt.Sprintf("bitvec: counter length %d != counter length %d", len(c.tallies), len(other.tallies)))
+	}
+	if sign > 0 {
+		for i, t := range other.tallies {
+			c.tallies[i] += t
+		}
+		c.adds += other.adds
+	} else {
+		for i, t := range other.tallies {
+			c.tallies[i] -= t
+		}
+		c.adds -= other.adds
+	}
 }
 
 // Tally returns the raw tally at dimension i.

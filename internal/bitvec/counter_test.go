@@ -152,6 +152,116 @@ func TestCounterQuantizePanics(t *testing.T) {
 	}
 }
 
+func TestCounterMergeEquivalentToReplay(t *testing.T) {
+	// Splitting a stream of Add/Sub/AddWeighted calls across two delta
+	// counters and merging must reproduce the sequential counter exactly
+	// — tallies and Adds — for any interleaving. This is the reduce-step
+	// contract sharded training relies on.
+	rng := stats.NewRNG(25)
+	const d = 96
+	seq := NewCounter(d)
+	a := NewCounter(d)
+	b := NewCounter(d)
+	for i := 0; i < 40; i++ {
+		v := Random(d, rng)
+		shard := a
+		if i%2 == 1 {
+			shard = b
+		}
+		switch i % 3 {
+		case 0:
+			seq.Add(v)
+			shard.Add(v)
+		case 1:
+			seq.Sub(v)
+			shard.Sub(v)
+		default:
+			seq.AddWeighted(v, 5)
+			shard.AddWeighted(v, 5)
+		}
+	}
+	merged := NewCounter(d)
+	merged.Merge(a)
+	merged.Merge(b)
+	for i := 0; i < d; i++ {
+		if merged.Tally(i) != seq.Tally(i) {
+			t.Fatalf("dim %d: merged tally %d != sequential %d", i, merged.Tally(i), seq.Tally(i))
+		}
+	}
+	if merged.Adds() != seq.Adds() {
+		t.Fatalf("merged Adds = %d, sequential = %d", merged.Adds(), seq.Adds())
+	}
+	if !merged.Threshold().Equal(seq.Threshold()) {
+		t.Fatal("merged threshold differs from sequential")
+	}
+}
+
+func TestCounterMergeSubUndoesMerge(t *testing.T) {
+	rng := stats.NewRNG(26)
+	const d = 64
+	base := NewCounter(d)
+	base.Add(Random(d, rng))
+	base.Sub(Random(d, rng))
+	wantAdds := base.Adds()
+	snapshot := base.Clone()
+
+	delta := NewCounter(d)
+	delta.Add(Random(d, rng))
+	delta.AddWeighted(Random(d, rng), 3)
+	base.Merge(delta)
+	if base.Adds() != wantAdds+delta.Adds() {
+		t.Fatalf("Adds after merge = %d, want %d", base.Adds(), wantAdds+delta.Adds())
+	}
+	base.MergeSub(delta)
+	if base.Adds() != wantAdds {
+		t.Fatalf("Adds after merge-sub = %d, want %d", base.Adds(), wantAdds)
+	}
+	for i := 0; i < d; i++ {
+		if base.Tally(i) != snapshot.Tally(i) {
+			t.Fatalf("dim %d: tally %d != original %d", i, base.Tally(i), snapshot.Tally(i))
+		}
+	}
+}
+
+// Regression for the Adds() invariant: the net signed accumulation
+// count must survive every mutating method, including Sub and Merge —
+// a merge-based Retrain (add to true class, sub from impostor) must
+// leave per-class counts identical to the sequential path.
+func TestCounterAddsInvariantAcrossSubAndMerge(t *testing.T) {
+	rng := stats.NewRNG(27)
+	const d = 32
+	c := NewCounter(d)
+	c.Add(Random(d, rng))             // +1
+	c.Add(Random(d, rng))             // +1
+	c.Sub(Random(d, rng))             // -1
+	c.AddWeighted(Random(d, rng), -2) // -2
+	if c.Adds() != -1 {
+		t.Fatalf("Adds = %d, want -1", c.Adds())
+	}
+	delta := NewCounter(d)
+	delta.Sub(Random(d, rng)) // net -1
+	c.Merge(delta)
+	if c.Adds() != -2 {
+		t.Fatalf("Adds after merging a net-negative delta = %d, want -2", c.Adds())
+	}
+	if got := c.Clone().Adds(); got != -2 {
+		t.Fatalf("Clone Adds = %d, want -2", got)
+	}
+	c.Reset()
+	if c.Adds() != 0 {
+		t.Fatalf("Adds after Reset = %d, want 0", c.Adds())
+	}
+}
+
+func TestCounterMergeLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCounter(4).Merge(NewCounter(5))
+}
+
 func TestCounterResetAndClone(t *testing.T) {
 	rng := stats.NewRNG(24)
 	c := NewCounter(64)

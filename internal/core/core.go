@@ -38,6 +38,10 @@ type Config struct {
 	RetrainEpochs int
 	// Seed drives the encoder's item/level memories.
 	Seed uint64
+	// Workers is the goroutine count for encode and the map phase of
+	// training (<= 0 selects GOMAXPROCS). The parallel training path is
+	// bit-identical to sequential for every worker count.
+	Workers int
 }
 
 // DefaultConfig returns the paper's main operating point.
@@ -108,16 +112,25 @@ func Train(trainX [][]float64, trainY []int, classes int, cfg Config) (*System, 
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	s := &System{cfg: cfg, norm: norm, encoder: enc, model: m}
-	encoded := s.EncodeAllParallel(trainX, 0)
-	if err := m.Train(encoded, trainY); err != nil {
+	encoded := s.EncodeAllParallel(trainX, cfg.Workers)
+	if err := m.TrainParallel(encoded, trainY, cfg.Workers); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	if cfg.RetrainEpochs > 0 {
-		if _, err := m.Retrain(encoded, trainY, cfg.RetrainEpochs); err != nil {
+		if _, err := m.RetrainParallel(encoded, trainY, cfg.RetrainEpochs, cfg.Workers); err != nil {
 			return nil, fmt.Errorf("core: %w", err)
 		}
 	}
 	return s, nil
+}
+
+// Fork returns an independent copy of the system for concurrent use:
+// the model (counters and deployed vectors) is deep-copied while the
+// immutable encoder and normalizer are shared. Forks let parallel
+// experiment trials attack and recover private model copies instead of
+// serializing attack/restore cycles on one shared system.
+func (s *System) Fork() *System {
+	return &System{cfg: s.cfg, norm: s.norm, encoder: s.encoder, model: s.model.Clone()}
 }
 
 // Config returns the construction configuration.

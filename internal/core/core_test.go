@@ -274,3 +274,65 @@ func TestAttackBurstIsLocalized(t *testing.T) {
 		t.Fatal("span fraction > 1 accepted")
 	}
 }
+
+func TestTrainWorkersBitIdentical(t *testing.T) {
+	// core.Train now routes through the map-reduce pipeline; any worker
+	// count must produce exactly the same deployed model.
+	ds := smallData(t)
+	ref, err := Train(ds.TrainX, ds.TrainY, ds.Spec.Classes, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{1, 3, 4} {
+		cfg := smallConfig()
+		cfg.Workers = w
+		s, err := Train(ds.TrainX, ds.TrainY, ds.Spec.Classes, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := 0; c < s.Classes(); c++ {
+			if !s.Model().ClassVector(c).Equal(ref.Model().ClassVector(c)) {
+				t.Fatalf("workers=%d: class %d deployed vector differs", w, c)
+			}
+		}
+	}
+}
+
+func TestForkIsolatesModel(t *testing.T) {
+	s, ds := trainSmall(t)
+	snap := s.Snapshot()
+	fork := s.Fork()
+	for c := 0; c < s.Classes(); c++ {
+		if !fork.Model().ClassVector(c).Equal(s.Model().ClassVector(c)) {
+			t.Fatalf("fork class %d differs before mutation", c)
+		}
+	}
+	// Attacking the fork must not touch the original, and both must
+	// keep working (shared encoder is read-only and safe).
+	if _, err := fork.AttackTargeted(0.4, 99); err != nil {
+		t.Fatal(err)
+	}
+	for c := range snap {
+		if !s.Model().ClassVector(c).Equal(snap[c]) {
+			t.Fatalf("original class %d changed by attacking the fork", c)
+		}
+	}
+	orig := s.Accuracy(ds.TestX, ds.TestY)
+	forked := fork.Accuracy(ds.TestX, ds.TestY)
+	if forked >= orig {
+		t.Fatalf("fork accuracy %.3f not degraded below original %.3f after 40%% attack", forked, orig)
+	}
+	// Recovery on the fork stays private too.
+	rec, err := fork.NewRecoverer(recovery.DefaultConfig(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range ds.TestX[:50] {
+		rec.Observe(fork.Encode(x))
+	}
+	for c := range snap {
+		if !s.Model().ClassVector(c).Equal(snap[c]) {
+			t.Fatalf("original class %d changed by recovering the fork", c)
+		}
+	}
+}

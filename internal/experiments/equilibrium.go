@@ -68,8 +68,6 @@ func Equilibrium(ctx *Context) (*EquilibriumResult, error) {
 		return nil, err
 	}
 	clean := t.CleanHDCAccuracy()
-	snap := t.System.Snapshot()
-	defer t.System.Restore(snap)
 
 	const windows = 10
 	const settle = 3 // floor = mean accuracy of the last `settle` windows
@@ -83,55 +81,70 @@ func Equilibrium(ctx *Context) (*EquilibriumResult, error) {
 		res.KneeRate[q] = -1
 	}
 
+	// The whole rates×throughputs×trials grid fans out at once: each
+	// trial runs its campaign-vs-recovery tug of war on a private fork,
+	// so cells no longer serialize on restore cycles.
+	type eqUnit struct{ floor, healed, flux float64 }
+	nq := len(EquilibriumThroughputs)
+	grid := runGrid(ctx, len(EquilibriumRates)*nq, ctx.Opts.Trials, func(ci, trial int) eqUnit {
+		ri, qi := ci/nq, ci%nq
+		rate, q := EquilibriumRates[ri], EquilibriumThroughputs[qi]
+		sys := t.System.Fork()
+		// A fresh campaign per trial, seeded per rate so every
+		// throughput defends against the same attacker.
+		proc, err := substrate.New(substrate.Config{
+			Kind:        "adversarial",
+			Seed:        ctx.trialSeed("equilibrium", ri, trial),
+			RatePerStep: rate,
+			StepEvery:   time.Second,
+			Targeted:    true,
+		}, sys.AttackImage())
+		if err != nil {
+			panic(err)
+		}
+		var rec *recovery.Recoverer
+		if q > 0 {
+			cfg := ctx.Opts.Recovery
+			cfg.EnsembleWindow = 16
+			seed := ctx.trialSeed("equilibrium-rec", ri*nq+qi, trial)
+			if rec, err = sys.NewRecoverer(cfg, seed); err != nil {
+				panic(err)
+			}
+		}
+
+		flux, healed := 0.0, 0.0
+		accs := make([]float64, 0, windows)
+		for w := 0; w < windows; w++ {
+			r, err := proc.Advance(time.Second)
+			if err != nil {
+				panic(err)
+			}
+			flux += float64(r.BitsFlipped)
+			if rec != nil {
+				before := rec.Stats().BitsSubstituted
+				lo := (w * q) % len(t.TestEnc)
+				for i := 0; i < q; i++ {
+					rec.Observe(t.TestEnc[(lo+i)%len(t.TestEnc)])
+				}
+				healed += float64(rec.Stats().BitsSubstituted - before)
+			}
+			accs = append(accs, sys.Model().AccuracyParallel(t.TestEnc, t.Data.TestY, 0))
+		}
+		return eqUnit{
+			floor:  stats.Mean(accs[len(accs)-settle:]),
+			healed: healed / windows,
+			flux:   flux / windows,
+		}
+	})
+
 	for ri, rate := range EquilibriumRates {
 		row := EquilibriumRow{RatePerWindow: rate}
 		for qi, q := range EquilibriumThroughputs {
 			var floorSum, healSum, fluxSum float64
-			for trial := 0; trial < ctx.Opts.Trials; trial++ {
-				t.System.Restore(snap)
-				// A fresh campaign per trial, seeded per rate so every
-				// throughput defends against the same attacker.
-				proc, err := substrate.New(substrate.Config{
-					Kind:        "adversarial",
-					Seed:        ctx.trialSeed("equilibrium", ri, trial),
-					RatePerStep: rate,
-					StepEvery:   time.Second,
-					Targeted:    true,
-				}, t.System.AttackImage())
-				if err != nil {
-					return nil, err
-				}
-				var rec *recovery.Recoverer
-				if q > 0 {
-					cfg := ctx.Opts.Recovery
-					cfg.EnsembleWindow = 16
-					seed := ctx.trialSeed("equilibrium-rec", ri*len(EquilibriumThroughputs)+qi, trial)
-					if rec, err = t.System.NewRecoverer(cfg, seed); err != nil {
-						return nil, err
-					}
-				}
-
-				flux, healed := 0.0, 0.0
-				accs := make([]float64, 0, windows)
-				for w := 0; w < windows; w++ {
-					r, err := proc.Advance(time.Second)
-					if err != nil {
-						return nil, err
-					}
-					flux += float64(r.BitsFlipped)
-					if rec != nil {
-						before := rec.Stats().BitsSubstituted
-						lo := (w * q) % len(t.TestEnc)
-						for i := 0; i < q; i++ {
-							rec.Observe(t.TestEnc[(lo+i)%len(t.TestEnc)])
-						}
-						healed += float64(rec.Stats().BitsSubstituted - before)
-					}
-					accs = append(accs, t.System.Model().AccuracyParallel(t.TestEnc, t.Data.TestY, 0))
-				}
-				floorSum += stats.Mean(accs[len(accs)-settle:])
-				healSum += healed / windows
-				fluxSum += flux / windows
+			for _, u := range grid[ri*nq+qi] {
+				floorSum += u.floor
+				healSum += u.healed
+				fluxSum += u.flux
 			}
 			trials := float64(ctx.Opts.Trials)
 			cell := EquilibriumCell{

@@ -12,6 +12,9 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/bitvec"
 	"repro/internal/boost"
@@ -19,7 +22,6 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/nn"
 	"repro/internal/recovery"
-	"repro/internal/stats"
 	"repro/internal/svm"
 )
 
@@ -39,6 +41,10 @@ type Options struct {
 	// Recovery overrides the recovery configuration used by Table 4
 	// and Figure 3 (zero value selects recovery.DefaultConfig).
 	Recovery recovery.Config
+	// Workers caps the goroutines the trial runner fans cells×trials
+	// out across (<= 0 selects GOMAXPROCS). Per-trial seeds make every
+	// reproduced number independent of the worker count.
+	Workers int
 }
 
 // DefaultOptions returns the standard experiment configuration.
@@ -134,11 +140,12 @@ func (c *Context) hdcAt(spec dataset.Spec, dims int) (*Trained, error) {
 		Dimensions:    dims,
 		RetrainEpochs: 0,
 		Seed:          c.Opts.Seed ^ uint64(dims),
+		Workers:       c.Opts.Workers,
 	})
 	if err != nil {
 		return nil, err
 	}
-	t := &Trained{Data: ds, System: sys, TestEnc: sys.EncodeAllParallel(ds.TestX, 0)}
+	t := &Trained{Data: ds, System: sys, TestEnc: sys.EncodeAllParallel(ds.TestX, c.Opts.Workers)}
 	c.cache[key] = t
 	return t, nil
 }
@@ -218,11 +225,65 @@ func (c *Context) trialSeed(tag string, cell, trial int) uint64 {
 	return h ^ uint64(cell)<<32 ^ uint64(trial)<<16
 }
 
-// meanQualityLoss averages a per-trial quality-loss evaluation.
-func meanQualityLoss(trials int, eval func(trial int) float64) float64 {
-	losses := make([]float64, trials)
-	for i := range losses {
-		losses[i] = eval(i)
+// workers resolves the trial runner's fan-out width.
+func (c *Context) workers() int {
+	if c.Opts.Workers > 0 {
+		return c.Opts.Workers
 	}
-	return stats.Mean(losses)
+	return runtime.GOMAXPROCS(0)
+}
+
+// runTrials evaluates fn(0..n-1) across the context's worker pool and
+// returns the results in trial order, identical to a sequential loop.
+//
+// Contract: fn must be safe to call from concurrent goroutines — trial
+// bodies operate on forked systems or freshly cloned deployments and
+// derive all randomness from per-trial seeds — and must not touch the
+// Context cache (drivers resolve ctx.HDC/ctx.Baselines before fanning
+// out; the cache map is not locked).
+func runTrials[T any](c *Context, n int, fn func(trial int) T) []T {
+	out := make([]T, n)
+	workers := c.workers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := range out {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// runGrid fans a cells×trials grid through runTrials and regroups the
+// flat results per cell, preserving the exact per-(cell, trial) values
+// and ordering a nested sequential loop would produce. Drivers use it
+// to keep the whole sweep busy on all cores instead of parallelizing
+// only the innermost trials loop.
+func runGrid[T any](c *Context, cells, trials int, fn func(cell, trial int) T) [][]T {
+	flat := runTrials(c, cells*trials, func(i int) T {
+		return fn(i/trials, i%trials)
+	})
+	out := make([][]T, cells)
+	for cell := range out {
+		out[cell] = flat[cell*trials : (cell+1)*trials]
+	}
+	return out
 }

@@ -366,3 +366,50 @@ func TestEquilibriumShape(t *testing.T) {
 		t.Fatal("render broken")
 	}
 }
+
+// The reproduced numbers must not depend on the trial runner's worker
+// count: per-trial seeds and fork-based trial bodies make the fan-out
+// bit-identical to a sequential nested loop.
+func TestWorkerCountDoesNotChangeResults(t *testing.T) {
+	render := func(workers int) string {
+		ctx := NewContext(Options{
+			Dimensions: 2000,
+			Trials:     2,
+			SizeScale:  0.2,
+			Seed:       7,
+			Workers:    workers,
+		})
+		t1, err := Table1(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f3, err := Fig3(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return t1.Render() + f3.Render()
+	}
+	seq := render(1)
+	par := render(4)
+	if seq != par {
+		t.Fatalf("rendered output differs between workers=1 and workers=4:\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s", seq, par)
+	}
+}
+
+func TestRunTrialsOrderAndCoverage(t *testing.T) {
+	ctx := NewContext(Options{Workers: 8})
+	got := runTrials(ctx, 37, func(trial int) int { return trial * trial })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("trial %d: got %d, want %d", i, v, i*i)
+		}
+	}
+	grid := runGrid(ctx, 5, 3, func(cell, trial int) [2]int { return [2]int{cell, trial} })
+	for cell := range grid {
+		for trial, v := range grid[cell] {
+			if v != [2]int{cell, trial} {
+				t.Fatalf("grid[%d][%d] = %v", cell, trial, v)
+			}
+		}
+	}
+}

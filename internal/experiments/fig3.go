@@ -44,37 +44,44 @@ func Fig3(ctx *Context) (*Fig3Result, error) {
 	}
 	res := &Fig3Result{AttackRate: attackRate}
 
+	// Both sweeps fan out together: each point attacks and recovers a
+	// private fork, so all ten operating points run concurrently.
 	base := ctx.Opts.Recovery
+	type sweepPoint struct {
+		cfg   recovery.Config
+		value float64
+	}
+	var sweeps []sweepPoint
 	for _, tc := range Fig3ConfidenceValues {
 		cfg := base
 		cfg.ConfidenceThreshold = tc
-		p, err := fig3Point(ctx, t, cfg, attackRate, tc)
-		if err != nil {
-			return nil, err
-		}
-		res.ConfidenceSweep = append(res.ConfidenceSweep, p)
+		sweeps = append(sweeps, sweepPoint{cfg, tc})
 	}
 	for _, s := range Fig3SubstitutionValues {
 		cfg := base
 		cfg.SubstitutionRate = s
-		p, err := fig3Point(ctx, t, cfg, attackRate, s)
-		if err != nil {
-			return nil, err
-		}
-		res.SubstitutionSweep = append(res.SubstitutionSweep, p)
+		sweeps = append(sweeps, sweepPoint{cfg, s})
 	}
+	points := runTrials(ctx, len(sweeps), func(i int) Fig3Point {
+		p, err := fig3Point(ctx, t, sweeps[i].cfg, attackRate, sweeps[i].value)
+		if err != nil {
+			panic(err)
+		}
+		return p
+	})
+	res.ConfidenceSweep = points[:len(Fig3ConfidenceValues)]
+	res.SubstitutionSweep = points[len(Fig3ConfidenceValues):]
 	return res, nil
 }
 
 func fig3Point(ctx *Context, t *Trained, cfg recovery.Config, attackRate, value float64) (Fig3Point, error) {
 	clean := t.CleanHDCAccuracy()
-	snap := t.System.Snapshot()
-	defer t.System.Restore(snap)
+	sys := t.System.Fork()
 
-	if _, err := t.System.AttackRandom(attackRate, ctx.trialSeed("f3atk", int(value*1000), 0)); err != nil {
+	if _, err := sys.AttackRandom(attackRate, ctx.trialSeed("f3atk", int(value*1000), 0)); err != nil {
 		return Fig3Point{}, err
 	}
-	r, err := t.System.NewRecoverer(cfg, ctx.trialSeed("f3rec", int(value*1000), 0))
+	r, err := sys.NewRecoverer(cfg, ctx.trialSeed("f3rec", int(value*1000), 0))
 	if err != nil {
 		return Fig3Point{}, err
 	}
@@ -84,7 +91,7 @@ func fig3Point(ctx *Context, t *Trained, cfg recovery.Config, attackRate, value 
 	for pass := 0; pass < Table4RecoveryPasses; pass++ {
 		trace = append(trace, r.RunTraced(t.TestEnc, t.TestEnc, t.Data.TestY, 25)...)
 	}
-	final := t.System.Model().Accuracy(t.TestEnc, t.Data.TestY)
+	final := sys.Model().Accuracy(t.TestEnc, t.Data.TestY)
 
 	accs := make([]float64, len(trace))
 	for i, p := range trace {

@@ -92,32 +92,31 @@ func Fig4a(ctx *Context) (*Fig4aResult, error) {
 			return nil, err
 		}
 		name := fmt.Sprintf("HDC D=%dk", dims/1000)
-		snap := t.System.Snapshot()
 		res.Series = append(res.Series, ctx.fig4aSeries(name, pim.DefaultLifetimeConfig(wh),
 			func(e float64, trial int) float64 {
-				defer t.System.Restore(snap)
-				if _, err := t.System.AttackRandom(e, ctx.trialSeed("f4ah"+name, int(e*1e4), trial)); err != nil {
+				sys := t.System.Fork()
+				if _, err := sys.AttackRandom(e, ctx.trialSeed("f4ah"+name, int(e*1e4), trial)); err != nil {
 					panic(err)
 				}
-				return t.System.Model().Accuracy(t.TestEnc, t.Data.TestY)
+				return sys.Model().Accuracy(t.TestEnc, t.Data.TestY)
 			}))
 	}
 	return res, nil
 }
 
 // fig4aSeries evaluates one platform curve: wear → error rate →
-// accuracy (averaged over trials).
+// accuracy (averaged over trials). The years×trials grid fans out
+// across the context's workers; accuracyAt must be concurrency-safe
+// (callers pass fork- or clone-based closures).
 func (c *Context) fig4aSeries(name string, lc pim.LifetimeConfig, accuracyAt func(e float64, trial int) float64) Fig4aSeries {
 	s := Fig4aSeries{Name: name, LifetimeYears: -1}
 	clean := accuracyAt(0, 0)
-	for _, y := range Fig4aYears {
-		e := lc.StuckErrorRateAt(y)
-		accs := make([]float64, c.Opts.Trials)
-		for trial := range accs {
-			accs[trial] = accuracyAt(e, trial)
-		}
-		acc := stats.Mean(accs)
-		s.ErrorRate = append(s.ErrorRate, e)
+	grid := runGrid(c, len(Fig4aYears), c.Opts.Trials, func(yi, trial int) float64 {
+		return accuracyAt(lc.StuckErrorRateAt(Fig4aYears[yi]), trial)
+	})
+	for yi, y := range Fig4aYears {
+		acc := stats.Mean(grid[yi])
+		s.ErrorRate = append(s.ErrorRate, lc.StuckErrorRateAt(y))
 		s.Accuracy = append(s.Accuracy, acc)
 		if s.LifetimeYears < 0 && stats.QualityLoss(clean, acc) > 1.0 {
 			s.LifetimeYears = y
@@ -187,9 +186,26 @@ func Fig4b(ctx *Context) (*Fig4bResult, error) {
 	}
 	retention := memsim.DefaultDRAMRetention()
 	power := memsim.DefaultDRAMPower()
-	snap := t.System.Snapshot()
 
 	res := &Fig4bResult{PaperImprovement4: 0.14, PaperImprovement6: 0.22}
+	// Both platforms' error-rate×trial grid fans out together; the HDC
+	// arm attacks a private fork per trial.
+	type fig4bPair struct{ dnn, hdc float64 }
+	grid := runGrid(ctx, len(Fig4bErrorRates), ctx.Opts.Trials, func(pi, trial int) fig4bPair {
+		e := Fig4bErrorRates[pi]
+		d := base.MLPDeployed()
+		if _, err := attack.Random(d, e, stats.NewRNG(ctx.trialSeed("f4bd", pi, trial))); err != nil {
+			panic(err)
+		}
+		sys := t.System.Fork()
+		if _, err := sys.AttackRandom(e, ctx.trialSeed("f4bh", pi, trial)); err != nil {
+			panic(err)
+		}
+		return fig4bPair{
+			dnn: d.Accuracy(base.Data.TestX, base.Data.TestY),
+			hdc: sys.Model().Accuracy(t.TestEnc, t.Data.TestY),
+		}
+	})
 	for pi, e := range Fig4bErrorRates {
 		interval, err := retention.IntervalForBER(e)
 		if err != nil {
@@ -197,18 +213,8 @@ func Fig4b(ctx *Context) (*Fig4bResult, error) {
 		}
 		dnnAccs := make([]float64, ctx.Opts.Trials)
 		hdcAccs := make([]float64, ctx.Opts.Trials)
-		for trial := range dnnAccs {
-			d := base.MLPDeployed()
-			if _, err := attack.Random(d, e, stats.NewRNG(ctx.trialSeed("f4bd", pi, trial))); err != nil {
-				panic(err)
-			}
-			dnnAccs[trial] = d.Accuracy(base.Data.TestX, base.Data.TestY)
-
-			if _, err := t.System.AttackRandom(e, ctx.trialSeed("f4bh", pi, trial)); err != nil {
-				panic(err)
-			}
-			hdcAccs[trial] = t.System.Model().Accuracy(t.TestEnc, t.Data.TestY)
-			t.System.Restore(snap)
+		for trial, pair := range grid[pi] {
+			dnnAccs[trial], hdcAccs[trial] = pair.dnn, pair.hdc
 		}
 		res.Points = append(res.Points, Fig4bPoint{
 			RefreshIntervalMs: interval,

@@ -48,15 +48,15 @@ func Table1(ctx *Context) (*Table1Result, error) {
 	deployed := base.MLPDeployed()
 	clean := deployed.Accuracy(base.Data.TestX, base.Data.TestY)
 	dnnRow := Table1Row{Label: "DNN", Paper: PaperTable1["DNN"]}
-	for ri, rate := range Table1Rates {
-		loss := meanQualityLoss(ctx.Opts.Trials, func(trial int) float64 {
-			d := deployed.Clone()
-			if _, err := attack.Random(d, rate, stats.NewRNG(ctx.trialSeed("t1-dnn", ri, trial))); err != nil {
-				panic(err)
-			}
-			return stats.QualityLoss(clean, d.Accuracy(base.Data.TestX, base.Data.TestY))
-		})
-		dnnRow.Measured = append(dnnRow.Measured, loss)
+	dnnLosses := runGrid(ctx, len(Table1Rates), ctx.Opts.Trials, func(ri, trial int) float64 {
+		d := deployed.Clone()
+		if _, err := attack.Random(d, Table1Rates[ri], stats.NewRNG(ctx.trialSeed("t1-dnn", ri, trial))); err != nil {
+			panic(err)
+		}
+		return stats.QualityLoss(clean, d.Accuracy(base.Data.TestX, base.Data.TestY))
+	})
+	for ri := range Table1Rates {
+		dnnRow.Measured = append(dnnRow.Measured, stats.Mean(dnnLosses[ri]))
 	}
 	res.Rows = append(res.Rows, dnnRow)
 
@@ -74,16 +74,16 @@ func Table1(ctx *Context) (*Table1Result, error) {
 			}
 			cleanQ := q.Accuracy(t.TestEnc, t.Data.TestY)
 			row := Table1Row{Label: label, Paper: PaperTable1[label]}
-			for ri, rate := range Table1Rates {
-				loss := meanQualityLoss(ctx.Opts.Trials, func(trial int) float64 {
-					qc := q.Clone()
-					img := attack.NewQuantizedModel(qc)
-					if _, err := attack.Random(img, rate, stats.NewRNG(ctx.trialSeed("t1-hdc"+label, ri, trial))); err != nil {
-						panic(err)
-					}
-					return stats.QualityLoss(cleanQ, qc.Accuracy(t.TestEnc, t.Data.TestY))
-				})
-				row.Measured = append(row.Measured, loss)
+			losses := runGrid(ctx, len(Table1Rates), ctx.Opts.Trials, func(ri, trial int) float64 {
+				qc := q.Clone()
+				img := attack.NewQuantizedModel(qc)
+				if _, err := attack.Random(img, Table1Rates[ri], stats.NewRNG(ctx.trialSeed("t1-hdc"+label, ri, trial))); err != nil {
+					panic(err)
+				}
+				return stats.QualityLoss(cleanQ, qc.Accuracy(t.TestEnc, t.Data.TestY))
+			})
+			for ri := range Table1Rates {
+				row.Measured = append(row.Measured, stats.Mean(losses[ri]))
 			}
 			res.Rows = append(res.Rows, row)
 		}

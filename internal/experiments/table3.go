@@ -91,22 +91,24 @@ func (c *Context) table3Losses(spec dataset.Spec, alg, atk string) ([]float64, e
 			return nil, err
 		}
 		clean := t.CleanHDCAccuracy()
-		snap := t.System.Snapshot()
-		for ri, rate := range Table3Rates {
-			losses[ri] = meanQualityLoss(c.Opts.Trials, func(trial int) float64 {
-				defer t.System.Restore(snap)
-				seed := c.trialSeed("t3-hdc-"+spec.Name+atk, ri, trial)
-				var err error
-				if atk == "Targeted" {
-					_, err = t.System.AttackTargeted(rate, seed)
-				} else {
-					_, err = t.System.AttackRandom(rate, seed)
-				}
-				if err != nil {
-					panic(err)
-				}
-				return stats.QualityLoss(clean, t.System.Model().Accuracy(t.TestEnc, t.Data.TestY))
-			})
+		grid := runGrid(c, len(Table3Rates), c.Opts.Trials, func(ri, trial int) float64 {
+			// Each trial attacks a private fork of the clean system, so
+			// trials never serialize on attack/restore cycles.
+			sys := t.System.Fork()
+			seed := c.trialSeed("t3-hdc-"+spec.Name+atk, ri, trial)
+			var err error
+			if atk == "Targeted" {
+				_, err = sys.AttackTargeted(Table3Rates[ri], seed)
+			} else {
+				_, err = sys.AttackRandom(Table3Rates[ri], seed)
+			}
+			if err != nil {
+				panic(err)
+			}
+			return stats.QualityLoss(clean, sys.Model().Accuracy(t.TestEnc, t.Data.TestY))
+		})
+		for ri := range Table3Rates {
+			losses[ri] = stats.Mean(grid[ri])
 		}
 		return losses, nil
 	}
@@ -127,22 +129,23 @@ func (c *Context) table3Losses(spec dataset.Spec, alg, atk string) ([]float64, e
 		panic(fmt.Sprintf("experiments: unknown algorithm %q", alg))
 	}
 	clean := fresh().Accuracy(base.Data.TestX, base.Data.TestY)
-	for ri, rate := range Table3Rates {
-		losses[ri] = meanQualityLoss(c.Opts.Trials, func(trial int) float64 {
-			d := fresh()
-			seed := c.trialSeed("t3-"+alg+spec.Name+atk, ri, trial)
-			rng := stats.NewRNG(seed)
-			var err error
-			if atk == "Targeted" {
-				_, err = attack.Targeted(d, rate, rng)
-			} else {
-				_, err = attack.Random(d, rate, rng)
-			}
-			if err != nil {
-				panic(err)
-			}
-			return stats.QualityLoss(clean, d.Accuracy(base.Data.TestX, base.Data.TestY))
-		})
+	grid := runGrid(c, len(Table3Rates), c.Opts.Trials, func(ri, trial int) float64 {
+		d := fresh()
+		seed := c.trialSeed("t3-"+alg+spec.Name+atk, ri, trial)
+		rng := stats.NewRNG(seed)
+		var err error
+		if atk == "Targeted" {
+			_, err = attack.Targeted(d, Table3Rates[ri], rng)
+		} else {
+			_, err = attack.Random(d, Table3Rates[ri], rng)
+		}
+		if err != nil {
+			panic(err)
+		}
+		return stats.QualityLoss(clean, d.Accuracy(base.Data.TestX, base.Data.TestY))
+	})
+	for ri := range Table3Rates {
+		losses[ri] = stats.Mean(grid[ri])
 	}
 	return losses, nil
 }

@@ -62,46 +62,70 @@ func Table4(ctx *Context) (*Table4Result, error) {
 	return res, nil
 }
 
+// table4Unit is one trial's outcome: the quality loss plus (for the
+// with-recovery arm) how many queries the recovery gate trusted.
+// Returning the trusted count instead of accumulating it inside the
+// trial closure keeps the fanned-out trials data-race free.
+type table4Unit struct {
+	loss    float64
+	trusted int
+}
+
 func table4Cell(ctx *Context, spec dataset.Spec) (Table4Cell, error) {
 	t, err := ctx.HDC(spec)
 	if err != nil {
 		return Table4Cell{}, err
 	}
 	clean := t.CleanHDCAccuracy()
-	snap := t.System.Snapshot()
 	cell := Table4Cell{
 		Dataset:       spec.Name,
 		CleanAccuracy: clean,
 		PaperWithout:  PaperTable4Without[spec.Name],
 		PaperWith:     PaperTable4With[spec.Name],
 	}
-	for ri, rate := range Table4Rates {
-		without := meanQualityLoss(ctx.Opts.Trials, func(trial int) float64 {
-			defer t.System.Restore(snap)
-			if _, err := t.System.AttackRandom(rate, ctx.trialSeed("t4wo"+spec.Name, ri, trial)); err != nil {
+	// One flat grid over rates × {without, with} × trials: every unit
+	// attacks (and for the with-arm recovers) a private fork, so the
+	// whole cell keeps all workers busy end to end.
+	grid := runGrid(ctx, len(Table4Rates)*2, ctx.Opts.Trials, func(ci, trial int) table4Unit {
+		ri, withRec := ci/2, ci%2 == 1
+		sys := t.System.Fork()
+		if !withRec {
+			if _, err := sys.AttackRandom(Table4Rates[ri], ctx.trialSeed("t4wo"+spec.Name, ri, trial)); err != nil {
 				panic(err)
 			}
-			return stats.QualityLoss(clean, t.System.Model().Accuracy(t.TestEnc, t.Data.TestY))
-		})
-		with := meanQualityLoss(ctx.Opts.Trials, func(trial int) float64 {
-			defer t.System.Restore(snap)
-			if _, err := t.System.AttackRandom(rate, ctx.trialSeed("t4w"+spec.Name, ri, trial)); err != nil {
-				panic(err)
-			}
-			r, err := t.System.NewRecoverer(ctx.Opts.Recovery, ctx.trialSeed("t4rec"+spec.Name, ri, trial))
-			if err != nil {
-				panic(err)
-			}
-			for pass := 0; pass < Table4RecoveryPasses; pass++ {
-				r.Run(t.TestEnc)
-			}
-			cell.RecoveredTrusted += r.Stats().Trusted
-			return stats.QualityLoss(clean, t.System.Model().Accuracy(t.TestEnc, t.Data.TestY))
-		})
-		cell.WithoutRecovery = append(cell.WithoutRecovery, without)
-		cell.WithRecovery = append(cell.WithRecovery, with)
+			return table4Unit{loss: stats.QualityLoss(clean, sys.Model().Accuracy(t.TestEnc, t.Data.TestY))}
+		}
+		if _, err := sys.AttackRandom(Table4Rates[ri], ctx.trialSeed("t4w"+spec.Name, ri, trial)); err != nil {
+			panic(err)
+		}
+		r, err := sys.NewRecoverer(ctx.Opts.Recovery, ctx.trialSeed("t4rec"+spec.Name, ri, trial))
+		if err != nil {
+			panic(err)
+		}
+		for pass := 0; pass < Table4RecoveryPasses; pass++ {
+			r.Run(t.TestEnc)
+		}
+		return table4Unit{
+			loss:    stats.QualityLoss(clean, sys.Model().Accuracy(t.TestEnc, t.Data.TestY)),
+			trusted: r.Stats().Trusted,
+		}
+	})
+	for ri := range Table4Rates {
+		cell.WithoutRecovery = append(cell.WithoutRecovery, meanLoss(grid[ri*2]))
+		cell.WithRecovery = append(cell.WithRecovery, meanLoss(grid[ri*2+1]))
+		for _, u := range grid[ri*2+1] {
+			cell.RecoveredTrusted += u.trusted
+		}
 	}
 	return cell, nil
+}
+
+func meanLoss(units []table4Unit) float64 {
+	losses := make([]float64, len(units))
+	for i, u := range units {
+		losses[i] = u.loss
+	}
+	return stats.Mean(losses)
 }
 
 // Render formats the result like the paper's Table 4.

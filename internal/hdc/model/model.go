@@ -28,6 +28,11 @@ type Model struct {
 	// path (Predict / PredictWithConfidence) allocates nothing; the
 	// pool is shared safely by PredictBatchParallel workers.
 	score sync.Pool
+
+	// delta holds *trainDelta scratch (per-worker class-delta counters
+	// plus scoring buffers) so the map phase of the sharded training
+	// pipeline (parallel.go) allocates nothing in steady state.
+	delta sync.Pool
 }
 
 // scoreScratch is the per-call working state of the fused scoring
@@ -195,6 +200,25 @@ func (m *Model) RestoreDeployed(vs []*bitvec.Vector) {
 	for c, v := range vs {
 		m.SetClassVector(c, v.Clone())
 	}
+}
+
+// Clone returns an independent deep copy of the model: training
+// counters and deployed vectors are copied, scratch pools start empty.
+// Cloned models let parallel experiment trials attack and recover
+// private copies instead of serializing on a shared system.
+func (m *Model) Clone() *Model {
+	out := &Model{dims: m.dims, classes: m.classes}
+	out.counters = make([]*bitvec.Counter, m.classes)
+	for c, cnt := range m.counters {
+		out.counters[c] = cnt.Clone()
+	}
+	if m.deployed != nil {
+		out.deployed = make([]*bitvec.Vector, m.classes)
+		for c, v := range m.deployed {
+			out.deployed[c] = v.Clone()
+		}
+	}
+	return out
 }
 
 // Similarities returns the normalized Hamming similarity of the query

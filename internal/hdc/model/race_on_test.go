@@ -1,0 +1,7 @@
+//go:build race
+
+package model
+
+// raceEnabled reports whether the race detector is active; its
+// instrumentation adds allocations, so alloc assertions skip under it.
+const raceEnabled = true

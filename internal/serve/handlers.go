@@ -20,7 +20,8 @@ const maxBodyBytes = 256 << 20
 // Handler returns the server's HTTP API:
 //
 //	POST /predict   {"x":[...]} or {"xs":[[...],...]} → predictions
-//	POST /train     train a fresh system from inline data
+//	POST /train     train a fresh system from inline data, or refine
+//	                the live one in place ("online": true)
 //	GET  /snapshot  binary core.Save checkpoint of the live system
 //	POST /restore   install a checkpoint (the /snapshot format)
 //	POST /attack    live bit-flip drill on the deployed model
@@ -55,6 +56,8 @@ func writeErr(w http.ResponseWriter, err error) {
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, ErrClosed):
 		status = http.StatusServiceUnavailable
+	case errors.Is(err, ErrSuperseded):
+		status = http.StatusConflict
 	}
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
@@ -108,7 +111,11 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 
 // trainRequest carries an inline training set plus the core
 // configuration. ProbeX/ProbeY optionally install a held-out set for
-// the accuracy probe in the same call.
+// the accuracy probe in the same call. With Online set, the samples
+// refine the live system in place through Server.RetrainOnline
+// (RetrainEpochs mistake-driven epochs, default 1) instead of
+// training a replacement; Classes/Dimensions/Levels/Seed are ignored
+// — the live model's shape is authoritative.
 type trainRequest struct {
 	X       [][]float64 `json:"x"`
 	Y       []int       `json:"y"`
@@ -119,6 +126,8 @@ type trainRequest struct {
 	RetrainEpochs int    `json:"retrain_epochs,omitempty"`
 	Seed          uint64 `json:"seed,omitempty"`
 
+	Online bool `json:"online,omitempty"`
+
 	ProbeX [][]float64 `json:"probe_x,omitempty"`
 	ProbeY []int       `json:"probe_y,omitempty"`
 }
@@ -127,6 +136,10 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 	var req trainRequest
 	if err := decodeJSON(r, &req); err != nil {
 		writeErr(w, err)
+		return
+	}
+	if req.Online {
+		s.handleTrainOnline(w, &req)
 		return
 	}
 	if len(req.X) == 0 || len(req.X) != len(req.Y) || req.Classes < 2 {
@@ -160,6 +173,29 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 		"classes":    sys.Classes(),
 		"dimensions": sys.Dimensions(),
 		"features":   sys.Features(),
+	})
+}
+
+// handleTrainOnline is /train's in-place refinement path.
+func (s *Server) handleTrainOnline(w http.ResponseWriter, req *trainRequest) {
+	mistakes, err := s.RetrainOnline(req.X, req.Y, req.RetrainEpochs)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if len(req.ProbeX) > 0 {
+		if err := s.SetProbe(req.ProbeX, req.ProbeY); err != nil {
+			writeErr(w, err)
+			return
+		}
+	}
+	sys := s.system()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"online":         true,
+		"final_mistakes": mistakes,
+		"classes":        sys.Classes(),
+		"dimensions":     sys.Dimensions(),
+		"features":       sys.Features(),
 	})
 }
 

@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bitvec"
+)
+
+// ErrSuperseded reports that a /train or /restore replaced the live
+// system while an online retrain was in flight; the retrain's pending
+// deltas were discarded rather than applied to the wrong model.
+var ErrSuperseded = errors.New("serve: model replaced during online retrain")
+
+// RetrainOnline refines the live system in place with mistake-driven
+// epochs over labeled samples, without stalling inference. The heavy
+// work runs entirely outside the model lock:
+//
+//  1. Encode every sample lock-free (the encoder is immutable).
+//  2. Per epoch, snapshot the deployed class vectors under a
+//     microsecond read lock, then run the map phase
+//     (model.AccumulateRetrain) against that frozen snapshot with no
+//     lock held at all. Holding even a read lock here would let a
+//     queued writer (recovery, scrub, attack drill) block new predict
+//     batches for the whole accumulate pass — the writer-pending
+//     RWMutex hazard the snapshot exists to avoid.
+//  3. Take the write lock only for the merge + binarize swap
+//     (model.ApplyRetrain), guarded against the system having been
+//     swapped out underneath (ErrSuperseded; deltas are discarded).
+//
+// ApplyRetrain re-derives the deployed vectors from the training
+// counters, which overwrites any bits the recovery loop substituted
+// directly into deployed memory. That is intended: the counters are
+// the authoritative training state, and a binarize from healthy
+// counters is itself a full repair of the deployed image.
+//
+// Concurrent RetrainOnline calls are serialized; epochs from two
+// interleaved retrains would otherwise double-apply mistake deltas
+// computed against the same snapshot. It returns the final epoch's
+// mistake count, exactly as Model.Retrain would.
+func (s *Server) RetrainOnline(xs [][]float64, ys []int, epochs int) (int, error) {
+	if s.closed.Load() {
+		return 0, ErrClosed
+	}
+	sys := s.system()
+	if sys == nil {
+		return 0, ErrNoModel
+	}
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return 0, fmt.Errorf("%w: %d samples but %d labels", ErrBadInput, len(xs), len(ys))
+	}
+	want := sys.Features()
+	for i, x := range xs {
+		if len(x) != want {
+			return 0, fmt.Errorf("%w: sample %d has %d features, want %d", ErrBadInput, i, len(x), want)
+		}
+	}
+	if epochs <= 0 {
+		epochs = 1
+	}
+
+	s.trainMu.Lock()
+	defer s.trainMu.Unlock()
+
+	encoded := sys.EncodeAllParallel(xs, s.cfg.EncodeWorkers)
+	m := sys.Model()
+	mistakes := 0
+	for e := 0; e < epochs; e++ {
+		var dep []*bitvec.Vector
+		s.mu.RLock()
+		if s.sys == sys {
+			dep = m.SnapshotDeployed()
+		}
+		s.mu.RUnlock()
+		if dep == nil {
+			return mistakes, ErrSuperseded
+		}
+
+		rd, err := m.AccumulateRetrain(dep, encoded, ys, s.cfg.EncodeWorkers)
+		if err != nil {
+			return mistakes, fmt.Errorf("%w: %v", ErrBadInput, err)
+		}
+
+		s.mu.Lock()
+		if s.sys != sys {
+			s.mu.Unlock()
+			m.DiscardRetrain(rd)
+			return mistakes, ErrSuperseded
+		}
+		m.ApplyRetrain(rd)
+		s.mu.Unlock()
+
+		mistakes = rd.Mistakes
+		if mistakes == 0 {
+			break
+		}
+	}
+	return mistakes, nil
+}

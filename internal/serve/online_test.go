@@ -1,0 +1,227 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/substrate"
+)
+
+// TestRetrainOnlineMatchesOfflineRetrain pins the lock-split online
+// path to the sequential semantics: refining the live system through
+// RetrainOnline must yield bit-identical deployed vectors and the same
+// final mistake count as Model.RetrainParallel on an identically
+// trained offline twin.
+func TestRetrainOnlineMatchesOfflineRetrain(t *testing.T) {
+	srv, _, ds := freshServer(t, Config{DisableRecovery: true})
+	_, spec, _ := problem(t)
+
+	offline, err := core.Train(ds.TrainX, ds.TrainY, spec.Classes, core.Config{
+		Dimensions: 4096,
+		Seed:       7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const epochs = 3
+	encoded := offline.EncodeAllParallel(ds.TrainX, 0)
+	wantMistakes, err := offline.Model().RetrainParallel(encoded, ds.TrainY, epochs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gotMistakes, err := srv.RetrainOnline(ds.TrainX, ds.TrainY, epochs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMistakes != wantMistakes {
+		t.Fatalf("online retrain: %d final mistakes, offline %d", gotMistakes, wantMistakes)
+	}
+	live := srv.system().Model()
+	for c := 0; c < offline.Classes(); c++ {
+		if !live.ClassVector(c).Equal(offline.Model().ClassVector(c)) {
+			t.Fatalf("class %d deployed vector diverges from offline retrain", c)
+		}
+	}
+}
+
+func TestRetrainOnlineValidation(t *testing.T) {
+	srv, _, ds := freshServer(t, Config{DisableRecovery: true})
+
+	if _, err := srv.RetrainOnline(nil, nil, 1); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("empty set: got %v, want ErrBadInput", err)
+	}
+	if _, err := srv.RetrainOnline(ds.TrainX[:4], ds.TrainY[:3], 1); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("length mismatch: got %v, want ErrBadInput", err)
+	}
+	if _, err := srv.RetrainOnline([][]float64{{1, 2}}, []int{0}, 1); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("wrong arity: got %v, want ErrBadInput", err)
+	}
+	if _, err := srv.RetrainOnline(ds.TrainX[:4], []int{0, 1, -1, 0}, 1); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("bad label: got %v, want ErrBadInput", err)
+	}
+
+	empty, err := New(nil, Config{DisableRecovery: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(empty.Close)
+	if _, err := empty.RetrainOnline(ds.TrainX[:4], ds.TrainY[:4], 1); !errors.Is(err, ErrNoModel) {
+		t.Fatalf("no model: got %v, want ErrNoModel", err)
+	}
+}
+
+// TestRetrainOnlineSuperseded pins the swap guard: a /train or
+// /restore that replaces the system while a retrain waits its turn
+// must abort the retrain with ErrSuperseded instead of applying its
+// deltas to a model that is no longer live.
+func TestRetrainOnlineSuperseded(t *testing.T) {
+	srv, _, ds := freshServer(t, Config{DisableRecovery: true})
+	_, spec, _ := problem(t)
+
+	// Park the retrain on trainMu after it has captured the old system,
+	// swap in a replacement, then release it.
+	srv.trainMu.Lock()
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := srv.RetrainOnline(ds.TrainX, ds.TrainY, 2)
+		errCh <- err
+	}()
+	for {
+		// Wait until the goroutine is blocked on trainMu (it holds no
+		// other resources at that point).
+		time.Sleep(time.Millisecond)
+		if !srv.trainMu.TryLock() {
+			break
+		}
+		srv.trainMu.Unlock()
+	}
+	replacement, err := core.Train(ds.TrainX, ds.TrainY, spec.Classes, core.Config{
+		Dimensions: 4096,
+		Seed:       11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.install(replacement); err != nil {
+		t.Fatal(err)
+	}
+	srv.trainMu.Unlock()
+
+	if err := <-errCh; !errors.Is(err, ErrSuperseded) {
+		t.Fatalf("got %v, want ErrSuperseded", err)
+	}
+}
+
+func TestTrainOnlineEndpoint(t *testing.T) {
+	srv, ts, ds := freshServer(t, Config{DisableRecovery: true})
+
+	resp, data := postJSON(t, ts.URL+"/train", map[string]any{
+		"online":         true,
+		"x":              ds.TrainX,
+		"y":              ds.TrainY,
+		"retrain_epochs": 2,
+		"probe_x":        ds.TestX,
+		"probe_y":        ds.TestY,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("online train: status %d: %s", resp.StatusCode, data)
+	}
+	var out struct {
+		Online        bool `json:"online"`
+		FinalMistakes int  `json:"final_mistakes"`
+		Classes       int  `json:"classes"`
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Online || out.Classes != srv.system().Classes() {
+		t.Fatalf("unexpected online train response: %s", data)
+	}
+	if acc, ok := srv.ProbeNow(); !ok || acc < 0.5 {
+		t.Fatalf("post-retrain probe: acc=%.3f ok=%v", acc, ok)
+	}
+
+	resp, data = postJSON(t, ts.URL+"/train", map[string]any{
+		"online": true,
+		"x":      ds.TrainX[:3],
+		"y":      ds.TrainY[:2],
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("mismatched online train: status %d: %s", resp.StatusCode, data)
+	}
+}
+
+// TestOnlineRetrainDoesNotBlockPredict is the acceptance drill for the
+// lock-scope change: a heavyweight online retrain — many epochs over a
+// replicated training set — runs start to finish while a /predict
+// client keeps scoring, with the scrubber, watchdog, and recovery loop
+// all live. Before the split, Retrain under the write lock would have
+// stalled every predict for the duration; now predicts must keep
+// completing while the retrain is in flight.
+func TestOnlineRetrainDoesNotBlockPredict(t *testing.T) {
+	srv, _, ds := freshServer(t, Config{
+		Substrate: &substrate.Config{
+			Kind:        "adversarial",
+			Seed:        5,
+			RatePerStep: 1e-5,
+			StepEvery:   20 * time.Millisecond,
+		},
+		ScrubTick: 10 * time.Millisecond,
+		Watchdog:  WatchdogConfig{Interval: 25 * time.Millisecond},
+	})
+	if err := srv.SetProbe(ds.TestX, ds.TestY); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replicate the training set so the retrain's encode + accumulate
+	// phases dominate the test's wall clock.
+	const reps = 8
+	xs := make([][]float64, 0, reps*len(ds.TrainX))
+	ys := make([]int, 0, reps*len(ds.TrainY))
+	for r := 0; r < reps; r++ {
+		xs = append(xs, ds.TrainX...)
+		ys = append(ys, ds.TrainY...)
+	}
+
+	var retrainDone atomic.Bool
+	type retrainResult struct {
+		mistakes int
+		err      error
+	}
+	resCh := make(chan retrainResult, 1)
+	go func() {
+		m, err := srv.RetrainOnline(xs, ys, 10)
+		retrainDone.Store(true)
+		resCh <- retrainResult{m, err}
+	}()
+
+	// Stream predicts until the retrain finishes, counting how many
+	// complete while it is still in flight.
+	during := 0
+	for i := 0; !retrainDone.Load(); i++ {
+		if _, err := srv.Predict(ds.TestX[i%len(ds.TestX)]); err != nil {
+			t.Fatalf("predict during retrain: %v", err)
+		}
+		if !retrainDone.Load() {
+			during++
+		}
+	}
+	res := <-resCh
+	if res.err != nil {
+		t.Fatalf("online retrain: %v", res.err)
+	}
+	if during == 0 {
+		t.Fatal("no predict completed while the online retrain was in flight")
+	}
+	t.Logf("%d predicts completed during the retrain (final mistakes %d)", during, res.mistakes)
+
+	if acc, ok := srv.ProbeNow(); !ok || acc < 0.5 {
+		t.Fatalf("post-retrain probe under substrate: acc=%.3f ok=%v", acc, ok)
+	}
+}

@@ -26,7 +26,9 @@
 // deployed model. Predictions and accuracy probes take it shared;
 // recovery observation, attack drills, and system swaps
 // (train/restore) take it exclusively. Encoding happens outside the
-// lock entirely.
+// lock entirely, and online retraining (RetrainOnline) accumulates
+// its per-epoch mistake deltas against a snapshot with no lock held,
+// taking s.mu exclusively only for the final merge + binarize swap.
 package serve
 
 import (
@@ -167,6 +169,10 @@ type Server struct {
 	// wd is the degradation watchdog's state; wd.mu nests OUTSIDE s.mu
 	// (watchdog code locks wd.mu first, then s.mu — never the reverse).
 	wd watchdogState
+
+	// trainMu serializes online retrains (RetrainOnline); like wd.mu
+	// it nests OUTSIDE s.mu and is never acquired while s.mu is held.
+	trainMu sync.Mutex
 
 	pool  *pool
 	recCh chan *bitvec.Vector
