@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	experiments [-run all|table1|table2|table3|table4|fig2|fig3|fig4a|fig4b|equilibrium]
+//	experiments [-run all|table1|table2|table3|table4|fig2|fig3|fig4a|fig4b|equilibrium|fleetdrill]
 //	            [-dims 10000] [-trials 3] [-scale 1.0] [-full] [-seed 2022]
 //	            [-workers N]
 //
@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiments to run (comma separated): all, table1, table2, table3, table4, fig2, fig3, fig4a, fig4b, equilibrium")
+	run := flag.String("run", "all", "experiments to run (comma separated): all, table1, table2, table3, table4, fig2, fig3, fig4a, fig4b, equilibrium, fleetdrill")
 	dims := flag.Int("dims", 10000, "hypervector dimensionality")
 	trials := flag.Int("trials", 3, "attack trials averaged per cell")
 	scale := flag.Float64("scale", 1.0, "dataset size scale factor")
@@ -61,6 +61,7 @@ func main() {
 		{"fig4a", func() (fmt.Stringer, error) { return render(orErr(experiments.Fig4a(ctx))) }},
 		{"fig4b", func() (fmt.Stringer, error) { return render(orErr(experiments.Fig4b(ctx))) }},
 		{"equilibrium", func() (fmt.Stringer, error) { return render(orErr(experiments.Equilibrium(ctx))) }},
+		{"fleetdrill", func() (fmt.Stringer, error) { return render(orErr(experiments.FleetDrill(ctx))) }},
 	}
 
 	want := map[string]bool{}

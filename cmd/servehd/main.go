@@ -24,6 +24,13 @@
 //	servehd -dataset PAMAP -probe 2s -substrate dram -timescale 100 \
 //	        -cluster 400 -watchdog 5s
 //
+// Or run a replica fleet: every prediction is answered by a read
+// quorum of independent model copies, and a background anti-entropy
+// sweep repairs divergent chunks back to the cross-replica majority:
+//
+//	servehd -dataset PAMAP -replicas 3 -antientropy 2s \
+//	        -substrate adversarial -campaign-rate 0.02
+//
 // SIGINT/SIGTERM trigger a graceful drain: in-flight predictions are
 // answered and the recovery backlog is applied before exit.
 package main
@@ -42,6 +49,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/fleet"
 	"repro/internal/recovery"
 	"repro/internal/serve"
 	"repro/internal/substrate"
@@ -73,6 +81,10 @@ func main() {
 	watchdog := flag.Duration("watchdog", 0, "degradation watchdog window interval (0 disables)")
 	accDrop := flag.Float64("watchdog-drop", 0, "watchdog: tolerated probe-accuracy drop below the checkpoint stamp (0 = default 0.02)")
 	cpFloor := flag.Float64("checkpoint-floor", 0, "minimum stamped accuracy for checkpoints and /restore uploads (0 = default 0.5)")
+	replicas := flag.Int("replicas", 0, "run a replica fleet of this size instead of a single model (0 disables; excludes -watchdog)")
+	quorum := flag.Int("quorum", 0, "fleet read-quorum size (0 = majority; with -replicas)")
+	antiEntropy := flag.Duration("antientropy", 0, "fleet anti-entropy sweep interval (0 disables; with -replicas)")
+	journalFile := flag.String("journal", "", "append fleet/watchdog events as JSONL to this file ('' disables)")
 	flag.Parse()
 
 	recCfg := recovery.DefaultConfig()
@@ -140,6 +152,28 @@ func main() {
 		}
 	}
 
+	var journal *fleet.Journal
+	if *journalFile != "" {
+		f, err := os.OpenFile(*journalFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		journal = fleet.NewJournal(f)
+	}
+
+	var fltCfg *fleet.Config
+	if *replicas > 0 {
+		fltCfg = &fleet.Config{
+			Replicas: *replicas,
+			Quorum:   *quorum,
+			AntiEntropy: fleet.AntiEntropyConfig{
+				Interval: *antiEntropy,
+			},
+		}
+		fmt.Printf("fleet mode: %d replicas, anti-entropy %v\n", *replicas, *antiEntropy)
+	}
+
 	srv, err := serve.New(sys, serve.Config{
 		Shards:          *shards,
 		BatchSize:       *batch,
@@ -150,6 +184,8 @@ func main() {
 		ProbeInterval:   *probe,
 		Substrate:       subCfg,
 		ScrubTick:       *scrub,
+		Fleet:           fltCfg,
+		Journal:         journal,
 		Watchdog: serve.WatchdogConfig{
 			Interval:              *watchdog,
 			AccuracyDrop:          *accDrop,

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/bitvec"
@@ -141,5 +142,50 @@ func TestModelOnWearingCrossbar(t *testing.T) {
 	}
 	if engine.Crossbar().StuckCells() == 0 {
 		t.Fatal("endurance 400 never produced stuck cells under continuous serving")
+	}
+}
+
+// TestFleetDrillMasksTargetedCampaign is the fleet acceptance drill:
+// under a sustained 10%-per-window targeted campaign on one replica of
+// three, the quorum answer must hold within one point of clean in
+// every window, while the unprotected twin running the same campaign
+// alone must have lost at least five points by the final window — the
+// gap the replica fleet exists to create. The sweep side must show
+// real anti-entropy work (repaired bits) and the vote side real
+// masking work (quorum escalations).
+func TestFleetDrillMasksTargetedCampaign(t *testing.T) {
+	ctx := testContext()
+	res, err := FleetDrill(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Windows) == 0 {
+		t.Fatal("fleet drill produced no windows")
+	}
+	if res.MinQuorum < res.Clean-0.01 {
+		t.Errorf("quorum accuracy fell to %.4f, want within 1 point of clean %.4f in every window",
+			res.MinQuorum, res.Clean)
+	}
+	if res.FinalTwin > res.Clean-0.05 {
+		t.Errorf("unprotected twin only degraded to %.4f from clean %.4f; the campaign must cost >=5 points",
+			res.FinalTwin, res.Clean)
+	}
+	if res.RepairBits == 0 {
+		t.Error("anti-entropy repaired nothing: the drill never exercised chunk repair")
+	}
+	if res.Escalations == 0 {
+		t.Error("no quorum escalations: the corrupted replica never forced a full vote")
+	}
+	// Every window's attacked-replica reading must sit at or below the
+	// quorum answer: the vote can only mask damage, never add it.
+	for w, row := range res.Windows {
+		if row.AttackedAccuracy > row.QuorumAccuracy+0.02 {
+			t.Errorf("window %d: attacked replica %.4f above quorum %.4f", w+1,
+				row.AttackedAccuracy, row.QuorumAccuracy)
+		}
+	}
+	out := res.Render()
+	if !strings.Contains(out, "quorum answer") || !strings.Contains(out, "repaired by anti-entropy") {
+		t.Fatal("render broken")
 	}
 }

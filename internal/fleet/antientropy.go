@@ -1,0 +1,246 @@
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+)
+
+// SweepReport summarizes one anti-entropy sweep.
+type SweepReport struct {
+	// Compared is how many replicas took part in the vote.
+	Compared int `json:"compared"`
+	// DivergentBits is the total bits (across participating replicas)
+	// that disagreed with the majority model before repair.
+	DivergentBits int `json:"divergent_bits"`
+	// RepairedChunks / RepairedBits count minority chunks overwritten
+	// with the majority chunk.
+	RepairedChunks int `json:"repaired_chunks"`
+	RepairedBits   int `json:"repaired_bits"`
+	// Quarantined / Reseeded name replicas that left rotation this
+	// sweep and were re-imaged from a donor.
+	Quarantined []int `json:"quarantined,omitempty"`
+	Reseeded    []int `json:"reseeded,omitempty"`
+	// Healthy reports whether the sweep proved the fleet bit-identical
+	// (re-arming the fast path).
+	Healthy bool `json:"healthy"`
+}
+
+// SweepNow runs one anti-entropy sweep: snapshot every active
+// replica's class hypervectors, compute the bitwise majority model
+// (word-major, bitvec.MajorityInto), overwrite each replica's minority
+// chunks with the majority chunk, and run the quarantine/reseed
+// ladder. Repair writes are billed to the repaired replica's substrate
+// via NoteWrites, exactly like recovery substitutions — anti-entropy
+// consumes endurance too, and the wear models must see it.
+//
+// The periodic loop calls this on every tick; tests and drills call it
+// directly to drive repair deterministically.
+func (f *Fleet) SweepNow() SweepReport {
+	f.aeMu.Lock()
+	defer f.aeMu.Unlock()
+	f.sweeps.Add(1)
+
+	act := f.actives()
+	rep := SweepReport{Compared: len(act)}
+	if len(act) < 2 {
+		// Nothing to vote with; a lone replica is trivially "majority".
+		rep.Healthy = len(act) == len(f.replicas)
+		f.healthy.Store(rep.Healthy)
+		f.journal.Append(Event{Kind: EventSweep, Replica: -1, Class: -1, Chunk: -1})
+		return rep
+	}
+
+	// Phase 1: snapshot each active replica under its read lock. The
+	// copies decouple the vote from concurrent serving traffic; repairs
+	// converge over repeated sweeps even if a replica mutates mid-sweep.
+	classes := act[0].sys.Classes()
+	dims := act[0].sys.Dimensions()
+	for _, r := range act {
+		snap := f.snaps[r.id]
+		if snap == nil {
+			snap = make([]*bitvec.Vector, classes)
+			for c := range snap {
+				snap[c] = bitvec.New(dims)
+			}
+			f.snaps[r.id] = snap
+		}
+		r.mu.RLock()
+		for c := 0; c < classes; c++ {
+			snap[c].CopyFrom(r.sys.Model().ClassVector(c))
+		}
+		r.mu.RUnlock()
+	}
+
+	// Phase 2: majority model across the snapshots.
+	if f.maj == nil {
+		f.maj = make([]*bitvec.Vector, classes)
+		for c := range f.maj {
+			f.maj[c] = bitvec.New(dims)
+		}
+	}
+	voters := make([]*bitvec.Vector, len(act))
+	for c := 0; c < classes; c++ {
+		for i, r := range act {
+			voters[i] = f.snaps[r.id][c]
+		}
+		bitvec.MajorityInto(f.maj[c], voters)
+	}
+
+	// Phase 3: per replica, measure divergence chunk by chunk and
+	// repair minority chunks in place. Heavily diverged replicas are
+	// deferred to the quarantine ladder instead — their damage is deep
+	// enough that patching from a vote they pollute is the wrong tool.
+	totalBits := classes * dims
+	chunks := f.cfg.AntiEntropy.Chunks
+	if chunks > dims {
+		chunks = dims
+	}
+	type divergedChunk struct{ class, chunk, lo, hi, bits int }
+	var worst *replica
+	worstFrac := 0.0
+	plans := make(map[int][]divergedChunk)
+	for _, r := range act {
+		snap := f.snaps[r.id]
+		var plan []divergedChunk
+		divergent := 0
+		for c := 0; c < classes; c++ {
+			for k := 0; k < chunks; k++ {
+				lo, hi := k*dims/chunks, (k+1)*dims/chunks
+				if lo == hi {
+					continue
+				}
+				d := snap[c].HammingRange(f.maj[c], lo, hi)
+				if d == 0 {
+					continue
+				}
+				divergent += d
+				plan = append(plan, divergedChunk{c, k, lo, hi, d})
+			}
+		}
+		frac := float64(divergent) / float64(totalBits)
+		r.setDivergence(frac)
+		rep.DivergentBits += divergent
+		if frac > worstFrac {
+			worst, worstFrac = r, frac
+		}
+		plans[r.id] = plan
+	}
+
+	// Quarantine ladder: at most one replica per sweep (the worst
+	// offender) leaves rotation, so a quorum always stays active. It is
+	// re-imaged from the most-agreeing active donor and returns to
+	// rotation immediately — quarantine is a repair pipeline stage, not
+	// a terminal state.
+	if worst != nil && worstFrac > f.cfg.AntiEntropy.QuarantineDivergence {
+		f.quarantineAndReseed(worst, worstFrac, act, &rep)
+		delete(plans, worst.id)
+	}
+
+	// Chunk repair for everyone still in rotation.
+	for _, r := range act {
+		plan := plans[r.id]
+		if len(plan) == 0 {
+			continue
+		}
+		r.mu.Lock()
+		for _, dc := range plan {
+			r.sys.Model().ClassVector(dc.class).OverwriteRange(f.maj[dc.class], dc.lo, dc.hi)
+			if r.sub != nil {
+				r.sub.NoteWrites(dc.hi - dc.lo)
+			}
+		}
+		r.mu.Unlock()
+		for _, dc := range plan {
+			rep.RepairedChunks++
+			rep.RepairedBits += dc.hi - dc.lo
+			r.repairedBits.Add(int64(dc.hi - dc.lo))
+			f.journal.Append(Event{Kind: EventRepair, Replica: r.id, Class: dc.class, Chunk: dc.chunk, Bits: dc.bits})
+		}
+	}
+	f.repairs.Add(int64(rep.RepairedChunks))
+	f.repairBits.Add(int64(rep.RepairedBits))
+
+	// A sweep that found zero divergence across a full fleet proves the
+	// replicas bit-identical right now; re-arm the fast path. A sweep
+	// that repaired anything leaves the flag down — the repairs
+	// happened after the snapshots, so identity is not proven until the
+	// next clean sweep.
+	rep.Healthy = rep.DivergentBits == 0 && len(rep.Quarantined) == 0 && len(act) == len(f.replicas)
+	f.healthy.Store(rep.Healthy)
+	f.journal.Append(Event{Kind: EventSweep, Replica: -1, Class: -1, Chunk: -1, Bits: rep.DivergentBits,
+		Detail: fmt.Sprintf("repaired %d chunks", rep.RepairedChunks)})
+	return rep
+}
+
+// quarantineAndReseed pulls one replica from rotation and re-images it
+// from the most-agreeing active donor via a stamped, CRC-sealed
+// snapshot (core.SaveStamped / core.LoadStamped). The stamp is the
+// donor's agreement with the majority (1 - divergence) from this very
+// sweep; a donor below MinReseedAgreement is refused — re-imaging from
+// a suspect donor would launder its corruption into a "fresh" replica.
+// On success the replica returns to rotation immediately.
+func (f *Fleet) quarantineAndReseed(r *replica, frac float64, act []*replica, rep *SweepReport) {
+	r.state.Store(stateQuarantined)
+	r.quarantines.Add(1)
+	f.quarantines.Add(1)
+	f.healthy.Store(false)
+	rep.Quarantined = append(rep.Quarantined, r.id)
+	f.journal.Append(Event{Kind: EventQuarantine, Replica: r.id, Class: -1, Chunk: -1,
+		Detail: fmt.Sprintf("divergence %.4f", frac)})
+
+	// Donor: the active replica (not r) with the highest agreement.
+	var donor *replica
+	donorAgree := -1.0
+	for _, cand := range act {
+		if cand == r {
+			continue
+		}
+		if agree := 1 - cand.getDivergence(); agree > donorAgree {
+			donor, donorAgree = cand, agree
+		}
+	}
+	if donor == nil || donorAgree < f.cfg.AntiEntropy.MinReseedAgreement {
+		// No acceptable donor: the replica stays quarantined; a later
+		// sweep retries once the fleet heals.
+		return
+	}
+
+	// Serialize the donor under its read lock only — never two replica
+	// locks at once.
+	var buf bytes.Buffer
+	donor.mu.RLock()
+	err := donor.sys.SaveStamped(&buf, donorAgree)
+	donor.mu.RUnlock()
+	if err != nil {
+		return
+	}
+	restored, stamp, err := core.LoadStamped(bytes.NewReader(buf.Bytes()))
+	if err != nil || math.IsNaN(stamp) || stamp < f.cfg.AntiEntropy.MinReseedAgreement {
+		return
+	}
+	snap := restored.Snapshot()
+
+	// Re-image under the target's write lock. The full-image rewrite is
+	// substrate traffic: charge every bit and count it as a refresh
+	// (decayed cells recharge; stuck cells stay stuck — wear survives
+	// re-imaging, exactly like the watchdog's rollback).
+	r.mu.Lock()
+	r.sys.Restore(snap)
+	if r.sub != nil {
+		r.sub.NoteWrites(r.sys.Classes() * r.sys.Dimensions())
+		r.sub.Refresh()
+	}
+	r.mu.Unlock()
+	r.reseeds.Add(1)
+	f.reseeds.Add(1)
+	rep.Reseeded = append(rep.Reseeded, r.id)
+	f.journal.Append(Event{Kind: EventReseed, Replica: r.id, Class: -1, Chunk: -1,
+		Bits: r.sys.Classes() * r.sys.Dimensions(), Detail: fmt.Sprintf("donor %d agreement %.4f", donor.id, donorAgree)})
+
+	r.state.Store(stateActive)
+	f.journal.Append(Event{Kind: EventActivate, Replica: r.id, Class: -1, Chunk: -1})
+}

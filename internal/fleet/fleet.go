@@ -1,0 +1,612 @@
+// Package fleet manages N replicas of one deployed HDC model as a
+// single robust service — the layer that turns "one self-healing
+// model" into "a self-healing deployment".
+//
+// Each replica is an independent fork of the seed system: private
+// deployed class hypervectors (the attackable memory), a private
+// recovery.Recoverer, and a private substrate.FaultProcess whose weak
+// cells and victims are sampled from a per-replica seed. Because the
+// holographic representation degrades gracefully and *independently*
+// per replica, the fleet holds a strictly stronger recovery signal
+// than any single model: at any moment the bitwise majority across
+// replicas is closer to the trained model than the average replica.
+//
+// The fleet exploits that three ways:
+//
+//   - Quorum inference (ScoreBatch): a query fans to a read-quorum of
+//     replicas and the predictions are majority-voted, with escalation
+//     to the full active set on disagreement. While the fleet is
+//     provably in sync a fast path scores on a single replica.
+//   - Anti-entropy repair (SweepNow, antientropy.go): chunks of the
+//     class hypervectors are compared across replicas word-major; a
+//     minority chunk is overwritten with the majority chunk, and the
+//     repair writes are billed to the replica's substrate exactly like
+//     recovery substitutions.
+//   - Replica lifecycle: a replica whose divergence exceeds the
+//     quarantine threshold leaves rotation, is re-imaged from the
+//     healthiest peer's stamped snapshot (core.SaveStamped /
+//     core.LoadStamped, CRC-sealed), and returns to rotation.
+//
+// Locking: each replica carries its own single-writer RWMutex
+// (innermost). The anti-entropy sweep serializes on Fleet.aeMu and
+// never holds two replica locks at once — donor images are serialized
+// under the donor's read lock, released, then restored under the
+// target's write lock.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/recovery"
+	"repro/internal/stats"
+	"repro/internal/substrate"
+)
+
+// ErrNoReplicas reports a fleet call with every replica quarantined —
+// the lifecycle is designed to make this unreachable (quarantine keeps
+// at least a quorum active), so seeing it means a bug.
+var ErrNoReplicas = errors.New("fleet: no active replicas")
+
+// maxReplicas bounds the fleet; bitvec.MajorityInto's vote counter
+// caps at 63 lanes and no deployment needs more.
+const maxReplicas = 63
+
+// Config parameterizes a fleet.
+type Config struct {
+	// Replicas is N, the fleet size (default 3).
+	Replicas int
+	// Quorum is the read-quorum fanned to on each prediction (default
+	// majority, N/2+1; clamped to [1, Replicas]). 1 trades detection
+	// latency for throughput; Replicas makes every prediction a full
+	// vote.
+	Quorum int
+	// Seed derives the per-replica substrate and recovery seeds, so
+	// replica fault processes diverge deterministically.
+	Seed uint64
+
+	// DisableRecovery turns per-replica self-healing off.
+	DisableRecovery bool
+	// Recovery parameterizes each replica's recoverer (zero value
+	// selects recovery.DefaultConfig()).
+	Recovery recovery.Config
+
+	// Substrate mounts each replica on its own fault process (nil
+	// disables; the per-replica Seed field is derived from Config.Seed).
+	Substrate *substrate.Config
+	// ScrubTick is the per-replica scrubber period (default 100ms;
+	// effective only with a Substrate). AdvanceReplica remains
+	// available for deterministic drills.
+	ScrubTick time.Duration
+
+	// AntiEntropy parameterizes majority repair and the quarantine
+	// ladder.
+	AntiEntropy AntiEntropyConfig
+
+	// Journal receives lifecycle and repair events (nil drops them).
+	Journal *Journal
+}
+
+// AntiEntropyConfig parameterizes the background repair loop.
+type AntiEntropyConfig struct {
+	// Interval enables the periodic sweep loop (0 disables it; SweepNow
+	// is always available for drills and tests).
+	Interval time.Duration
+	// Chunks is how many pieces each class hypervector is compared in
+	// (default 64). Smaller chunks localize repairs; the cost per sweep
+	// is one word-major Hamming pass per replica per class regardless.
+	Chunks int
+	// QuarantineDivergence is the divergence fraction (bits disagreeing
+	// with the majority / total model bits) beyond which a replica is
+	// pulled from rotation and re-seeded instead of chunk-patched
+	// (default 0.05). Chunk repair assumes damage is the minority at
+	// every position; a replica this far gone pollutes the vote itself.
+	QuarantineDivergence float64
+	// MinReseedAgreement is the floor a donor's stamped agreement (1 -
+	// divergence at the last sweep) must clear for its image to be used
+	// as a reseed source (default 0.5).
+	MinReseedAgreement float64
+}
+
+func (c *Config) fillDefaults() {
+	if c.Replicas <= 0 {
+		c.Replicas = 3
+	}
+	if c.Quorum <= 0 {
+		c.Quorum = c.Replicas/2 + 1
+	}
+	if c.Quorum > c.Replicas {
+		c.Quorum = c.Replicas
+	}
+	if c.Recovery == (recovery.Config{}) {
+		c.Recovery = recovery.DefaultConfig()
+	}
+	if c.ScrubTick <= 0 {
+		c.ScrubTick = 100 * time.Millisecond
+	}
+	if c.AntiEntropy.Chunks <= 0 {
+		c.AntiEntropy.Chunks = 64
+	}
+	if c.AntiEntropy.QuarantineDivergence <= 0 {
+		c.AntiEntropy.QuarantineDivergence = 0.05
+	}
+	if c.AntiEntropy.MinReseedAgreement <= 0 {
+		c.AntiEntropy.MinReseedAgreement = 0.5
+	}
+}
+
+// Validate rejects unusable configurations. Float knobs go through the
+// shared stats helpers so NaN/Inf are rejected uniformly (NaN slips
+// past the `v <= 0` default tests in fillDefaults, like every other
+// zero-means-default config in this repository).
+func (c Config) Validate() error {
+	if c.Replicas < 0 || c.Replicas > maxReplicas {
+		return fmt.Errorf("fleet: replicas %d out of [1,%d]", c.Replicas, maxReplicas)
+	}
+	n := c.Replicas
+	if n == 0 {
+		n = 3
+	}
+	if c.Quorum < 0 || c.Quorum > n {
+		return fmt.Errorf("fleet: quorum %d out of [1,%d]", c.Quorum, n)
+	}
+	if err := stats.CheckFinite("fleet: quarantine divergence", c.AntiEntropy.QuarantineDivergence); err != nil {
+		return err
+	}
+	if c.AntiEntropy.QuarantineDivergence != 0 {
+		if err := stats.CheckInterval("fleet: quarantine divergence", c.AntiEntropy.QuarantineDivergence, "(0,1]"); err != nil {
+			return err
+		}
+	}
+	if err := stats.CheckFinite("fleet: min reseed agreement", c.AntiEntropy.MinReseedAgreement); err != nil {
+		return err
+	}
+	if c.AntiEntropy.MinReseedAgreement != 0 {
+		if err := stats.CheckInterval("fleet: min reseed agreement", c.AntiEntropy.MinReseedAgreement, "(0,1]"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fleet is a dispatcher over N model replicas.
+type Fleet struct {
+	cfg      Config
+	replicas []*replica
+	journal  *Journal
+
+	// cursor rotates fast-path and quorum-member selection so load and
+	// wear spread evenly.
+	cursor atomic.Uint64
+
+	// healthy gates the fast single-replica path. It is set only by a
+	// sweep that proves all replicas active and bit-identical, and
+	// cleared by anything that could make them diverge: substrate
+	// flips, recovery substitutions, external mutation (WithReplica),
+	// repairs, quarantines. False negatives only cost fan-out; a false
+	// positive would serve unvoted answers, so every clearing site errs
+	// toward clearing.
+	healthy atomic.Bool
+
+	// aeMu serializes anti-entropy sweeps and lifecycle transitions; it
+	// nests OUTSIDE every replica lock.
+	aeMu sync.Mutex
+	// sweep scratch, reused across sweeps (guarded by aeMu).
+	snaps map[int][]*bitvec.Vector // replica id -> class vector copies
+	maj   []*bitvec.Vector
+
+	// fleet-wide counters
+	fastPredicts   atomic.Int64
+	quorumPredicts atomic.Int64
+	escalations    atomic.Int64
+	sweeps         atomic.Int64
+	repairs        atomic.Int64
+	repairBits     atomic.Int64
+	quarantines    atomic.Int64
+	reseeds        atomic.Int64
+
+	done   chan struct{}
+	bg     sync.WaitGroup
+	closed atomic.Bool
+}
+
+// New builds a fleet of cfg.Replicas forks of seed. The seed system
+// itself is never attacked or mutated — callers keep using it for
+// encoding (the encoder is immutable and shared by every fork, so a
+// query encoded once scores identically on any replica).
+func New(seed *core.System, cfg Config) (*Fleet, error) {
+	if seed == nil {
+		return nil, errors.New("fleet: nil seed system")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.fillDefaults()
+	f := &Fleet{
+		cfg:     cfg,
+		journal: cfg.Journal,
+		snaps:   make(map[int][]*bitvec.Vector),
+		done:    make(chan struct{}),
+	}
+	f.healthy.Store(true)
+	for i := 0; i < cfg.Replicas; i++ {
+		r := &replica{id: i, sys: seed.Fork()}
+		if !cfg.DisableRecovery {
+			rec, err := r.sys.NewRecoverer(cfg.Recovery, derivedSeed(cfg.Seed, i, 0x7ec0))
+			if err != nil {
+				return nil, err
+			}
+			r.rec = rec
+		}
+		if cfg.Substrate != nil {
+			sc := *cfg.Substrate
+			sc.Seed = derivedSeed(cfg.Seed, i, 0x50b5)
+			p, err := substrate.New(sc, r.sys.AttackImage())
+			if err != nil {
+				return nil, err
+			}
+			r.sub = p
+		}
+		f.replicas = append(f.replicas, r)
+	}
+	if cfg.Substrate != nil {
+		for _, r := range f.replicas {
+			f.bg.Add(1)
+			go f.scrubLoop(r)
+		}
+	}
+	if cfg.AntiEntropy.Interval > 0 {
+		f.bg.Add(1)
+		go f.sweepLoop()
+	}
+	return f, nil
+}
+
+// derivedSeed decorrelates per-replica randomness: same campaign
+// parameters, different weak cells and victims per replica.
+func derivedSeed(base uint64, id int, salt uint64) uint64 {
+	x := base ^ salt ^ (uint64(id)+1)*0x9E3779B97F4A7C15
+	x ^= x >> 33
+	x *= 0xFF51AFD7ED558CCD
+	x ^= x >> 33
+	return x | 1 // never 0: several constructors treat 0 as "default"
+}
+
+// Size returns the configured replica count.
+func (f *Fleet) Size() int { return len(f.replicas) }
+
+// ConfidenceGate returns the recovery confidence threshold the fleet's
+// replicas trust pseudo-labels at (callers gate Trusted with it).
+func (f *Fleet) ConfidenceGate() float64 { return f.cfg.Recovery.ConfidenceThreshold }
+
+// Temperature returns the softmax temperature replicas score at.
+func (f *Fleet) Temperature() float64 { return f.cfg.Recovery.Temperature }
+
+// Quorum returns the configured read-quorum.
+func (f *Fleet) Quorum() int { return f.cfg.Quorum }
+
+// Healthy reports whether the fast single-replica path is engaged.
+func (f *Fleet) Healthy() bool { return f.healthy.Load() }
+
+// actives returns the replicas currently in rotation.
+func (f *Fleet) actives() []*replica {
+	out := make([]*replica, 0, len(f.replicas))
+	for _, r := range f.replicas {
+		if r.active() {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// ScoreBatch classifies a batch of encoded queries through the fleet
+// and returns per-query classes and confidences.
+//
+// Healthy fast path: the whole batch scores on one replica (round-
+// robin). Otherwise each query fans to a read-quorum of replicas; a
+// unanimous quorum answers directly, and any disagreement escalates to
+// the full active set with majority vote (ties break toward the higher
+// summed confidence, then the lower class id). With three replicas and
+// one corrupted, escalation guarantees the two healthy replicas
+// outvote the corrupted one on every query.
+func (f *Fleet) ScoreBatch(encoded []*bitvec.Vector, temperature float64) ([]int, []float64, error) {
+	classes := make([]int, len(encoded))
+	confs := make([]float64, len(encoded))
+	if len(encoded) == 0 {
+		return classes, confs, nil
+	}
+	act := f.actives()
+	if len(act) == 0 {
+		return nil, nil, ErrNoReplicas
+	}
+	if f.healthy.Load() && len(act) == len(f.replicas) {
+		r := act[f.cursor.Add(1)%uint64(len(act))]
+		f.fastPredicts.Add(int64(len(encoded)))
+		r.served.Add(int64(len(encoded)))
+		r.mu.RLock()
+		m := r.sys.Model()
+		for i, q := range encoded {
+			classes[i], confs[i] = m.PredictWithConfidence(q, temperature)
+		}
+		r.mu.RUnlock()
+		return classes, confs, nil
+	}
+
+	// Quorum path: pick Quorum members round-robin, score the whole
+	// batch on each (one lock round per member, not per query).
+	k := f.cfg.Quorum
+	if k > len(act) {
+		k = len(act)
+	}
+	start := f.cursor.Add(1)
+	members := make([]*replica, k)
+	for i := range members {
+		members[i] = act[(start+uint64(i))%uint64(len(act))]
+	}
+	votes := make([][]int, len(members)) // member -> per-query class
+	vconfs := make([][]float64, len(members))
+	for mi, r := range members {
+		votes[mi], vconfs[mi] = f.scoreOn(r, encoded, temperature)
+	}
+	f.quorumPredicts.Add(int64(len(encoded)))
+
+	var fullVotes [][]int
+	var fullConfs [][]float64
+	for i := range encoded {
+		agreed := true
+		for mi := 1; mi < len(members); mi++ {
+			if votes[mi][i] != votes[0][i] {
+				agreed = false
+				break
+			}
+		}
+		if agreed {
+			classes[i] = votes[0][i]
+			confs[i] = maxAt(vconfs, i)
+			continue
+		}
+		// Disagreement: escalate this batch's remaining queries to the
+		// full active set (scored lazily, once).
+		if fullVotes == nil {
+			f.escalations.Add(1)
+			fullVotes = make([][]int, len(act))
+			fullConfs = make([][]float64, len(act))
+			for ri, r := range act {
+				if mi := indexOf(members, r); mi >= 0 {
+					fullVotes[ri], fullConfs[ri] = votes[mi], vconfs[mi]
+					continue
+				}
+				fullVotes[ri], fullConfs[ri] = f.scoreOn(r, encoded, temperature)
+			}
+		}
+		classes[i], confs[i] = majorityVote(fullVotes, fullConfs, i)
+	}
+	return classes, confs, nil
+}
+
+// scoreOn scores the batch on one replica under its read lock.
+func (f *Fleet) scoreOn(r *replica, encoded []*bitvec.Vector, temperature float64) ([]int, []float64) {
+	cs := make([]int, len(encoded))
+	cf := make([]float64, len(encoded))
+	r.served.Add(int64(len(encoded)))
+	r.mu.RLock()
+	m := r.sys.Model()
+	for i, q := range encoded {
+		cs[i], cf[i] = m.PredictWithConfidence(q, temperature)
+	}
+	r.mu.RUnlock()
+	return cs, cf
+}
+
+func indexOf(rs []*replica, r *replica) int {
+	for i, x := range rs {
+		if x == r {
+			return i
+		}
+	}
+	return -1
+}
+
+// maxAt returns the highest confidence any voter reported for query i.
+func maxAt(confs [][]float64, i int) float64 {
+	best := 0.0
+	for _, c := range confs {
+		if c[i] > best {
+			best = c[i]
+		}
+	}
+	return best
+}
+
+// majorityVote tallies the voters' classes for query i. The winner is
+// the class with the most votes; ties break toward the higher summed
+// confidence, then the lower class id (fully deterministic).
+func majorityVote(votes [][]int, confs [][]float64, i int) (int, float64) {
+	count := map[int]int{}
+	confSum := map[int]float64{}
+	confMax := map[int]float64{}
+	for vi := range votes {
+		c := votes[vi][i]
+		count[c]++
+		confSum[c] += confs[vi][i]
+		if confs[vi][i] > confMax[c] {
+			confMax[c] = confs[vi][i]
+		}
+	}
+	best, bestN := -1, -1
+	for c, n := range count {
+		switch {
+		case n > bestN,
+			n == bestN && confSum[c] > confSum[best],
+			n == bestN && confSum[c] == confSum[best] && c < best:
+			best, bestN = c, n
+		}
+	}
+	return best, confMax[best]
+}
+
+// Observe feeds one trusted query to a replica's recoverer (round-
+// robin over actives), billing substitution writes to that replica's
+// substrate. This is the fleet analogue of serve's recovery loop; the
+// fleet stays in rotation while the replica self-heals because only
+// one replica's write lock is held.
+func (f *Fleet) Observe(q *bitvec.Vector) {
+	act := f.actives()
+	if len(act) == 0 {
+		return
+	}
+	r := act[f.cursor.Add(1)%uint64(len(act))]
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.rec == nil || q.Len() != r.sys.Dimensions() {
+		return
+	}
+	before := r.rec.Stats().BitsSubstituted
+	_, updated := r.rec.Observe(q)
+	if !updated {
+		return
+	}
+	d := r.rec.Stats().BitsSubstituted - before
+	if d > 0 && r.sub != nil {
+		r.sub.NoteWrites(d)
+	}
+	if d > 0 {
+		f.healthy.Store(false)
+		f.journal.Append(Event{Kind: EventRecovery, Replica: r.id, Class: -1, Chunk: -1, Bits: d})
+	}
+}
+
+// AdvanceReplica advances one replica's fault process by elapsed
+// simulated wall time under its write lock — the deterministic drill
+// hook mirroring serve.ScrubNow. It is a no-op without a substrate.
+func (f *Fleet) AdvanceReplica(id int, elapsed time.Duration) (int, error) {
+	r, err := f.replica(id)
+	if err != nil {
+		return 0, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.sub == nil {
+		return 0, nil
+	}
+	res, err := r.sub.Advance(elapsed)
+	if res.BitsFlipped > 0 {
+		r.faultBits.Add(int64(res.BitsFlipped))
+		f.healthy.Store(false)
+	}
+	return res.BitsFlipped, err
+}
+
+// WithReplica runs fn with exclusive access to one replica's system —
+// the hook attack drills use to corrupt a single fleet member. Any
+// external mutation invalidates the fast path.
+func (f *Fleet) WithReplica(id int, fn func(*core.System) error) error {
+	r, err := f.replica(id)
+	if err != nil {
+		return err
+	}
+	f.healthy.Store(false)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return fn(r.sys)
+}
+
+func (f *Fleet) replica(id int) (*replica, error) {
+	if id < 0 || id >= len(f.replicas) {
+		return nil, fmt.Errorf("fleet: no replica %d", id)
+	}
+	return f.replicas[id], nil
+}
+
+// Status is the fleet's externally visible state (/fleet endpoint).
+type Status struct {
+	Replicas []ReplicaStatus `json:"replicas"`
+	Quorum   int             `json:"quorum"`
+	// Healthy reports whether the fast single-replica path is engaged
+	// (every replica active and proven bit-identical by the last sweep).
+	Healthy bool `json:"healthy"`
+	// FastPredicts / QuorumPredicts split served queries by path;
+	// Escalations counts quorum disagreements that forced a full vote.
+	FastPredicts   int64 `json:"fast_predicts"`
+	QuorumPredicts int64 `json:"quorum_predicts"`
+	Escalations    int64 `json:"escalations"`
+	// Sweeps / Repairs / RepairBits / Quarantines / Reseeds summarize
+	// anti-entropy activity.
+	Sweeps      int64 `json:"sweeps"`
+	Repairs     int64 `json:"repairs"`
+	RepairBits  int64 `json:"repair_bits"`
+	Quarantines int64 `json:"quarantines"`
+	Reseeds     int64 `json:"reseeds"`
+	// JournalSeq is the last journal sequence number (0 without a
+	// journal).
+	JournalSeq int64 `json:"journal_seq"`
+}
+
+// Status snapshots fleet and per-replica counters.
+func (f *Fleet) Status() Status {
+	st := Status{
+		Quorum:         f.cfg.Quorum,
+		Healthy:        f.healthy.Load(),
+		FastPredicts:   f.fastPredicts.Load(),
+		QuorumPredicts: f.quorumPredicts.Load(),
+		Escalations:    f.escalations.Load(),
+		Sweeps:         f.sweeps.Load(),
+		Repairs:        f.repairs.Load(),
+		RepairBits:     f.repairBits.Load(),
+		Quarantines:    f.quarantines.Load(),
+		Reseeds:        f.reseeds.Load(),
+		JournalSeq:     f.journal.Seq(),
+	}
+	for _, r := range f.replicas {
+		st.Replicas = append(st.Replicas, r.status())
+	}
+	return st
+}
+
+// scrubLoop ticks one replica's fault process on the configured
+// cadence, feeding it real elapsed time (serve.scrubLoop's pattern).
+func (f *Fleet) scrubLoop(r *replica) {
+	defer f.bg.Done()
+	t := time.NewTicker(f.cfg.ScrubTick)
+	defer t.Stop()
+	last := time.Now()
+	for {
+		select {
+		case now := <-t.C:
+			_, _ = f.AdvanceReplica(r.id, now.Sub(last))
+			last = now
+		case <-f.done:
+			return
+		}
+	}
+}
+
+// sweepLoop runs anti-entropy on the configured interval.
+func (f *Fleet) sweepLoop() {
+	defer f.bg.Done()
+	t := time.NewTicker(f.cfg.AntiEntropy.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			f.SweepNow()
+		case <-f.done:
+			return
+		}
+	}
+}
+
+// Close stops the background loops. Predictions racing Close still
+// answer; the fleet holds no queues of its own.
+func (f *Fleet) Close() {
+	if !f.closed.CompareAndSwap(false, true) {
+		return
+	}
+	close(f.done)
+	f.bg.Wait()
+}

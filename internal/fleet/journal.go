@@ -1,0 +1,140 @@
+package fleet
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event kinds recorded in the journal. The journal is the fleet's
+// flight recorder: every autonomous action that rewrites model memory
+// or changes a replica's standing leaves a line, so an operator can
+// replay exactly how a deployment healed (or failed to).
+const (
+	// EventWatchdog records a single-server watchdog posture change
+	// (escalation, rollback, checkpoint) — serve writes these.
+	EventWatchdog = "watchdog"
+	// EventRecovery records a burst of recovery substitutions billed
+	// to a replica's substrate.
+	EventRecovery = "recovery"
+	// EventRepair records one anti-entropy chunk overwrite.
+	EventRepair = "repair"
+	// EventQuarantine records a replica leaving rotation.
+	EventQuarantine = "quarantine"
+	// EventReseed records a quarantined replica re-imaged from a donor.
+	EventReseed = "reseed"
+	// EventActivate records a replica returning to rotation.
+	EventActivate = "activate"
+	// EventSweep records one completed anti-entropy sweep.
+	EventSweep = "sweep"
+)
+
+// Event is one journal line. Seq is assigned by Append: a dense,
+// monotonically increasing sequence number that Replay verifies, so a
+// truncated or spliced journal is detectable.
+type Event struct {
+	Seq      int64  `json:"seq"`
+	UnixNano int64  `json:"t"`
+	Kind     string `json:"kind"`
+	// Replica identifies the subject replica (-1 when fleet-wide).
+	Replica int `json:"replica"`
+	// Class and Chunk locate a repair (-1 when not chunk-scoped).
+	Class int `json:"class"`
+	Chunk int `json:"chunk"`
+	// Bits is the bit traffic of the action (repaired bits, substituted
+	// bits, reseed image size).
+	Bits int `json:"bits,omitempty"`
+	// Tier is the watchdog posture after a watchdog event.
+	Tier int `json:"tier,omitempty"`
+	// Detail is a short human-readable qualifier ("escalate",
+	// "divergence 0.031", donor id, ...).
+	Detail string `json:"detail,omitempty"`
+}
+
+// Journal is an append-only JSONL event log. A nil *Journal is valid
+// and drops every append, so callers thread it through unconditionally.
+//
+// Appends serialize on an internal mutex; the underlying writer sees
+// exactly one full line per event, in sequence order.
+type Journal struct {
+	mu  sync.Mutex
+	w   io.Writer
+	seq int64
+	now func() time.Time
+}
+
+// NewJournal writes events to w as JSON lines. The caller owns w's
+// lifecycle (and buffering/fsync policy).
+func NewJournal(w io.Writer) *Journal {
+	return &Journal{w: w, now: time.Now}
+}
+
+// Append stamps the event with the next sequence number and the
+// current time and writes it. Nil journals drop the event. Write
+// errors are returned but do not consume the failed sequence number,
+// so a transiently failing sink cannot create gaps.
+func (j *Journal) Append(e Event) error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	e.Seq = j.seq + 1
+	e.UnixNano = j.now().UnixNano()
+	line, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	if _, err := j.w.Write(line); err != nil {
+		return err
+	}
+	j.seq = e.Seq
+	return nil
+}
+
+// Seq returns the last assigned sequence number (0 before any append).
+func (j *Journal) Seq() int64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seq
+}
+
+// Replay parses a JSONL journal and verifies its integrity: sequence
+// numbers must start at 1 and increase densely (no gaps, no reorders,
+// no duplicates), and timestamps must not run backwards. It returns
+// the reconstructed timeline.
+func Replay(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var events []Event
+	var lastT int64
+	for lineNo := 1; sc.Scan(); lineNo++ {
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return nil, fmt.Errorf("fleet: journal line %d: %w", lineNo, err)
+		}
+		if want := int64(len(events)) + 1; e.Seq != want {
+			return nil, fmt.Errorf("fleet: journal line %d: seq %d, want %d", lineNo, e.Seq, want)
+		}
+		if e.UnixNano < lastT {
+			return nil, fmt.Errorf("fleet: journal line %d: time runs backwards", lineNo)
+		}
+		lastT = e.UnixNano
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("fleet: journal scan: %w", err)
+	}
+	return events, nil
+}

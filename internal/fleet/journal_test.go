@@ -1,0 +1,168 @@
+package fleet
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestJournalAppendAssignsDenseSeqs(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	for i := 0; i < 5; i++ {
+		if err := j.Append(Event{Kind: EventRepair, Replica: i, Class: 0, Chunk: i, Bits: 10}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if j.Seq() != 5 {
+		t.Fatalf("Seq() = %d, want 5", j.Seq())
+	}
+	events, err := Replay(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 5 {
+		t.Fatalf("replayed %d events, want 5", len(events))
+	}
+	for i, e := range events {
+		if e.Seq != int64(i)+1 || e.Replica != i || e.Kind != EventRepair {
+			t.Fatalf("event %d = %+v", i, e)
+		}
+	}
+}
+
+func TestNilJournalDropsAppends(t *testing.T) {
+	var j *Journal
+	if err := j.Append(Event{Kind: EventSweep}); err != nil {
+		t.Fatal(err)
+	}
+	if j.Seq() != 0 {
+		t.Fatal("nil journal has a sequence")
+	}
+}
+
+func TestReplayDetectsTampering(t *testing.T) {
+	mk := func(lines ...string) string { return strings.Join(lines, "\n") + "\n" }
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"gap", mk(
+			`{"seq":1,"t":10,"kind":"sweep","replica":-1,"class":-1,"chunk":-1}`,
+			`{"seq":3,"t":20,"kind":"sweep","replica":-1,"class":-1,"chunk":-1}`)},
+		{"duplicate", mk(
+			`{"seq":1,"t":10,"kind":"sweep","replica":-1,"class":-1,"chunk":-1}`,
+			`{"seq":1,"t":20,"kind":"sweep","replica":-1,"class":-1,"chunk":-1}`)},
+		{"starts at zero", mk(
+			`{"seq":0,"t":10,"kind":"sweep","replica":-1,"class":-1,"chunk":-1}`)},
+		{"reorder", mk(
+			`{"seq":2,"t":10,"kind":"sweep","replica":-1,"class":-1,"chunk":-1}`,
+			`{"seq":1,"t":20,"kind":"sweep","replica":-1,"class":-1,"chunk":-1}`)},
+		{"time backwards", mk(
+			`{"seq":1,"t":20,"kind":"sweep","replica":-1,"class":-1,"chunk":-1}`,
+			`{"seq":2,"t":10,"kind":"sweep","replica":-1,"class":-1,"chunk":-1}`)},
+		{"garbage", mk(`not json`)},
+	}
+	for _, c := range cases {
+		if _, err := Replay(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+// TestReplayReconstructsRepairTimeline exercises the journal the way
+// the fleet writes it: a mixed stream of repairs, a quarantine, a
+// reseed, and sweeps, replayed back into a per-replica timeline.
+func TestReplayReconstructsRepairTimeline(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	script := []Event{
+		{Kind: EventSweep, Replica: -1, Class: -1, Chunk: -1},
+		{Kind: EventRepair, Replica: 1, Class: 2, Chunk: 7, Bits: 125},
+		{Kind: EventRepair, Replica: 1, Class: 3, Chunk: 1, Bits: 60},
+		{Kind: EventQuarantine, Replica: 2, Class: -1, Chunk: -1, Detail: "divergence 0.3100"},
+		{Kind: EventReseed, Replica: 2, Class: -1, Chunk: -1, Bits: 49152, Detail: "donor 0 agreement 1.0000"},
+		{Kind: EventActivate, Replica: 2, Class: -1, Chunk: -1},
+		{Kind: EventSweep, Replica: -1, Class: -1, Chunk: -1},
+	}
+	for _, e := range script {
+		if err := j.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	events, err := Replay(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repairedBits := 0
+	var replica2 []string
+	for _, e := range events {
+		if e.Kind == EventRepair {
+			repairedBits += e.Bits
+		}
+		if e.Replica == 2 {
+			replica2 = append(replica2, e.Kind)
+		}
+	}
+	if repairedBits != 185 {
+		t.Fatalf("reconstructed %d repaired bits, want 185", repairedBits)
+	}
+	want := []string{EventQuarantine, EventReseed, EventActivate}
+	if len(replica2) != len(want) {
+		t.Fatalf("replica 2 timeline %v, want %v", replica2, want)
+	}
+	for i := range want {
+		if replica2[i] != want[i] {
+			t.Fatalf("replica 2 timeline %v, want %v", replica2, want)
+		}
+	}
+}
+
+// TestJournalConcurrentAppends checks appends from many goroutines
+// interleave into a valid journal (one full line each, dense seqs).
+func TestJournalConcurrentAppends(t *testing.T) {
+	buf := &syncBuffer{}
+	j := NewJournal(buf)
+	var wg sync.WaitGroup
+	const writers, each = 8, 50
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				_ = j.Append(Event{Kind: EventRepair, Replica: w, Class: i, Chunk: -1})
+			}
+		}(w)
+	}
+	wg.Wait()
+	events, err := Replay(buf.Reader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != writers*each {
+		t.Fatalf("replayed %d events, want %d", len(events), writers*each)
+	}
+}
+
+func TestJournalTimeStamps(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	now := time.Unix(1700000000, 0)
+	j.now = func() time.Time { now = now.Add(time.Millisecond); return now }
+	for i := 0; i < 3; i++ {
+		if err := j.Append(Event{Kind: EventSweep, Replica: -1, Class: -1, Chunk: -1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	events, err := Replay(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].UnixNano <= events[i-1].UnixNano {
+			t.Fatal("timestamps not increasing")
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package fleet
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/recovery"
+	"repro/internal/substrate"
+)
+
+// Replica states. A replica is either serving queries (active) or
+// pulled from rotation awaiting re-seed (quarantined).
+const (
+	stateActive int32 = iota
+	stateQuarantined
+)
+
+// replica is one fleet member: an independent fork of the seed system
+// (private deployed class vectors, shared immutable encoder), its own
+// recoverer, and its own fault process. Divergence between replicas
+// comes exactly from here — each fault process samples its own weak
+// cells and victims, so the same physical campaign damages each copy
+// differently, which is what quorum voting and majority repair exploit.
+type replica struct {
+	id int
+
+	// mu is the replica's single-writer model lock, the same discipline
+	// as serve.Server.mu: scoring takes it shared; recovery observation,
+	// fault advances, repairs, and reseeds take it exclusive. It is the
+	// innermost lock in the fleet — nothing is acquired under it.
+	mu  sync.RWMutex
+	sys *core.System
+	rec *recovery.Recoverer
+	sub substrate.FaultProcess
+
+	state atomic.Int32
+
+	// served counts queries this replica scored (fast path and quorum
+	// fan-outs both count).
+	served atomic.Int64
+	// repairedBits counts anti-entropy bits overwritten on this replica.
+	repairedBits atomic.Int64
+	// faultBits counts substrate flips applied by this replica's scrubber.
+	faultBits atomic.Int64
+	// quarantines / reseeds count lifecycle transitions.
+	quarantines atomic.Int64
+	reseeds     atomic.Int64
+	// divergenceBits is the last sweep's measurement (math.Float64bits).
+	divergence atomic.Uint64
+}
+
+func (r *replica) active() bool { return r.state.Load() == stateActive }
+
+func (r *replica) setDivergence(f float64) { r.divergence.Store(math.Float64bits(f)) }
+func (r *replica) getDivergence() float64  { return math.Float64frombits(r.divergence.Load()) }
+
+// ReplicaStatus is one replica's externally visible state, served by
+// the /fleet endpoint and folded into /metrics.
+type ReplicaStatus struct {
+	ID     int    `json:"id"`
+	State  string `json:"state"`
+	Served int64  `json:"served"`
+	// Divergence is the fraction of this replica's model bits that
+	// disagreed with the fleet majority at the last anti-entropy sweep.
+	Divergence   float64 `json:"divergence"`
+	RepairedBits int64   `json:"repaired_bits"`
+	FaultBits    int64   `json:"fault_bits"`
+	Quarantines  int64   `json:"quarantines"`
+	Reseeds      int64   `json:"reseeds"`
+	// Substrate is the replica's fault-process counters (nil without a
+	// mounted substrate).
+	Substrate *substrate.Stats `json:"substrate,omitempty"`
+	// Recovery is the replica's self-healing counters (nil when
+	// recovery is disabled).
+	Recovery *recovery.Stats `json:"recovery,omitempty"`
+}
+
+// status snapshots the replica's counters. It takes the read lock to
+// get coherent substrate stats (Stats races with Advance otherwise).
+func (r *replica) status() ReplicaStatus {
+	st := ReplicaStatus{
+		ID:           r.id,
+		State:        "active",
+		Served:       r.served.Load(),
+		Divergence:   r.getDivergence(),
+		RepairedBits: r.repairedBits.Load(),
+		FaultBits:    r.faultBits.Load(),
+		Quarantines:  r.quarantines.Load(),
+		Reseeds:      r.reseeds.Load(),
+	}
+	if r.state.Load() == stateQuarantined {
+		st.State = "quarantined"
+	}
+	r.mu.RLock()
+	if r.sub != nil {
+		s := r.sub.Stats()
+		st.Substrate = &s
+	}
+	r.mu.RUnlock()
+	if r.rec != nil {
+		s := r.rec.Stats()
+		st.Recovery = &s
+	}
+	return st
+}

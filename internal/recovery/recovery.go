@@ -89,15 +89,23 @@ func DefaultConfig() Config {
 // Validate reports whether the configuration is usable for a model
 // with the given hypervector dimensionality.
 func (c Config) Validate(dims int) error {
+	if err := stats.CheckInterval("recovery: confidence threshold", c.ConfidenceThreshold, "(0,1)"); err != nil {
+		return err
+	}
+	if err := stats.CheckInterval("recovery: substitution rate", c.SubstitutionRate, "(0,1]"); err != nil {
+		return err
+	}
+	if err := stats.CheckFinite("recovery: temperature", c.Temperature); err != nil {
+		return err
+	}
+	if err := stats.CheckFinite("recovery: guard z", c.GuardZ); err != nil {
+		return err
+	}
 	switch {
-	case c.ConfidenceThreshold <= 0 || c.ConfidenceThreshold >= 1:
-		return fmt.Errorf("recovery: confidence threshold %v out of (0,1)", c.ConfidenceThreshold)
 	case c.Chunks < 1:
 		return fmt.Errorf("recovery: chunks %d must be >= 1", c.Chunks)
 	case c.Chunks > dims:
 		return fmt.Errorf("recovery: chunks %d exceed dimensions %d", c.Chunks, dims)
-	case c.SubstitutionRate <= 0 || c.SubstitutionRate > 1:
-		return fmt.Errorf("recovery: substitution rate %v out of (0,1]", c.SubstitutionRate)
 	case c.EnsembleWindow < 0 || c.EnsembleWindow > 1024:
 		return fmt.Errorf("recovery: ensemble window %d out of [0,1024]", c.EnsembleWindow)
 	}
@@ -180,10 +188,14 @@ func (r *Recoverer) SubstitutionRate() float64 {
 // recoverer — the serve watchdog's tier-1 response raises it when the
 // fault flux outpaces the default healing rate, then restores it once
 // the model holds steady. Counters, chunk bounds, and ensemble rings
-// are untouched. The rate must be in (0, 1].
+// are untouched. The rate must be a finite number in (0, 1] — NaN and
+// ±Inf are rejected like any out-of-range value (NaN would slip
+// through naive `p <= 0 || p > 1` bounds because it compares false
+// against everything, and a NaN rate makes every substitution draw
+// fail silently).
 func (r *Recoverer) SetSubstitutionRate(p float64) error {
-	if p <= 0 || p > 1 {
-		return fmt.Errorf("recovery: substitution rate %v out of (0,1]", p)
+	if err := stats.CheckInterval("recovery: substitution rate", p, "(0,1]"); err != nil {
+		return err
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()

@@ -1,6 +1,7 @@
 package recovery
 
 import (
+	"math"
 	"sync"
 	"testing"
 
@@ -67,6 +68,57 @@ func TestConfigValidate(t *testing.T) {
 		if err := c.Validate(10000); err == nil {
 			t.Errorf("case %d: invalid config accepted", i)
 		}
+	}
+}
+
+// TestValidateRejectsNonFinite pins the NaN/Inf fix: NaN compares
+// false against every bound, so the old `v <= 0 || v > 1` checks waved
+// it through and a NaN substitution rate silently disabled recovery.
+func TestValidateRejectsNonFinite(t *testing.T) {
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		c := DefaultConfig()
+		c.ConfidenceThreshold = v
+		if err := c.Validate(10000); err == nil {
+			t.Errorf("confidence threshold %v accepted", v)
+		}
+		c = DefaultConfig()
+		c.SubstitutionRate = v
+		if err := c.Validate(10000); err == nil {
+			t.Errorf("substitution rate %v accepted", v)
+		}
+		c = DefaultConfig()
+		c.Temperature = v
+		if err := c.Validate(10000); err == nil {
+			t.Errorf("temperature %v accepted", v)
+		}
+		c = DefaultConfig()
+		c.GuardZ = v
+		if err := c.Validate(10000); err == nil {
+			t.Errorf("guard z %v accepted", v)
+		}
+	}
+}
+
+func TestSetSubstitutionRateRejectsNonFinite(t *testing.T) {
+	m, _, _, _ := toyProblem(t, 512, 1, 1, 0.04, 0.03)
+	r, err := New(m, DefaultConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := r.SubstitutionRate()
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), 0, -0.5, 1.5} {
+		if err := r.SetSubstitutionRate(v); err == nil {
+			t.Errorf("SetSubstitutionRate(%v) accepted", v)
+		}
+	}
+	if got := r.SubstitutionRate(); got != before {
+		t.Fatalf("rejected sets changed the rate: %v -> %v", before, got)
+	}
+	if err := r.SetSubstitutionRate(0.5); err != nil {
+		t.Fatalf("valid rate rejected: %v", err)
+	}
+	if got := r.SubstitutionRate(); got != 0.5 {
+		t.Fatalf("rate = %v after SetSubstitutionRate(0.5)", got)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/attack"
 	"repro/internal/core"
+	"repro/internal/fleet"
 )
 
 // maxBodyBytes bounds request bodies (training sets and snapshots
@@ -35,6 +36,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /restore", s.handleRestore)
 	mux.HandleFunc("POST /attack", s.handleAttack)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /fleet", s.handleFleet)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
 }
@@ -268,6 +270,10 @@ type attackRequest struct {
 	SpanFrac float64 `json:"span_frac,omitempty"`
 	FlipProb float64 `json:"flip_prob,omitempty"`
 	Seed     uint64  `json:"seed,omitempty"`
+	// Replica targets one fleet member (fleet mode only, required
+	// there — "attack the fleet" is not a physical operation; bit
+	// flips land on one replica's memory).
+	Replica *int `json:"replica,omitempty"`
 }
 
 func (s *Server) handleAttack(w http.ResponseWriter, r *http.Request) {
@@ -281,22 +287,36 @@ func (s *Server) handleAttack(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, ErrNoModel)
 		return
 	}
-	// The drill rewrites deployed memory: exclusive lock, like any
-	// other model write.
+	drill := func(target *core.System) (attack.Result, error) {
+		switch req.Kind {
+		case "random":
+			return target.AttackRandom(req.Rate, req.Seed)
+		case "targeted":
+			return target.AttackTargeted(req.Rate, req.Seed)
+		case "burst":
+			return target.AttackBurst(req.SpanFrac, req.FlipProb, req.Seed)
+		}
+		return attack.Result{}, fmt.Errorf("%w: unknown attack kind %q", ErrBadInput, req.Kind)
+	}
 	var res attack.Result
 	var err error
-	s.mu.Lock()
-	switch req.Kind {
-	case "random":
-		res, err = sys.AttackRandom(req.Rate, req.Seed)
-	case "targeted":
-		res, err = sys.AttackTargeted(req.Rate, req.Seed)
-	case "burst":
-		res, err = sys.AttackBurst(req.SpanFrac, req.FlipProb, req.Seed)
-	default:
-		err = fmt.Errorf("%w: unknown attack kind %q", ErrBadInput, req.Kind)
+	if flt := s.fleet(); flt != nil {
+		if req.Replica == nil {
+			writeErr(w, fmt.Errorf("%w: fleet mode: specify \"replica\" (0..%d)", ErrBadInput, flt.Size()-1))
+			return
+		}
+		err = flt.WithReplica(*req.Replica, func(target *core.System) error {
+			var derr error
+			res, derr = drill(target)
+			return derr
+		})
+	} else {
+		// The drill rewrites deployed memory: exclusive lock, like any
+		// other model write.
+		s.mu.Lock()
+		res, err = drill(sys)
+		s.mu.Unlock()
 	}
-	s.mu.Unlock()
 	if err != nil {
 		if !errors.Is(err, ErrBadInput) {
 			err = fmt.Errorf("%w: %v", ErrBadInput, err)
@@ -305,10 +325,39 @@ func (s *Server) handleAttack(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.recordAttack(res.BitsFlipped)
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"kind":         req.Kind,
 		"bits_flipped": res.BitsFlipped,
 		"elements_hit": res.ElementsHit,
+	}
+	if req.Replica != nil {
+		resp["replica"] = *req.Replica
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// fleetResponse is the /fleet status document.
+type fleetResponse struct {
+	Enabled bool `json:"enabled"`
+	// Replicas/Quorum echo the configuration; Status carries the live
+	// per-replica and fleet-wide counters.
+	Replicas int           `json:"replicas,omitempty"`
+	Quorum   int           `json:"quorum,omitempty"`
+	Status   *fleet.Status `json:"status,omitempty"`
+}
+
+func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
+	flt := s.fleet()
+	if flt == nil {
+		writeJSON(w, http.StatusOK, fleetResponse{Enabled: false})
+		return
+	}
+	st := flt.Status()
+	writeJSON(w, http.StatusOK, fleetResponse{
+		Enabled:  true,
+		Replicas: flt.Size(),
+		Quorum:   flt.Quorum(),
+		Status:   &st,
 	})
 }
 

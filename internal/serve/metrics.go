@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/recovery"
 	"repro/internal/substrate"
 )
@@ -13,13 +14,13 @@ import (
 // atomic so the serving path never takes a lock to count; floats
 // accumulate via CAS on their bit patterns.
 type metrics struct {
-	predicts        atomic.Int64 // answered predictions
-	errors          atomic.Int64 // rejected requests (bad input, no model)
-	batches         atomic.Int64 // batches flushed
-	batchedItems    atomic.Int64 // predictions summed over batches
+	predicts        atomic.Int64  // answered predictions
+	errors          atomic.Int64  // rejected requests (bad input, no model)
+	batches         atomic.Int64  // batches flushed
+	batchedItems    atomic.Int64  // predictions summed over batches
 	confidenceSum   atomic.Uint64 // float bits: Σ confidence
-	trusted         atomic.Int64 // predictions that cleared the recovery gate
-	recoveryDropped atomic.Int64 // trusted queries dropped on a full queue
+	trusted         atomic.Int64  // predictions that cleared the recovery gate
+	recoveryDropped atomic.Int64  // trusted queries dropped on a full queue
 
 	attacks    atomic.Int64 // /attack drills executed
 	attackBits atomic.Int64 // total bits flipped by drills
@@ -135,21 +136,24 @@ type ProbeInfo struct {
 
 // Metrics is the JSON document served at /metrics.
 type Metrics struct {
-	UptimeSeconds  float64      `json:"uptime_seconds"`
-	Ready          bool         `json:"ready"`
-	Model          *ModelInfo   `json:"model,omitempty"`
-	Predictions    int64        `json:"predictions"`
-	Errors         int64        `json:"errors"`
-	Batches        int64        `json:"batches"`
-	MeanBatchSize  float64      `json:"mean_batch_size"`
-	MeanConfidence float64      `json:"mean_confidence"`
-	Trusted        int64        `json:"trusted"`
-	Attacks        int64        `json:"attacks"`
-	AttackBits     int64        `json:"attack_bits_flipped"`
+	UptimeSeconds  float64       `json:"uptime_seconds"`
+	Ready          bool          `json:"ready"`
+	Model          *ModelInfo    `json:"model,omitempty"`
+	Predictions    int64         `json:"predictions"`
+	Errors         int64         `json:"errors"`
+	Batches        int64         `json:"batches"`
+	MeanBatchSize  float64       `json:"mean_batch_size"`
+	MeanConfidence float64       `json:"mean_confidence"`
+	Trusted        int64         `json:"trusted"`
+	Attacks        int64         `json:"attacks"`
+	AttackBits     int64         `json:"attack_bits_flipped"`
 	Recovery       RecoveryInfo  `json:"recovery"`
 	Substrate      SubstrateInfo `json:"substrate"`
 	Watchdog       WatchdogInfo  `json:"watchdog"`
 	Probe          ProbeInfo     `json:"probe"`
+	// Fleet carries per-replica and fleet-wide counters (nil in
+	// single-model mode; the full document also lives at /fleet).
+	Fleet *fleet.Status `json:"fleet,omitempty"`
 }
 
 // Snapshot assembles the current metrics document.
@@ -214,6 +218,10 @@ func (s *Server) MetricsSnapshot() Metrics {
 	if out.Probe.Runs > 0 {
 		out.Probe.Accuracy = math.Float64frombits(m.probeAcc.Load())
 		out.Probe.AgeSeconds = time.Since(time.Unix(0, m.probeAt.Load())).Seconds()
+	}
+	if flt := s.fleet(); flt != nil {
+		st := flt.Status()
+		out.Fleet = &st
 	}
 	return out
 }

@@ -41,6 +41,7 @@ import (
 
 	"repro/internal/bitvec"
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/recovery"
 	"repro/internal/substrate"
 )
@@ -108,7 +109,23 @@ type Config struct {
 	ScrubTick time.Duration
 	// Watchdog parameterizes the degradation watchdog; its Interval
 	// enables the periodic loop (WatchdogNow is always available).
+	// Mutually exclusive with Fleet — the fleet's quarantine/reseed
+	// lifecycle supersedes the single-model watchdog ladder.
 	Watchdog WatchdogConfig
+
+	// Fleet replicates the installed model across N independently
+	// faulting replicas behind quorum inference and anti-entropy
+	// repair (nil keeps the single-model path). The server's Recovery,
+	// Substrate, ScrubTick, and Journal settings flow into the fleet
+	// config wherever the fleet config leaves them zero; in fleet mode
+	// the server itself mounts no substrate and runs no scrubber — each
+	// replica carries its own.
+	Fleet *fleet.Config
+
+	// Journal receives lifecycle events — watchdog transitions in
+	// single-model mode, plus the fleet's repair/quarantine/reseed
+	// stream in fleet mode (nil drops them).
+	Journal *fleet.Journal
 }
 
 func (c *Config) fillDefaults() {
@@ -160,11 +177,16 @@ type Server struct {
 	metrics metrics
 
 	// mu is the single-writer lock over the deployed model (and the
-	// sys/rec/sub triple as a unit). See the package comment.
+	// sys/rec/sub/flt group as a unit). See the package comment.
 	mu  sync.RWMutex
 	sys *core.System
 	rec *recovery.Recoverer
 	sub substrate.FaultProcess
+	// flt is the replica fleet (fleet mode only). In fleet mode sys is
+	// the pristine seed — encoding still goes through it, but scoring,
+	// recovery, and fault processes live on the fleet's forks, each
+	// behind its own replica lock; s.mu only guards the pointer swap.
+	flt *fleet.Fleet
 
 	// wd is the degradation watchdog's state; wd.mu nests OUTSIDE s.mu
 	// (watchdog code locks wd.mu first, then s.mu — never the reverse).
@@ -189,6 +211,17 @@ type Server struct {
 // New starts a server. sys may be nil: the server then answers
 // ErrNoModel until /train or /restore installs one.
 func New(sys *core.System, cfg Config) (*Server, error) {
+	if err := cfg.Watchdog.validate(); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	if cfg.Fleet != nil {
+		if cfg.Watchdog.Interval > 0 {
+			return nil, errors.New("serve: fleet mode and the watchdog loop are mutually exclusive (quarantine/reseed supersedes the watchdog ladder)")
+		}
+		if err := cfg.Fleet.Validate(); err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+	}
 	cfg.fillDefaults()
 	s := &Server{
 		cfg:   cfg,
@@ -208,7 +241,7 @@ func New(sys *core.System, cfg Config) (*Server, error) {
 		s.bg.Add(1)
 		go s.probeLoop()
 	}
-	if cfg.Substrate != nil {
+	if cfg.Substrate != nil && cfg.Fleet == nil {
 		s.bg.Add(1)
 		go s.scrubLoop()
 	}
@@ -226,6 +259,9 @@ func New(sys *core.System, cfg Config) (*Server, error) {
 func (s *Server) install(sys *core.System) error {
 	if s.closed.Load() {
 		return ErrClosed
+	}
+	if s.cfg.Fleet != nil {
+		return s.installFleet(sys)
 	}
 	var rec *recovery.Recoverer
 	if !s.cfg.DisableRecovery {
@@ -249,6 +285,56 @@ func (s *Server) install(sys *core.System) error {
 	s.wd.reset()
 	return nil
 }
+
+// installFleet builds a replica fleet over the new seed system and
+// swaps it in. The server's recovery/substrate/journal settings fill
+// any field the fleet config leaves zero, so `-substrate` and
+// `-replicas` compose the way an operator expects. The fleet is built
+// outside the lock (forking N models is expensive) and the displaced
+// fleet is closed after the swap, never under s.mu.
+func (s *Server) installFleet(sys *core.System) error {
+	fcfg := *s.cfg.Fleet
+	fcfg.DisableRecovery = fcfg.DisableRecovery || s.cfg.DisableRecovery
+	if fcfg.Recovery == (recovery.Config{}) {
+		fcfg.Recovery = s.cfg.Recovery
+	}
+	if fcfg.Substrate == nil {
+		fcfg.Substrate = s.cfg.Substrate
+	}
+	if fcfg.ScrubTick <= 0 {
+		fcfg.ScrubTick = s.cfg.ScrubTick
+	}
+	if fcfg.Seed == 0 {
+		fcfg.Seed = s.cfg.RecoverySeed
+	}
+	if fcfg.Journal == nil {
+		fcfg.Journal = s.cfg.Journal
+	}
+	flt, err := fleet.New(sys, fcfg)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	s.mu.Lock()
+	old := s.flt
+	s.sys, s.rec, s.sub, s.flt = sys, nil, nil, flt
+	s.mu.Unlock()
+	s.wd.reset()
+	if old != nil {
+		old.Close()
+	}
+	return nil
+}
+
+// fleet returns the live fleet (nil in single-model mode).
+func (s *Server) fleet() *fleet.Fleet {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.flt
+}
+
+// Fleet exposes the live fleet for drills and status (nil in
+// single-model mode).
+func (s *Server) Fleet() *fleet.Fleet { return s.fleet() }
 
 // system returns the current system (nil before the first install).
 func (s *Server) system() *core.System {
@@ -359,13 +445,32 @@ func (s *Server) serveBatch(batch []*request, sc *batchScratch) {
 	}
 	preds := sc.preds[:len(encoded)]
 	sc.preds = preds
-	s.mu.RLock()
-	m := sys.Model()
-	for i, q := range encoded {
-		class, conf := m.PredictWithConfidence(q, s.cfg.Recovery.Temperature)
-		preds[i] = Prediction{Class: class, Confidence: conf, Trusted: conf >= gate}
+	if flt := s.fleet(); flt != nil {
+		// Fleet path: the batch fans to the read-quorum (or the fast
+		// single replica while the fleet is provably in sync). Replica
+		// locks replace s.mu — the seed system is never scored.
+		gate = flt.ConfidenceGate()
+		classes, confs, err := flt.ScoreBatch(encoded, flt.Temperature())
+		if err != nil {
+			for _, r := range live {
+				s.metrics.errors.Add(1)
+				r.resp <- result{err: err}
+			}
+			sc.live = sc.live[:0]
+			return
+		}
+		for i := range encoded {
+			preds[i] = Prediction{Class: classes[i], Confidence: confs[i], Trusted: confs[i] >= gate}
+		}
+	} else {
+		s.mu.RLock()
+		m := sys.Model()
+		for i, q := range encoded {
+			class, conf := m.PredictWithConfidence(q, s.cfg.Recovery.Temperature)
+			preds[i] = Prediction{Class: class, Confidence: conf, Trusted: conf >= gate}
+		}
+		s.mu.RUnlock()
 	}
-	s.mu.RUnlock()
 
 	s.metrics.observeBatch(preds)
 	for i, p := range preds {
@@ -401,6 +506,13 @@ func (s *Server) enqueueRecovery(q *bitvec.Vector) {
 func (s *Server) recoveryLoop() {
 	defer s.bg.Done()
 	for q := range s.recCh {
+		if flt := s.fleet(); flt != nil {
+			// Fleet mode: the observation lands on one replica (round-
+			// robin) under that replica's own lock; the fleet bills
+			// substitution writes to the replica's substrate itself.
+			flt.Observe(q)
+			continue
+		}
 		s.mu.Lock()
 		// A /train or /restore may have swapped in a model of a
 		// different shape between enqueue and observation.
@@ -451,11 +563,28 @@ func (s *Server) ProbeNow() (float64, bool) {
 	if sys == nil || len(xs) == 0 || len(xs[0]) != sys.Features() {
 		return 0, false
 	}
-	// Encode outside the lock (immutable encoder), score under it.
+	// Encode outside the lock (immutable encoder), score under it. In
+	// fleet mode the probe measures what clients actually get — quorum
+	// accuracy — not any single replica.
 	encoded := sys.EncodeAllParallel(xs, s.cfg.EncodeWorkers)
-	s.mu.RLock()
-	acc := sys.Model().AccuracyParallel(encoded, ys, s.cfg.EncodeWorkers)
-	s.mu.RUnlock()
+	var acc float64
+	if flt := s.fleet(); flt != nil {
+		classes, _, err := flt.ScoreBatch(encoded, flt.Temperature())
+		if err != nil {
+			return 0, false
+		}
+		hit := 0
+		for i, c := range classes {
+			if c == ys[i] {
+				hit++
+			}
+		}
+		acc = float64(hit) / float64(len(ys))
+	} else {
+		s.mu.RLock()
+		acc = sys.Model().AccuracyParallel(encoded, ys, s.cfg.EncodeWorkers)
+		s.mu.RUnlock()
+	}
 	s.metrics.recordProbe(acc)
 	return acc, true
 }
@@ -483,8 +612,11 @@ func (s *Server) Close() {
 	if !s.closed.CompareAndSwap(false, true) {
 		return
 	}
-	s.pool.close()  // flush pending batches; batchers are the only recCh senders
-	close(s.recCh)  // recovery drains the backlog, then exits
-	close(s.done)   // stop the probe loop
+	s.pool.close() // flush pending batches; batchers are the only recCh senders
+	close(s.recCh) // recovery drains the backlog, then exits
+	close(s.done)  // stop the probe loop
 	s.bg.Wait()
+	if flt := s.fleet(); flt != nil {
+		flt.Close() // stop per-replica scrubbers and the sweep loop
+	}
 }

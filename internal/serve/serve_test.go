@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"sync"
@@ -111,6 +112,27 @@ func getJSON(t *testing.T, url string, v any) *http.Response {
 		}
 	}
 	return resp
+}
+
+// TestNewRejectsNonFiniteWatchdogKnobs pins the uniform NaN/Inf
+// rejection on the watchdog's float knobs: fillDefaults's `v <= 0`
+// tests keep NaN, and a NaN AccuracyDrop makes every health comparison
+// false — the watchdog would never trip.
+func TestNewRejectsNonFiniteWatchdogKnobs(t *testing.T) {
+	_, _, sys := problem(t)
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		for _, cfg := range []Config{
+			{Watchdog: WatchdogConfig{AccuracyDrop: v}},
+			{Watchdog: WatchdogConfig{ConfidenceDrop: v}},
+			{Watchdog: WatchdogConfig{EscalateFactor: v}},
+			{Watchdog: WatchdogConfig{MinCheckpointAccuracy: v}},
+		} {
+			if srv, err := New(sys, cfg); err == nil {
+				srv.Close()
+				t.Errorf("watchdog config with %v knob accepted", v)
+			}
+		}
+	}
 }
 
 func TestPredictMatchesDirectSystem(t *testing.T) {

@@ -7,6 +7,8 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/stats"
 )
 
 // WatchdogConfig parameterizes the degradation watchdog: a periodic
@@ -44,6 +46,27 @@ type WatchdogConfig struct {
 	// must clear to be checkpointed or rolled back to — and the floor
 	// the /restore handler enforces on stamped uploads (default 0.5).
 	MinCheckpointAccuracy float64
+}
+
+// validate rejects non-finite float knobs before fillDefaults's
+// `v <= 0` default tests run — NaN compares false against every
+// threshold, so it would otherwise survive default-filling and poison
+// the watchdog's health comparisons (which would then never trip).
+func (c WatchdogConfig) validate() error {
+	for _, knob := range []struct {
+		name string
+		v    float64
+	}{
+		{"watchdog: accuracy drop", c.AccuracyDrop},
+		{"watchdog: confidence drop", c.ConfidenceDrop},
+		{"watchdog: escalate factor", c.EscalateFactor},
+		{"watchdog: min checkpoint accuracy", c.MinCheckpointAccuracy},
+	} {
+		if err := stats.CheckFinite(knob.name, knob.v); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (c *WatchdogConfig) fillDefaults() {
@@ -200,7 +223,30 @@ func (s *Server) WatchdogNow() WatchdogReport {
 		}
 	}
 	rep.Tier = w.tier
+	s.journalWatchdog(rep)
 	return rep
+}
+
+// journalWatchdog records this window's watchdog actions in the event
+// journal (no-op without one). Only actions are journaled — a healthy
+// window that did nothing leaves no line.
+func (s *Server) journalWatchdog(rep WatchdogReport) {
+	j := s.cfg.Journal
+	if j == nil {
+		return
+	}
+	if rep.Escalated {
+		_ = j.Append(fleet.Event{Kind: fleet.EventWatchdog, Replica: -1, Class: -1, Chunk: -1,
+			Tier: rep.Tier, Detail: "escalate"})
+	}
+	if rep.RolledBack {
+		_ = j.Append(fleet.Event{Kind: fleet.EventWatchdog, Replica: -1, Class: -1, Chunk: -1,
+			Tier: rep.Tier, Detail: "rollback"})
+	}
+	if rep.Checkpointed {
+		_ = j.Append(fleet.Event{Kind: fleet.EventWatchdog, Replica: -1, Class: -1, Chunk: -1,
+			Tier: rep.Tier, Detail: "checkpoint"})
+	}
 }
 
 // escalateLocked raises the live recovery substitution rate by

@@ -1,0 +1,62 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// CheckFinite rejects NaN and ±Inf configuration values. Non-finite
+// floats are poison in control loops: NaN compares false against every
+// threshold, so `v <= 0` default-filling and `v > 1` range checks both
+// silently wave it through. Every float knob in this repository is
+// validated through CheckFinite or CheckInterval so the rejection is
+// uniform.
+func CheckFinite(name string, v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("%s %v is not a finite number", name, v)
+	}
+	return nil
+}
+
+// CheckInterval validates that v is a finite number inside the
+// interval written in standard mathematical notation: "(0,1]" means
+// 0 < v <= 1, "[0,0.5)" means 0 <= v < 0.5. It subsumes CheckFinite —
+// NaN and ±Inf are rejected before the bounds are consulted — so one
+// call covers both hazards. A malformed interval string is a
+// programming error and panics.
+func CheckInterval(name string, v float64, interval string) error {
+	lo, hi, loOpen, hiOpen := parseInterval(interval)
+	if err := CheckFinite(name, v); err != nil {
+		return err
+	}
+	if v < lo || v > hi || (loOpen && v == lo) || (hiOpen && v == hi) {
+		return fmt.Errorf("%s %v out of %s", name, v, interval)
+	}
+	return nil
+}
+
+// parseInterval decodes "(lo,hi)" / "[lo,hi]" interval notation.
+func parseInterval(interval string) (lo, hi float64, loOpen, hiOpen bool) {
+	s := strings.TrimSpace(interval)
+	if len(s) < 5 || (s[0] != '(' && s[0] != '[') || (s[len(s)-1] != ')' && s[len(s)-1] != ']') {
+		panic(fmt.Sprintf("stats: malformed interval %q", interval))
+	}
+	loOpen, hiOpen = s[0] == '(', s[len(s)-1] == ')'
+	parts := strings.Split(s[1:len(s)-1], ",")
+	if len(parts) != 2 {
+		panic(fmt.Sprintf("stats: malformed interval %q", interval))
+	}
+	var err error
+	if lo, err = strconv.ParseFloat(strings.TrimSpace(parts[0]), 64); err != nil {
+		panic(fmt.Sprintf("stats: malformed interval %q: %v", interval, err))
+	}
+	if hi, err = strconv.ParseFloat(strings.TrimSpace(parts[1]), 64); err != nil {
+		panic(fmt.Sprintf("stats: malformed interval %q: %v", interval, err))
+	}
+	if lo > hi {
+		panic(fmt.Sprintf("stats: empty interval %q", interval))
+	}
+	return lo, hi, loOpen, hiOpen
+}

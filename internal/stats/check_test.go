@@ -1,0 +1,64 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCheckFinite(t *testing.T) {
+	for _, v := range []float64{0, 1, -1, 0.5, 1e300, -1e300} {
+		if err := CheckFinite("x", v); err != nil {
+			t.Errorf("CheckFinite(%v): unexpected error %v", v, err)
+		}
+	}
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if err := CheckFinite("x", v); err == nil {
+			t.Errorf("CheckFinite(%v): error expected", v)
+		}
+	}
+}
+
+func TestCheckInterval(t *testing.T) {
+	cases := []struct {
+		v        float64
+		interval string
+		ok       bool
+	}{
+		{0.5, "(0,1]", true},
+		{1, "(0,1]", true},
+		{0, "(0,1]", false},
+		{1.0001, "(0,1]", false},
+		{0, "[0,1)", true},
+		{1, "[0,1)", false},
+		{0.25, "[0.1,0.5]", true},
+		{0.05, "[0.1,0.5]", false},
+		{-3, "[-5,-1]", true},
+		{math.NaN(), "(0,1]", false},
+		{math.NaN(), "[0,1]", false}, // NaN must fail even closed bounds
+		{math.Inf(1), "[0,1]", false},
+		{math.Inf(-1), "[0,1]", false},
+	}
+	for _, c := range cases {
+		err := CheckInterval("knob", c.v, c.interval)
+		if (err == nil) != c.ok {
+			t.Errorf("CheckInterval(%v, %q) = %v, want ok=%v", c.v, c.interval, err, c.ok)
+		}
+		if err != nil && !strings.Contains(err.Error(), "knob") {
+			t.Errorf("error %q does not name the knob", err)
+		}
+	}
+}
+
+func TestCheckIntervalPanicsOnMalformed(t *testing.T) {
+	for _, bad := range []string{"", "0,1", "(0;1)", "(a,b)", "(1,0)", "(0,1"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("interval %q did not panic", bad)
+				}
+			}()
+			_ = CheckInterval("x", 0.5, bad)
+		}()
+	}
+}

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/attack"
 	"repro/internal/memsim"
+	"repro/internal/stats"
 )
 
 // FaultProcess is an ongoing source of bit faults over a deployed
@@ -108,6 +109,26 @@ type Config struct {
 
 // New builds the configured fault process over the image.
 func New(cfg Config, img attack.Image) (FaultProcess, error) {
+	// The zero-value-means-default convention fills defaults with
+	// `v <= 0` tests, which NaN sails past; reject non-finite knobs up
+	// front so every kind shares the same rule.
+	for _, knob := range []struct {
+		name string
+		v    float64
+	}{
+		{"substrate: time scale", cfg.TimeScale},
+		{"substrate: refresh interval ms", cfg.RefreshIntervalMs},
+		{"substrate: rate per step", cfg.RatePerStep},
+	} {
+		if err := stats.CheckFinite(knob.name, knob.v); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.RatePerStep != 0 {
+		if err := stats.CheckInterval("substrate: rate per step", cfg.RatePerStep, "(0,1]"); err != nil {
+			return nil, err
+		}
+	}
 	switch cfg.Kind {
 	case "dram":
 		return NewDRAMDecay(cfg, img)

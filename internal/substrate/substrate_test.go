@@ -49,6 +49,31 @@ func TestNewRejectsUnknownKind(t *testing.T) {
 	}
 }
 
+// TestNewRejectsNonFiniteKnobs pins the uniform NaN/Inf rejection: the
+// zero-means-default convention fills defaults via `v <= 0`, which NaN
+// passes, so without the up-front finite check a NaN TimeScale would
+// reach the decay arithmetic and freeze the simulated clock.
+func TestNewRejectsNonFiniteKnobs(t *testing.T) {
+	_, img := testImage(t)
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if _, err := New(Config{Kind: "dram", TimeScale: v}, img); err == nil {
+			t.Errorf("dram time scale %v accepted", v)
+		}
+		if _, err := New(Config{Kind: "dram", RefreshIntervalMs: v}, img); err == nil {
+			t.Errorf("dram refresh interval %v accepted", v)
+		}
+		if _, err := New(Config{Kind: "adversarial", RatePerStep: v}, img); err == nil {
+			t.Errorf("adversarial rate %v accepted", v)
+		}
+	}
+	if _, err := New(Config{Kind: "adversarial", RatePerStep: 1.5}, img); err == nil {
+		t.Error("adversarial rate 1.5 accepted")
+	}
+	if _, err := New(Config{Kind: "adversarial", RatePerStep: -0.1}, img); err == nil {
+		t.Error("adversarial rate -0.1 accepted")
+	}
+}
+
 func TestDRAMDecayLeaksSaturatesAndRefreshPreservesErrors(t *testing.T) {
 	m, img := testImage(t)
 	clean := m.SnapshotDeployed()
