@@ -31,6 +31,18 @@
 //	servehd -dataset PAMAP -replicas 3 -antientropy 2s \
 //	        -substrate adversarial -campaign-rate 0.02
 //
+// Or distribute the fleet across processes: start each replica as a
+// node (its own substrate, recovery loop, and journal), then point a
+// coordinator at the set — predictions quorum-vote over HTTP, and
+// anti-entropy compares chunk hashes across nodes, pushing majority
+// chunks back and re-seeding any node too far gone:
+//
+//	servehd -node -addr 127.0.0.1:7001 -load model.rhd &
+//	servehd -node -addr 127.0.0.1:7002 -load model.rhd &
+//	servehd -node -addr 127.0.0.1:7003 -load model.rhd &
+//	servehd -coordinator -addr :8080 -antientropy 2s \
+//	        -peers http://127.0.0.1:7001,http://127.0.0.1:7002,http://127.0.0.1:7003
+//
 // SIGINT/SIGTERM trigger a graceful drain: in-flight predictions are
 // answered and the recovery backlog is applied before exit.
 package main
@@ -40,6 +52,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -47,6 +60,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/fleet"
@@ -85,7 +99,32 @@ func main() {
 	quorum := flag.Int("quorum", 0, "fleet read-quorum size (0 = majority; with -replicas)")
 	antiEntropy := flag.Duration("antientropy", 0, "fleet anti-entropy sweep interval (0 disables; with -replicas)")
 	journalFile := flag.String("journal", "", "append fleet/watchdog events as JSONL to this file ('' disables)")
+	journalSync := flag.Bool("journal-sync", false, "fsync the journal after every event (crash-safe, slower; with -journal)")
+	nodeMode := flag.Bool("node", false, "run as a cluster node: mount the /node/* API for a coordinator (excludes -replicas)")
+	coordMode := flag.Bool("coordinator", false, "run as a cluster coordinator over -peers instead of serving a model")
+	peers := flag.String("peers", "", "comma-separated node base URLs (with -coordinator)")
+	nodeTimeout := flag.Duration("node-timeout", 0, "coordinator per-node request deadline (0 = default 2s)")
 	flag.Parse()
+
+	if *coordMode && (*nodeMode || *loadFile != "" || *dsName != "" || *replicas > 0) {
+		fail(errors.New("-coordinator runs no model of its own: drop -node, -load, -dataset, and -replicas"))
+	}
+
+	var journal *fleet.Journal
+	if *journalFile != "" {
+		f, err := os.OpenFile(*journalFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		journal = fleet.NewJournal(f)
+		journal.SetSyncOnAppend(*journalSync)
+	}
+
+	if *coordMode {
+		runCoordinator(*addr, *peers, *quorum, *antiEntropy, *nodeTimeout, journal)
+		return
+	}
 
 	recCfg := recovery.DefaultConfig()
 	if *tc > 0 {
@@ -152,16 +191,6 @@ func main() {
 		}
 	}
 
-	var journal *fleet.Journal
-	if *journalFile != "" {
-		f, err := os.OpenFile(*journalFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-		if err != nil {
-			fail(err)
-		}
-		defer f.Close()
-		journal = fleet.NewJournal(f)
-	}
-
 	var fltCfg *fleet.Config
 	if *replicas > 0 {
 		fltCfg = &fleet.Config{
@@ -172,6 +201,9 @@ func main() {
 			},
 		}
 		fmt.Printf("fleet mode: %d replicas, anti-entropy %v\n", *replicas, *antiEntropy)
+	}
+	if *nodeMode {
+		fmt.Println("node mode: /node/* API mounted for a cluster coordinator")
 	}
 
 	srv, err := serve.New(sys, serve.Config{
@@ -185,6 +217,7 @@ func main() {
 		Substrate:       subCfg,
 		ScrubTick:       *scrub,
 		Fleet:           fltCfg,
+		NodeAPI:         *nodeMode,
 		Journal:         journal,
 		Watchdog: serve.WatchdogConfig{
 			Interval:              *watchdog,
@@ -201,10 +234,55 @@ func main() {
 		}
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// Bind before announcing: -addr :0 is a real deployment option (and
+	// what the e2e chaos drill uses), so the printed line must carry the
+	// port the kernel actually assigned.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("servehd listening on %s\n", ln.Addr())
+	serveHTTP(ln, srv.Handler(), srv.Close)
+}
+
+// runCoordinator is the -coordinator entrypoint: no model of its own,
+// just the cluster dispatcher over the peer nodes.
+func runCoordinator(addr, peers string, quorum int, antiEntropy, nodeTimeout time.Duration, journal *fleet.Journal) {
+	var nodes []string
+	for _, p := range strings.Split(peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			nodes = append(nodes, p)
+		}
+	}
+	if len(nodes) == 0 {
+		fail(errors.New("-coordinator requires -peers (comma-separated node URLs)"))
+	}
+	co, err := cluster.New(cluster.Config{
+		Nodes:       nodes,
+		Quorum:      quorum,
+		Timeout:     nodeTimeout,
+		AntiEntropy: fleet.AntiEntropyConfig{Interval: antiEntropy},
+		Journal:     journal,
+	})
+	if err != nil {
+		fail(err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("servehd coordinator listening on %s (%d nodes, quorum %d, anti-entropy %v)\n",
+		ln.Addr(), co.Size(), co.Quorum(), antiEntropy)
+	serveHTTP(ln, co.Handler(), co.Close)
+}
+
+// serveHTTP serves h on ln until SIGINT/SIGTERM or a listener error,
+// then gracefully drains: in-flight HTTP requests finish, and drain
+// runs after the listener closes.
+func serveHTTP(ln net.Listener, h http.Handler, drain func()) {
+	httpSrv := &http.Server{Handler: h}
 	errCh := make(chan error, 1)
-	go func() { errCh <- httpSrv.ListenAndServe() }()
-	fmt.Printf("servehd listening on %s\n", *addr)
+	go func() { errCh <- httpSrv.Serve(ln) }()
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
@@ -217,14 +295,12 @@ func main() {
 		}
 	}
 
-	// Stop accepting connections and let in-flight HTTP requests
-	// finish, then drain the batching pool and recovery backlog.
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		httpSrv.Close()
 	}
-	srv.Close()
+	drain()
 	fmt.Println("servehd: drained, bye")
 }
 

@@ -365,6 +365,39 @@ func (v *Vector) OverwriteRange(src *Vector, lo, hi int) {
 	}
 }
 
+// OverwriteSlice copies src — a vector of length L, as produced by
+// Slice(lo, lo+L) — into bits [lo, lo+L) of v; the inverse of Slice.
+// It runs word-wise: src's packed words are funneled up by lo%64 and
+// merged under a range mask, never a per-bit loop. This is how a
+// cluster node applies a majority chunk pushed over the wire, where
+// only the chunk's bits travel rather than a full-length vector.
+func (v *Vector) OverwriteSlice(src *Vector, lo int) {
+	hi := lo + src.n
+	v.checkRange(lo, hi)
+	if src.n == 0 {
+		return
+	}
+	s := uint(lo % wordBits)
+	firstWord, lastWord := lo/wordBits, (hi-1)/wordBits
+	for w := firstWord; w <= lastWord; w++ {
+		j := w - firstWord
+		var x uint64
+		switch {
+		case s == 0:
+			x = src.words[j]
+		case j == 0:
+			x = src.words[0] << s
+		default:
+			x = src.words[j-1] >> (wordBits - s)
+			if j < len(src.words) {
+				x |= src.words[j] << s
+			}
+		}
+		mask := rangeMask(w, lo, hi)
+		v.words[w] = v.words[w]&^mask | x&mask
+	}
+}
+
 // RotateLeft returns a new vector equal to v cyclically rotated left by
 // k bit positions (bit i of the result is bit (i+k) mod Len of v).
 // Rotation implements the HDC permutation operator. It runs word-wise:

@@ -274,6 +274,37 @@ func TestOverwriteRangeMatchesSubstituteP1(t *testing.T) {
 	}
 }
 
+// TestOverwriteSliceInvertsSlice drives the chunk push/pull pair over
+// many unaligned ranges: writing Slice(lo, hi) back via OverwriteSlice
+// must be the identity, and writing a foreign slice must change
+// exactly [lo, hi) to the foreign bits, verified per bit.
+func TestOverwriteSliceInvertsSlice(t *testing.T) {
+	rng := stats.NewRNG(21)
+	v := Random(709, rng)
+	other := Random(709, rng)
+	for _, r := range [][2]int{{0, 709}, {0, 64}, {64, 128}, {31, 97}, {63, 65}, {700, 709}, {128, 129}, {5, 700}} {
+		lo, hi := r[0], r[1]
+		id := v.Clone()
+		id.OverwriteSlice(v.Slice(lo, hi), lo)
+		if !id.Equal(v) {
+			t.Fatalf("[%d,%d): OverwriteSlice(Slice()) is not identity", lo, hi)
+		}
+		got := v.Clone()
+		got.OverwriteSlice(other.Slice(lo, hi), lo)
+		want := v.Clone()
+		want.OverwriteRange(other, lo, hi)
+		if !got.Equal(want) {
+			t.Fatalf("[%d,%d): OverwriteSlice differs from OverwriteRange", lo, hi)
+		}
+	}
+	// Zero-length slice is a no-op.
+	z := v.Clone()
+	z.OverwriteSlice(New(0), 100)
+	if !z.Equal(v) {
+		t.Fatal("zero-length OverwriteSlice changed bits")
+	}
+}
+
 func TestRotateLeftInverse(t *testing.T) {
 	rng := stats.NewRNG(13)
 	v := Random(101, rng)

@@ -1,0 +1,360 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/bitvec"
+	"repro/internal/fleet"
+)
+
+// SweepNow runs one networked anti-entropy sweep and returns the same
+// report the in-process fleet produces for the same damage — the
+// oracle tests compare them field by field.
+//
+// The network sweep adds two phases the in-process fleet doesn't need:
+// a rejoin-probe pass over Down nodes at the start (RejoinProbes
+// consecutive healthy answers earn a node back into rotation), and a
+// reseed retry for stuck Quarantined nodes at the end (a node whose
+// reseed failed — donor too suspect, or the push died — gets another
+// chance every sweep instead of staying out forever).
+//
+// Between those, the algorithm is the fleet's with summaries in place
+// of snapshots: every active node reports per-class chunk hashes; only
+// chunks whose hashes disagree anywhere are fetched as bits,
+// majority-voted (bitvec.MajorityInto on the chunk slices — bitwise,
+// so identical to slicing the full majority image), and pushed back to
+// the disagreeing nodes. Chunks with identical hashes everywhere
+// contribute zero divergence, so the reported DivergentBits equals the
+// fleet's full-image measurement.
+//
+// The returned error reports a sweep that could not run (shape
+// mismatch between nodes, or fewer than two reachable members and the
+// rest unreachable mid-sweep); per-node failures inside a running
+// sweep advance the failure ladder instead of aborting it.
+func (co *Coordinator) SweepNow() (fleet.SweepReport, error) {
+	co.aeMu.Lock()
+	defer co.aeMu.Unlock()
+	co.sweeps.Add(1)
+
+	co.probeDown()
+
+	act := co.actives()
+	rep := fleet.SweepReport{Compared: len(act)}
+	if len(act) < 2 {
+		// Nothing to vote with; a lone node is trivially "majority".
+		rep.Healthy = len(act) == len(co.nodes)
+		co.healthy.Store(rep.Healthy)
+		co.journal.Append(fleet.Event{Kind: fleet.EventSweep, Replica: -1, Class: -1, Chunk: -1})
+		return rep, nil
+	}
+
+	// Phase 1: summaries from every active node, concurrently.
+	sums := make([]*Summary, len(act))
+	var wg sync.WaitGroup
+	for i, n := range act {
+		wg.Add(1)
+		go func(i int, n *node) {
+			defer wg.Done()
+			s, err := n.c.Summary(co.cfg.AntiEntropy.Chunks)
+			if err != nil {
+				co.noteFailure(n, err)
+				return
+			}
+			co.noteSuccess(n)
+			sums[i] = &s
+		}(i, n)
+	}
+	wg.Wait()
+	act, sums = compactNodes(act, sums, func(s *Summary) bool { return s != nil })
+	rep.Compared = len(act)
+	if len(act) < 2 {
+		rep.Healthy = false
+		co.healthy.Store(false)
+		co.journal.Append(fleet.Event{Kind: fleet.EventSweep, Replica: -1, Class: -1, Chunk: -1, Detail: "too few reachable members"})
+		return rep, fmt.Errorf("%w: %d summaries reachable, need 2", ErrNoNodes, len(act))
+	}
+	classes, dims, chunks := sums[0].Classes, sums[0].Dims, sums[0].Chunks
+	for i, s := range sums {
+		if s.Classes != classes || s.Dims != dims || s.Chunks != chunks {
+			return rep, fmt.Errorf("cluster: node %d shape (%d classes, D=%d, %d chunks) != node %d (%d, %d, %d)",
+				act[i].id, s.Classes, s.Dims, s.Chunks, act[0].id, classes, dims, chunks)
+		}
+	}
+
+	// Phase 2: chunks whose hashes disagree anywhere. Everything else
+	// is bit-identical across the whole fleet and never crosses the
+	// wire.
+	type ref struct{ class, chunk, lo, hi int }
+	var divergent []ref
+	for c := 0; c < classes; c++ {
+		for k := 0; k < chunks; k++ {
+			h0 := sums[0].Hashes[c][k]
+			same := true
+			for _, s := range sums[1:] {
+				if s.Hashes[c][k] != h0 {
+					same = false
+					break
+				}
+			}
+			if !same {
+				lo, hi := fleet.ChunkBounds(dims, chunks, k)
+				divergent = append(divergent, ref{c, k, lo, hi})
+			}
+		}
+	}
+
+	totalBits := classes * dims
+	plans := make(map[int][]chunkPlan)
+	var worst *node
+	worstFrac := 0.0
+	if len(divergent) > 0 {
+		// Phase 3: fetch the divergent chunks' bits from every member
+		// (one batched call per node), then majority-vote each chunk.
+		refs := make([]ChunkRef, len(divergent))
+		for i, d := range divergent {
+			refs[i] = ChunkRef{Class: d.class, Lo: d.lo, Hi: d.hi}
+		}
+		bits := make([][]*bitvec.Vector, len(act)) // node -> ref -> bits
+		for i, n := range act {
+			wg.Add(1)
+			go func(i int, n *node) {
+				defer wg.Done()
+				resp, err := n.c.Chunks(refs)
+				if err != nil {
+					co.noteFailure(n, err)
+					return
+				}
+				vs := make([]*bitvec.Vector, len(refs))
+				for j, cd := range resp.Chunks {
+					v := new(bitvec.Vector)
+					if err := v.UnmarshalBinary(cd.Bits); err != nil || v.Len() != cd.Hi-cd.Lo {
+						co.noteFailure(n, fmt.Errorf("%w: bad chunk payload from node %d", ErrNodeDown, n.id))
+						return
+					}
+					vs[j] = v
+				}
+				co.noteSuccess(n)
+				bits[i] = vs
+			}(i, n)
+		}
+		wg.Wait()
+		var chunked []*node
+		chunked, bits = compactNodes(act, bits, func(v []*bitvec.Vector) bool { return v != nil })
+		if len(chunked) < 2 {
+			rep.Healthy = false
+			co.healthy.Store(false)
+			co.journal.Append(fleet.Event{Kind: fleet.EventSweep, Replica: -1, Class: -1, Chunk: -1, Detail: "too few reachable members"})
+			return rep, fmt.Errorf("%w: %d chunk fetches reachable, need 2", ErrNoNodes, len(chunked))
+		}
+		act = chunked
+		rep.Compared = len(act)
+
+		voters := make([]*bitvec.Vector, len(act))
+		for j, d := range divergent {
+			maj := bitvec.New(d.hi - d.lo)
+			for i := range act {
+				voters[i] = bits[i][j]
+			}
+			bitvec.MajorityInto(maj, voters)
+
+			// Phase 4: each node's disagreement with the majority, and
+			// its repair plan.
+			for i, n := range act {
+				h := bits[i][j].Hamming(maj)
+				if h == 0 {
+					continue
+				}
+				rep.DivergentBits += h
+				plans[n.id] = append(plans[n.id], chunkPlan{d.class, d.chunk, d.lo, d.hi, h, maj})
+			}
+		}
+	}
+	for _, n := range act {
+		nodeBits := 0
+		for _, p := range plans[n.id] {
+			nodeBits += p.bits
+		}
+		frac := float64(nodeBits) / float64(totalBits)
+		n.setDivergence(frac)
+		if frac > worstFrac {
+			worst, worstFrac = n, frac
+		}
+	}
+
+	// Quarantine ladder: at most one node per sweep — the worst
+	// offender — leaves rotation and is re-imaged from the
+	// most-agreeing donor, exactly the fleet's policy.
+	if worst != nil && worstFrac > co.cfg.AntiEntropy.QuarantineDivergence {
+		co.quarantineAndReseed(worst, worstFrac, act, &rep)
+		delete(plans, worst.id)
+	}
+
+	// Phase 5: push majority chunks to every disagreeing node still in
+	// rotation. A failed push just leaves divergence for the next
+	// sweep; the fast path stays down either way because this sweep
+	// measured disagreement.
+	for _, n := range act {
+		plan := plans[n.id]
+		if len(plan) == 0 {
+			continue
+		}
+		push := make([]ChunkData, 0, len(plan))
+		for _, p := range plan {
+			b, err := p.maj.MarshalBinary()
+			if err != nil {
+				return rep, err
+			}
+			push = append(push, ChunkData{Class: p.class, Lo: p.lo, Hi: p.hi, Bits: b})
+		}
+		if _, err := n.c.Repair(push); err != nil {
+			co.noteFailure(n, err)
+			continue
+		}
+		co.noteSuccess(n)
+		for _, p := range plan {
+			rep.RepairedChunks++
+			rep.RepairedBits += p.hi - p.lo
+			co.journal.Append(fleet.Event{Kind: fleet.EventRepair, Replica: n.id, Class: p.class, Chunk: p.chunk, Bits: p.bits})
+		}
+	}
+	co.repairs.Add(int64(rep.RepairedChunks))
+	co.repairBits.Add(int64(rep.RepairedBits))
+
+	// Phase 6 (network-only): retry reseeding nodes stuck in
+	// quarantine from an earlier sweep, now that this sweep measured
+	// fresh donor agreements.
+	co.retryQuarantined(act, &rep)
+
+	// Same healthy criterion as the fleet: a clean sweep over the full
+	// membership proves bit-identity and re-arms the fast path; any
+	// repair or absence leaves it down until the next clean sweep.
+	rep.Healthy = rep.DivergentBits == 0 && len(rep.Quarantined) == 0 && len(act) == len(co.nodes)
+	co.healthy.Store(rep.Healthy)
+	co.journal.Append(fleet.Event{Kind: fleet.EventSweep, Replica: -1, Class: -1, Chunk: -1, Bits: rep.DivergentBits,
+		Detail: fmt.Sprintf("repaired %d chunks", rep.RepairedChunks)})
+	return rep, nil
+}
+
+// probeDown health-probes every Down node once; RejoinProbes
+// consecutive successes re-activate it. One probe per sweep means a
+// flapping node — up for one probe, gone for the next — never
+// accumulates a streak and never thrashes the rotation.
+func (co *Coordinator) probeDown() {
+	for _, n := range co.nodes {
+		if n.state.Load() != nodeDown {
+			continue
+		}
+		if !n.c.Healthz() {
+			n.rejoinOKs = 0
+			continue
+		}
+		n.rejoinOKs++
+		if n.rejoinOKs >= co.cfg.RejoinProbes {
+			n.rejoinOKs = 0
+			n.consecFails.Store(0)
+			n.state.Store(nodeActive)
+			n.rejoins.Add(1)
+			// The returnee's model is whatever it restarted with; this
+			// sweep will measure it and repair or quarantine as needed.
+			co.healthy.Store(false)
+			co.journal.Append(fleet.Event{Kind: fleet.EventActivate, Replica: n.id, Class: -1, Chunk: -1,
+				Detail: "rejoined after probes"})
+		}
+	}
+}
+
+// quarantineAndReseed pulls one node from rotation and re-images it
+// from the most-agreeing donor via the streamed stamped snapshot —
+// fleet.quarantineAndReseed with the donor's read lock replaced by one
+// GET and the target's write lock by one POST. The donor stamps the
+// image with its measured agreement; the target verifies the CRC
+// before trusting a bit of it.
+func (co *Coordinator) quarantineAndReseed(n *node, frac float64, act []*node, rep *fleet.SweepReport) {
+	n.state.Store(nodeQuarantined)
+	n.quarantines.Add(1)
+	co.quarantines.Add(1)
+	co.healthy.Store(false)
+	rep.Quarantined = append(rep.Quarantined, n.id)
+	co.journal.Append(fleet.Event{Kind: fleet.EventQuarantine, Replica: n.id, Class: -1, Chunk: -1,
+		Detail: fmt.Sprintf("divergence %.4f", frac)})
+	if co.reseedFrom(n, act) {
+		rep.Reseeded = append(rep.Reseeded, n.id)
+	}
+}
+
+// reseedFrom re-images n from the best active donor, returning whether
+// it succeeded and n returned to rotation.
+func (co *Coordinator) reseedFrom(n *node, act []*node) bool {
+	var donor *node
+	donorAgree := -1.0
+	for _, cand := range act {
+		if cand == n {
+			continue
+		}
+		if agree := 1 - cand.getDivergence(); agree > donorAgree {
+			donor, donorAgree = cand, agree
+		}
+	}
+	if donor == nil || donorAgree < co.cfg.AntiEntropy.MinReseedAgreement {
+		// No acceptable donor: the node stays quarantined; a later
+		// sweep retries once the cluster heals.
+		return false
+	}
+	img, err := donor.c.Snapshot(donorAgree)
+	if err != nil {
+		co.noteFailure(donor, err)
+		return false
+	}
+	co.noteSuccess(donor)
+	if err := n.c.Reseed(img); err != nil {
+		co.noteFailure(n, err)
+		return false
+	}
+	co.noteSuccess(n)
+	n.reseeds.Add(1)
+	co.reseeds.Add(1)
+	co.journal.Append(fleet.Event{Kind: fleet.EventReseed, Replica: n.id, Class: -1, Chunk: -1,
+		Detail: fmt.Sprintf("donor %d agreement %.4f", donor.id, donorAgree)})
+	n.state.Store(nodeActive)
+	co.journal.Append(fleet.Event{Kind: fleet.EventActivate, Replica: n.id, Class: -1, Chunk: -1})
+	return true
+}
+
+// retryQuarantined gives nodes stranded in quarantine by an earlier
+// failed reseed another attempt with this sweep's donor agreements.
+// (The in-process fleet has no equivalent stranding: its reseeds are
+// local copies that cannot fail transiently.)
+func (co *Coordinator) retryQuarantined(act []*node, rep *fleet.SweepReport) {
+	for _, n := range co.nodes {
+		if n.state.Load() != nodeQuarantined || containsNode(rep.Quarantined, n.id) {
+			continue
+		}
+		if co.reseedFrom(n, act) {
+			rep.Reseeded = append(rep.Reseeded, n.id)
+		}
+	}
+}
+
+func containsNode(ids []int, id int) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// compactNodes drops nodes whose fetch failed (ok rejects the slot),
+// keeping the two slices index-aligned.
+func compactNodes[T any](ns []*node, got []T, ok func(T) bool) ([]*node, []T) {
+	outN := make([]*node, 0, len(ns))
+	outG := make([]T, 0, len(got))
+	for i, g := range got {
+		if ok(g) {
+			outN = append(outN, ns[i])
+			outG = append(outG, g)
+		}
+	}
+	return outN, outG
+}

@@ -1,0 +1,305 @@
+package cluster_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/fleet"
+)
+
+// nodeProc is one real `servehd -node` OS process under test control.
+type nodeProc struct {
+	cmd *exec.Cmd
+	url string
+}
+
+// startNodeProc launches the built servehd binary as a cluster node
+// and blocks until it announces its listen address — with -addr :0
+// the kernel picks the port, and the announce line carries it.
+func startNodeProc(t *testing.T, bin, model, addr string) *nodeProc {
+	t.Helper()
+	cmd := exec.Command(bin, "-node", "-norecover", "-load", model, "-addr", addr)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		_, _ = cmd.Process.Wait()
+	})
+
+	lineCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(out)
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.HasPrefix(line, "servehd listening on ") {
+				lineCh <- strings.TrimPrefix(line, "servehd listening on ")
+				break
+			}
+		}
+		// Keep draining so the child never blocks on a full pipe.
+		for sc.Scan() {
+		}
+	}()
+	select {
+	case hostport := <-lineCh:
+		return &nodeProc{cmd: cmd, url: "http://" + hostport}
+	case <-time.After(30 * time.Second):
+		t.Fatal("node process never announced its listen address")
+		return nil
+	}
+}
+
+// kill SIGKILLs the node — no drain, no goodbye, the process-death
+// fault the in-process fleet cannot express.
+func (p *nodeProc) kill(t *testing.T) {
+	t.Helper()
+	if err := p.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = p.cmd.Process.Wait()
+}
+
+// TestChaosDrillKillRestartReseed is the tentpole's end-to-end gate,
+// run against real servehd processes:
+//
+//  1. three -node processes start from one checkpoint; the in-test
+//     coordinator quorum-votes over them and a clean sweep arms the
+//     fast path;
+//  2. one node is SIGKILLed mid-traffic — every quorum answer stays
+//     correct while the failure ladder parks the corpse Down;
+//  3. the node restarts on the same port and is immediately hit with
+//     a heavy bit-flip attack — the next sweep probes it back into
+//     rotation, measures its divergence, quarantines it, and
+//     re-seeds it from the most-agreeing donor over HTTP;
+//  4. the following sweep proves the cluster clean again, and the
+//     synced journal replays the whole story — including through a
+//     simulated torn final write.
+func TestChaosDrillKillRestartReseed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs real servehd processes")
+	}
+	ds, sys := problem(t)
+	dir := t.TempDir()
+
+	bin := filepath.Join(dir, "servehd")
+	build := exec.Command("go", "build", "-o", bin, "repro/cmd/servehd")
+	build.Dir = repoRoot(t)
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build servehd: %v\n%s", err, out)
+	}
+
+	model := filepath.Join(dir, "model.rhd")
+	if err := os.WriteFile(model, snapshotOf(t, sys), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	procs := make([]*nodeProc, 3)
+	urls := make([]string, 3)
+	for i := range procs {
+		procs[i] = startNodeProc(t, bin, model, "127.0.0.1:0")
+		urls[i] = procs[i].url
+	}
+
+	journalPath := filepath.Join(dir, "coordinator.journal")
+	jf, err := os.OpenFile(journalPath, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jf.Close()
+	journal := fleet.NewJournal(jf)
+	journal.SetSyncOnAppend(true)
+
+	co := newCoordinator(t, cluster.Config{
+		Nodes:         urls,
+		Quorum:        2,
+		Timeout:       2 * time.Second,
+		Retries:       -1,
+		Backoff:       time.Millisecond,
+		FailThreshold: 2,
+		RejoinProbes:  1,
+		Journal:       journal,
+	})
+	temp := co.Temperature()
+	want := expected(sys, ds.TestX[:120], temp)
+	score := func(step string, lo, n int) {
+		t.Helper()
+		classes, _, err := co.ScoreBatch(ds.TestX[lo:lo+n], temp)
+		if err != nil {
+			t.Fatalf("%s: %v", step, err)
+		}
+		assertClasses(t, step, classes, want[lo:lo+n])
+	}
+
+	// Phase 1: pristine cluster, clean sweep, fast path armed.
+	score("pristine", 0, 16)
+	rep, err := co.SweepNow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Healthy || !co.Healthy() {
+		t.Fatalf("clean sweep over pristine processes: report %+v, healthy %v", rep, co.Healthy())
+	}
+	score("fast path", 16, 16)
+
+	// Phase 2: SIGKILL node 1 under concurrent traffic. Every answer
+	// during and after the kill must stay correct — the fast path falls
+	// to quorum over the survivors, and the ladder parks the corpse.
+	var wg sync.WaitGroup
+	results := make([]error, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < 6; round++ {
+				lo := (g*6 + round) * 4 % 96
+				classes, _, err := co.ScoreBatch(ds.TestX[lo:lo+4], temp)
+				if err != nil {
+					results[g] = fmt.Errorf("round %d: %w", round, err)
+					return
+				}
+				for i := range classes {
+					if classes[i] != want[lo+i] {
+						results[g] = fmt.Errorf("round %d query %d: answered %d, want %d", round, i, classes[i], want[lo+i])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	time.Sleep(10 * time.Millisecond) // let traffic start flowing
+	procs[1].kill(t)
+	wg.Wait()
+	for g, err := range results {
+		if err != nil {
+			t.Fatalf("traffic goroutine %d: %v", g, err)
+		}
+	}
+	// Push the ladder over its threshold: batches keep answering from
+	// the survivors while the dead member fails its exchanges.
+	for round := 0; round < 4; round++ {
+		score("degraded", round*8, 8)
+	}
+	if st := co.Status(); st.Nodes[1].State != "down" {
+		t.Fatalf("killed node state %q, want down (status %+v)", st.Nodes[1].State, st)
+	}
+
+	// Phase 3: restart on the same port, then corrupt the fresh process
+	// heavily. The sweep must rejoin it, catch the divergence, and
+	// re-seed it from a donor — all over the wire.
+	addr := strings.TrimPrefix(procs[1].url, "http://")
+	procs[1] = startNodeProc(t, bin, model, addr)
+	if procs[1].url != "http://"+addr {
+		t.Fatalf("restart landed on %s, want %s", procs[1].url, "http://"+addr)
+	}
+	body, _ := json.Marshal(map[string]any{"kind": "random", "rate": 0.30, "seed": 4242})
+	if _, err := co.Attack(1, body); err != nil {
+		t.Fatalf("attack on restarted node: %v", err)
+	}
+	rep, err = co.SweepNow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Quarantined) != 1 || rep.Quarantined[0] != 1 {
+		t.Fatalf("sweep quarantined %v, want [1] (report %+v)", rep.Quarantined, rep)
+	}
+	if len(rep.Reseeded) != 1 || rep.Reseeded[0] != 1 {
+		t.Fatalf("sweep reseeded %v, want [1]", rep.Reseeded)
+	}
+	if st := co.Status(); st.Nodes[1].Rejoins != 1 {
+		t.Fatalf("restarted node rejoins = %d, want 1", st.Nodes[1].Rejoins)
+	}
+
+	// Phase 4: the next sweep proves the re-seeded cluster clean and
+	// re-arms the fast path; answers are correct end to end.
+	rep, err = co.SweepNow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Healthy || rep.DivergentBits != 0 || !co.Healthy() {
+		t.Fatalf("post-reseed sweep not clean: %+v, healthy %v", rep, co.Healthy())
+	}
+	score("healed", 96, 16)
+
+	// The synced journal tells the whole story in order: node down,
+	// rejoin, quarantine, reseed, re-activation.
+	events, err := fleet.Replay(mustOpen(t, journalPath))
+	if err != nil {
+		t.Fatalf("replay synced journal: %v", err)
+	}
+	for _, kind := range []string{fleet.EventWatchdog, fleet.EventActivate, fleet.EventQuarantine, fleet.EventReseed, fleet.EventSweep} {
+		found := false
+		for _, e := range events {
+			if e.Kind == kind {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("journal missing %q event (got %d events)", kind, len(events))
+		}
+	}
+
+	// A torn final write — the crash the per-event fsync bounds — must
+	// cost exactly the torn line, never the drill's history.
+	f, err := os.OpenFile(journalPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"seq":9999,"kind":"swe`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	torn, err := fleet.Replay(mustOpen(t, journalPath))
+	if !errors.Is(err, fleet.ErrTruncatedTail) {
+		t.Fatalf("torn journal replay error = %v, want ErrTruncatedTail", err)
+	}
+	if len(torn) != len(events) {
+		t.Fatalf("torn replay kept %d events, want the %d intact ones", len(torn), len(events))
+	}
+}
+
+func mustOpen(t *testing.T, path string) *os.File {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+// repoRoot walks up from the package directory to the module root so
+// the in-test `go build` resolves the main package.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above the test directory")
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,208 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+)
+
+// ErrNodeBad reports a node answering 4xx — the coordinator sent
+// something the node rejected. These are never retried: a request the
+// node refused once it will refuse identically on every attempt.
+var ErrNodeBad = errors.New("cluster: node rejected request")
+
+// ErrNodeDown reports a node unreachable (or persistently 5xx) after
+// the bounded retry budget. The coordinator's failure ladder counts
+// these toward taking the node out of rotation.
+var ErrNodeDown = errors.New("cluster: node unreachable")
+
+// nodeClient is the coordinator's HTTP client for one node. Every call
+// is bounded by the per-request timeout and a small retry budget with
+// doubling backoff; 4xx responses are terminal (no retry), network
+// errors and 5xx are retried. The client carries no node state — the
+// coordinator's failure ladder interprets the errors.
+type nodeClient struct {
+	base    string // http://host:port, no trailing slash
+	hc      *http.Client
+	retries int           // additional attempts after the first
+	backoff time.Duration // first retry delay; doubles per retry
+}
+
+func newNodeClient(base string, timeout time.Duration, retries int, backoff time.Duration) (*nodeClient, error) {
+	u, err := url.Parse(base)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("cluster: node address %q is not an absolute URL", base)
+	}
+	u.Path, u.RawQuery, u.Fragment = "", "", ""
+	return &nodeClient{
+		base: u.String(),
+		// Timeout covers the whole exchange — dial, write, node-side
+		// work, and body read — so one stuck node can never hold a
+		// quorum fan-out past the deadline.
+		hc:      &http.Client{Timeout: timeout},
+		retries: retries,
+		backoff: backoff,
+	}, nil
+}
+
+// do runs one HTTP exchange with retries and returns the response
+// body. body (may be nil) is re-sent verbatim on every attempt.
+func (c *nodeClient) do(method, path string, contentType string, body []byte) ([]byte, error) {
+	var lastErr error
+	delay := c.backoff
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(delay)
+			delay *= 2
+		}
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequest(method, c.base+path, rd)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrNodeBad, err)
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		out, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode >= 200 && resp.StatusCode < 300 && rerr == nil:
+			return out, nil
+		case resp.StatusCode >= 400 && resp.StatusCode < 500:
+			// The node understood us and said no: retrying cannot help.
+			return nil, fmt.Errorf("%w: %s %s: %d: %s", ErrNodeBad, method, path, resp.StatusCode, firstLine(out))
+		default:
+			if rerr != nil {
+				lastErr = rerr
+			} else {
+				lastErr = fmt.Errorf("%s %s: %d: %s", method, path, resp.StatusCode, firstLine(out))
+			}
+		}
+	}
+	return nil, fmt.Errorf("%w: %s%s after %d attempts: %v", ErrNodeDown, c.base, path, c.retries+1, lastErr)
+}
+
+// firstLine truncates an error body for diagnostics.
+func firstLine(b []byte) string {
+	if i := bytes.IndexByte(b, '\n'); i >= 0 {
+		b = b[:i]
+	}
+	if len(b) > 200 {
+		b = b[:200]
+	}
+	return string(b)
+}
+
+// postJSON marshals in, POSTs it, and unmarshals the response into out
+// (skipped when out is nil).
+func (c *nodeClient) postJSON(path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrNodeBad, err)
+	}
+	resp, err := c.do(http.MethodPost, path, "application/json", body)
+	if err != nil {
+		return err
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(resp, out); err != nil {
+		return fmt.Errorf("%w: %s: %v", ErrNodeDown, path, err)
+	}
+	return nil
+}
+
+// getJSON GETs path and unmarshals the response into out.
+func (c *nodeClient) getJSON(path string, out any) error {
+	resp, err := c.do(http.MethodGet, path, "", nil)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(resp, out); err != nil {
+		return fmt.Errorf("%w: %s: %v", ErrNodeDown, path, err)
+	}
+	return nil
+}
+
+// Score asks the node to encode and score a raw-feature batch.
+func (c *nodeClient) Score(xs [][]float64, temperature float64) (ScoreResponse, error) {
+	var out ScoreResponse
+	err := c.postJSON("/node/score", ScoreRequest{Xs: xs, Temperature: temperature}, &out)
+	if err == nil && len(out.Classes) != len(xs) {
+		return ScoreResponse{}, fmt.Errorf("%w: /node/score returned %d answers for %d queries", ErrNodeDown, len(out.Classes), len(xs))
+	}
+	return out, err
+}
+
+// Summary fetches the node's chunk-hash divergence digest.
+func (c *nodeClient) Summary(chunks int) (Summary, error) {
+	var out Summary
+	err := c.getJSON(fmt.Sprintf("/node/summary?chunks=%d", chunks), &out)
+	return out, err
+}
+
+// Chunks fetches the bits of the named chunks.
+func (c *nodeClient) Chunks(refs []ChunkRef) (ChunksResponse, error) {
+	var out ChunksResponse
+	err := c.postJSON("/node/chunks", ChunksRequest{Chunks: refs}, &out)
+	if err == nil && len(out.Chunks) != len(refs) {
+		return ChunksResponse{}, fmt.Errorf("%w: /node/chunks returned %d chunks for %d refs", ErrNodeDown, len(out.Chunks), len(refs))
+	}
+	return out, err
+}
+
+// Repair pushes majority chunk images onto the node.
+func (c *nodeClient) Repair(chunks []ChunkData) (RepairResponse, error) {
+	var out RepairResponse
+	err := c.postJSON("/node/repair", RepairRequest{Chunks: chunks}, &out)
+	return out, err
+}
+
+// Snapshot streams the node's stamped model image (the reseed donor
+// side).
+func (c *nodeClient) Snapshot(stamp float64) ([]byte, error) {
+	return c.do(http.MethodGet, fmt.Sprintf("/node/snapshot?stamp=%g", stamp), "", nil)
+}
+
+// Reseed re-images the node from a stamped snapshot stream.
+func (c *nodeClient) Reseed(image []byte) error {
+	_, err := c.do(http.MethodPost, "/node/reseed", "application/octet-stream", image)
+	return err
+}
+
+// Healthz probes node liveness without retries or side effects — the
+// rejoin ladder wants the instantaneous answer, and a probe that has
+// to retry is by definition a failed probe.
+func (c *nodeClient) Healthz() bool {
+	req, err := http.NewRequest(http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// Attack forwards a fault drill to the node's /attack endpoint (the
+// node runs in single-model mode, so no replica field travels).
+func (c *nodeClient) Attack(body []byte) ([]byte, error) {
+	return c.do(http.MethodPost, "/attack", "application/json", body)
+}

@@ -1,0 +1,127 @@
+// Package cluster distributes the replica fleet across process and
+// machine boundaries: each replica runs as its own servehd process
+// (own substrate, recoverer, scrubber, journal) behind a small
+// HTTP/JSON node API, and a coordinator performs rotating read-quorum
+// scoring and anti-entropy repair over the wire.
+//
+// The in-process fleet (internal/fleet) is this package's oracle:
+// under the same event sequence the networked fleet must produce
+// bit-identical answers to fleet.ScoreBatch, which is why the quorum
+// merge (fleet.ResolveVotes), the majority vote (fleet.MajorityVote),
+// and the chunk partition (fleet.ChunkBounds) are shared code rather
+// than parallel implementations.
+//
+// The anti-entropy protocol ships summaries, not models: every node
+// reports a per-class, per-chunk hash of its deployed class
+// hypervectors (Summary); only chunks whose hashes disagree across the
+// fleet are fetched as bits, majority-voted on the coordinator, and
+// pushed back to the disagreeing nodes. A node too far gone for chunk
+// repair is quarantined and re-seeded by streaming a stamped snapshot
+// (core.SaveStamped / core.LoadStamped) from the most-agreeing donor.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/bitvec"
+)
+
+// Node API wire documents. The node side lives in internal/serve
+// (registered when serve.Config.NodeAPI is set); the coordinator side
+// is this package's client. []byte fields travel as base64 inside
+// JSON; float64 fields round-trip bit-exactly through encoding/json
+// (Go emits the shortest representation that re-parses to the same
+// value), which the bit-identity oracle depends on.
+
+// ScoreRequest asks a node to encode and score a batch of raw feature
+// vectors against its local deployed model.
+type ScoreRequest struct {
+	Xs          [][]float64 `json:"xs"`
+	Temperature float64     `json:"temperature"`
+}
+
+// ScoreResponse carries the node's per-query answers, index-aligned
+// with the request.
+type ScoreResponse struct {
+	Classes []int     `json:"classes"`
+	Confs   []float64 `json:"confs"`
+}
+
+// Summary is a node's per-class chunk-hash digest of its deployed
+// class hypervectors: Hashes[class][chunk] is ChunkHash over the bits
+// fleet.ChunkBounds assigns to that chunk, rendered as %016x hex (hash
+// values do not survive JSON as numbers — float64 mantissas top out at
+// 2^53).
+type Summary struct {
+	Classes int        `json:"classes"`
+	Dims    int        `json:"dims"`
+	Chunks  int        `json:"chunks"`
+	Hashes  [][]string `json:"hashes"`
+}
+
+// ChunkRef names one chunk of one class hypervector by its bit range.
+type ChunkRef struct {
+	Class int `json:"class"`
+	Lo    int `json:"lo"`
+	Hi    int `json:"hi"`
+}
+
+// ChunkData is a chunk's bits in transit: Bits is the
+// bitvec.Vector.MarshalBinary encoding of the Hi-Lo bit slice.
+type ChunkData struct {
+	Class int    `json:"class"`
+	Lo    int    `json:"lo"`
+	Hi    int    `json:"hi"`
+	Bits  []byte `json:"bits"`
+}
+
+// ChunksRequest fetches the named chunks from a node.
+type ChunksRequest struct {
+	Chunks []ChunkRef `json:"chunks"`
+}
+
+// ChunksResponse returns them, index-aligned with the request.
+type ChunksResponse struct {
+	Chunks []ChunkData `json:"chunks"`
+}
+
+// RepairRequest pushes majority chunks onto a node; the node
+// overwrites each named range and bills the writes to its substrate
+// exactly like in-process anti-entropy repair.
+type RepairRequest struct {
+	Chunks []ChunkData `json:"chunks"`
+}
+
+// RepairResponse acknowledges a repair push.
+type RepairResponse struct {
+	Applied int `json:"applied"`
+	Bits    int `json:"bits"`
+}
+
+// ChunkHash digests bits [lo, hi) of v for divergence summaries
+// (FNV-1a over the packed little-endian words of the slice, seeded
+// with the slice width so ranges of different lengths never collide
+// trivially). Two chunks with equal hashes are treated as identical by
+// the anti-entropy protocol; at 64 bits, a false match is beyond the
+// lifetime event count of any deployment.
+func ChunkHash(v *bitvec.Vector, lo, hi int) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	putU64(&b, uint64(hi-lo))
+	h.Write(b[:])
+	for _, w := range v.Slice(lo, hi).Words() {
+		putU64(&b, w)
+		h.Write(b[:])
+	}
+	return h.Sum64()
+}
+
+func putU64(b *[8]byte, w uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(w >> (8 * i))
+	}
+}
+
+// HashString renders a chunk hash the way Summary carries it.
+func HashString(h uint64) string { return fmt.Sprintf("%016x", h) }

@@ -109,7 +109,7 @@ func (f *Fleet) SweepNow() SweepReport {
 		divergent := 0
 		for c := 0; c < classes; c++ {
 			for k := 0; k < chunks; k++ {
-				lo, hi := k*dims/chunks, (k+1)*dims/chunks
+				lo, hi := ChunkBounds(dims, chunks, k)
 				if lo == hi {
 					continue
 				}

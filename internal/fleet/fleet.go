@@ -355,36 +355,27 @@ func (f *Fleet) ScoreBatch(encoded []*bitvec.Vector, temperature float64) ([]int
 	}
 	f.quorumPredicts.Add(int64(len(encoded)))
 
-	var fullVotes [][]int
-	var fullConfs [][]float64
-	for i := range encoded {
-		agreed := true
-		for mi := 1; mi < len(members); mi++ {
-			if votes[mi][i] != votes[0][i] {
-				agreed = false
-				break
+	// Disagreements escalate to the full active set (scored lazily, at
+	// most once); the merge logic is shared with the networked cluster
+	// coordinator, whose answers must be bit-identical to ours.
+	full := func() ([][]int, [][]float64, error) {
+		fullVotes := make([][]int, len(act))
+		fullConfs := make([][]float64, len(act))
+		for ri, r := range act {
+			if mi := indexOf(members, r); mi >= 0 {
+				fullVotes[ri], fullConfs[ri] = votes[mi], vconfs[mi]
+				continue
 			}
+			fullVotes[ri], fullConfs[ri] = f.scoreOn(r, encoded, temperature)
 		}
-		if agreed {
-			classes[i] = votes[0][i]
-			confs[i] = maxAt(vconfs, i)
-			continue
-		}
-		// Disagreement: escalate this batch's remaining queries to the
-		// full active set (scored lazily, once).
-		if fullVotes == nil {
-			f.escalations.Add(1)
-			fullVotes = make([][]int, len(act))
-			fullConfs = make([][]float64, len(act))
-			for ri, r := range act {
-				if mi := indexOf(members, r); mi >= 0 {
-					fullVotes[ri], fullConfs[ri] = votes[mi], vconfs[mi]
-					continue
-				}
-				fullVotes[ri], fullConfs[ri] = f.scoreOn(r, encoded, temperature)
-			}
-		}
-		classes[i], confs[i] = majorityVote(fullVotes, fullConfs, i)
+		return fullVotes, fullConfs, nil
+	}
+	classes, confs, escalated, err := ResolveVotes(votes, vconfs, full)
+	if err != nil {
+		return nil, nil, err
+	}
+	if escalated {
+		f.escalations.Add(1)
 	}
 	return classes, confs, nil
 }
@@ -410,44 +401,6 @@ func indexOf(rs []*replica, r *replica) int {
 		}
 	}
 	return -1
-}
-
-// maxAt returns the highest confidence any voter reported for query i.
-func maxAt(confs [][]float64, i int) float64 {
-	best := 0.0
-	for _, c := range confs {
-		if c[i] > best {
-			best = c[i]
-		}
-	}
-	return best
-}
-
-// majorityVote tallies the voters' classes for query i. The winner is
-// the class with the most votes; ties break toward the higher summed
-// confidence, then the lower class id (fully deterministic).
-func majorityVote(votes [][]int, confs [][]float64, i int) (int, float64) {
-	count := map[int]int{}
-	confSum := map[int]float64{}
-	confMax := map[int]float64{}
-	for vi := range votes {
-		c := votes[vi][i]
-		count[c]++
-		confSum[c] += confs[vi][i]
-		if confs[vi][i] > confMax[c] {
-			confMax[c] = confs[vi][i]
-		}
-	}
-	best, bestN := -1, -1
-	for c, n := range count {
-		switch {
-		case n > bestN,
-			n == bestN && confSum[c] > confSum[best],
-			n == bestN && confSum[c] == confSum[best] && c < best:
-			best, bestN = c, n
-		}
-	}
-	return best, confMax[best]
 }
 
 // Observe feeds one trusted query to a replica's recoverer (round-

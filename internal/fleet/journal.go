@@ -3,6 +3,7 @@ package fleet
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -60,16 +61,35 @@ type Event struct {
 // Appends serialize on an internal mutex; the underlying writer sees
 // exactly one full line per event, in sequence order.
 type Journal struct {
-	mu  sync.Mutex
-	w   io.Writer
-	seq int64
-	now func() time.Time
+	mu   sync.Mutex
+	w    io.Writer
+	seq  int64
+	now  func() time.Time
+	sync bool
 }
+
+// syncer is the stable-storage hook Journal uses in sync-on-append
+// mode; *os.File implements it.
+type syncer interface{ Sync() error }
 
 // NewJournal writes events to w as JSON lines. The caller owns w's
 // lifecycle (and buffering/fsync policy).
 func NewJournal(w io.Writer) *Journal {
 	return &Journal{w: w, now: time.Now}
+}
+
+// SetSyncOnAppend makes every Append flush the sink to stable storage
+// (when the sink implements Sync, e.g. *os.File) before returning.
+// Cluster nodes run with this on: a SIGKILLed process must leave a
+// journal whose every acknowledged event survives, at worst with one
+// torn final line — which Replay tolerates and reports.
+func (j *Journal) SetSyncOnAppend(on bool) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.sync = on
 }
 
 // Append stamps the event with the next sequence number and the
@@ -92,6 +112,13 @@ func (j *Journal) Append(e Event) error {
 	if _, err := j.w.Write(line); err != nil {
 		return err
 	}
+	if j.sync {
+		if s, ok := j.w.(syncer); ok {
+			if err := s.Sync(); err != nil {
+				return err
+			}
+		}
+	}
 	j.seq = e.Seq
 	return nil
 }
@@ -106,23 +133,43 @@ func (j *Journal) Seq() int64 {
 	return j.seq
 }
 
+// ErrTruncatedTail reports a journal whose final line is not valid
+// JSON — the signature of a process killed mid-append. Replay returns
+// it alongside every event before the torn line, so crash forensics
+// keep the full acknowledged timeline while still surfacing that the
+// log ends in a wound rather than a clean line.
+var ErrTruncatedTail = errors.New("fleet: journal truncated mid-write on final line")
+
 // Replay parses a JSONL journal and verifies its integrity: sequence
 // numbers must start at 1 and increase densely (no gaps, no reorders,
 // no duplicates), and timestamps must not run backwards. It returns
 // the reconstructed timeline.
+//
+// A final line that fails to parse is tolerated as a crash-torn tail:
+// Replay returns the events before it together with an error wrapping
+// ErrTruncatedTail. A malformed line anywhere else — and any sequence
+// or timestamp violation, which truncation cannot produce — remains a
+// hard error with a nil timeline.
 func Replay(r io.Reader) ([]Event, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	var events []Event
 	var lastT int64
+	tornLine := 0
+	var tornErr error
 	for lineNo := 1; sc.Scan(); lineNo++ {
 		raw := sc.Bytes()
 		if len(raw) == 0 {
 			continue
 		}
+		if tornErr != nil {
+			// The parse failure was not on the final line after all.
+			return nil, fmt.Errorf("fleet: journal line %d: %w", tornLine, tornErr)
+		}
 		var e Event
 		if err := json.Unmarshal(raw, &e); err != nil {
-			return nil, fmt.Errorf("fleet: journal line %d: %w", lineNo, err)
+			tornLine, tornErr = lineNo, err
+			continue
 		}
 		if want := int64(len(events)) + 1; e.Seq != want {
 			return nil, fmt.Errorf("fleet: journal line %d: seq %d, want %d", lineNo, e.Seq, want)
@@ -135,6 +182,9 @@ func Replay(r io.Reader) ([]Event, error) {
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("fleet: journal scan: %w", err)
+	}
+	if tornErr != nil {
+		return events, fmt.Errorf("fleet: journal line %d: %v: %w", tornLine, tornErr, ErrTruncatedTail)
 	}
 	return events, nil
 }

@@ -1,0 +1,105 @@
+package fleet
+
+// Shared quorum and divergence primitives. The in-process fleet
+// (fleet.go) and the networked cluster coordinator (internal/cluster)
+// implement the same replication algebra — rotating read-quorum with
+// escalation to a full majority vote, and chunked divergence
+// measurement against a cross-replica majority image. The cluster's
+// acceptance criterion is bit-identity with the in-process fleet under
+// the same event sequence, so the decision logic lives here exactly
+// once and both dispatchers call it.
+
+// ResolveVotes merges quorum members' per-query answers into final
+// classes and confidences. votes[m][i] / confs[m][i] are member m's
+// class and confidence for query i; all members answer every query.
+//
+// A query every member agrees on is answered directly, with the
+// highest confidence any member reported. The first disagreement
+// invokes full() — lazily, at most once — to obtain the complete
+// active voter set, and every disagreeing query is settled by
+// MajorityVote over it. The returned bool reports whether escalation
+// happened.
+func ResolveVotes(votes [][]int, confs [][]float64, full func() ([][]int, [][]float64, error)) ([]int, []float64, bool, error) {
+	if len(votes) == 0 {
+		return nil, nil, false, ErrNoReplicas
+	}
+	n := len(votes[0])
+	classes := make([]int, n)
+	out := make([]float64, n)
+	var fullVotes [][]int
+	var fullConfs [][]float64
+	escalated := false
+	for i := 0; i < n; i++ {
+		agreed := true
+		for m := 1; m < len(votes); m++ {
+			if votes[m][i] != votes[0][i] {
+				agreed = false
+				break
+			}
+		}
+		if agreed {
+			classes[i] = votes[0][i]
+			out[i] = MaxConfAt(confs, i)
+			continue
+		}
+		if fullVotes == nil {
+			escalated = true
+			var err error
+			fullVotes, fullConfs, err = full()
+			if err != nil {
+				return nil, nil, true, err
+			}
+		}
+		classes[i], out[i] = MajorityVote(fullVotes, fullConfs, i)
+	}
+	return classes, out, escalated, nil
+}
+
+// MaxConfAt returns the highest confidence any voter reported for
+// query i.
+func MaxConfAt(confs [][]float64, i int) float64 {
+	best := 0.0
+	for _, c := range confs {
+		if c[i] > best {
+			best = c[i]
+		}
+	}
+	return best
+}
+
+// MajorityVote tallies the voters' classes for query i. The winner is
+// the class with the most votes; ties break toward the higher summed
+// confidence, then the lower class id (fully deterministic). The
+// returned confidence is the highest any voter gave the winner.
+func MajorityVote(votes [][]int, confs [][]float64, i int) (int, float64) {
+	count := map[int]int{}
+	confSum := map[int]float64{}
+	confMax := map[int]float64{}
+	for vi := range votes {
+		c := votes[vi][i]
+		count[c]++
+		confSum[c] += confs[vi][i]
+		if confs[vi][i] > confMax[c] {
+			confMax[c] = confs[vi][i]
+		}
+	}
+	best, bestN := -1, -1
+	for c, n := range count {
+		switch {
+		case n > bestN,
+			n == bestN && confSum[c] > confSum[best],
+			n == bestN && confSum[c] == confSum[best] && c < best:
+			best, bestN = c, n
+		}
+	}
+	return best, confMax[best]
+}
+
+// ChunkBounds returns the bit range [lo, hi) of chunk k when dims bits
+// are split into `chunks` near-equal pieces. Every divergence
+// measurement — in-process sweep, node summary hashing, coordinator
+// repair — must partition identically, or "the same chunk" would mean
+// different bits on each side of the wire.
+func ChunkBounds(dims, chunks, k int) (lo, hi int) {
+	return k * dims / chunks, (k + 1) * dims / chunks
+}

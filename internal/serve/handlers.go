@@ -38,6 +38,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /fleet", s.handleFleet)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if s.cfg.NodeAPI {
+		s.registerNodeAPI(mux)
+	}
 	return mux
 }
 
@@ -216,6 +219,12 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	if s.metrics.probes.Load() > 0 {
 		stamp = math.Float64frombits(s.metrics.probeAcc.Load())
 	}
+	s.writeSnapshot(w, sys, stamp)
+}
+
+// writeSnapshot serializes sys as a stamped binary checkpoint onto w,
+// holding the read lock only for the serialization itself.
+func (s *Server) writeSnapshot(w http.ResponseWriter, sys *core.System, stamp float64) {
 	var buf bytes.Buffer
 	s.mu.RLock()
 	err := sys.SaveStamped(&buf, stamp)
@@ -311,6 +320,10 @@ func (s *Server) handleAttack(w http.ResponseWriter, r *http.Request) {
 			return derr
 		})
 	} else {
+		if req.Replica != nil {
+			writeErr(w, fmt.Errorf("%w: \"replica\" %d targets a fleet member, but this server runs a single model", ErrBadInput, *req.Replica))
+			return
+		}
 		// The drill rewrites deployed memory: exclusive lock, like any
 		// other model write.
 		s.mu.Lock()

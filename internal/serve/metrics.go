@@ -36,6 +36,11 @@ type metrics struct {
 	watchdogTrips  atomic.Int64 // watchdog escalations (tier 0 → 1)
 	rollbacks      atomic.Int64 // verified checkpoint rollbacks executed
 	checkpoints    atomic.Int64 // verified checkpoints captured
+
+	nodeScored     atomic.Int64 // queries scored through /node/score
+	nodeRepairs    atomic.Int64 // chunks applied through /node/repair
+	nodeRepairBits atomic.Int64 // bits written by pushed repairs
+	nodeReseeds    atomic.Int64 // full re-images through /node/reseed
 }
 
 // addFloat accumulates delta into a float64 stored as bits in u.
@@ -154,6 +159,18 @@ type Metrics struct {
 	// Fleet carries per-replica and fleet-wide counters (nil in
 	// single-model mode; the full document also lives at /fleet).
 	Fleet *fleet.Status `json:"fleet,omitempty"`
+	// Node carries the node-API counters (nil unless this server runs
+	// as a cluster node).
+	Node *NodeInfo `json:"node,omitempty"`
+}
+
+// NodeInfo reports cluster-node activity: what the coordinator asked
+// this process to score and repair.
+type NodeInfo struct {
+	Scored     int64 `json:"scored"`
+	Repairs    int64 `json:"repairs"`
+	RepairBits int64 `json:"repair_bits"`
+	Reseeds    int64 `json:"reseeds"`
 }
 
 // Snapshot assembles the current metrics document.
@@ -222,6 +239,14 @@ func (s *Server) MetricsSnapshot() Metrics {
 	if flt := s.fleet(); flt != nil {
 		st := flt.Status()
 		out.Fleet = &st
+	}
+	if s.cfg.NodeAPI {
+		out.Node = &NodeInfo{
+			Scored:     m.nodeScored.Load(),
+			Repairs:    m.nodeRepairs.Load(),
+			RepairBits: m.nodeRepairBits.Load(),
+			Reseeds:    m.nodeReseeds.Load(),
+		}
 	}
 	return out
 }

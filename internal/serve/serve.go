@@ -126,6 +126,13 @@ type Config struct {
 	// single-model mode, plus the fleet's repair/quarantine/reseed
 	// stream in fleet mode (nil drops them).
 	Journal *fleet.Journal
+
+	// NodeAPI mounts the /node/* cluster-node endpoints: raw local
+	// scoring, chunk-hash summaries, chunk fetch/repair, and snapshot/
+	// reseed streaming for a networked coordinator (internal/cluster).
+	// Mutually exclusive with Fleet — a node IS one replica; stacking a
+	// local fleet under a networked one would double-replicate.
+	NodeAPI bool
 }
 
 func (c *Config) fillDefaults() {
@@ -217,6 +224,9 @@ func New(sys *core.System, cfg Config) (*Server, error) {
 	if cfg.Fleet != nil {
 		if cfg.Watchdog.Interval > 0 {
 			return nil, errors.New("serve: fleet mode and the watchdog loop are mutually exclusive (quarantine/reseed supersedes the watchdog ladder)")
+		}
+		if cfg.NodeAPI {
+			return nil, errors.New("serve: fleet mode and the node API are mutually exclusive (a cluster node is itself one replica)")
 		}
 		if err := cfg.Fleet.Validate(); err != nil {
 			return nil, fmt.Errorf("serve: %w", err)
