@@ -14,6 +14,7 @@
 package repro_test
 
 import (
+	"fmt"
 	"math/rand/v2"
 	"sync/atomic"
 	"testing"
@@ -274,6 +275,107 @@ func BenchmarkHammingMany(b *testing.B) {
 			for c, cv := range cs {
 				dists[c] = q.Hamming(cv)
 			}
+		}
+	})
+}
+
+// forEachKernelBench runs fn once per registered kernel table
+// (portable first, best last), restoring the auto-selected table
+// afterwards — the per-tier speedup ladder behind BENCH_kernels.json.
+func forEachKernelBench(b *testing.B, fn func(b *testing.B)) {
+	prev := bitvec.KernelName()
+	defer func() { _ = bitvec.UseKernels(prev) }()
+	for _, name := range bitvec.AvailableKernels() {
+		if err := bitvec.UseKernels(name); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, fn)
+	}
+}
+
+// BenchmarkHammingManySIMD scores 12 classes at D=10000 through each
+// registered kernel tier.
+func BenchmarkHammingManySIMD(b *testing.B) {
+	rng := stats.NewRNG(4)
+	q := bitvec.Random(10000, rng)
+	cs := make([]*bitvec.Vector, 12)
+	for i := range cs {
+		cs[i] = bitvec.Random(10000, rng)
+	}
+	dists := make([]int, len(cs))
+	forEachKernelBench(b, func(b *testing.B) {
+		b.SetBytes(int64(len(cs) * 10000 / 8))
+		for i := 0; i < b.N; i++ {
+			bitvec.HammingMany(q, cs, dists)
+		}
+	})
+}
+
+// BenchmarkAddManySIMD bundles 75 vectors at D=10000 into a plane
+// counter through each kernel tier (the encode-hot CSA tree).
+func BenchmarkAddManySIMD(b *testing.B) {
+	rng := stats.NewRNG(5)
+	vs := make([]*bitvec.Vector, 75)
+	for i := range vs {
+		vs[i] = bitvec.Random(10000, rng)
+	}
+	forEachKernelBench(b, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := bitvec.NewPlaneCounter(10000)
+			c.AddMany(vs)
+		}
+	})
+}
+
+// BenchmarkMajorityIntoSIMD votes 3- and 5-replica majorities at
+// D=10000 through each kernel tier (the fleet anti-entropy kernel).
+func BenchmarkMajorityIntoSIMD(b *testing.B) {
+	rng := stats.NewRNG(6)
+	vs := make([]*bitvec.Vector, 5)
+	for i := range vs {
+		vs[i] = bitvec.Random(10000, rng)
+	}
+	dst := bitvec.New(10000)
+	for _, fanIn := range []int{3, 5} {
+		fanIn := fanIn
+		b.Run(fmt.Sprintf("fanin=%d", fanIn), func(b *testing.B) {
+			forEachKernelBench(b, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					bitvec.MajorityInto(dst, vs[:fanIn])
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkNearestEarlyAbandon pins the block-level abandon win at
+// high dimensionality: one near candidate among 15 far ones, where a
+// full scan would score every block of every candidate. Guards the
+// regression where SIMD blocking silently disables the abandon path.
+func BenchmarkNearestEarlyAbandon(b *testing.B) {
+	rng := stats.NewRNG(7)
+	const n = 512 * 64 * 8
+	q := bitvec.Random(n, rng)
+	cs := make([]*bitvec.Vector, 16)
+	for i := range cs {
+		cs[i] = q.Clone()
+		if i == 3 {
+			cs[i].FlipBernoulli(0.01, rng)
+		} else {
+			cs[i].FlipBernoulli(0.99, rng)
+		}
+	}
+	dists := make([]int, len(cs))
+	b.Run("nearest", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if bitvec.Nearest(q, cs, dists) != 3 {
+				b.Fatal("wrong winner")
+			}
+		}
+	})
+	b.Run("fullscan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			bitvec.HammingMany(q, cs, dists)
 		}
 	})
 }

@@ -60,6 +60,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/bitvec"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -241,6 +242,10 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	// The listening line is a parsing contract (the chaos drill and any
+	// -addr :0 tooling read the port off it), so the kernel tier gets
+	// its own line.
+	fmt.Printf("bitvec kernels: %s\n", bitvec.KernelName())
 	fmt.Printf("servehd listening on %s\n", ln.Addr())
 	serveHTTP(ln, srv.Handler(), srv.Close)
 }

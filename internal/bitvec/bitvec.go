@@ -203,13 +203,11 @@ func (v *Vector) Not() *Vector {
 
 // Hamming returns the Hamming distance between v and o (the number of
 // positions where they differ). The vectors must have equal lengths.
+// It dispatches to the active popcount-XOR kernel (AVX2/AVX-512 on
+// amd64, NEON on arm64, portable otherwise).
 func (v *Vector) Hamming(o *Vector) int {
 	v.mustMatch(o)
-	total := 0
-	for i, w := range v.words {
-		total += bits.OnesCount64(w ^ o.words[i])
-	}
-	return total
+	return kern.popcntXor(v.words, o.words)
 }
 
 // Similarity returns the normalized Hamming similarity
@@ -224,19 +222,34 @@ func (v *Vector) Similarity(o *Vector) float64 {
 
 // HammingRange returns the Hamming distance restricted to the bit range
 // [lo, hi). It panics if the range is invalid. This is the primitive
-// behind per-chunk fault detection.
+// behind per-chunk fault detection and the fleet/cluster anti-entropy
+// divergence sweeps: the partial edge words are masked scalar, and the
+// full interior words run through the dispatched popcount-XOR kernel.
 func (v *Vector) HammingRange(o *Vector, lo, hi int) int {
 	v.mustMatch(o)
 	v.checkRange(lo, hi)
 	if lo == hi {
 		return 0
 	}
-	total := 0
 	firstWord, lastWord := lo/wordBits, (hi-1)/wordBits
-	for w := firstWord; w <= lastWord; w++ {
-		x := v.words[w] ^ o.words[w]
-		x &= rangeMask(w, lo, hi)
-		total += bits.OnesCount64(x)
+	if firstWord == lastWord {
+		x := v.words[firstWord] ^ o.words[firstWord]
+		return bits.OnesCount64(x & rangeMask(firstWord, lo, hi))
+	}
+	total := 0
+	fullLo, fullHi := firstWord, lastWord+1
+	if lo%wordBits != 0 {
+		x := v.words[firstWord] ^ o.words[firstWord]
+		total += bits.OnesCount64(x & rangeMask(firstWord, lo, hi))
+		fullLo++
+	}
+	if hi%wordBits != 0 {
+		x := v.words[lastWord] ^ o.words[lastWord]
+		total += bits.OnesCount64(x & rangeMask(lastWord, lo, hi))
+		fullHi--
+	}
+	if fullLo < fullHi {
+		total += kern.popcntXor(v.words[fullLo:fullHi], o.words[fullLo:fullHi])
 	}
 	return total
 }

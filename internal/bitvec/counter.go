@@ -53,8 +53,14 @@ func (c *Counter) addScaled(v *Vector, w int32) {
 	if v.Len() != len(c.tallies) {
 		panic(fmt.Sprintf("bitvec: counter length %d != vector length %d", len(c.tallies), v.Len()))
 	}
-	for i := range c.tallies {
-		if v.Get(i) {
+	// Full words run through the dispatched tally kernel; the partial
+	// tail word (fewer than 64 tallies) is peeled off scalar.
+	nFull := len(c.tallies) / wordBits
+	if nFull > 0 {
+		kern.addScaled(c.tallies[:nFull*wordBits], v.words[:nFull], w)
+	}
+	for i := nFull * wordBits; i < len(c.tallies); i++ {
+		if v.words[i/wordBits]>>(uint(i)%wordBits)&1 == 1 {
 			c.tallies[i] += w
 		} else {
 			c.tallies[i] -= w

@@ -1,20 +1,21 @@
 package bitvec
 
-import "math/bits"
-
 // hammingBlockWords is the word granularity of the fused multi-vector
 // Hamming kernels: the query is walked in blocks of this many words
 // (4 KiB) against every candidate before advancing, so the query block
 // stays cache-resident across the whole candidate set instead of being
-// re-streamed once per candidate.
+// re-streamed once per candidate. It is also the early-abandon
+// granularity of Nearest: the bound is rechecked after each dispatched
+// SIMD block, never inside one, so the vectorized kernels run
+// branch-free and abandoned candidates still skip whole blocks.
 const hammingBlockWords = 512
 
 // HammingMany writes the Hamming distance from q to each candidate
 // into out[i] and returns out (allocating it only when nil or too
 // short). This is the fused multi-class scoring kernel behind model
 // inference: one blocked pass over the query scores every deployed
-// class hypervector, with no per-candidate allocation. Every candidate
-// must have q's length.
+// class hypervector through the dispatched popcount-XOR kernel, with
+// no per-candidate allocation. Every candidate must have q's length.
 func HammingMany(q *Vector, cs []*Vector, out []int) []int {
 	if len(out) < len(cs) {
 		out = make([]int, len(cs))
@@ -32,12 +33,7 @@ func HammingMany(q *Vector, cs []*Vector, out []int) []int {
 		}
 		qb := qw[lo:hi]
 		for i, cv := range cs {
-			w := cv.words[lo:hi]
-			t := 0
-			for j, x := range qb {
-				t += bits.OnesCount64(x ^ w[j])
-			}
-			out[i] += t
+			out[i] += kern.popcntXor(qb, cv.words[lo:hi])
 		}
 	}
 	return out
@@ -51,7 +47,11 @@ func HammingMany(q *Vector, cs []*Vector, out []int) []int {
 // The kernel walks the same blocked word-major order as HammingMany
 // and early-abandons: once a candidate's partial distance exceeds the
 // current minimum by more than the bits still unscanned, it can no
-// longer win and is skipped for the remaining blocks. The result is
+// longer win and is skipped for the remaining blocks. The abandon
+// bound is deliberately rechecked after each SIMD block rather than
+// per word — the dispatched kernel scores a whole block branch-free,
+// then the scalar bound check prunes before the next block — so the
+// vectorized path keeps the full abandon win. The result is
 // bit-identical to a full HammingMany argmin. It panics if cs is
 // empty.
 func Nearest(q *Vector, cs []*Vector, scratch []int) int {
@@ -79,12 +79,7 @@ func Nearest(q *Vector, cs []*Vector, scratch []int) int {
 			if dists[i] < 0 { // abandoned
 				continue
 			}
-			w := cv.words[lo:hi]
-			t := 0
-			for j, x := range qb {
-				t += bits.OnesCount64(x ^ w[j])
-			}
-			dists[i] += t
+			dists[i] += kern.popcntXor(qb, cv.words[lo:hi])
 		}
 		if alive > 1 {
 			remaining := (len(qw) - hi) * wordBits

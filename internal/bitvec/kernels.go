@@ -1,0 +1,225 @@
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+	"os"
+	"sort"
+)
+
+// kernelTable is one complete set of word-level SIMD kernels. Every
+// hot inner loop in this package — popcount-Hamming scoring, the
+// 8-wide carry-save bundling tree, the bit-plane ripple-carry, the
+// fleet majority vote, and the signed tally accumulation of training —
+// dispatches through the active table, so an architecture back end
+// swaps all of them at once.
+//
+// Contract: every kernel must be bit-identical to the portable
+// reference on all inputs (any length, any tail, any alignment). The
+// equivalence suite in kernels_simd_test.go and FuzzKernelEquivalence
+// pin each registered table against the portable one.
+type kernelTable struct {
+	name string
+
+	// popcntXor returns popcount(a XOR b) over the paired words. The
+	// caller guarantees len(b) >= len(a).
+	popcntXor func(a, b []uint64) int
+
+	// csaAdd8 folds eight equal-length word slices (vs) into the
+	// ones/twos/fours carry-save accumulators, writing the weight-8
+	// carry into eights (fully overwritten) and returning the OR of
+	// all eights words. All slices share ones' length.
+	csaAdd8 func(ones, twos, fours, eights []uint64, vs *[8][]uint64) uint64
+
+	// rippleStep adds carry into plane (half-adder per bit: plane ^=
+	// carry with the AND escaping), leaves the residual carry in
+	// carry, and returns the OR of the residual words.
+	rippleStep func(plane, carry []uint64) uint64
+
+	// majority3 and majority5 write the bitwise majority of the three
+	// (five) source slices into dst. dst may alias a source; kernels
+	// must load every source word of a chunk before storing it.
+	majority3 func(dst, a, b, c []uint64)
+	majority5 func(dst, a, b, c, d, e []uint64)
+
+	// addScaled adds +w to tallies[i] when bit i of words is set and
+	// -w when clear, for len(words)*64 tallies (the caller peels the
+	// partial tail word).
+	addScaled func(tallies []int32, words []uint64, w int32)
+}
+
+var portableTable = kernelTable{
+	name:       "portable",
+	popcntXor:  popcntXorGo,
+	csaAdd8:    csaAdd8Go,
+	rippleStep: rippleStepGo,
+	majority3:  majority3Go,
+	majority5:  majority5Go,
+	addScaled:  addScaledGo,
+}
+
+// kern is the active kernel table, selected at init by the
+// architecture dispatch file (runtime CPU-feature detection) and
+// defaulting to the portable reference. The `purego` build tag
+// excludes every architecture back end, pinning kern to portable.
+var kern = portableTable
+
+// kernelRegistry lists every table this binary supports on this CPU,
+// portable first. Architecture init() functions append to it.
+var kernelRegistry = []kernelTable{portableTable}
+
+func registerKernels(t kernelTable) { kernelRegistry = append(kernelRegistry, t) }
+
+// KernelName reports which kernel table the package dispatched to:
+// "portable", "avx2", "avx512popcnt", or "neon". Serving metrics
+// surface it so a fleet operator can see which tier each node runs.
+func KernelName() string { return kern.name }
+
+// AvailableKernels lists the kernel tables usable on this CPU,
+// portable first, best last.
+func AvailableKernels() []string {
+	names := make([]string, len(kernelRegistry))
+	for i, t := range kernelRegistry {
+		names[i] = t.name
+	}
+	return names
+}
+
+// UseKernels switches the active kernel table by name (a value from
+// AvailableKernels). It exists for tests, benchmarks, and the
+// BITVEC_KERNEL environment override — kernel dispatch is not
+// synchronized, so it must not race with in-flight kernel calls.
+func UseKernels(name string) error {
+	for _, t := range kernelRegistry {
+		if t.name == name {
+			kern = t
+			return nil
+		}
+	}
+	avail := AvailableKernels()
+	sort.Strings(avail)
+	return fmt.Errorf("bitvec: unknown kernel table %q (available: %v)", name, avail)
+}
+
+// applyKernelEnv honors the BITVEC_KERNEL environment variable as a
+// deploy-time override of the auto-selected table (e.g.
+// BITVEC_KERNEL=portable to rule the SIMD path out while debugging).
+// An unknown name is ignored: a misspelled override must degrade to
+// the best kernel, never crash a server at boot.
+func applyKernelEnv() {
+	if name := os.Getenv("BITVEC_KERNEL"); name != "" {
+		_ = UseKernels(name)
+	}
+}
+
+// setKernelTable swaps in an arbitrary table and returns the previous
+// one; tests use it to instrument kernels (e.g. counting words scored
+// by Nearest's early-abandon path).
+func setKernelTable(t kernelTable) kernelTable {
+	prev := kern
+	kern = t
+	return prev
+}
+
+// --- portable reference kernels ---
+//
+// These are the behavioural ground truth for every SIMD back end, and
+// the only implementations compiled under the `purego` build tag (or
+// on architectures without a back end).
+
+func popcntXorGo(a, b []uint64) int {
+	t := 0
+	for i, x := range a {
+		t += bits.OnesCount64(x ^ b[i])
+	}
+	return t
+}
+
+func csaAdd8Go(ones, twos, fours, eights []uint64, vs *[8][]uint64) uint64 {
+	w0, w1, w2, w3 := vs[0], vs[1], vs[2], vs[3]
+	w4, w5, w6, w7 := vs[4], vs[5], vs[6], vs[7]
+	var any uint64
+	for i := range ones {
+		// Three CSA layers: eight weight-1 inputs fold into the
+		// running ones/twos/fours accumulators; only the weight-8
+		// carry escapes to the caller.
+		o := ones[i]
+		s01 := w0[i] ^ w1[i]
+		c01 := w0[i] & w1[i]
+		s23 := w2[i] ^ w3[i]
+		c23 := w2[i] & w3[i]
+		sA := s01 ^ s23
+		cA := (s01 & s23) | (o & sA)
+		o ^= sA
+		s45 := w4[i] ^ w5[i]
+		c45 := w4[i] & w5[i]
+		s67 := w6[i] ^ w7[i]
+		c67 := w6[i] & w7[i]
+		sB := s45 ^ s67
+		cB := (s45 & s67) | (o & sB)
+		ones[i] = o ^ sB
+
+		t := twos[i]
+		sC := c01 ^ c23
+		cC := (c01 & c23) | (t & sC)
+		t ^= sC
+		sD := c45 ^ c67
+		cD := (c45 & c67) | (t & sD)
+		t ^= sD
+		sE := cA ^ cB
+		cE := (cA & cB) | (t & sE)
+		twos[i] = t ^ sE
+
+		f := fours[i]
+		sF := cC ^ cD
+		cF := (cC & cD) | (f & sF)
+		f ^= sF
+		e := (f & cE) | cF
+		fours[i] = f ^ cE
+		eights[i] = e
+		any |= e
+	}
+	return any
+}
+
+func rippleStepGo(plane, carry []uint64) uint64 {
+	var any uint64
+	for i, c := range carry {
+		if c == 0 {
+			continue
+		}
+		nc := plane[i] & c
+		plane[i] ^= c
+		carry[i] = nc
+		any |= nc
+	}
+	return any
+}
+
+func majority3Go(dst, a, b, c []uint64) {
+	for i := range dst {
+		dst[i] = a[i]&b[i] | a[i]&c[i] | b[i]&c[i]
+	}
+}
+
+func majority5Go(dst, a, b, c, d, e []uint64) {
+	for i := range dst {
+		// maj5 = "at least 3 of 5", split on how many of a,b,c vote
+		// yes: all three carry alone; exactly two need one of d,e;
+		// exactly one needs both.
+		maj3 := a[i]&b[i] | a[i]&c[i] | b[i]&c[i] // at least two of a,b,c
+		all3 := a[i] & b[i] & c[i]
+		one3 := (a[i] | b[i] | c[i]) &^ maj3 // exactly one of a,b,c
+		dst[i] = all3 | maj3&(d[i]|e[i]) | one3&d[i]&e[i]
+	}
+}
+
+func addScaledGo(tallies []int32, words []uint64, w int32) {
+	for wi, word := range words {
+		t := tallies[wi*wordBits : wi*wordBits+wordBits : wi*wordBits+wordBits]
+		for b := range t {
+			// +w when the bit is set, -w when clear, branch-free.
+			t[b] += (int32(word>>uint(b)&1)<<1 - 1) * w
+		}
+	}
+}

@@ -1,0 +1,188 @@
+//go:build amd64 && !purego
+
+package bitvec
+
+import "math/bits"
+
+// Assembly kernels (kernels_amd64.s). Each processes n &^ 3 words (the
+// TALLY kernel processes all n whole words); the Go wrappers below peel
+// the remainder through the portable reference so any length and any
+// subslice alignment is bit-identical to the portable table.
+
+//go:noescape
+func popcntXorHS(a, b *uint64, n int) int
+
+//go:noescape
+func popcntXorVP(a, b *uint64, n int) int
+
+//go:noescape
+func csaAdd8Asm(ones, twos, fours, eights, w0, w1, w2, w3, w4, w5, w6, w7 *uint64, n int) uint64
+
+//go:noescape
+func rippleStepAsm(plane, carry *uint64, n int) uint64
+
+//go:noescape
+func majority3Asm(dst, a, b, c *uint64, n int)
+
+//go:noescape
+func majority5Asm(dst, a, b, c, d, e *uint64, n int)
+
+//go:noescape
+func addScaledAsm(tallies *int32, words *uint64, n int, w int32)
+
+func cpuidProbe(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+func xgetbv0() (eax, edx uint32)
+
+func popcntXorAVX2(a, b []uint64) int {
+	n := len(a) &^ 3
+	t := 0
+	if n > 0 {
+		t = popcntXorHS(&a[0], &b[0], n)
+	}
+	for i := n; i < len(a); i++ {
+		t += bits.OnesCount64(a[i] ^ b[i])
+	}
+	return t
+}
+
+func popcntXorAVX512(a, b []uint64) int {
+	n := len(a) &^ 3
+	t := 0
+	if n > 0 {
+		t = popcntXorVP(&a[0], &b[0], n)
+	}
+	for i := n; i < len(a); i++ {
+		t += bits.OnesCount64(a[i] ^ b[i])
+	}
+	return t
+}
+
+func csaAdd8AVX2(ones, twos, fours, eights []uint64, vs *[8][]uint64) uint64 {
+	n := len(ones) &^ 3
+	var any uint64
+	if n > 0 {
+		any = csaAdd8Asm(&ones[0], &twos[0], &fours[0], &eights[0],
+			&vs[0][0], &vs[1][0], &vs[2][0], &vs[3][0],
+			&vs[4][0], &vs[5][0], &vs[6][0], &vs[7][0], n)
+	}
+	if n < len(ones) {
+		var tail [8][]uint64
+		for k := range tail {
+			tail[k] = vs[k][n:]
+		}
+		any |= csaAdd8Go(ones[n:], twos[n:], fours[n:], eights[n:], &tail)
+	}
+	return any
+}
+
+func rippleStepAVX2(plane, carry []uint64) uint64 {
+	n := len(carry) &^ 3
+	var any uint64
+	if n > 0 {
+		any = rippleStepAsm(&plane[0], &carry[0], n)
+	}
+	if n < len(carry) {
+		any |= rippleStepGo(plane[n:], carry[n:])
+	}
+	return any
+}
+
+func majority3AVX2(dst, a, b, c []uint64) {
+	n := len(dst) &^ 3
+	if n > 0 {
+		majority3Asm(&dst[0], &a[0], &b[0], &c[0], n)
+	}
+	if n < len(dst) {
+		majority3Go(dst[n:], a[n:], b[n:], c[n:])
+	}
+}
+
+func majority5AVX2(dst, a, b, c, d, e []uint64) {
+	n := len(dst) &^ 3
+	if n > 0 {
+		majority5Asm(&dst[0], &a[0], &b[0], &c[0], &d[0], &e[0], n)
+	}
+	if n < len(dst) {
+		majority5Go(dst[n:], a[n:], b[n:], c[n:], d[n:], e[n:])
+	}
+}
+
+func addScaledAVX2(tallies []int32, words []uint64, w int32) {
+	if len(words) == 0 {
+		return
+	}
+	addScaledAsm(&tallies[0], &words[0], len(words), w)
+}
+
+// CPUID feature bits (Intel SDM vol. 2, CPUID leaf 1 ECX and leaf 7
+// EBX/ECX), plus the XCR0 state-component bits AVX and AVX-512 need
+// the OS to have enabled.
+const (
+	cpuidOSXSAVE    = 1 << 27 // leaf 1 ECX
+	cpuidAVX        = 1 << 28 // leaf 1 ECX
+	cpuidAVX2       = 1 << 5  // leaf 7 EBX
+	cpuidAVX512F    = 1 << 16 // leaf 7 EBX
+	cpuidAVX512VL   = 1 << 31 // leaf 7 EBX
+	cpuidVPOPCNTDQ  = 1 << 14 // leaf 7 ECX
+	xcr0AVXState    = 0x6     // XMM + YMM
+	xcr0AVX512State = 0xe0    // opmask + ZMM hi256 + hi16 ZMM
+)
+
+func cpuHasAVX2() bool {
+	maxLeaf, _, _, _ := cpuidProbe(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, c1, _ := cpuidProbe(1, 0)
+	if c1&cpuidOSXSAVE == 0 || c1&cpuidAVX == 0 {
+		return false
+	}
+	if eax, _ := xgetbv0(); eax&xcr0AVXState != xcr0AVXState {
+		return false
+	}
+	_, b7, _, _ := cpuidProbe(7, 0)
+	return b7&cpuidAVX2 != 0
+}
+
+func cpuHasAVX512Popcnt() bool {
+	// cpuHasAVX2 has already verified OSXSAVE and the basic AVX state.
+	if eax, _ := xgetbv0(); eax&(xcr0AVXState|xcr0AVX512State) != xcr0AVXState|xcr0AVX512State {
+		return false
+	}
+	_, b7, c7, _ := cpuidProbe(7, 0)
+	if b7&cpuidAVX512F == 0 || b7&cpuidAVX512VL == 0 {
+		return false
+	}
+	return c7&cpuidVPOPCNTDQ != 0
+}
+
+func init() {
+	if !cpuHasAVX2() {
+		applyKernelEnv()
+		return
+	}
+	avx2 := kernelTable{
+		name:       "avx2",
+		popcntXor:  popcntXorAVX2,
+		csaAdd8:    csaAdd8AVX2,
+		rippleStep: rippleStepAVX2,
+		majority3:  majority3AVX2,
+		majority5:  majority5AVX2,
+		addScaled:  addScaledAVX2,
+	}
+	registerKernels(avx2)
+	best := avx2
+	if cpuHasAVX512Popcnt() {
+		// Same AVX2 table with the popcount-Hamming kernel swapped for
+		// hardware VPOPCNTQ; the bitwise kernels gain nothing from
+		// wider encodings at 256-bit lanes.
+		vp := avx2
+		vp.name = "avx512popcnt"
+		vp.popcntXor = popcntXorAVX512
+		registerKernels(vp)
+		best = vp
+	}
+	kern = best
+	applyKernelEnv()
+}

@@ -1,0 +1,511 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// SIMD kernels for amd64. Two popcount-Hamming tiers are provided —
+// an AVX2 Harley-Seal VPSHUFB kernel and an AVX-512 VPOPCNTQ kernel
+// (256-bit lanes via AVX512VL, so no 512-bit license downclock) — plus
+// AVX2 kernels for the 8-wide carry-save bundling tree, the bit-plane
+// ripple step, the 3/5-way majority vote, and the signed tally
+// accumulation. Every kernel processes the words it can cover at its
+// vector width (multiples of 4) and leaves the remainder to the Go
+// wrapper; all loads/stores are unaligned (VMOVDQU), so callers may
+// pass arbitrary word subslices.
+//
+// Go assembly operand order is reversed from Intel: the destination
+// comes last, and VPSHUFB reads as VPSHUFB indices, table, dst.
+
+// popLUT is the nibble->popcount shuffle table, duplicated across both
+// 128-bit lanes for VPSHUFB.
+DATA popLUT<>+0(SB)/8, $0x0302020102010100
+DATA popLUT<>+8(SB)/8, $0x0403030203020201
+DATA popLUT<>+16(SB)/8, $0x0302020102010100
+DATA popLUT<>+24(SB)/8, $0x0403030203020201
+GLOBL popLUT<>(SB), RODATA|NOPTR, $32
+
+DATA nibMask<>+0(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA nibMask<>+8(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA nibMask<>+16(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA nibMask<>+24(SB)/8, $0x0f0f0f0f0f0f0f0f
+GLOBL nibMask<>(SB), RODATA|NOPTR, $32
+
+// bitSel selects bit j of a broadcast byte in byte lane j (lanes 8-15
+// repeat and are ignored by VPMOVSXBD).
+DATA bitSel<>+0(SB)/8, $0x8040201008040201
+DATA bitSel<>+8(SB)/8, $0x8040201008040201
+GLOBL bitSel<>(SB), RODATA|NOPTR, $16
+
+// CSA folds (L, X, Y) through a full adder: L gets the sum bits, H the
+// carry bits. X is clobbered as scratch; T is a scratch register.
+#define CSA(X, Y, L, H, T) \
+	VPXOR X, L, T  \
+	VPAND X, L, H  \
+	VPAND Y, T, X  \
+	VPOR  X, H, H  \
+	VPXOR Y, T, L
+
+// LOADX loads 32 bytes of a XOR b at byte offset DX+off into R.
+#define LOADX(off, R) \
+	VMOVDQU off(SI)(DX*1), R \
+	VPXOR   off(DI)(DX*1), R, R
+
+// PCY replaces YV with its per-qword byte popcount sums: nibble LUT
+// shuffle (table Y5, mask Y6), byte add, then VPSADBW against zero Y7.
+#define PCY(YV, T1) \
+	VPAND   Y6, YV, T1  \
+	VPSRLW  $4, YV, YV  \
+	VPAND   Y6, YV, YV  \
+	VPSHUFB T1, Y5, T1  \
+	VPSHUFB YV, Y5, YV  \
+	VPADDB  YV, T1, YV  \
+	VPSADBW Y7, YV, YV
+
+// SUMQ horizontally adds the four qwords of YV into GP.
+#define SUMQ(YV, XV, XT, GP) \
+	VEXTRACTI128 $1, YV, XT \
+	VPADDQ       XT, XV, XV \
+	VPSRLDQ      $8, XV, XT \
+	VPADDQ       XT, XV, XV \
+	VMOVQ        XV, GP
+
+// ORQY horizontally ORs the four qwords of YV into GP.
+#define ORQY(YV, XV, XT, GP) \
+	VEXTRACTI128 $1, YV, XT \
+	VPOR         XT, XV, XV \
+	VPSRLDQ      $8, XV, XT \
+	VPOR         XT, XV, XV \
+	VMOVQ        XV, GP
+
+// func popcntXorHS(a, b *uint64, n int) int
+//
+// AVX2 Harley-Seal: 16 XOR'd 256-bit vectors per iteration fold
+// through a carry-save adder tree (ones/twos/fours/eights in Y0-Y3),
+// so only one VPSHUFB popcount per 64 words reaches the accumulator;
+// the deferred CSA layers are popcounted once at the end with weights
+// 1/2/4/8. Processes n &^ 3 words; the caller handles the remainder.
+TEXT ·popcntXorHS(SB), NOSPLIT, $0-32
+	MOVQ a+0(FP), SI
+	MOVQ b+8(FP), DI
+	MOVQ n+16(FP), CX
+	XORQ DX, DX
+	XORQ R8, R8
+	VMOVDQU popLUT<>(SB), Y5
+	VMOVDQU nibMask<>(SB), Y6
+	VPXOR Y7, Y7, Y7
+	VPXOR Y0, Y0, Y0
+	VPXOR Y1, Y1, Y1
+	VPXOR Y2, Y2, Y2
+	VPXOR Y3, Y3, Y3
+	VPXOR Y4, Y4, Y4
+
+hs64:
+	CMPQ CX, $64
+	JLT  hsReduce
+
+	LOADX(0, Y14)
+	LOADX(32, Y15)
+	CSA(Y14, Y15, Y0, Y8, Y10)
+	LOADX(64, Y14)
+	LOADX(96, Y15)
+	CSA(Y14, Y15, Y0, Y9, Y10)
+	CSA(Y8, Y9, Y1, Y10, Y11)
+	LOADX(128, Y14)
+	LOADX(160, Y15)
+	CSA(Y14, Y15, Y0, Y8, Y11)
+	LOADX(192, Y14)
+	LOADX(224, Y15)
+	CSA(Y14, Y15, Y0, Y9, Y11)
+	CSA(Y8, Y9, Y1, Y11, Y12)
+	CSA(Y10, Y11, Y2, Y12, Y13)
+	LOADX(256, Y14)
+	LOADX(288, Y15)
+	CSA(Y14, Y15, Y0, Y8, Y10)
+	LOADX(320, Y14)
+	LOADX(352, Y15)
+	CSA(Y14, Y15, Y0, Y9, Y10)
+	CSA(Y8, Y9, Y1, Y10, Y11)
+	LOADX(384, Y14)
+	LOADX(416, Y15)
+	CSA(Y14, Y15, Y0, Y8, Y11)
+	LOADX(448, Y14)
+	LOADX(480, Y15)
+	CSA(Y14, Y15, Y0, Y9, Y11)
+	CSA(Y8, Y9, Y1, Y11, Y14)
+	CSA(Y10, Y11, Y2, Y13, Y14)
+	CSA(Y12, Y13, Y3, Y10, Y11)
+
+	PCY(Y10, Y11)
+	VPADDQ Y10, Y4, Y4
+
+	ADDQ $512, DX
+	SUBQ $64, CX
+	JMP  hs64
+
+hsReduce:
+	// total = 16*sixteens + 8*eights + 4*fours + 2*twos + ones
+	SUMQ(Y4, X4, X8, AX)
+	SHLQ $4, AX
+	ADDQ AX, R8
+	PCY(Y3, Y10)
+	SUMQ(Y3, X3, X10, AX)
+	SHLQ $3, AX
+	ADDQ AX, R8
+	PCY(Y2, Y10)
+	SUMQ(Y2, X2, X10, AX)
+	SHLQ $2, AX
+	ADDQ AX, R8
+	PCY(Y1, Y10)
+	SUMQ(Y1, X1, X10, AX)
+	SHLQ $1, AX
+	ADDQ AX, R8
+	PCY(Y0, Y10)
+	SUMQ(Y0, X0, X10, AX)
+	ADDQ AX, R8
+
+	VPXOR Y9, Y9, Y9
+
+hs4:
+	CMPQ CX, $4
+	JLT  hsDone
+	LOADX(0, Y10)
+	PCY(Y10, Y11)
+	VPADDQ Y10, Y9, Y9
+	ADDQ $32, DX
+	SUBQ $4, CX
+	JMP  hs4
+
+hsDone:
+	SUMQ(Y9, X9, X10, AX)
+	ADDQ AX, R8
+	MOVQ R8, ret+24(FP)
+	VZEROUPPER
+	RET
+
+// func popcntXorVP(a, b *uint64, n int) int
+//
+// AVX-512 VPOPCNTDQ+VL tier: per-qword hardware popcount on 256-bit
+// lanes, two accumulator chains. Processes n &^ 3 words.
+TEXT ·popcntXorVP(SB), NOSPLIT, $0-32
+	MOVQ a+0(FP), SI
+	MOVQ b+8(FP), DI
+	MOVQ n+16(FP), CX
+	XORQ DX, DX
+	VPXOR Y0, Y0, Y0
+	VPXOR Y4, Y4, Y4
+
+vp16:
+	CMPQ CX, $16
+	JLT  vp4
+	VMOVDQU (SI)(DX*1), Y1
+	VPXOR   (DI)(DX*1), Y1, Y1
+	VPOPCNTQ Y1, Y1
+	VPADDQ  Y1, Y0, Y0
+	VMOVDQU 32(SI)(DX*1), Y2
+	VPXOR   32(DI)(DX*1), Y2, Y2
+	VPOPCNTQ Y2, Y2
+	VPADDQ  Y2, Y4, Y4
+	VMOVDQU 64(SI)(DX*1), Y3
+	VPXOR   64(DI)(DX*1), Y3, Y3
+	VPOPCNTQ Y3, Y3
+	VPADDQ  Y3, Y0, Y0
+	VMOVDQU 96(SI)(DX*1), Y5
+	VPXOR   96(DI)(DX*1), Y5, Y5
+	VPOPCNTQ Y5, Y5
+	VPADDQ  Y5, Y4, Y4
+	ADDQ $128, DX
+	SUBQ $16, CX
+	JMP  vp16
+
+vp4:
+	CMPQ CX, $4
+	JLT  vpDone
+	VMOVDQU (SI)(DX*1), Y1
+	VPXOR   (DI)(DX*1), Y1, Y1
+	VPOPCNTQ Y1, Y1
+	VPADDQ  Y1, Y0, Y0
+	ADDQ $32, DX
+	SUBQ $4, CX
+	JMP  vp4
+
+vpDone:
+	VPADDQ Y4, Y0, Y0
+	SUMQ(Y0, X0, X1, AX)
+	MOVQ AX, ret+24(FP)
+	VZEROUPPER
+	RET
+
+// func csaAdd8Asm(ones, twos, fours, eights, w0, w1, w2, w3, w4, w5, w6, w7 *uint64, n int) uint64
+//
+// One pass of the 8-wide carry-save bundling tree over n &^ 3 words:
+// eight input streams fold into the ones/twos/fours accumulators in
+// memory, the weight-8 carry lands in eights, and the return value is
+// the OR of every eights word written (zero means no ripple needed).
+TEXT ·csaAdd8Asm(SB), NOSPLIT, $0-112
+	MOVQ ones+0(FP), SI
+	MOVQ twos+8(FP), DI
+	MOVQ fours+16(FP), R8
+	MOVQ eights+24(FP), R9
+	MOVQ w0+32(FP), R10
+	MOVQ w1+40(FP), R11
+	MOVQ w2+48(FP), R12
+	MOVQ w3+56(FP), R13
+	MOVQ w4+64(FP), R14
+	MOVQ w5+72(FP), R15
+	MOVQ w6+80(FP), AX
+	MOVQ w7+88(FP), BX
+	MOVQ n+96(FP), CX
+	XORQ DX, DX
+	VPXOR Y14, Y14, Y14 // OR-of-eights accumulator
+
+csa4:
+	CMPQ CX, $4
+	JLT  csaDone
+	VMOVDQU (R10)(DX*1), Y0
+	VMOVDQU (R11)(DX*1), Y1
+	VMOVDQU (R12)(DX*1), Y2
+	VMOVDQU (R13)(DX*1), Y3
+	VMOVDQU (R14)(DX*1), Y4
+	VMOVDQU (R15)(DX*1), Y5
+	VMOVDQU (AX)(DX*1), Y6
+	VMOVDQU (BX)(DX*1), Y7
+
+	// Pairwise half-adders: sums stay in Y0/Y2/Y4/Y6, carries move to
+	// Y8-Y11.
+	VPAND Y1, Y0, Y8
+	VPXOR Y1, Y0, Y0
+	VPAND Y3, Y2, Y9
+	VPXOR Y3, Y2, Y2
+	VPAND Y5, Y4, Y10
+	VPXOR Y5, Y4, Y4
+	VPAND Y7, Y6, Y11
+	VPXOR Y7, Y6, Y6
+
+	// Fold the four sum streams into ones (carries cA=Y12, cB=Y13).
+	VMOVDQU (SI)(DX*1), Y1
+	VPXOR Y2, Y0, Y3
+	VPAND Y2, Y0, Y12
+	VPAND Y3, Y1, Y5
+	VPOR  Y5, Y12, Y12
+	VPXOR Y3, Y1, Y1
+	VPXOR Y6, Y4, Y3
+	VPAND Y6, Y4, Y13
+	VPAND Y3, Y1, Y5
+	VPOR  Y5, Y13, Y13
+	VPXOR Y3, Y1, Y1
+	VMOVDQU Y1, (SI)(DX*1)
+
+	// Fold the weight-2 carries into twos (cC=Y8, cD=Y10, cE=Y12).
+	VMOVDQU (DI)(DX*1), Y1
+	VPXOR Y9, Y8, Y3
+	VPAND Y9, Y8, Y8
+	VPAND Y3, Y1, Y5
+	VPOR  Y5, Y8, Y8
+	VPXOR Y3, Y1, Y1
+	VPXOR Y11, Y10, Y3
+	VPAND Y11, Y10, Y10
+	VPAND Y3, Y1, Y5
+	VPOR  Y5, Y10, Y10
+	VPXOR Y3, Y1, Y1
+	VPXOR Y13, Y12, Y3
+	VPAND Y13, Y12, Y12
+	VPAND Y3, Y1, Y5
+	VPOR  Y5, Y12, Y12
+	VPXOR Y3, Y1, Y1
+	VMOVDQU Y1, (DI)(DX*1)
+
+	// Fold the weight-4 carries into fours; the escape is eights.
+	VMOVDQU (R8)(DX*1), Y1
+	VPXOR Y10, Y8, Y3
+	VPAND Y10, Y8, Y8
+	VPAND Y3, Y1, Y5
+	VPOR  Y5, Y8, Y8
+	VPXOR Y3, Y1, Y1
+	VPAND Y12, Y1, Y5
+	VPOR  Y8, Y5, Y5
+	VPXOR Y12, Y1, Y1
+	VMOVDQU Y1, (R8)(DX*1)
+	VMOVDQU Y5, (R9)(DX*1)
+	VPOR  Y5, Y14, Y14
+
+	ADDQ $32, DX
+	SUBQ $4, CX
+	JMP  csa4
+
+csaDone:
+	ORQY(Y14, X14, X0, DX)
+	MOVQ DX, ret+104(FP)
+	VZEROUPPER
+	RET
+
+// func rippleStepAsm(plane, carry *uint64, n int) uint64
+//
+// Half-adder between one bit plane and the carry words: plane ^= carry
+// with the AND escaping back into carry. Returns the OR of the
+// residual carry. Processes n &^ 3 words.
+TEXT ·rippleStepAsm(SB), NOSPLIT, $0-32
+	MOVQ plane+0(FP), SI
+	MOVQ carry+8(FP), DI
+	MOVQ n+16(FP), CX
+	XORQ DX, DX
+	VPXOR Y3, Y3, Y3
+
+rip4:
+	CMPQ CX, $4
+	JLT  ripDone
+	VMOVDQU (DI)(DX*1), Y0
+	VMOVDQU (SI)(DX*1), Y1
+	VPAND   Y0, Y1, Y2
+	VPXOR   Y0, Y1, Y1
+	VMOVDQU Y1, (SI)(DX*1)
+	VMOVDQU Y2, (DI)(DX*1)
+	VPOR    Y2, Y3, Y3
+	ADDQ $32, DX
+	SUBQ $4, CX
+	JMP  rip4
+
+ripDone:
+	ORQY(Y3, X3, X0, AX)
+	MOVQ AX, ret+24(FP)
+	VZEROUPPER
+	RET
+
+// func majority3Asm(dst, a, b, c *uint64, n int)
+//
+// dst = maj(a,b,c) over n &^ 3 words. Every source chunk is loaded
+// before dst's chunk is stored, so dst may alias a source.
+TEXT ·majority3Asm(SB), NOSPLIT, $0-40
+	MOVQ dst+0(FP), BX
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), DI
+	MOVQ c+24(FP), R8
+	MOVQ n+32(FP), CX
+	XORQ DX, DX
+
+maj3loop:
+	CMPQ CX, $4
+	JLT  maj3done
+	VMOVDQU (SI)(DX*1), Y0
+	VMOVDQU (DI)(DX*1), Y1
+	VMOVDQU (R8)(DX*1), Y2
+	VPAND   Y1, Y0, Y3 // a&b
+	VPOR    Y1, Y0, Y4 // a|b
+	VPAND   Y2, Y4, Y4 // c&(a|b)
+	VPOR    Y4, Y3, Y3
+	VMOVDQU Y3, (BX)(DX*1)
+	ADDQ $32, DX
+	SUBQ $4, CX
+	JMP  maj3loop
+
+maj3done:
+	VZEROUPPER
+	RET
+
+// func majority5Asm(dst, a, b, c, d, e *uint64, n int)
+//
+// dst = maj(a..e) over n &^ 3 words, via the same 3-of-5 split as the
+// portable kernel. dst may alias a source.
+TEXT ·majority5Asm(SB), NOSPLIT, $0-56
+	MOVQ dst+0(FP), BX
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), DI
+	MOVQ c+24(FP), R8
+	MOVQ d+32(FP), R9
+	MOVQ e+40(FP), R10
+	MOVQ n+48(FP), CX
+	XORQ DX, DX
+
+maj5loop:
+	CMPQ CX, $4
+	JLT  maj5done
+	VMOVDQU (SI)(DX*1), Y0
+	VMOVDQU (DI)(DX*1), Y1
+	VMOVDQU (R8)(DX*1), Y2
+	VMOVDQU (R9)(DX*1), Y3
+	VMOVDQU (R10)(DX*1), Y4
+	VPAND   Y1, Y0, Y5 // a&b
+	VPOR    Y1, Y0, Y6 // a|b
+	VPAND   Y2, Y6, Y7 // c&(a|b)
+	VPOR    Y7, Y5, Y7 // maj3 = at least two of a,b,c
+	VPAND   Y2, Y5, Y5 // all3
+	VPOR    Y2, Y6, Y6 // a|b|c
+	VPANDN  Y6, Y7, Y6 // one3 = (a|b|c) &^ maj3
+	VPOR    Y4, Y3, Y8 // d|e
+	VPAND   Y8, Y7, Y7 // maj3 & (d|e)
+	VPAND   Y4, Y3, Y8 // d&e
+	VPAND   Y8, Y6, Y6 // one3 & d&e
+	VPOR    Y7, Y5, Y5
+	VPOR    Y6, Y5, Y5
+	VMOVDQU Y5, (BX)(DX*1)
+	ADDQ $32, DX
+	SUBQ $4, CX
+	JMP  maj5loop
+
+maj5done:
+	VZEROUPPER
+	RET
+
+// TALLY expands bit j of the broadcast source byte into eight int32
+// lanes of +w / -w and adds them into tallies: mask = sign-extended
+// (byte & bitSel == bitSel), delta = (mask & 2w) - w. Wrap-around
+// two's-complement arithmetic keeps this exact for any w.
+#define TALLY(j, off) \
+	VPBROADCASTB j(SI), X0   \
+	VPAND        X5, X0, X0  \
+	VPCMPEQB     X5, X0, X0  \
+	VPMOVSXBD    X0, Y0      \
+	VPAND        Y6, Y0, Y0  \
+	VPSUBD       Y7, Y0, Y0  \
+	VPADDD       off(DI), Y0, Y0 \
+	VMOVDQU      Y0, off(DI)
+
+// func addScaledAsm(tallies *int32, words *uint64, n int, w int32)
+//
+// Adds +w/-w per bit of n whole words into 64·n int32 tallies.
+TEXT ·addScaledAsm(SB), NOSPLIT, $0-28
+	MOVQ tallies+0(FP), DI
+	MOVQ words+8(FP), SI
+	MOVQ n+16(FP), CX
+	TESTQ CX, CX
+	JZ   tallyDone
+	VMOVDQU bitSel<>(SB), X5
+	MOVL w+24(FP), AX
+	MOVD AX, X7
+	VPBROADCASTD X7, Y7
+	VPADDD Y7, Y7, Y6
+
+tallyLoop:
+	TALLY(0, 0)
+	TALLY(1, 32)
+	TALLY(2, 64)
+	TALLY(3, 96)
+	TALLY(4, 128)
+	TALLY(5, 160)
+	TALLY(6, 192)
+	TALLY(7, 224)
+	ADDQ $8, SI
+	ADDQ $256, DI
+	DECQ CX
+	JNZ  tallyLoop
+
+tallyDone:
+	VZEROUPPER
+	RET
+
+// func cpuidProbe(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidProbe(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

@@ -1,0 +1,39 @@
+//go:build arm64 && !purego
+
+package bitvec
+
+import "math/bits"
+
+// popcntXorNEON (kernels_arm64.s) scores n &^ 3 words via VEOR + VCNT
+// byte popcounts accumulated in vector byte lanes; the wrapper peels
+// the remainder scalar.
+//
+//go:noescape
+func popcntXorNEON(a, b *uint64, n int) int
+
+func popcntXorNEONWrap(a, b []uint64) int {
+	n := len(a) &^ 3
+	t := 0
+	if n > 0 {
+		t = popcntXorNEON(&a[0], &b[0], n)
+	}
+	for i := n; i < len(a); i++ {
+		t += bits.OnesCount64(a[i] ^ b[i])
+	}
+	return t
+}
+
+func init() {
+	// NEON (AdvSIMD) is baseline on arm64 — no feature probe needed.
+	// Only the popcount-Hamming kernel is vectorized: arm64 lacks a
+	// byte-popcount analogue for the pure bitwise kernels' bottleneck
+	// (they are load/store bound, and the Go compiler already emits
+	// competitive scalar code for 64-bit AND/XOR/OR loops), so the
+	// remaining table entries stay on the portable reference.
+	neon := portableTable
+	neon.name = "neon"
+	neon.popcntXor = popcntXorNEONWrap
+	registerKernels(neon)
+	kern = neon
+	applyKernelEnv()
+}

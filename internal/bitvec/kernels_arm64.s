@@ -1,0 +1,49 @@
+//go:build arm64 && !purego
+
+#include "textflag.h"
+
+// func popcntXorNEON(a, b *uint64, n int) int
+//
+// Sums popcount(a[i] ^ b[i]) for i in [0, n), n a multiple of 4 (the
+// Go wrapper peels the remainder). Each iteration XORs 32 bytes (4
+// words), takes per-byte popcounts with VCNT, and accumulates them in
+// the byte lanes of V4. A byte lane gains at most 16 per iteration
+// (8 per VCNT result), so the accumulator is flushed into the scalar
+// total via VUADDLV at least every 15 iterations to stay below 255.
+TEXT ·popcntXorNEON(SB), NOSPLIT, $0-32
+	MOVD a+0(FP), R0
+	MOVD b+8(FP), R1
+	MOVD n+16(FP), R2
+	MOVD ZR, R6          // running total
+	LSR  $2, R2, R3      // R3 = remaining 4-word groups
+	CBZ  R3, done
+
+outer:
+	// R4 = min(R3, 15): groups safe before a byte lane could overflow.
+	MOVD $15, R4
+	CMP  R4, R3
+	CSEL LT, R3, R4, R4
+	SUB  R4, R3, R3
+	VEOR V4.B16, V4.B16, V4.B16 // zero the byte accumulator
+
+inner:
+	VLD1.P 32(R0), [V0.B16, V1.B16]
+	VLD1.P 32(R1), [V2.B16, V3.B16]
+	VEOR   V2.B16, V0.B16, V0.B16
+	VEOR   V3.B16, V1.B16, V1.B16
+	VCNT   V0.B16, V0.B16
+	VCNT   V1.B16, V1.B16
+	VADD   V0.B16, V4.B16, V4.B16
+	VADD   V1.B16, V4.B16, V4.B16
+	SUB    $1, R4, R4
+	CBNZ   R4, inner
+
+	// Flush: horizontal byte sum of V4 into the running total.
+	VUADDLV V4.B16, V5
+	FMOVD   F5, R5
+	ADD     R5, R6, R6
+	CBNZ    R3, outer
+
+done:
+	MOVD R6, ret+24(FP)
+	RET

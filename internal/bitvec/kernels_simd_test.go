@@ -1,0 +1,357 @@
+package bitvec
+
+import (
+	"testing"
+
+	"math/rand/v2"
+)
+
+// The SIMD equivalence suite: every kernel table registered on this
+// CPU (portable, avx2, avx512popcnt, neon, ...) must be bit-identical
+// to the portable reference on every entry point, across random
+// lengths, tail words, subslice offsets, and degenerate all-ones /
+// all-zeros patterns. Under `-tags purego` only the portable table is
+// registered and the suite degenerates to self-consistency.
+
+// forEachKernel runs f once per registered kernel table, restoring the
+// auto-selected table afterwards.
+func forEachKernel(t *testing.T, f func(t *testing.T, name string)) {
+	t.Helper()
+	prev := KernelName()
+	defer func() {
+		if err := UseKernels(prev); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	for _, name := range AvailableKernels() {
+		if err := UseKernels(name); err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) { f(t, name) })
+	}
+}
+
+// kernelTestLengths covers word-boundary straddles, the 4-word SIMD
+// granularity, the 64-word Harley-Seal block, and the 512-word
+// Hamming block edge on both sides.
+func kernelTestLengths() []int {
+	return []int{0, 1, 63, 64, 65, 127, 128, 129, 255, 256, 257,
+		511, 512, 513, 4095, 4096, 4097, 10000,
+		64*64 - 1, 64 * 64, 64*64 + 1, 512*64 + 65}
+}
+
+// patternedVector builds vectors beyond uniform random: all-zeros,
+// all-ones, and alternating edge words exercise carry chains that
+// random bits rarely saturate.
+func patternedVector(n int, kind int, rng *rand.Rand) *Vector {
+	v := New(n)
+	switch kind {
+	case 0:
+		return v // all zeros
+	case 1:
+		for i := range v.words {
+			v.words[i] = ^uint64(0)
+		}
+		v.maskTail()
+	case 2:
+		for i := range v.words {
+			v.words[i] = 0xAAAAAAAAAAAAAAAA
+		}
+		v.maskTail()
+	default:
+		for i := range v.words {
+			v.words[i] = rng.Uint64()
+		}
+		v.maskTail()
+	}
+	return v
+}
+
+func hammingRef(a, b *Vector) int {
+	d := 0
+	for i := 0; i < a.n; i++ {
+		if a.Get(i) != b.Get(i) {
+			d++
+		}
+	}
+	return d
+}
+
+func TestKernelPopcntXorEquivalence(t *testing.T) {
+	forEachKernel(t, func(t *testing.T, name string) {
+		rng := kernelRNG(201)
+		for _, n := range kernelTestLengths() {
+			if n > 5000 && testing.Short() {
+				continue
+			}
+			for kind := 0; kind < 4; kind++ {
+				a := patternedVector(n, kind, rng)
+				b := patternedVector(n, 3-kind, rng)
+				want := popcntXorGo(a.words, b.words)
+				if got := a.Hamming(b); got != want {
+					t.Fatalf("n=%d kind=%d: Hamming %d != portable %d", n, kind, got, want)
+				}
+				if n <= 2048 {
+					if got, w2 := a.Hamming(b), hammingRef(a, b); got != w2 {
+						t.Fatalf("n=%d kind=%d: Hamming %d != per-bit %d", n, kind, got, w2)
+					}
+				}
+			}
+		}
+		// Unaligned subslices: the kernels must not assume 32-byte
+		// alignment of the first word.
+		rngs := kernelRNG(202)
+		base := Random(4096, rngs)
+		other := Random(4096, rngs)
+		for off := 0; off < 8; off++ {
+			for end := len(base.words) - 7; end <= len(base.words); end++ {
+				if off > end {
+					continue
+				}
+				aw, bw := base.words[off:end], other.words[off:end]
+				if got, want := kern.popcntXor(aw, bw), popcntXorGo(aw, bw); got != want {
+					t.Fatalf("subslice [%d:%d]: %d != %d", off, end, got, want)
+				}
+			}
+		}
+	})
+}
+
+func TestKernelHammingManyAndNearestEquivalence(t *testing.T) {
+	forEachKernel(t, func(t *testing.T, name string) {
+		rng := kernelRNG(203)
+		for _, n := range []int{1, 64, 157*64 + 16, 10000, 512*64 + 65} {
+			q := Random(n, rng)
+			cs := make([]*Vector, 9)
+			for i := range cs {
+				cs[i] = Random(n, rng)
+			}
+			cs[4] = q.Clone()
+			got := HammingMany(q, cs, nil)
+			for i, cv := range cs {
+				if want := popcntXorGo(q.words, cv.words); got[i] != want {
+					t.Fatalf("n=%d class %d: HammingMany %d != portable %d", n, i, got[i], want)
+				}
+			}
+			wantBest := 0
+			for i, d := range got {
+				if d < got[wantBest] {
+					wantBest = i
+				}
+			}
+			if best := Nearest(q, cs, nil); best != wantBest {
+				t.Fatalf("n=%d: Nearest %d != argmin %d", n, best, wantBest)
+			}
+		}
+	})
+}
+
+func TestKernelHammingRangeEquivalence(t *testing.T) {
+	forEachKernel(t, func(t *testing.T, name string) {
+		rng := kernelRNG(204)
+		for _, n := range []int{1, 64, 65, 1000, 4097, 10000} {
+			a := Random(n, rng)
+			b := Random(n, rng)
+			ranges := [][2]int{{0, n}, {0, 0}, {n, n}, {0, 1}, {n - 1, n}, {n / 3, 2 * n / 3}}
+			for trial := 0; trial < 40; trial++ {
+				lo := rng.IntN(n + 1)
+				hi := lo + rng.IntN(n-lo+1)
+				ranges = append(ranges, [2]int{lo, hi})
+			}
+			for _, r := range ranges {
+				lo, hi := r[0], r[1]
+				want := 0
+				for i := lo; i < hi; i++ {
+					if a.Get(i) != b.Get(i) {
+						want++
+					}
+				}
+				if got := a.HammingRange(b, lo, hi); got != want {
+					t.Fatalf("n=%d [%d,%d): HammingRange %d != per-bit %d", n, lo, hi, got, want)
+				}
+			}
+		}
+	})
+}
+
+func TestKernelPlaneCounterEquivalence(t *testing.T) {
+	forEachKernel(t, func(t *testing.T, name string) {
+		rng := kernelRNG(205)
+		for _, n := range []int{1, 63, 64, 65, 300, 4097} {
+			for _, count := range []int{1, 7, 8, 9, 24, 75} {
+				vs := make([]*Vector, count)
+				for i := range vs {
+					vs[i] = patternedVector(n, i%5, rng)
+				}
+				bulk := NewPlaneCounter(n)
+				bulk.AddMany(vs)
+				// Per-bit reference counts.
+				for i := 0; i < n; i += 1 + n/17 {
+					want := 0
+					for _, v := range vs {
+						if v.Get(i) {
+							want++
+						}
+					}
+					if got := bulk.Count(i); got != want {
+						t.Fatalf("n=%d count=%d dim %d: %d != %d", n, count, i, got, want)
+					}
+				}
+				seq := NewPlaneCounter(n)
+				for _, v := range vs {
+					seq.Add(v)
+				}
+				if !bulk.Majority().Equal(seq.Majority()) {
+					t.Fatalf("n=%d count=%d: AddMany majority diverges from Add", n, count)
+				}
+			}
+		}
+	})
+}
+
+func TestKernelMajorityEquivalence(t *testing.T) {
+	forEachKernel(t, func(t *testing.T, name string) {
+		rng := kernelRNG(206)
+		for _, n := range []int{1, 64, 65, 513, 4097} {
+			for fanIn := 1; fanIn <= 9; fanIn++ {
+				vs := make([]*Vector, fanIn)
+				for i := range vs {
+					vs[i] = patternedVector(n, (i+fanIn)%5, rng)
+				}
+				got := Majority(vs)
+				for i := 0; i < n; i += 1 + n/29 {
+					votes := 0
+					for _, v := range vs {
+						if v.Get(i) {
+							votes++
+						}
+					}
+					want := votes*2 > fanIn
+					if votes*2 == fanIn {
+						want = vs[0].Get(i) // even tie: incumbent wins
+					}
+					if got.Get(i) != want {
+						t.Fatalf("n=%d fanIn=%d bit %d: majority %v != %v", n, fanIn, i, got.Get(i), want)
+					}
+				}
+				// Aliasing contract: dst may be one of the voters.
+				alias := vs[0].Clone()
+				MajorityInto(alias, append([]*Vector{alias}, vs[1:]...))
+				if !alias.Equal(got) {
+					t.Fatalf("n=%d fanIn=%d: aliased MajorityInto diverges", n, fanIn)
+				}
+			}
+		}
+	})
+}
+
+func TestKernelCounterAddScaledEquivalence(t *testing.T) {
+	forEachKernel(t, func(t *testing.T, name string) {
+		rng := kernelRNG(207)
+		for _, n := range []int{1, 63, 64, 65, 129, 1000, 4097} {
+			c := NewCounter(n)
+			type op struct {
+				v *Vector
+				w int32
+			}
+			ops := []op{}
+			for trial := 0; trial < 6; trial++ {
+				ops = append(ops, op{patternedVector(n, trial%5, rng), [...]int32{1, -1, 3, -7, 1 << 30, 1}[trial]})
+			}
+			for _, o := range ops {
+				c.addScaled(o.v, o.w)
+			}
+			for i := 0; i < n; i += 1 + n/31 {
+				var want int32
+				for _, o := range ops {
+					if o.v.Get(i) {
+						want += o.w
+					} else {
+						want -= o.w
+					}
+				}
+				if got := c.Tally(i); got != want {
+					t.Fatalf("n=%d dim %d: tally %d != %d", n, i, got, want)
+				}
+			}
+		}
+	})
+}
+
+// TestNearestEarlyAbandonSurvivesSIMD instruments the dispatched
+// popcount kernel with a word counter and proves the vectorized path
+// still abandons hopeless candidates between SIMD blocks: with one
+// near candidate among many far ones at multi-block dimensionality,
+// Nearest must score strictly fewer words than the full HammingMany
+// scan while returning the identical argmin.
+func TestNearestEarlyAbandonSurvivesSIMD(t *testing.T) {
+	rng := kernelRNG(208)
+	const n = 512 * 64 * 8 // 8 Hamming blocks of 512 words
+	q := Random(n, rng)
+	cs := make([]*Vector, 16)
+	for i := range cs {
+		cs[i] = q.Clone()
+		if i == 3 {
+			cs[i].FlipBernoulli(0.01, rng) // the clear winner
+		} else {
+			cs[i].FlipBernoulli(0.99, rng) // nearly maximally far
+		}
+	}
+
+	var wordsScored int
+	counting := kern
+	inner := kern.popcntXor
+	counting.popcntXor = func(a, b []uint64) int {
+		wordsScored += len(a)
+		return inner(a, b)
+	}
+	prev := setKernelTable(counting)
+	defer setKernelTable(prev)
+
+	HammingMany(q, cs, nil)
+	fullScan := wordsScored
+
+	wordsScored = 0
+	if got := Nearest(q, cs, nil); got != 3 {
+		t.Fatalf("Nearest picked %d, want 3", got)
+	}
+	abandoned := wordsScored
+	// The conservative bound (partial distance > min + bits remaining)
+	// provably cannot fire before the scan midpoint — the unseen bits
+	// could all favor the trailing candidate — so the floor is ~50% of
+	// the full scan even with maximally far decoys. With 0.98n
+	// separation the decoys die after block 5 of 8: 5 blocks × 16
+	// candidates + 3 blocks × 1 winner = 83 of 128 block-scans (65%).
+	// Anything above 75% means block-level abandonment stopped engaging.
+	if abandoned*4 >= fullScan*3 {
+		t.Fatalf("early abandon lost: Nearest scored %d of %d words", abandoned, fullScan)
+	}
+	t.Logf("Nearest scored %d words vs %d full scan (%.1f%%)",
+		abandoned, fullScan, 100*float64(abandoned)/float64(fullScan))
+}
+
+// TestKernelDispatchReporting pins the dispatch surface: the portable
+// table is always registered first, the active table is one of the
+// registered ones, and unknown names are rejected.
+func TestKernelDispatchReporting(t *testing.T) {
+	names := AvailableKernels()
+	if len(names) == 0 || names[0] != "portable" {
+		t.Fatalf("AvailableKernels must lead with portable, got %v", names)
+	}
+	active := KernelName()
+	found := false
+	for _, n := range names {
+		if n == active {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("active kernel %q not in %v", active, names)
+	}
+	if err := UseKernels("no-such-kernel"); err == nil {
+		t.Fatal("UseKernels must reject unknown names")
+	}
+	if KernelName() != active {
+		t.Fatalf("failed UseKernels changed the active table to %q", KernelName())
+	}
+}

@@ -35,22 +35,10 @@ func MajorityInto(dst *Vector, vs []*Vector) {
 		dst.CopyFrom(vs[0])
 		return
 	case 3:
-		a, b, c := vs[0].words, vs[1].words, vs[2].words
-		for i := range dst.words {
-			dst.words[i] = a[i]&b[i] | a[i]&c[i] | b[i]&c[i]
-		}
+		kern.majority3(dst.words, vs[0].words, vs[1].words, vs[2].words)
 		return
 	case 5:
-		a, b, c, d, e := vs[0].words, vs[1].words, vs[2].words, vs[3].words, vs[4].words
-		for i := range dst.words {
-			// maj5 = "at least 3 of 5", split on how many of a,b,c vote
-			// yes: all three carry alone; exactly two need one of d,e;
-			// exactly one needs both.
-			maj3 := a[i]&b[i] | a[i]&c[i] | b[i]&c[i] // at least two of a,b,c
-			all3 := a[i] & b[i] & c[i]
-			one3 := (a[i] | b[i] | c[i]) &^ maj3 // exactly one of a,b,c
-			dst.words[i] = all3 | maj3&(d[i]|e[i]) | one3&d[i]&e[i]
-		}
+		kern.majority5(dst.words, vs[0].words, vs[1].words, vs[2].words, vs[3].words, vs[4].words)
 		return
 	}
 	majorityGeneral(dst, vs)

@@ -77,23 +77,11 @@ func (p *PlaneCounter) Add(v *Vector) {
 // rippleFrom propagates carry (one word per counter word) into the
 // planes starting at plane index start, growing the plane stack if the
 // carry escapes the top. carry is consumed: on return it holds the
-// residual carry words (all zero unless the stack grew).
+// residual carry words (all zero unless the stack grew). Each per-plane
+// half-adder pass runs through the dispatched rippleStep kernel.
 func (p *PlaneCounter) rippleFrom(start int, carry []uint64) {
 	for pi := start; pi < len(p.planes); pi++ {
-		plane := p.planes[pi]
-		done := true
-		for i, c := range carry {
-			if c == 0 {
-				continue
-			}
-			nc := plane[i] & c
-			plane[i] ^= c
-			carry[i] = nc
-			if nc != 0 {
-				done = false
-			}
-		}
-		if done {
+		if kern.rippleStep(p.planes[pi], carry) == 0 {
 			return
 		}
 	}
@@ -150,53 +138,16 @@ func (p *PlaneCounter) AddMany(vs []*Vector) {
 		ones[i], twos[i], fours[i] = 0, 0, 0
 	}
 	g := 0
+	var group [8][]uint64
 	for ; g+8 <= len(vs); g += 8 {
-		w0, w1 := vs[g].words, vs[g+1].words
-		w2, w3 := vs[g+2].words, vs[g+3].words
-		w4, w5 := vs[g+4].words, vs[g+5].words
-		w6, w7 := vs[g+6].words, vs[g+7].words
-		var anyEights uint64
-		for i := range ones {
-			// Three CSA layers: eight weight-1 inputs fold into the
-			// running ones/twos/fours accumulators; only the weight-8
-			// carry escapes to the planes.
-			o := ones[i]
-			s01 := w0[i] ^ w1[i]
-			c01 := w0[i] & w1[i]
-			s23 := w2[i] ^ w3[i]
-			c23 := w2[i] & w3[i]
-			sA := s01 ^ s23
-			cA := (s01 & s23) | (o & sA)
-			o ^= sA
-			s45 := w4[i] ^ w5[i]
-			c45 := w4[i] & w5[i]
-			s67 := w6[i] ^ w7[i]
-			c67 := w6[i] & w7[i]
-			sB := s45 ^ s67
-			cB := (s45 & s67) | (o & sB)
-			ones[i] = o ^ sB
-
-			t := twos[i]
-			sC := c01 ^ c23
-			cC := (c01 & c23) | (t & sC)
-			t ^= sC
-			sD := c45 ^ c67
-			cD := (c45 & c67) | (t & sD)
-			t ^= sD
-			sE := cA ^ cB
-			cE := (cA & cB) | (t & sE)
-			twos[i] = t ^ sE
-
-			f := fours[i]
-			sF := cC ^ cD
-			cF := (cC & cD) | (f & sF)
-			f ^= sF
-			e := (f & cE) | cF
-			fours[i] = f ^ cE
-			eights[i] = e
-			anyEights |= e
+		// Three CSA layers fold eight weight-1 inputs into the running
+		// ones/twos/fours accumulators; only the weight-8 carry escapes
+		// to the planes. The fold runs through the dispatched 8-wide
+		// carry-save kernel.
+		for k := range group {
+			group[k] = vs[g+k].words
 		}
-		if anyEights != 0 {
+		if kern.csaAdd8(ones, twos, fours, eights, &group) != 0 {
 			p.rippleFrom(3, eights)
 		}
 	}

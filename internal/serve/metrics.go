@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/bitvec"
 	"repro/internal/fleet"
 	"repro/internal/recovery"
 	"repro/internal/substrate"
@@ -141,8 +142,12 @@ type ProbeInfo struct {
 
 // Metrics is the JSON document served at /metrics.
 type Metrics struct {
-	UptimeSeconds  float64       `json:"uptime_seconds"`
-	Ready          bool          `json:"ready"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Ready         bool    `json:"ready"`
+	// Kernel is the bitvec SIMD kernel table this process dispatched to
+	// ("portable", "avx2", "avx512popcnt", "neon"): a fleet operator
+	// can spot a node that silently fell back to the scalar path.
+	Kernel         string        `json:"kernel"`
 	Model          *ModelInfo    `json:"model,omitempty"`
 	Predictions    int64         `json:"predictions"`
 	Errors         int64         `json:"errors"`
@@ -178,6 +183,7 @@ func (s *Server) MetricsSnapshot() Metrics {
 	m := &s.metrics
 	out := Metrics{
 		UptimeSeconds: time.Since(s.start).Seconds(),
+		Kernel:        bitvec.KernelName(),
 		Predictions:   m.predicts.Load(),
 		Errors:        m.errors.Load(),
 		Batches:       m.batches.Load(),
