@@ -99,8 +99,9 @@ func main() {
 	replicas := flag.Int("replicas", 0, "run a replica fleet of this size instead of a single model (0 disables; excludes -watchdog)")
 	quorum := flag.Int("quorum", 0, "fleet read-quorum size (0 = majority; with -replicas)")
 	antiEntropy := flag.Duration("antientropy", 0, "fleet anti-entropy sweep interval (0 disables; with -replicas)")
-	journalFile := flag.String("journal", "", "append fleet/watchdog events as JSONL to this file ('' disables)")
+	journalFile := flag.String("journal", "", "append fleet/watchdog events as hash-chained JSONL to this file ('' disables); reopening resumes and verifies the chain")
 	journalSync := flag.Bool("journal-sync", false, "fsync the journal after every event (crash-safe, slower; with -journal)")
+	journalSeal := flag.Int("journal-seal", fleet.DefaultSealBatch, "Merkle-seal the journal every N events; sealed roots anchor snapshots and serve /journal/proof (0 disables sealing; with -journal)")
 	nodeMode := flag.Bool("node", false, "run as a cluster node: mount the /node/* API for a coordinator (excludes -replicas)")
 	coordMode := flag.Bool("coordinator", false, "run as a cluster coordinator over -peers instead of serving a model")
 	peers := flag.String("peers", "", "comma-separated node base URLs (with -coordinator)")
@@ -113,13 +114,19 @@ func main() {
 
 	var journal *fleet.Journal
 	if *journalFile != "" {
-		f, err := os.OpenFile(*journalFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		// OpenJournalFile verifies any existing content before appending
+		// (a tampered journal refuses to open) and resumes the hash chain
+		// across restarts, truncating at most one crash-torn final line.
+		j, resumed, err := fleet.OpenJournalFile(*journalFile)
 		if err != nil {
 			fail(err)
 		}
-		defer f.Close()
-		journal = fleet.NewJournal(f)
+		journal = j
 		journal.SetSyncOnAppend(*journalSync)
+		journal.SetSealBatch(*journalSeal)
+		if resumed > 0 {
+			fmt.Printf("journal %s: chain verified, resuming at seq %d\n", *journalFile, resumed)
+		}
 	}
 
 	if *coordMode {
@@ -247,7 +254,14 @@ func main() {
 	// its own line.
 	fmt.Printf("bitvec kernels: %s\n", bitvec.KernelName())
 	fmt.Printf("servehd listening on %s\n", ln.Addr())
-	serveHTTP(ln, srv.Handler(), srv.Close)
+	// Drain order: stop serving first, then seal and close the journal —
+	// a clean shutdown always ends the log on a seal boundary.
+	serveHTTP(ln, srv.Handler(), func() {
+		srv.Close()
+		if err := journal.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "servehd: journal close:", err)
+		}
+	})
 }
 
 // runCoordinator is the -coordinator entrypoint: no model of its own,
@@ -278,7 +292,12 @@ func runCoordinator(addr, peers string, quorum int, antiEntropy, nodeTimeout tim
 	}
 	fmt.Printf("servehd coordinator listening on %s (%d nodes, quorum %d, anti-entropy %v)\n",
 		ln.Addr(), co.Size(), co.Quorum(), antiEntropy)
-	serveHTTP(ln, co.Handler(), co.Close)
+	serveHTTP(ln, co.Handler(), func() {
+		co.Close()
+		if err := journal.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "servehd: journal close:", err)
+		}
+	})
 }
 
 // serveHTTP serves h on ln until SIGINT/SIGTERM or a listener error,

@@ -301,6 +301,19 @@ func (co *Coordinator) reseedFrom(n *node, act []*node) bool {
 		// sweep retries once the cluster heals.
 		return false
 	}
+	// Donor-trust gate: a donor whose own journal does not verify may
+	// be serving a rewritten healing history, and its snapshot will be
+	// anchored to that forged lineage — refuse to re-image anyone from
+	// it. Journal-less donors (Enabled=false) pass: they make no
+	// lineage claim to be checked.
+	if jv, err := donor.c.JournalVerify(); err != nil {
+		co.noteFailure(donor, err)
+		return false
+	} else if jv.Enabled && !jv.OK {
+		co.journal.Append(fleet.Event{Kind: fleet.EventReseed, Replica: n.id, Class: -1, Chunk: -1,
+			Detail: fmt.Sprintf("refused donor %d: journal does not verify: %s", donor.id, jv.Error)})
+		return false
+	}
 	img, err := donor.c.Snapshot(donorAgree)
 	if err != nil {
 		co.noteFailure(donor, err)

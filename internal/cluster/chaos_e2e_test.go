@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -26,9 +27,10 @@ type nodeProc struct {
 // startNodeProc launches the built servehd binary as a cluster node
 // and blocks until it announces its listen address — with -addr :0
 // the kernel picks the port, and the announce line carries it.
-func startNodeProc(t *testing.T, bin, model, addr string) *nodeProc {
+func startNodeProc(t *testing.T, bin, model, addr string, extra ...string) *nodeProc {
 	t.Helper()
-	cmd := exec.Command(bin, "-node", "-norecover", "-load", model, "-addr", addr)
+	args := append([]string{"-node", "-norecover", "-load", model, "-addr", addr}, extra...)
+	cmd := exec.Command(bin, args...)
 	cmd.Stderr = os.Stderr
 	out, err := cmd.StdoutPipe()
 	if err != nil {
@@ -109,21 +111,31 @@ func TestChaosDrillKillRestartReseed(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// Every node keeps its own synced, seal-every-event journal: the
+	// SIGKILL below must leave node 1 a chain that still verifies after
+	// the process is restarted onto the same file.
 	procs := make([]*nodeProc, 3)
 	urls := make([]string, 3)
+	nodeJournals := make([]string, 3)
+	nodeArgs := make([][]string, 3)
 	for i := range procs {
-		procs[i] = startNodeProc(t, bin, model, "127.0.0.1:0")
+		nodeJournals[i] = filepath.Join(dir, fmt.Sprintf("node%d.journal", i))
+		nodeArgs[i] = []string{"-journal", nodeJournals[i], "-journal-sync", "-journal-seal", "1"}
+		procs[i] = startNodeProc(t, bin, model, "127.0.0.1:0", nodeArgs[i]...)
 		urls[i] = procs[i].url
 	}
 
 	journalPath := filepath.Join(dir, "coordinator.journal")
-	jf, err := os.OpenFile(journalPath, os.O_CREATE|os.O_WRONLY, 0o644)
+	journal, resumed, err := fleet.OpenJournalFile(journalPath)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer jf.Close()
-	journal := fleet.NewJournal(jf)
+	if resumed != 0 {
+		t.Fatalf("fresh coordinator journal resumed at %d", resumed)
+	}
+	defer journal.Close()
 	journal.SetSyncOnAppend(true)
+	journal.SetSealBatch(4)
 
 	co := newCoordinator(t, cluster.Config{
 		Nodes:         urls,
@@ -156,6 +168,32 @@ func TestChaosDrillKillRestartReseed(t *testing.T) {
 		t.Fatalf("clean sweep over pristine processes: report %+v, healthy %v", rep, co.Healthy())
 	}
 	score("fast path", 16, 16)
+
+	// Phase 1b: a light corruption on node 1, swept and repaired, so
+	// node 1's journal holds sealed pre-kill events — the SIGKILL must
+	// not cost them.
+	lightBody, _ := json.Marshal(map[string]any{"kind": "random", "rate": 0.01, "seed": 99})
+	if _, err := co.Attack(1, lightBody); err != nil {
+		t.Fatalf("light attack on node 1: %v", err)
+	}
+	rep, err = co.SweepNow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RepairedChunks == 0 {
+		t.Fatalf("light-corruption sweep repaired nothing: %+v", rep)
+	}
+	if len(rep.Quarantined) != 0 {
+		t.Fatalf("light corruption quarantined %v, want in-place repair", rep.Quarantined)
+	}
+	rep, err = co.SweepNow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Healthy {
+		t.Fatalf("post-repair sweep not clean: %+v", rep)
+	}
+	score("repaired", 32, 16)
 
 	// Phase 2: SIGKILL node 1 under concurrent traffic. Every answer
 	// during and after the kill must stay correct — the fast path falls
@@ -203,7 +241,7 @@ func TestChaosDrillKillRestartReseed(t *testing.T) {
 	// heavily. The sweep must rejoin it, catch the divergence, and
 	// re-seed it from a donor — all over the wire.
 	addr := strings.TrimPrefix(procs[1].url, "http://")
-	procs[1] = startNodeProc(t, bin, model, addr)
+	procs[1] = startNodeProc(t, bin, model, addr, nodeArgs[1]...)
 	if procs[1].url != "http://"+addr {
 		t.Fatalf("restart landed on %s, want %s", procs[1].url, "http://"+addr)
 	}
@@ -235,6 +273,61 @@ func TestChaosDrillKillRestartReseed(t *testing.T) {
 		t.Fatalf("post-reseed sweep not clean: %+v, healthy %v", rep, co.Healthy())
 	}
 	score("healed", 96, 16)
+
+	// Node 1's own journal survived the SIGKILL: one verified hash
+	// chain spanning both process lifetimes, with the pre-kill repairs
+	// and the post-restart reseed sealed under Merkle roots.
+	nrep, err := fleet.Verify(mustOpen(t, nodeJournals[1]))
+	if err != nil && !errors.Is(err, fleet.ErrTruncatedTail) {
+		t.Fatalf("node 1 journal does not verify across the kill: %v", err)
+	}
+	if !nrep.Chained || nrep.SealedSeq == 0 {
+		t.Fatalf("node 1 journal chained=%v sealed=%d, want a sealed chain", nrep.Chained, nrep.SealedSeq)
+	}
+	sawRepair, sawReseed := false, false
+	for _, e := range replayEvents(t, nodeJournals[1]) {
+		switch e.Kind {
+		case fleet.EventRepair:
+			sawRepair = true
+		case fleet.EventReseed:
+			sawReseed = true
+		}
+	}
+	if !sawRepair || !sawReseed {
+		t.Fatalf("node 1 journal repair=%v reseed=%v, want both sides of the kill", sawRepair, sawReseed)
+	}
+	// The restarted process re-verifies its own file on demand and
+	// serves an inclusion proof for a pre-kill event.
+	var jv cluster.JournalVerifyResponse
+	httpGetJSON(t, procs[1].url+"/journal/verify", &jv)
+	if !jv.Enabled || !jv.OK {
+		t.Fatalf("node 1 /journal/verify = %+v, want enabled and ok", jv)
+	}
+	var proof fleet.InclusionProof
+	httpGetJSON(t, procs[1].url+"/journal/proof?seq=1", &proof)
+	if err := proof.Verify(); err != nil {
+		t.Fatalf("node 1 proof for seq 1: %v", err)
+	}
+
+	// The coordinator's journal seals its unsealed tail on demand and
+	// proves inclusion of any sealed event.
+	if err := journal.SealNow(); err != nil {
+		t.Fatal(err)
+	}
+	a, ok := journal.Anchor()
+	if !ok {
+		t.Fatal("coordinator journal has no anchor after SealNow")
+	}
+	cproof, err := journal.Proof(int64(a.SealedSeq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cproof.Verify(); err != nil {
+		t.Fatalf("coordinator proof: %v", err)
+	}
+	if vrep, err := journal.VerifyFile(); err != nil {
+		t.Fatalf("coordinator journal file does not verify: %v (report %+v)", err, vrep)
+	}
 
 	// The synced journal tells the whole story in order: node down,
 	// rejoin, quarantine, reseed, re-activation.
@@ -271,6 +364,33 @@ func TestChaosDrillKillRestartReseed(t *testing.T) {
 	}
 	if len(torn) != len(events) {
 		t.Fatalf("torn replay kept %d events, want the %d intact ones", len(torn), len(events))
+	}
+}
+
+// replayEvents replays a journal file, tolerating only the torn final
+// line a SIGKILL may leave.
+func replayEvents(t *testing.T, path string) []fleet.Event {
+	t.Helper()
+	events, err := fleet.Replay(mustOpen(t, path))
+	if err != nil && !errors.Is(err, fleet.ErrTruncatedTail) {
+		t.Fatalf("replay %s: %v", path, err)
+	}
+	return events
+}
+
+// httpGetJSON fetches and decodes a JSON document from a live node.
+func httpGetJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("decode %s: %v", url, err)
 	}
 }
 

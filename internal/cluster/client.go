@@ -206,3 +206,12 @@ func (c *nodeClient) Healthz() bool {
 func (c *nodeClient) Attack(body []byte) ([]byte, error) {
 	return c.do(http.MethodPost, "/attack", "application/json", body)
 }
+
+// JournalVerify asks the node to re-verify its own journal file
+// against its live chain — the donor-trust gate before re-seeding
+// from it. Nodes without a journal answer Enabled=false.
+func (c *nodeClient) JournalVerify() (JournalVerifyResponse, error) {
+	var out JournalVerifyResponse
+	err := c.getJSON("/journal/verify", &out)
+	return out, err
+}

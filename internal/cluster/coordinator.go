@@ -457,7 +457,13 @@ type Status struct {
 	RepairBits  int64 `json:"repair_bits"`
 	Quarantines int64 `json:"quarantines"`
 	Reseeds     int64 `json:"reseeds"`
-	JournalSeq  int64 `json:"journal_seq"`
+	// JournalSeq / JournalSealedSeq / JournalErrors mirror the fleet
+	// journal health fields: last seq, highest Merkle-sealed seq, and
+	// sink failures (appends are fire-and-forget on the serving path, so
+	// the counter is the only failure signal).
+	JournalSeq       int64 `json:"journal_seq"`
+	JournalSealedSeq int64 `json:"journal_sealed_seq"`
+	JournalErrors    int64 `json:"journal_errors"`
 }
 
 // Status snapshots coordinator and per-node counters.
@@ -474,8 +480,11 @@ func (co *Coordinator) Status() Status {
 		RepairBits:     co.repairBits.Load(),
 		Quarantines:    co.quarantines.Load(),
 		Reseeds:        co.reseeds.Load(),
-		JournalSeq:     co.journal.Seq(),
 	}
+	js := co.journal.Stats()
+	st.JournalSeq = js.Seq
+	st.JournalSealedSeq = js.SealedSeq
+	st.JournalErrors = js.Errors
 	for _, n := range co.nodes {
 		ns := NodeStatus{
 			ID:          n.id,

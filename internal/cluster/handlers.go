@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 )
 
 // Handler returns the coordinator's HTTP API — the serve API's shape,
@@ -14,6 +15,9 @@ import (
 //	POST /attack   {"node":i, ...drill} → forwarded to node i
 //	POST /sweep    run one anti-entropy sweep, return its report
 //	GET  /cluster  coordinator + per-node status
+//	GET  /journal/proof?seq=N  inclusion proof from the coordinator's
+//	               own journal
+//	GET  /journal/verify       re-verify the coordinator's journal
 //	GET  /healthz  200 while at least one node is in rotation
 func (co *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -21,8 +25,36 @@ func (co *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("POST /attack", co.handleAttack)
 	mux.HandleFunc("POST /sweep", co.handleSweep)
 	mux.HandleFunc("GET /cluster", co.handleStatus)
+	mux.HandleFunc("GET /journal/proof", co.handleJournalProof)
+	mux.HandleFunc("GET /journal/verify", co.handleJournalVerify)
 	mux.HandleFunc("GET /healthz", co.handleHealthz)
 	return mux
+}
+
+// handleJournalProof serves a Merkle inclusion proof from the
+// coordinator's own journal (GET /journal/proof?seq=N).
+func (co *Coordinator) handleJournalProof(w http.ResponseWriter, r *http.Request) {
+	if co.journal == nil {
+		coordErr(w, http.StatusBadRequest, errors.New("no journal configured"))
+		return
+	}
+	seq, err := strconv.ParseInt(r.URL.Query().Get("seq"), 10, 64)
+	if err != nil || seq <= 0 {
+		coordErr(w, http.StatusBadRequest, errors.New("provide seq=N (a sealed journal sequence number)"))
+		return
+	}
+	p, perr := co.journal.Proof(seq)
+	if perr != nil {
+		coordErr(w, http.StatusNotFound, perr)
+		return
+	}
+	coordJSON(w, http.StatusOK, p)
+}
+
+// handleJournalVerify re-verifies the coordinator's journal file
+// against its live chain (GET /journal/verify).
+func (co *Coordinator) handleJournalVerify(w http.ResponseWriter, r *http.Request) {
+	coordJSON(w, http.StatusOK, VerifyJournalDoc(co.journal))
 }
 
 func coordJSON(w http.ResponseWriter, status int, v any) {

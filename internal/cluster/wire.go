@@ -25,6 +25,7 @@ import (
 	"hash/fnv"
 
 	"repro/internal/bitvec"
+	"repro/internal/fleet"
 )
 
 // Node API wire documents. The node side lives in internal/serve
@@ -125,3 +126,36 @@ func putU64(b *[8]byte, w uint64) {
 
 // HashString renders a chunk hash the way Summary carries it.
 func HashString(h uint64) string { return fmt.Sprintf("%016x", h) }
+
+// JournalVerifyResponse is the /journal/verify wire document, shared
+// by serve nodes and the coordinator. Enabled is false when the
+// process runs without a journal; OK means the journal's backing file
+// re-verified end to end AND matches the live chain tip (so on-disk
+// tampering behind the process — including suffix truncation — is
+// caught); Report carries the replayed seal inventory.
+type JournalVerifyResponse struct {
+	Enabled bool                `json:"enabled"`
+	OK      bool                `json:"ok"`
+	Error   string              `json:"error,omitempty"`
+	Live    fleet.JournalStats  `json:"live"`
+	Report  *fleet.VerifyReport `json:"report,omitempty"`
+}
+
+// VerifyJournalDoc builds the /journal/verify response for a journal
+// (nil journals report disabled). It is the single implementation
+// behind the serve and coordinator endpoints and the coordinator's
+// donor-trust gate.
+func VerifyJournalDoc(j *fleet.Journal) JournalVerifyResponse {
+	if j == nil {
+		return JournalVerifyResponse{}
+	}
+	out := JournalVerifyResponse{Enabled: true, Live: j.Stats()}
+	rep, err := j.VerifyFile()
+	out.Report = &rep
+	if err != nil {
+		out.Error = err.Error()
+		return out
+	}
+	out.OK = true
+	return out
+}

@@ -17,7 +17,25 @@ import (
 // seals the payload with a CRC32 trailer and carries a held-out
 // probe-accuracy stamp, so a restore path can reject both a corrupted
 // image and a checkpoint that was already degraded when it was taken.
-const systemMagic = 0x52485332 // "RHS2"
+// Version 3 ("RHS3") additionally embeds a journal anchor — the
+// writer's latest sealed journal Merkle root — binding the snapshot to
+// the audit lineage it descends from. Unanchored saves still emit RHS2
+// byte-identically, so old readers and old snapshots interoperate.
+const (
+	systemMagic         = 0x52485332 // "RHS2"
+	systemMagicAnchored = 0x52485333 // "RHS3"
+)
+
+// JournalAnchor binds a snapshot to the tamper-evident journal of the
+// process that wrote it: Root is the Merkle root the journal sealed
+// over its first SealedSeq events at save time. A restore path holding
+// that journal verifies the anchor before trusting the image, so a
+// snapshot claiming a healing history the journal cannot prove is
+// refused.
+type JournalAnchor struct {
+	Root      [32]byte
+	SealedSeq uint64
+}
 
 // ErrChecksum reports a snapshot whose CRC32 trailer does not match
 // its payload — the stored image rotted (or was tampered with) between
@@ -41,28 +59,52 @@ func (s *System) Save(w io.Writer) error {
 // degraded is rejected rather than rolled back to. NaN means
 // "unstamped" (no probe ran); otherwise the stamp must be in [0, 1].
 func (s *System) SaveStamped(w io.Writer, probeAccuracy float64) error {
+	return s.SaveAnchored(w, probeAccuracy, nil)
+}
+
+// SaveAnchored is SaveStamped with an optional journal anchor embedded
+// in the header. A nil anchor writes the RHS2 format byte-identically
+// to SaveStamped; a non-nil anchor writes RHS3, which prepends the
+// anchor's sealed seq and Merkle root to the payload so restore paths
+// can verify the snapshot's journal lineage.
+func (s *System) SaveAnchored(w io.Writer, probeAccuracy float64, anchor *JournalAnchor) error {
 	if s.encoder == nil || s.norm == nil || s.model == nil {
 		return fmt.Errorf("core: cannot save an untrained system")
 	}
 	if !math.IsNaN(probeAccuracy) && (probeAccuracy < 0 || probeAccuracy > 1) {
 		return fmt.Errorf("core: accuracy stamp %v out of [0,1]", probeAccuracy)
 	}
+	if anchor != nil && anchor.SealedSeq == 0 {
+		return fmt.Errorf("core: journal anchor with no sealed events")
+	}
 	// Everything written through mw feeds the CRC; the trailer itself
 	// goes to w alone.
 	sum := crc32.NewIEEE()
 	mw := io.MultiWriter(w, sum)
 	bw := bufio.NewWriter(mw)
+	magic := uint64(systemMagic)
+	if anchor != nil {
+		magic = systemMagicAnchored
+	}
 	header := []uint64{
-		systemMagic,
+		magic,
 		uint64(s.cfg.Dimensions),
 		uint64(s.cfg.Levels),
 		s.cfg.Seed,
 		uint64(s.encoder.Features()),
 		math.Float64bits(probeAccuracy),
 	}
+	if anchor != nil {
+		header = append(header, anchor.SealedSeq)
+	}
 	for _, v := range header {
 		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
 			return fmt.Errorf("core: save header: %w", err)
+		}
+	}
+	if anchor != nil {
+		if _, err := bw.Write(anchor.Root[:]); err != nil {
+			return fmt.Errorf("core: save anchor: %w", err)
 		}
 	}
 	mins, maxs := s.norm.Ranges()
@@ -90,38 +132,61 @@ func Load(r io.Reader) (*System, error) {
 }
 
 // LoadStamped reconstructs a system and returns its probe-accuracy
-// stamp (NaN when the snapshot was written unstamped). The CRC32
+// stamp (NaN when the snapshot was written unstamped), discarding any
+// journal anchor. The CRC32 trailer is verified before any of the
+// payload is trusted; a mismatch returns ErrChecksum.
+func LoadStamped(r io.Reader) (*System, float64, error) {
+	s, stamp, _, err := LoadAnchored(r)
+	return s, stamp, err
+}
+
+// LoadAnchored reconstructs a system and returns its probe-accuracy
+// stamp and journal anchor (nil for RHS2 snapshots, which predate
+// anchoring or were written without a sealed journal). The CRC32
 // trailer is verified before any of the payload is trusted; a mismatch
 // returns ErrChecksum.
-func LoadStamped(r io.Reader) (*System, float64, error) {
+func LoadAnchored(r io.Reader) (*System, float64, *JournalAnchor, error) {
 	nan := math.NaN()
 	data, err := io.ReadAll(r)
 	if err != nil {
-		return nil, nan, fmt.Errorf("core: load snapshot: %w", err)
+		return nil, nan, nil, fmt.Errorf("core: load snapshot: %w", err)
 	}
 	if len(data) < 4 {
-		return nil, nan, fmt.Errorf("core: snapshot truncated (%d bytes)", len(data))
+		return nil, nan, nil, fmt.Errorf("core: snapshot truncated (%d bytes)", len(data))
 	}
 	payload, trailer := data[:len(data)-4], data[len(data)-4:]
 	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(trailer) {
-		return nil, nan, ErrChecksum
+		return nil, nan, nil, ErrChecksum
 	}
 	br := bytes.NewReader(payload)
 	var magic, dims, levels, seed, features, stampBits uint64
 	for _, p := range []*uint64{&magic, &dims, &levels, &seed, &features, &stampBits} {
 		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
-			return nil, nan, fmt.Errorf("core: load header: %w", err)
+			return nil, nan, nil, fmt.Errorf("core: load header: %w", err)
 		}
 	}
-	if magic != systemMagic {
-		return nil, nan, fmt.Errorf("core: bad magic %#x", magic)
+	if magic != systemMagic && magic != systemMagicAnchored {
+		return nil, nan, nil, fmt.Errorf("core: bad magic %#x", magic)
+	}
+	var anchor *JournalAnchor
+	if magic == systemMagicAnchored {
+		anchor = &JournalAnchor{}
+		if err := binary.Read(br, binary.LittleEndian, &anchor.SealedSeq); err != nil {
+			return nil, nan, nil, fmt.Errorf("core: load anchor: %w", err)
+		}
+		if _, err := io.ReadFull(br, anchor.Root[:]); err != nil {
+			return nil, nan, nil, fmt.Errorf("core: load anchor: %w", err)
+		}
+		if anchor.SealedSeq == 0 {
+			return nil, nan, nil, fmt.Errorf("core: anchored snapshot with no sealed events")
+		}
 	}
 	stamp := math.Float64frombits(stampBits)
 	if !math.IsNaN(stamp) && (stamp < 0 || stamp > 1) {
-		return nil, nan, fmt.Errorf("core: accuracy stamp %v out of [0,1]", stamp)
+		return nil, nan, nil, fmt.Errorf("core: accuracy stamp %v out of [0,1]", stamp)
 	}
 	if features == 0 || features > 1<<24 {
-		return nil, nan, fmt.Errorf("core: implausible feature count %d", features)
+		return nil, nan, nil, fmt.Errorf("core: implausible feature count %d", features)
 	}
 	mins := make([]float64, features)
 	maxs := make([]float64, features)
@@ -129,30 +194,30 @@ func LoadStamped(r io.Reader) (*System, float64, error) {
 		for i := range slice {
 			var bits uint64
 			if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
-				return nil, nan, fmt.Errorf("core: load normalizer: %w", err)
+				return nil, nan, nil, fmt.Errorf("core: load normalizer: %w", err)
 			}
 			slice[i] = math.Float64frombits(bits)
 		}
 	}
 	norm, err := encoding.NormalizerFromRanges(mins, maxs)
 	if err != nil {
-		return nil, nan, fmt.Errorf("core: %w", err)
+		return nil, nan, nil, fmt.Errorf("core: %w", err)
 	}
 	enc, err := encoding.NewRecordEncoder(int(dims), int(features), int(levels), 0, 1, seed)
 	if err != nil {
-		return nil, nan, fmt.Errorf("core: %w", err)
+		return nil, nan, nil, fmt.Errorf("core: %w", err)
 	}
 	m, err := model.ReadDeployed(br)
 	if err != nil {
-		return nil, nan, fmt.Errorf("core: %w", err)
+		return nil, nan, nil, fmt.Errorf("core: %w", err)
 	}
 	if m.Dimensions() != int(dims) {
-		return nil, nan, fmt.Errorf("core: model dims %d != config dims %d", m.Dimensions(), dims)
+		return nil, nan, nil, fmt.Errorf("core: model dims %d != config dims %d", m.Dimensions(), dims)
 	}
 	return &System{
 		cfg:     Config{Dimensions: int(dims), Levels: int(levels), Seed: seed},
 		norm:    norm,
 		encoder: enc,
 		model:   m,
-	}, stamp, nil
+	}, stamp, anchor, nil
 }

@@ -496,8 +496,13 @@ type Status struct {
 	Quarantines int64 `json:"quarantines"`
 	Reseeds     int64 `json:"reseeds"`
 	// JournalSeq is the last journal sequence number (0 without a
-	// journal).
-	JournalSeq int64 `json:"journal_seq"`
+	// journal). JournalSealedSeq is the highest Merkle-sealed seq, and
+	// JournalErrors counts appends the sink rejected — the journal's
+	// health signal, since call sites intentionally drop append errors
+	// on the serving path.
+	JournalSeq       int64 `json:"journal_seq"`
+	JournalSealedSeq int64 `json:"journal_sealed_seq"`
+	JournalErrors    int64 `json:"journal_errors"`
 }
 
 // Status snapshots fleet and per-replica counters.
@@ -513,8 +518,11 @@ func (f *Fleet) Status() Status {
 		RepairBits:     f.repairBits.Load(),
 		Quarantines:    f.quarantines.Load(),
 		Reseeds:        f.reseeds.Load(),
-		JournalSeq:     f.journal.Seq(),
 	}
+	js := f.journal.Stats()
+	st.JournalSeq = js.Seq
+	st.JournalSealedSeq = js.SealedSeq
+	st.JournalErrors = js.Errors
 	for _, r := range f.replicas {
 		st.Replicas = append(st.Replicas, r.status())
 	}

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"repro/internal/bitvec"
@@ -129,6 +130,90 @@ func FuzzJournalReplay(f *testing.F) {
 			if e.Seq != int64(i)+1 {
 				t.Fatalf("accepted journal with seq %d at position %d", e.Seq, i)
 			}
+		}
+	})
+}
+
+// FuzzJournalChain builds a genuine sealed journal, applies a
+// fuzz-chosen mutation (bit flip or truncation) inside the sealed
+// region, and requires that the defense in depth holds: either strict
+// Replay rejects the stream outright, or the anchor check against the
+// original sealed root refuses the mutated lineage. A mutation that
+// survives both would let an attacker rewrite healing history.
+func FuzzJournalChain(f *testing.F) {
+	f.Add(uint16(0), true, uint8(0), uint8(20), uint8(4))
+	f.Add(uint16(100), false, uint8(3), uint8(20), uint8(4))
+	f.Add(uint16(57), true, uint8(7), uint8(9), uint8(2))
+	f.Add(uint16(4000), false, uint8(1), uint8(40), uint8(8))
+	f.Fuzz(func(t *testing.T, pos uint16, truncate bool, bit, nEvents, batch uint8) {
+		n := int(nEvents)%48 + 2
+		sb := int(batch)%8 + 1
+		var buf bytes.Buffer
+		j := NewJournal(&buf)
+		j.SetSealBatch(sb)
+		for i := 0; i < n; i++ {
+			if err := j.Append(Event{Kind: EventRepair, Replica: i % 3, Class: i % 5, Chunk: i, Bits: i}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		anchor, ok := j.Anchor()
+		if !ok {
+			t.Skip() // too few events to seal
+		}
+		raw := buf.Bytes()
+		rep, err := Verify(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatalf("pristine journal does not verify: %v", err)
+		}
+		if err := rep.CheckAnchor(anchor); err != nil {
+			t.Fatalf("pristine journal fails its own anchor: %v", err)
+		}
+		// Locate the end of the sealed region (the last seal line's
+		// newline) and clamp the mutation inside it. Mutations that only
+		// touch the torn-tail tolerance window (the final newline) are
+		// excluded — that window is tolerated by the crash contract.
+		sealedEnd := 0
+		count := int64(0)
+		for i, b := range raw {
+			if b == '\n' {
+				count++
+				if count == rep.Seals[len(rep.Seals)-1].SealSeq {
+					sealedEnd = i + 1
+					break
+				}
+			}
+		}
+		if sealedEnd < 2 {
+			t.Skip()
+		}
+		var mutated []byte
+		if truncate {
+			cut := int(pos) % (sealedEnd - 1) // 0..sealedEnd-2: always loses sealed bytes
+			mutated = raw[:cut]
+		} else {
+			off := int(pos) % sealedEnd
+			if raw[off] == '\n' {
+				off = (off + 1) % sealedEnd // structural newline flips covered by truncate arm
+			}
+			mutated = append([]byte(nil), raw...)
+			mask := byte(1) << (bit % 8)
+			mutated[off] ^= mask
+			if mutated[off] == '\n' && off == sealedEnd-1 {
+				t.Skip()
+			}
+		}
+		if bytes.Equal(mutated, raw) {
+			t.Skip()
+		}
+		if _, rerr := Replay(bytes.NewReader(mutated)); rerr != nil && !errors.Is(rerr, ErrTruncatedTail) {
+			return // strict Replay rejected it
+		}
+		mrep, verr := Verify(bytes.NewReader(mutated))
+		if verr != nil {
+			return
+		}
+		if aerr := mrep.CheckAnchor(anchor); aerr == nil {
+			t.Fatalf("mutation (truncate=%v pos=%d bit=%d) accepted by Replay and anchor check", truncate, pos, bit)
 		}
 	})
 }

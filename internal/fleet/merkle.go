@@ -1,0 +1,152 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// Merkle batching for the tamper-evident journal. Leaves are the
+// SHA-256 hashes of the exact journal line bytes (the same hashes the
+// Prev chain links on); trees are built Bitcoin-style — adjacent leaves
+// are paired and an odd tail node is hashed with a copy of itself — so
+// a batch of any size folds to one 32-byte root. A seal event carries
+// the root; an inclusion proof carries the sibling path from one leaf
+// back up to it, so a single event's membership in a sealed batch is
+// checkable in O(log n) hashes without the rest of the batch.
+
+// merkleParent hashes an ordered child pair into its parent node.
+func merkleParent(l, r [32]byte) [32]byte {
+	var buf [64]byte
+	copy(buf[:32], l[:])
+	copy(buf[32:], r[:])
+	return sha256.Sum256(buf[:])
+}
+
+// merkleRoot folds leaves bottom-up into the batch root. One leaf is
+// its own root; an empty batch has no root (all-zero sentinel, never
+// sealed).
+func merkleRoot(leaves [][32]byte) [32]byte {
+	if len(leaves) == 0 {
+		return [32]byte{}
+	}
+	level := append([][32]byte(nil), leaves...)
+	for len(level) > 1 {
+		next := level[:0]
+		for i := 0; i < len(level); i += 2 {
+			j := i + 1
+			if j == len(level) {
+				j = i // odd tail: pair with itself
+			}
+			p := merkleParent(level[i], level[j])
+			next = append(next, p)
+		}
+		level = next
+	}
+	return level[0]
+}
+
+// merklePath returns the sibling hashes from leaf idx up to the root —
+// the audit path an InclusionProof carries. At every level the sibling
+// of an odd tail node is the node itself, mirroring merkleRoot's
+// duplication, so merkleFold reproduces the root without knowing the
+// batch size.
+func merklePath(leaves [][32]byte, idx int) [][32]byte {
+	var path [][32]byte
+	level := append([][32]byte(nil), leaves...)
+	for len(level) > 1 {
+		sib := idx ^ 1
+		if sib >= len(level) {
+			sib = idx
+		}
+		path = append(path, level[sib])
+		next := level[:0]
+		for i := 0; i < len(level); i += 2 {
+			j := i + 1
+			if j == len(level) {
+				j = i
+			}
+			p := merkleParent(level[i], level[j])
+			next = append(next, p)
+		}
+		level = next
+		idx /= 2
+	}
+	return path
+}
+
+// merkleFold recomputes the root from one leaf and its audit path; the
+// low bit of idx at each level says which side the leaf's lineage sits
+// on.
+func merkleFold(leaf [32]byte, idx int, path [][32]byte) [32]byte {
+	h := leaf
+	for _, p := range path {
+		if idx&1 == 0 {
+			h = merkleParent(h, p)
+		} else {
+			h = merkleParent(p, h)
+		}
+		idx >>= 1
+	}
+	return h
+}
+
+// InclusionProof proves one journal event's membership in a sealed
+// batch: folding Leaf up Path must reproduce Root, the Merkle root the
+// seal event at SealSeq recorded over events From..To. The proof is
+// self-verifying (Verify) and checkable against an independently held
+// root — e.g. the anchor inside a stamped snapshot.
+type InclusionProof struct {
+	// Seq is the proven event; Leaf is the hex SHA-256 of its exact
+	// journal line bytes.
+	Seq  int64  `json:"seq"`
+	Leaf string `json:"leaf"`
+	// Index is the leaf's position within the batch (Seq - From).
+	Index int `json:"index"`
+	// From..To is the sealed range; SealSeq is the seal event carrying
+	// Root.
+	From    int64  `json:"from"`
+	To      int64  `json:"to"`
+	SealSeq int64  `json:"seal_seq"`
+	Root    string `json:"root"`
+	// Path is the bottom-up audit path of hex sibling hashes.
+	Path []string `json:"path"`
+}
+
+// Verify recomputes Root from Leaf and Path. A proof that verifies
+// binds the event to the sealed root; a proof against a tampered event
+// or a forged path cannot.
+func (p InclusionProof) Verify() error {
+	leaf, err := parseHash(p.Leaf)
+	if err != nil {
+		return fmt.Errorf("fleet: proof leaf: %w", err)
+	}
+	root, err := parseHash(p.Root)
+	if err != nil {
+		return fmt.Errorf("fleet: proof root: %w", err)
+	}
+	if p.Index < 0 || p.Seq != p.From+int64(p.Index) || p.Seq > p.To {
+		return fmt.Errorf("fleet: proof indexes seq %d at position %d of [%d,%d]", p.Seq, p.Index, p.From, p.To)
+	}
+	path := make([][32]byte, len(p.Path))
+	for i, s := range p.Path {
+		if path[i], err = parseHash(s); err != nil {
+			return fmt.Errorf("fleet: proof path[%d]: %w", i, err)
+		}
+	}
+	if merkleFold(leaf, p.Index, path) != root {
+		return fmt.Errorf("fleet: inclusion proof for seq %d does not fold to root %s", p.Seq, p.Root)
+	}
+	return nil
+}
+
+// parseHash decodes a hex SHA-256 digest.
+func parseHash(s string) ([32]byte, error) {
+	var h [32]byte
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != 32 {
+		return h, fmt.Errorf("not a hex sha-256 digest: %q", s)
+	}
+	copy(h[:], b)
+	return h, nil
+}

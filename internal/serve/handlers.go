@@ -9,6 +9,7 @@ import (
 	"net/http"
 
 	"repro/internal/attack"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/fleet"
 )
@@ -27,6 +28,10 @@ const maxBodyBytes = 256 << 20
 //	POST /restore   install a checkpoint (the /snapshot format)
 //	POST /attack    live bit-flip drill on the deployed model
 //	GET  /metrics   operational counters + recovery stats + probe
+//	GET  /journal/proof?seq=N  Merkle inclusion proof for a sealed
+//	                journal event
+//	GET  /journal/verify       re-verify the journal file vs the live
+//	                chain (tamper check)
 //	GET  /healthz   200 once a model is installed, 503 before
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -37,6 +42,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /attack", s.handleAttack)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /fleet", s.handleFleet)
+	mux.HandleFunc("GET /journal/proof", s.handleJournalProof)
+	mux.HandleFunc("GET /journal/verify", s.handleJournalVerify)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	if s.cfg.NodeAPI {
 		s.registerNodeAPI(mux)
@@ -223,11 +230,18 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 }
 
 // writeSnapshot serializes sys as a stamped binary checkpoint onto w,
-// holding the read lock only for the serialization itself.
+// holding the read lock only for the serialization itself. When a
+// journal with at least one seal is attached, the snapshot is anchored
+// to the latest sealed Merkle root, binding the image to the healing
+// history that produced it.
 func (s *Server) writeSnapshot(w http.ResponseWriter, sys *core.System, stamp float64) {
+	var anchor *core.JournalAnchor
+	if a, ok := s.cfg.Journal.Anchor(); ok {
+		anchor = &a
+	}
 	var buf bytes.Buffer
 	s.mu.RLock()
-	err := sys.SaveStamped(&buf, stamp)
+	err := sys.SaveAnchored(&buf, stamp, anchor)
 	s.mu.RUnlock()
 	if err != nil {
 		writeErr(w, err)
@@ -239,7 +253,7 @@ func (s *Server) writeSnapshot(w http.ResponseWriter, sys *core.System, stamp fl
 }
 
 func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
-	sys, stamp, err := core.LoadStamped(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	sys, stamp, anchor, err := core.LoadAnchored(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
 	if err != nil {
 		// Corrupted (CRC mismatch), truncated, or wrong-format
 		// snapshots are the caller's fault, not the server's.
@@ -254,6 +268,18 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, fmt.Errorf("%w: snapshot stamped at accuracy %.4f, below the %.4f checkpoint floor", ErrBadInput, stamp, floor))
 		return
 	}
+	// An anchored snapshot claims descent from a sealed journal
+	// lineage. When this server keeps a journal, the claim must verify
+	// against it — a snapshot anchored to a foreign or rewritten
+	// history is refused. Unanchored snapshots (RHS2, or taken before
+	// the first seal) carry no claim; servers without a journal cannot
+	// check one.
+	if anchor != nil && s.cfg.Journal != nil {
+		if verr := s.cfg.Journal.VerifyAnchor(*anchor); verr != nil {
+			writeErr(w, fmt.Errorf("%w: %v", ErrBadInput, verr))
+			return
+		}
+	}
 	if err := s.install(sys); err != nil {
 		writeErr(w, err)
 		return
@@ -265,6 +291,9 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 	}
 	if !math.IsNaN(stamp) {
 		resp["stamped_accuracy"] = stamp
+	}
+	if anchor != nil {
+		resp["journal_anchor_seq"] = anchor.SealedSeq
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -372,6 +401,36 @@ func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
 		Quorum:   flt.Quorum(),
 		Status:   &st,
 	})
+}
+
+// handleJournalProof serves a Merkle inclusion proof for one sealed
+// journal seq (GET /journal/proof?seq=N). The proof verifies against
+// the sealed root carried by the seal event at proof.seal_seq — and
+// against the anchor inside any snapshot taken after that seal.
+func (s *Server) handleJournalProof(w http.ResponseWriter, r *http.Request) {
+	j := s.cfg.Journal
+	if j == nil {
+		writeErr(w, fmt.Errorf("%w: no journal configured", ErrBadInput))
+		return
+	}
+	seq, err := queryInt(r, "seq", 0)
+	if err != nil || seq <= 0 {
+		writeErr(w, fmt.Errorf("%w: provide seq=N (a sealed journal sequence number)", ErrBadInput))
+		return
+	}
+	p, perr := j.Proof(int64(seq))
+	if perr != nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": perr.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, p)
+}
+
+// handleJournalVerify re-verifies the journal's backing file against
+// the live chain (GET /journal/verify) — the endpoint the coordinator
+// uses as its donor-trust gate.
+func (s *Server) handleJournalVerify(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, cluster.VerifyJournalDoc(s.cfg.Journal))
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

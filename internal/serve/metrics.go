@@ -167,6 +167,10 @@ type Metrics struct {
 	// Node carries the node-API counters (nil unless this server runs
 	// as a cluster node).
 	Node *NodeInfo `json:"node,omitempty"`
+	// Journal carries the tamper-evident journal's chain state — seq,
+	// sealed seq, seal count, and the append-error counter that makes a
+	// failing sink visible (nil when no journal is attached).
+	Journal *fleet.JournalStats `json:"journal,omitempty"`
 }
 
 // NodeInfo reports cluster-node activity: what the coordinator asked
@@ -205,6 +209,10 @@ func (s *Server) MetricsSnapshot() Metrics {
 		Scrubs:                m.scrubs.Load(),
 		BitsDecayed:           m.scrubBits.Load(),
 		RecoveryWritesCharged: m.recoveryWrites.Load(),
+	}
+	if s.cfg.Journal != nil {
+		js := s.cfg.Journal.Stats()
+		out.Journal = &js
 	}
 	s.mu.RLock()
 	if s.sys != nil {

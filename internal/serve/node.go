@@ -261,7 +261,7 @@ func (s *Server) handleNodeReseed(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, ErrNoModel)
 		return
 	}
-	donor, stamp, err := core.LoadStamped(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	donor, stamp, donorAnchor, err := core.LoadAnchored(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
 	if err != nil {
 		writeErr(w, fmt.Errorf("%w: %v", ErrBadInput, err))
 		return
@@ -285,6 +285,14 @@ func (s *Server) handleNodeReseed(w http.ResponseWriter, r *http.Request) {
 	detail := "unstamped donor image"
 	if !math.IsNaN(stamp) {
 		detail = fmt.Sprintf("donor agreement %.4f", stamp)
+	}
+	if donorAnchor != nil {
+		// The donor's journal anchor is foreign to this node's journal —
+		// it cannot be verified here (the coordinator's donor gate does
+		// that) — but recording it makes the reseed's lineage auditable:
+		// this journal line names exactly which sealed history the new
+		// image descends from.
+		detail += fmt.Sprintf(", donor journal root %x@%d", donorAnchor.Root, donorAnchor.SealedSeq)
 	}
 	s.cfg.Journal.Append(fleet.Event{Kind: fleet.EventReseed, Replica: -1, Class: -1, Chunk: -1,
 		Bits: bits, Detail: detail})

@@ -282,35 +282,50 @@ func (s *Server) deescalateLocked(w *watchdogState) {
 
 // checkpointLocked captures a sealed, stamped image of the live system
 // under the read lock (a concurrent recovery write or scrub would tear
-// it otherwise).
+// it otherwise). With a sealed journal attached, the image is anchored
+// to the latest sealed root so the rollback path can re-verify the
+// checkpoint's lineage before trusting it.
 func (s *Server) checkpointLocked(w *watchdogState, acc float64) bool {
+	var anchor *core.JournalAnchor
+	if a, ok := s.cfg.Journal.Anchor(); ok {
+		anchor = &a
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.sys == nil {
 		return false
 	}
 	var buf bytes.Buffer
-	if err := s.sys.SaveStamped(&buf, acc); err != nil {
+	if err := s.sys.SaveAnchored(&buf, acc, anchor); err != nil {
 		return false
 	}
 	w.cp = &checkpoint{payload: buf.Bytes(), accuracy: acc}
 	return true
 }
 
-// rollbackLocked verifies the checkpoint — CRC trailer AND accuracy
-// stamp floor, via core.LoadStamped — and restores its deployed
-// vectors onto the live model. The restore is a full-image rewrite:
-// it is charged to the substrate as write traffic and counts as a
-// refresh (decayed cells recharge; stuck cells stay stuck). A
-// checkpoint that fails verification is dropped, never restored.
+// rollbackLocked verifies the checkpoint — CRC trailer, accuracy
+// stamp floor, and journal anchor when both checkpoint and journal
+// have one — and restores its deployed vectors onto the live model.
+// The restore is a full-image rewrite: it is charged to the substrate
+// as write traffic and counts as a refresh (decayed cells recharge;
+// stuck cells stay stuck). A checkpoint that fails verification is
+// dropped, never restored.
 func (s *Server) rollbackLocked(w *watchdogState, cfg WatchdogConfig) bool {
 	if w.cp == nil {
 		return false
 	}
-	restored, stamp, err := core.LoadStamped(bytes.NewReader(w.cp.payload))
+	restored, stamp, anchor, err := core.LoadAnchored(bytes.NewReader(w.cp.payload))
 	if err != nil || math.IsNaN(stamp) || stamp < cfg.MinCheckpointAccuracy {
 		w.cp = nil
 		return false
+	}
+	if anchor != nil && s.cfg.Journal != nil {
+		// A checkpoint anchored to history this journal cannot prove is
+		// as untrustworthy as one with a bad CRC.
+		if s.cfg.Journal.VerifyAnchor(*anchor) != nil {
+			w.cp = nil
+			return false
+		}
 	}
 	snap := restored.Snapshot()
 	s.mu.Lock()
