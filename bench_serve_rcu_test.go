@@ -1,0 +1,142 @@
+// Parallel serving-path benchmarks: reader scaling through the
+// batching pool and predict tail latency while the model's writers
+// (online retrain, substrate scrubber, recovery observations) churn
+// underneath. These are the before/after numbers for the RCU epoch
+// read path — run them on both sides of the change to measure the
+// reader-side lock's cost (EXPERIMENTS.md keeps the table).
+package repro_test
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/substrate"
+)
+
+// BenchmarkServePredictParallel drives the live batcher from parallel
+// clients. The "idle" case has no model writers at all; "recovery"
+// leaves the self-healing loop on, so every trusted prediction feeds
+// an Observe that rewrites deployed class memory — the steady-state
+// contention a production server actually sees.
+func BenchmarkServePredictParallel(b *testing.B) {
+	sys, ds := benchSystem(b)
+	for _, tc := range []struct {
+		name            string
+		disableRecovery bool
+	}{
+		{"idle", true},
+		{"recovery", false},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			srv, err := serve.New(sys, serve.Config{
+				Shards:          4,
+				BatchSize:       64,
+				DisableRecovery: tc.disableRecovery,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			var next atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := int(next.Add(1)) % len(ds.TestX)
+					if _, err := srv.Predict(ds.TestX[i]); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkServePredictUnderChurn measures predict latency quantiles
+// while the two heaviest writers run flat out: an online-retrain loop
+// (snapshot → accumulate → exclusive apply, every epoch) and a
+// substrate scrubber advanced far faster than its production cadence.
+// It reports p50/p99/max over the measured predictions so the tail —
+// the thing a reader-side lock actually costs — is a pinned number
+// next to the mean.
+func BenchmarkServePredictUnderChurn(b *testing.B) {
+	sys, ds := benchSystem(b)
+	srv, err := serve.New(sys, serve.Config{
+		Shards:    4,
+		BatchSize: 64,
+		Substrate: &substrate.Config{Kind: "dram", Seed: 7},
+		ScrubTick: time.Hour, // we drive ScrubNow by hand below
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	var churn sync.WaitGroup
+	churn.Add(2)
+	go func() { // retrain writer
+		defer churn.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := srv.RetrainOnline(ds.TrainX[:64], ds.TrainY[:64], 1); err != nil {
+				return
+			}
+		}
+	}()
+	go func() { // scrub writer
+		defer churn.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := srv.ScrubNow(50 * time.Millisecond); err != nil {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	var mu sync.Mutex
+	var all []time.Duration
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		lats := make([]time.Duration, 0, 4096)
+		for pb.Next() {
+			i := int(next.Add(1)) % len(ds.TestX)
+			t0 := time.Now()
+			if _, err := srv.Predict(ds.TestX[i]); err != nil {
+				b.Error(err)
+				return
+			}
+			lats = append(lats, time.Since(t0))
+		}
+		mu.Lock()
+		all = append(all, lats...)
+		mu.Unlock()
+	})
+	b.StopTimer()
+	close(stop)
+	churn.Wait()
+	if len(all) > 0 {
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		q := func(p float64) float64 {
+			i := int(p * float64(len(all)-1))
+			return float64(all[i].Nanoseconds())
+		}
+		b.ReportMetric(q(0.50), "p50-ns")
+		b.ReportMetric(q(0.99), "p99-ns")
+		b.ReportMetric(float64(all[len(all)-1].Nanoseconds()), "max-ns")
+	}
+}

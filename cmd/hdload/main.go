@@ -1,0 +1,131 @@
+// Command hdload is a closed-loop load generator for a running servehd
+// instance: N concurrent connections each post a /predict batch, wait,
+// and immediately post the next, so throughput settles at what the
+// server sustains rather than what a fixed arrival rate demands. It
+// reports achieved QPS and p50/p95/p99/max request latency, and can
+// emit the run as a benchjson-style JSON document (BENCH_serve_load
+// format) for CI artifacts.
+//
+//	servehd -dataset PAMAP &
+//	hdload -url http://127.0.0.1:8080 -conns 8 -batch 16 -duration 30s -out BENCH_serve_load.json
+//
+// The feature arity is discovered from the server's /metrics document,
+// so hdload needs no dataset of its own: it synthesizes deterministic
+// pseudo-random feature vectors in [0,1), which exercise the full
+// encode + score path (the encoder quantizes any finite input).
+// Exit status is nonzero if the run completed with zero successful
+// predictions — the property CI's smoke gate asserts.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/bitvec"
+	"repro/internal/loadgen"
+	"repro/internal/stats"
+)
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:8080", "servehd base URL")
+	conns := flag.Int("conns", 4, "concurrent closed-loop connections")
+	batch := flag.Int("batch", 16, "samples per /predict request")
+	warmup := flag.Duration("warmup", time.Second, "unrecorded warmup window")
+	duration := flag.Duration("duration", 10*time.Second, "measurement window")
+	out := flag.String("out", "", "write a benchjson-style JSON report to this file ('' = stdout summary only)")
+	seed := flag.Uint64("seed", 1, "synthetic sample seed")
+	flag.Parse()
+
+	features, err := discoverFeatures(*url)
+	if err != nil {
+		fail(err)
+	}
+	samples := syntheticSamples(features, 256, *seed)
+
+	fmt.Printf("hdload: %d conns x batch %d against %s (%d features), warmup %v, measuring %v\n",
+		*conns, *batch, *url, features, *warmup, *duration)
+	res, err := loadgen.Run(context.Background(), loadgen.Config{
+		URL:      *url,
+		Conns:    *conns,
+		Batch:    *batch,
+		Warmup:   *warmup,
+		Duration: *duration,
+		Samples:  samples,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("hdload: %.0f predictions/s (%d requests, %d errors) p50=%s p95=%s p99=%s max=%s\n",
+		res.AchievedQPS, res.Requests, res.Errors,
+		time.Duration(res.P50Ns), time.Duration(res.P95Ns),
+		time.Duration(res.P99Ns), time.Duration(res.MaxNs))
+
+	if *out != "" {
+		rep := res.BenchReport("serve_load", map[string]string{
+			"goos":     runtime.GOOS,
+			"goarch":   runtime.GOARCH,
+			"kernel":   bitvec.KernelName(),
+			"maxprocs": fmt.Sprint(runtime.GOMAXPROCS(0)),
+		})
+		raw, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*out, append(raw, '\n'), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("hdload: wrote %s\n", *out)
+	}
+
+	if res.Predictions == 0 {
+		fail(fmt.Errorf("zero successful predictions (%d errors) — server unhealthy or unreachable", res.Errors))
+	}
+}
+
+// discoverFeatures reads the model's feature arity from /metrics.
+func discoverFeatures(url string) (int, error) {
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		return 0, fmt.Errorf("probe %s/metrics: %w", url, err)
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Ready bool `json:"ready"`
+		Model *struct {
+			Features int `json:"features"`
+		} `json:"model"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return 0, fmt.Errorf("decode /metrics: %w", err)
+	}
+	if !doc.Ready || doc.Model == nil || doc.Model.Features <= 0 {
+		return 0, fmt.Errorf("server at %s has no model loaded (start servehd with -dataset or -load)", url)
+	}
+	return doc.Model.Features, nil
+}
+
+// syntheticSamples builds n deterministic feature vectors in [0,1).
+func syntheticSamples(features, n int, seed uint64) [][]float64 {
+	rng := stats.NewRNG(seed)
+	xs := make([][]float64, n)
+	for i := range xs {
+		x := make([]float64, features)
+		for j := range x {
+			x[j] = rng.Float64()
+		}
+		xs[i] = x
+	}
+	return xs
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "hdload:", err)
+	os.Exit(1)
+}

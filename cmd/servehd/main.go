@@ -304,7 +304,17 @@ func runCoordinator(addr, peers string, quorum int, antiEntropy, nodeTimeout tim
 // then gracefully drains: in-flight HTTP requests finish, and drain
 // runs after the listener closes.
 func serveHTTP(ln net.Listener, h http.Handler, drain func()) {
-	httpSrv := &http.Server{Handler: h}
+	// ReadHeaderTimeout bounds slow-loris headers; IdleTimeout reaps
+	// keep-alive connections an abandoned client left open. Keep-alives
+	// themselves stay enabled — closed-loop clients (cmd/hdload, the
+	// cluster coordinator) reuse connections and would pay a handshake
+	// per request otherwise. No ReadTimeout/WriteTimeout: /train and
+	// /restore legitimately stream multi-hundred-MB bodies.
+	httpSrv := &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
 

@@ -147,12 +147,19 @@ func (f *Fleet) SweepNow() SweepReport {
 			continue
 		}
 		r.mu.Lock()
+		dirtySet := make(map[int]bool)
+		var dirty []int
 		for _, dc := range plan {
 			r.sys.Model().ClassVector(dc.class).OverwriteRange(f.maj[dc.class], dc.lo, dc.hi)
 			if r.sub != nil {
 				r.sub.NoteWrites(dc.hi - dc.lo)
 			}
+			if !dirtySet[dc.class] {
+				dirtySet[dc.class] = true
+				dirty = append(dirty, dc.class)
+			}
 		}
+		r.chain.Publish(r.sys.Model(), dirty)
 		r.mu.Unlock()
 		for _, dc := range plan {
 			rep.RepairedChunks++
@@ -234,6 +241,8 @@ func (f *Fleet) quarantineAndReseed(r *replica, frac float64, act []*replica, re
 		r.sub.NoteWrites(r.sys.Classes() * r.sys.Dimensions())
 		r.sub.Refresh()
 	}
+	// Every class was re-imaged: full publish.
+	r.chain.Publish(r.sys.Model(), nil)
 	r.mu.Unlock()
 	r.reseeds.Add(1)
 	f.reseeds.Add(1)

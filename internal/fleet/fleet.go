@@ -43,6 +43,7 @@ import (
 
 	"repro/internal/bitvec"
 	"repro/internal/core"
+	"repro/internal/hdc/model"
 	"repro/internal/recovery"
 	"repro/internal/stats"
 	"repro/internal/substrate"
@@ -236,6 +237,7 @@ func New(seed *core.System, cfg Config) (*Fleet, error) {
 	f.healthy.Store(true)
 	for i := 0; i < cfg.Replicas; i++ {
 		r := &replica{id: i, sys: seed.Fork()}
+		r.chain = model.NewEpochChain(r.sys.Model())
 		if !cfg.DisableRecovery {
 			rec, err := r.sys.NewRecoverer(cfg.Recovery, derivedSeed(cfg.Seed, i, 0x7ec0))
 			if err != nil {
@@ -328,12 +330,12 @@ func (f *Fleet) ScoreBatch(encoded []*bitvec.Vector, temperature float64) ([]int
 		r := act[f.cursor.Add(1)%uint64(len(act))]
 		f.fastPredicts.Add(int64(len(encoded)))
 		r.served.Add(int64(len(encoded)))
-		r.mu.RLock()
-		m := r.sys.Model()
+		ep := r.chain.Acquire()
+		img := ep.Frozen()
 		for i, q := range encoded {
-			classes[i], confs[i] = m.PredictWithConfidence(q, temperature)
+			classes[i], confs[i] = img.PredictWithConfidence(q, temperature)
 		}
-		r.mu.RUnlock()
+		ep.Release()
 		return classes, confs, nil
 	}
 
@@ -380,17 +382,17 @@ func (f *Fleet) ScoreBatch(encoded []*bitvec.Vector, temperature float64) ([]int
 	return classes, confs, nil
 }
 
-// scoreOn scores the batch on one replica under its read lock.
+// scoreOn scores the batch on one replica's current epoch, lock-free.
 func (f *Fleet) scoreOn(r *replica, encoded []*bitvec.Vector, temperature float64) ([]int, []float64) {
 	cs := make([]int, len(encoded))
 	cf := make([]float64, len(encoded))
 	r.served.Add(int64(len(encoded)))
-	r.mu.RLock()
-	m := r.sys.Model()
+	ep := r.chain.Acquire()
+	img := ep.Frozen()
 	for i, q := range encoded {
-		cs[i], cf[i] = m.PredictWithConfidence(q, temperature)
+		cs[i], cf[i] = img.PredictWithConfidence(q, temperature)
 	}
-	r.mu.RUnlock()
+	ep.Release()
 	return cs, cf
 }
 
@@ -420,10 +422,14 @@ func (f *Fleet) Observe(q *bitvec.Vector) {
 		return
 	}
 	before := r.rec.Stats().BitsSubstituted
-	_, updated := r.rec.Observe(q)
+	pred, updated := r.rec.Observe(q)
 	if !updated {
 		return
 	}
+	// Observe substitutes chunks only inside the predicted class's
+	// hypervector: publish that one class as a new epoch, still under
+	// this replica's write lock.
+	r.chain.Publish(r.sys.Model(), []int{pred})
 	d := r.rec.Stats().BitsSubstituted - before
 	if d > 0 && r.sub != nil {
 		r.sub.NoteWrites(d)
@@ -451,6 +457,8 @@ func (f *Fleet) AdvanceReplica(id int, elapsed time.Duration) (int, error) {
 	if res.BitsFlipped > 0 {
 		r.faultBits.Add(int64(res.BitsFlipped))
 		f.healthy.Store(false)
+		// The fault process may have hit any class: full reimage.
+		r.chain.Publish(r.sys.Model(), nil)
 	}
 	return res.BitsFlipped, err
 }
@@ -466,7 +474,10 @@ func (f *Fleet) WithReplica(id int, fn func(*core.System) error) error {
 	f.healthy.Store(false)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return fn(r.sys)
+	err = fn(r.sys)
+	// fn may have rewritten anything (attack drills do): full reimage.
+	r.chain.Publish(r.sys.Model(), nil)
+	return err
 }
 
 func (f *Fleet) replica(id int) (*replica, error) {

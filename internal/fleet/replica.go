@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/hdc/model"
 	"repro/internal/recovery"
 	"repro/internal/substrate"
 )
@@ -27,13 +28,18 @@ type replica struct {
 	id int
 
 	// mu is the replica's single-writer model lock, the same discipline
-	// as serve.Server.mu: scoring takes it shared; recovery observation,
-	// fault advances, repairs, and reseeds take it exclusive. It is the
-	// innermost lock in the fleet — nothing is acquired under it.
-	mu  sync.RWMutex
-	sys *core.System
-	rec *recovery.Recoverer
-	sub substrate.FaultProcess
+	// as serve.Server.mu: recovery observation, fault advances, repairs,
+	// and reseeds take it exclusive; maintenance reads (sweep snapshots,
+	// donor serialization, status) take it shared. Scoring does NOT take
+	// it — the hot path goes through chain, the replica's RCU epoch
+	// publication point, and every writer publishes its mutation in the
+	// same critical section. mu is the innermost lock in the fleet —
+	// nothing is acquired under it.
+	mu    sync.RWMutex
+	sys   *core.System
+	rec   *recovery.Recoverer
+	sub   substrate.FaultProcess
+	chain *model.EpochChain
 
 	state atomic.Int32
 

@@ -1,0 +1,214 @@
+package model
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bitvec"
+	"repro/internal/stats"
+)
+
+// Frozen is an immutable scoring image of a model: the deployed binary
+// class hypervectors captured at one publication point. Readers score
+// against a Frozen with no synchronization at all — nothing ever
+// mutates it — which is what lets the serving read path drop its lock
+// (see EpochChain). Scoring is the same fused kernel path as Model
+// (bitvec.HammingMany / bitvec.Nearest + softmax), so a Frozen answers
+// bit-identically to the Model it was frozen from.
+type Frozen struct {
+	dims     int
+	deployed []*bitvec.Vector
+	pool     *FrozenPool
+}
+
+// Classes returns the number of classes k.
+func (f *Frozen) Classes() int { return len(f.deployed) }
+
+// Dimensions returns the hypervector dimensionality D.
+func (f *Frozen) Dimensions() int { return f.dims }
+
+// ClassVector returns the frozen hypervector for class c. Callers must
+// not mutate it: the vector may be shared with other epochs and with
+// the live model's history.
+func (f *Frozen) ClassVector(c int) *bitvec.Vector { return f.deployed[c] }
+
+// SimilaritiesInto writes the per-class normalized Hamming similarity
+// of q into dst (len Classes), allocation-free in steady state.
+func (f *Frozen) SimilaritiesInto(dst []float64, q *bitvec.Vector) {
+	if len(dst) != len(f.deployed) {
+		panic(fmt.Sprintf("model: dst has %d slots, want %d", len(dst), len(f.deployed)))
+	}
+	s := f.pool.getScore()
+	bitvec.HammingMany(q, f.deployed, s.dists)
+	n := float64(f.dims)
+	for c, d := range s.dists {
+		dst[c] = 1 - float64(d)/n
+	}
+	f.pool.putScore(s)
+}
+
+// ConfidencesInto computes the softmax-normalized confidences into dst
+// (len Classes) at the given temperature (≤ 0 selects
+// DefaultConfidenceTemperature), exactly as Model.ConfidencesInto.
+func (f *Frozen) ConfidencesInto(dst []float64, q *bitvec.Vector, temperature float64) {
+	if temperature <= 0 {
+		temperature = DefaultConfidenceTemperature
+	}
+	s := f.pool.getScore()
+	f.SimilaritiesInto(s.sims, q)
+	for i := range s.sims {
+		s.sims[i] *= temperature
+	}
+	stats.SoftmaxInto(dst, s.sims)
+	f.pool.putScore(s)
+}
+
+// Predict returns the nearest class by Hamming distance, via the same
+// early-abandoning kernel as Model.Predict.
+func (f *Frozen) Predict(q *bitvec.Vector) int {
+	s := f.pool.getScore()
+	best := bitvec.Nearest(q, f.deployed, s.dists)
+	f.pool.putScore(s)
+	return best
+}
+
+// PredictWithConfidence returns the predicted class and its softmax
+// confidence, allocation-free in steady state and bit-identical to
+// Model.PredictWithConfidence on the same image.
+func (f *Frozen) PredictWithConfidence(q *bitvec.Vector, temperature float64) (int, float64) {
+	s := f.pool.getScore()
+	f.ConfidencesInto(s.conf, q, temperature)
+	best := stats.ArgMax(s.conf)
+	conf := s.conf[best]
+	f.pool.putScore(s)
+	return best, conf
+}
+
+// AccuracyParallel evaluates accuracy over encoded queries across the
+// given worker count (<= 0 selects GOMAXPROCS), mirroring
+// Model.AccuracyParallel on the frozen image.
+func (f *Frozen) AccuracyParallel(qs []*bitvec.Vector, labels []int, workers int) float64 {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(qs) {
+		workers = len(qs)
+	}
+	preds := make([]int, len(qs))
+	if workers <= 1 || len(qs) < predictParallelMin {
+		for i, q := range qs {
+			preds[i] = f.Predict(q)
+		}
+		return stats.Accuracy(preds, labels)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(qs) {
+					return
+				}
+				preds[i] = f.Predict(qs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return stats.Accuracy(preds, labels)
+}
+
+// FrozenPool recycles the fixed-size buffers behind Frozen images for
+// one model shape: the class vectors cloned at each publication and
+// the scoring scratch. Only raw vectors are pooled — Frozen structs
+// themselves are never reused, because a reader may still be
+// validating a stale pointer to one (the ABA hazard an RCU grace
+// period cannot excuse; see EpochChain).
+type FrozenPool struct {
+	classes, dims int
+	vecs          sync.Pool // *bitvec.Vector of dims bits
+	score         sync.Pool // *scoreScratch sized for classes
+}
+
+// NewFrozenPool returns a pool for models with the given shape.
+func NewFrozenPool(classes, dims int) *FrozenPool {
+	return &FrozenPool{classes: classes, dims: dims}
+}
+
+func (p *FrozenPool) getScore() *scoreScratch {
+	if s, ok := p.score.Get().(*scoreScratch); ok {
+		return s
+	}
+	return &scoreScratch{
+		dists: make([]int, p.classes),
+		sims:  make([]float64, p.classes),
+		conf:  make([]float64, p.classes),
+	}
+}
+
+func (p *FrozenPool) putScore(s *scoreScratch) { p.score.Put(s) }
+
+// getVec returns a dims-bit vector (contents unspecified).
+func (p *FrozenPool) getVec() *bitvec.Vector {
+	if v, ok := p.vecs.Get().(*bitvec.Vector); ok {
+		return v
+	}
+	return bitvec.New(p.dims)
+}
+
+func (p *FrozenPool) putVec(v *bitvec.Vector) { p.vecs.Put(v) }
+
+// Freeze captures the model's current deployed vectors as a new Frozen,
+// cloning every class through the pool. The model must be trained.
+func (m *Model) Freeze(p *FrozenPool) *Frozen { return m.Refreeze(nil, p, nil) }
+
+// Refreeze publishes a new Frozen from the model's current deployed
+// vectors, cloning only the dirty classes and sharing every clean
+// class vector with prev (class-vector-granular copy-on-write). A nil
+// dirty slice — or a nil prev — clones all classes. The caller must
+// hold whatever lock serializes model writes: Refreeze reads the live
+// deployed vectors.
+func (m *Model) Refreeze(prev *Frozen, p *FrozenPool, dirty []int) *Frozen {
+	if m.deployed == nil {
+		panic("model: Freeze before Train")
+	}
+	if p.classes != m.classes || p.dims != m.dims {
+		panic(fmt.Sprintf("model: pool shaped (%d,%d), model (%d,%d)", p.classes, p.dims, m.classes, m.dims))
+	}
+	next := &Frozen{dims: m.dims, pool: p, deployed: make([]*bitvec.Vector, m.classes)}
+	if prev == nil || dirty == nil {
+		for c, v := range m.deployed {
+			cv := p.getVec()
+			cv.CopyFrom(v)
+			next.deployed[c] = cv
+		}
+		return next
+	}
+	copy(next.deployed, prev.deployed)
+	for _, c := range dirty {
+		cv := p.getVec()
+		cv.CopyFrom(m.deployed[c])
+		next.deployed[c] = cv
+	}
+	return next
+}
+
+// recycleInto returns retired's class vectors to the pool, except
+// those still shared (positionally) with successor. Vectors only ever
+// flow forward through refreezes — a clean class carries its pointer
+// into the next image — so a vector present in a fully drained retired
+// image but absent from its immediate successor is referenced by no
+// later epoch and no reader, and is safe to reuse.
+func (p *FrozenPool) recycleInto(retired, successor *Frozen) {
+	for c, v := range retired.deployed {
+		if successor != nil && successor.deployed[c] == v {
+			continue
+		}
+		p.putVec(v)
+		retired.deployed[c] = nil
+	}
+}

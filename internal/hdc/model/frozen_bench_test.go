@@ -1,0 +1,36 @@
+package model
+
+import (
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/stats"
+)
+
+// BenchmarkScoreModelVsFrozen is the control for the RCU read path:
+// Frozen must score through the exact same kernels as Model, so the
+// two sub-benchmarks should be indistinguishable. A gap here means
+// the lock-free path grew a per-op tax.
+func BenchmarkScoreModelVsFrozen(b *testing.B) {
+	const classes, dims = 12, 4096
+	m := trainedModel(b, classes, dims, 1)
+	f := m.Freeze(NewFrozenPool(classes, dims))
+	rng := stats.NewRNG(99)
+	queries := make([]*bitvec.Vector, 64)
+	for i := range queries {
+		queries[i] = bitvec.Random(dims, rng)
+	}
+
+	b.Run("model", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m.Predict(queries[i%len(queries)])
+		}
+	})
+	b.Run("frozen", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f.Predict(queries[i%len(queries)])
+		}
+	})
+}

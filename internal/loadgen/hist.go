@@ -1,0 +1,110 @@
+package loadgen
+
+import "math/bits"
+
+// histSubBits is the number of linear sub-buckets per power-of-two
+// range. 5 bits = 32 sub-buckets, bounding the relative quantization
+// error at 1/32 ≈ 3% — the usual HDR-histogram trade: fixed memory,
+// bounded relative error, no per-sample allocation.
+const histSubBits = 5
+
+// histBuckets covers latencies up to 2^40 ns ≈ 18 minutes, far beyond
+// any timeout a load run would tolerate.
+const histBuckets = (40 + 1) << histSubBits
+
+// Hist is a log-bucketed latency histogram: values are binned by their
+// power-of-two magnitude with 2^histSubBits linear sub-buckets inside
+// each range. Recording is two shifts and an increment — cheap enough
+// for a per-request hot path — and quantiles come from a single
+// counting pass. A Hist is not goroutine-safe; give each worker its
+// own and Merge them at the end (that is also what keeps recording
+// contention-free).
+type Hist struct {
+	counts [histBuckets]int64
+	n      int64
+	max    int64
+}
+
+// bucketOf maps a nanosecond latency to its bucket index.
+func bucketOf(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	// Values below 2^histSubBits index linearly into the first range.
+	exp := bits.Len64(uint64(v)) // 0 for 0
+	if exp <= histSubBits {
+		return int(v)
+	}
+	// Top histSubBits bits after the leading one select the sub-bucket.
+	sub := int(v>>(exp-1-histSubBits)) & ((1 << histSubBits) - 1)
+	idx := ((exp - histSubBits) << histSubBits) + sub
+	if idx >= histBuckets {
+		idx = histBuckets - 1
+	}
+	return idx
+}
+
+// bucketMid returns a representative (upper-bound) value for bucket i,
+// the inverse of bucketOf up to quantization.
+func bucketMid(i int) int64 {
+	if i < 1<<histSubBits {
+		return int64(i)
+	}
+	exp := i>>histSubBits + histSubBits
+	sub := int64(i & ((1 << histSubBits) - 1))
+	base := int64(1) << (exp - 1)
+	return base + (sub+1)<<(exp-1-histSubBits) - 1
+}
+
+// Record adds one latency observation in nanoseconds.
+func (h *Hist) Record(ns int64) {
+	h.counts[bucketOf(ns)]++
+	h.n++
+	if ns > h.max {
+		h.max = ns
+	}
+}
+
+// Merge folds other into h.
+func (h *Hist) Merge(other *Hist) {
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.n += other.n
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Hist) Count() int64 { return h.n }
+
+// Max returns the largest recorded value exactly (not quantized).
+func (h *Hist) Max() int64 { return h.max }
+
+// Quantile returns the latency at quantile q in [0,1], quantized to
+// the containing bucket's upper bound (≤3% relative error). Returns 0
+// on an empty histogram; q=1 returns the exact max.
+func (h *Hist) Quantile(q float64) int64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q >= 1 {
+		return h.max
+	}
+	if q < 0 {
+		q = 0
+	}
+	rank := int64(q * float64(h.n))
+	if rank >= h.n {
+		rank = h.n - 1
+	}
+	var seen int64
+	for i, c := range h.counts {
+		seen += c
+		if seen > rank {
+			return bucketMid(i)
+		}
+	}
+	return h.max
+}

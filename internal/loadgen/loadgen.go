@@ -1,0 +1,295 @@
+// Package loadgen is a closed-loop HTTP load generator for the serve
+// API: N concurrent connections each issue a /predict batch, wait for
+// the answer, and immediately issue the next — so offered load adapts
+// to what the server sustains (closed-loop), rather than timing out
+// against a fixed arrival rate (open-loop). Latency lands in
+// per-worker log-bucketed histograms (Hist) merged after the run;
+// the result carries achieved QPS plus p50/p95/p99/max, and marshals
+// into the same JSON envelope cmd/benchjson emits so CI trend tooling
+// reads BENCH_serve_load.json like any other benchmark artifact.
+//
+// The run has two windows: a warmup (traffic flows, nothing recorded)
+// and a measurement window. Requests are attributed to a window by
+// completion time, so an in-flight request straddling the boundary
+// counts toward measurement only if it finished inside it.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Config parameterizes a load run.
+type Config struct {
+	// URL is the server base URL (e.g. "http://127.0.0.1:8080").
+	URL string
+	// Conns is the number of concurrent closed-loop workers, each with
+	// its own keep-alive connection (default 4).
+	Conns int
+	// Batch is how many samples each /predict request carries
+	// (default 16).
+	Batch int
+	// Warmup is the unrecorded ramp window (default 1s).
+	Warmup time.Duration
+	// Duration is the measurement window (default 10s).
+	Duration time.Duration
+	// Samples are the feature vectors workers cycle through; required,
+	// and every row must match the server's feature arity.
+	Samples [][]float64
+	// Timeout bounds each request (default 30s).
+	Timeout time.Duration
+}
+
+func (c *Config) fillDefaults() error {
+	if c.URL == "" {
+		return errors.New("loadgen: empty URL")
+	}
+	if len(c.Samples) == 0 {
+		return errors.New("loadgen: no samples")
+	}
+	if c.Conns <= 0 {
+		c.Conns = 4
+	}
+	if c.Batch <= 0 {
+		c.Batch = 16
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = time.Second
+	}
+	if c.Duration <= 0 {
+		c.Duration = 10 * time.Second
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	return nil
+}
+
+// Result summarizes the measurement window of one load run.
+type Result struct {
+	// Requests / Predictions are completed /predict calls and the
+	// samples they carried; Errors counts failed calls (also excluded
+	// from the latency histogram).
+	Requests    int64 `json:"requests"`
+	Predictions int64 `json:"predictions"`
+	Errors      int64 `json:"errors"`
+	// AchievedQPS is predictions per second of measurement window —
+	// the closed-loop throughput the server actually sustained.
+	AchievedQPS float64 `json:"achieved_qps"`
+	// P50/P95/P99/Max are per-request latencies in nanoseconds
+	// (quantiles quantized ≤3% by the histogram; Max exact).
+	P50Ns int64 `json:"p50_ns"`
+	P95Ns int64 `json:"p95_ns"`
+	P99Ns int64 `json:"p99_ns"`
+	MaxNs int64 `json:"max_ns"`
+	// ElapsedSeconds is the measured window's actual length.
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	// Conns / Batch echo the offered concurrency.
+	Conns int `json:"conns"`
+	Batch int `json:"batch"`
+}
+
+// predictRequest / predictResponse mirror the serve API's JSON wire
+// format (the serve package is deliberately not imported: loadgen
+// exercises the HTTP surface, not the Go API).
+type predictRequest struct {
+	Xs [][]float64 `json:"xs"`
+}
+
+type predictResponse struct {
+	Predictions []json.RawMessage `json:"predictions"`
+}
+
+// worker is one closed-loop connection's state.
+type worker struct {
+	hist     Hist
+	requests int64
+	preds    int64
+	errs     int64
+}
+
+// Run drives the load until the warmup + measurement windows elapse
+// or ctx is cancelled (whichever comes first; cancellation mid-window
+// returns the partial measurement).
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+
+	// One transport shared by all workers, with enough idle capacity
+	// that each worker keeps its connection alive between requests —
+	// the closed loop would otherwise measure TCP handshakes.
+	tr := &http.Transport{
+		MaxIdleConns:        cfg.Conns,
+		MaxIdleConnsPerHost: cfg.Conns,
+		IdleConnTimeout:     90 * time.Second,
+	}
+	defer tr.CloseIdleConnections()
+	client := &http.Client{Transport: tr, Timeout: cfg.Timeout}
+
+	// Pre-marshal the request bodies: workers cycle through distinct
+	// batches so the server sees varied queries, but marshalling per
+	// request would bill JSON encoding to the server's latency.
+	bodies := prebuildBodies(cfg.Samples, cfg.Batch)
+
+	ctx, cancel := context.WithTimeout(ctx, cfg.Warmup+cfg.Duration)
+	defer cancel()
+	measureStart := time.Now().Add(cfg.Warmup)
+
+	workers := make([]*worker, cfg.Conns)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Conns; w++ {
+		workers[w] = &worker{}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st := workers[w]
+			url := cfg.URL + "/predict"
+			for i := w; ; i++ {
+				body := bodies[i%len(bodies)]
+				t0 := time.Now()
+				preds, err := doPredict(ctx, client, url, body)
+				t1 := time.Now()
+				if ctx.Err() != nil {
+					return // window over; the aborted request is not a sample
+				}
+				if t1.Before(measureStart) {
+					continue // warmup traffic: flows, never recorded
+				}
+				if err != nil {
+					st.errs++
+					continue
+				}
+				st.hist.Record(t1.Sub(t0).Nanoseconds())
+				st.requests++
+				st.preds += int64(preds)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(measureStart)
+	if elapsed > cfg.Duration {
+		elapsed = cfg.Duration
+	}
+
+	res := &Result{Conns: cfg.Conns, Batch: cfg.Batch, ElapsedSeconds: elapsed.Seconds()}
+	var h Hist
+	for _, st := range workers {
+		h.Merge(&st.hist)
+		res.Requests += st.requests
+		res.Predictions += st.preds
+		res.Errors += st.errs
+	}
+	if elapsed > 0 {
+		res.AchievedQPS = float64(res.Predictions) / elapsed.Seconds()
+	}
+	res.P50Ns = h.Quantile(0.50)
+	res.P95Ns = h.Quantile(0.95)
+	res.P99Ns = h.Quantile(0.99)
+	res.MaxNs = h.Max()
+	return res, nil
+}
+
+// prebuildBodies slices the sample set into rotating batches and
+// marshals each once.
+func prebuildBodies(samples [][]float64, batch int) [][]byte {
+	n := len(samples)
+	variants := n / batch
+	if variants < 1 {
+		variants = 1
+	}
+	if variants > 64 {
+		variants = 64 // bound memory; 64 distinct batches defeat any caching
+	}
+	bodies := make([][]byte, variants)
+	for v := range bodies {
+		xs := make([][]float64, batch)
+		for j := range xs {
+			xs[j] = samples[(v*batch+j)%n]
+		}
+		raw, err := json.Marshal(predictRequest{Xs: xs})
+		if err != nil {
+			panic(err) // [][]float64 cannot fail to marshal
+		}
+		bodies[v] = raw
+	}
+	return bodies
+}
+
+// doPredict issues one /predict call and returns how many predictions
+// came back.
+func doPredict(ctx context.Context, client *http.Client, url string, body []byte) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body) // drain so the connection is reused
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("loadgen: /predict status %d", resp.StatusCode)
+	}
+	var pr predictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		return 0, err
+	}
+	if len(pr.Predictions) == 0 {
+		return 0, errors.New("loadgen: empty prediction batch")
+	}
+	return len(pr.Predictions), nil
+}
+
+// Report is the benchjson-compatible JSON envelope (cmd packages
+// cannot be imported, so the two types are mirrored here; the field
+// layout is pinned by TestReportEnvelope).
+type Report struct {
+	Context    map[string]string `json:"context"`
+	Benchmarks []ReportBenchmark `json:"benchmarks"`
+}
+
+// ReportBenchmark is one benchmark entry in a Report.
+type ReportBenchmark struct {
+	Name    string             `json:"name"`
+	Runs    int64              `json:"runs"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// BenchReport wraps the result as a benchjson-style document under the
+// given benchmark name, with context key/value pairs.
+func (r *Result) BenchReport(name string, ctx map[string]string) *Report {
+	if ctx == nil {
+		ctx = map[string]string{}
+	}
+	return &Report{
+		Context: ctx,
+		Benchmarks: []ReportBenchmark{{
+			Name: name,
+			Runs: r.Requests,
+			Metrics: map[string]float64{
+				"qps":             r.AchievedQPS,
+				"p50-ns":          float64(r.P50Ns),
+				"p95-ns":          float64(r.P95Ns),
+				"p99-ns":          float64(r.P99Ns),
+				"max-ns":          float64(r.MaxNs),
+				"errors":          float64(r.Errors),
+				"predictions":     float64(r.Predictions),
+				"conns":           float64(r.Conns),
+				"batch":           float64(r.Batch),
+				"elapsed-seconds": r.ElapsedSeconds,
+			},
+		}},
+	}
+}

@@ -1,0 +1,199 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// TestHistQuantiles pins the histogram's error bound: quantiles over a
+// known distribution must land within the 1/32 relative quantization
+// error, and max must be exact.
+func TestHistQuantiles(t *testing.T) {
+	var h Hist
+	// 1..100000 ns, uniformly — true quantile q is q*100000.
+	for i := int64(1); i <= 100000; i++ {
+		h.Record(i)
+	}
+	if h.Count() != 100000 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if h.Max() != 100000 {
+		t.Fatalf("max %d, want exact 100000", h.Max())
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		want := q * 100000
+		got := float64(h.Quantile(q))
+		if rel := math.Abs(got-want) / want; rel > 1.0/32+1e-9 {
+			t.Fatalf("q%.2f: got %v, want %v ±%.1f%%", q, got, want, 100.0/32)
+		}
+	}
+	if h.Quantile(1) != 100000 {
+		t.Fatalf("q1 %d, want exact max", h.Quantile(1))
+	}
+}
+
+// TestHistMerge checks per-worker histograms merge to the same result
+// as a single recorder.
+func TestHistMerge(t *testing.T) {
+	var a, b, whole Hist
+	rng := stats.NewRNG(1)
+	for i := 0; i < 5000; i++ {
+		v := int64(rng.Uint64() % 10_000_000)
+		whole.Record(v)
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+	}
+	a.Merge(&b)
+	if a.Count() != whole.Count() || a.Max() != whole.Max() {
+		t.Fatalf("merge count/max %d/%d, want %d/%d", a.Count(), a.Max(), whole.Count(), whole.Max())
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		if a.Quantile(q) != whole.Quantile(q) {
+			t.Fatalf("q%.2f: merged %d, whole %d", q, a.Quantile(q), whole.Quantile(q))
+		}
+	}
+}
+
+// TestHistBucketRoundTrip pins the bucket mapping monotone and the
+// representative value within one bucket of the original.
+func TestHistBucketRoundTrip(t *testing.T) {
+	prev := -1
+	for _, v := range []int64{0, 1, 31, 32, 33, 63, 64, 100, 1000, 1 << 20, 1<<40 - 1, 1 << 50} {
+		b := bucketOf(v)
+		if b < prev {
+			t.Fatalf("bucketOf not monotone at %d", v)
+		}
+		prev = b
+		if v < 1<<40 {
+			mid := bucketMid(b)
+			if mid < v || float64(mid-v) > float64(v)/16+1 {
+				t.Fatalf("bucketMid(%d)=%d not a tight upper bound for %d", b, mid, v)
+			}
+		}
+	}
+}
+
+// TestRunClosedLoop drives a stub predict server and checks the
+// closed-loop accounting: only measurement-window completions are
+// recorded, QPS is nonzero, and errors are counted but not timed.
+func TestRunClosedLoop(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/predict" {
+			http.NotFound(w, r)
+			return
+		}
+		var req struct {
+			Xs [][]float64 `json:"xs"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), 400)
+			return
+		}
+		calls.Add(1)
+		preds := make([]map[string]any, len(req.Xs))
+		for i := range preds {
+			preds[i] = map[string]any{"class": 1, "confidence": 0.9}
+		}
+		_ = json.NewEncoder(w).Encode(map[string]any{"predictions": preds})
+	}))
+	defer ts.Close()
+
+	samples := make([][]float64, 32)
+	for i := range samples {
+		samples[i] = []float64{float64(i), 1, 2}
+	}
+	res, err := Run(context.Background(), Config{
+		URL:      ts.URL,
+		Conns:    2,
+		Batch:    4,
+		Warmup:   50 * time.Millisecond,
+		Duration: 300 * time.Millisecond,
+		Samples:  samples,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests == 0 || res.Predictions != res.Requests*4 {
+		t.Fatalf("accounting: %d requests, %d predictions", res.Requests, res.Predictions)
+	}
+	if res.AchievedQPS <= 0 {
+		t.Fatalf("qps %v", res.AchievedQPS)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("errors %d on a healthy stub", res.Errors)
+	}
+	if res.P50Ns <= 0 || res.P99Ns < res.P50Ns || res.MaxNs < res.P99Ns {
+		t.Fatalf("quantiles out of order: p50=%d p99=%d max=%d", res.P50Ns, res.P99Ns, res.MaxNs)
+	}
+	// Warmup traffic must flow but not be recorded.
+	if calls.Load() <= res.Requests {
+		t.Fatalf("total calls %d not greater than measured %d — warmup recorded?", calls.Load(), res.Requests)
+	}
+}
+
+// TestRunErrorCounting checks failed calls land in Errors, not the
+// latency histogram.
+func TestRunErrorCounting(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	res, err := Run(context.Background(), Config{
+		URL:      ts.URL,
+		Conns:    1,
+		Batch:    2,
+		Warmup:   20 * time.Millisecond,
+		Duration: 100 * time.Millisecond,
+		Samples:  [][]float64{{1}, {2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors == 0 {
+		t.Fatal("no errors recorded against a 503 server")
+	}
+	if res.Requests != 0 || res.AchievedQPS != 0 {
+		t.Fatalf("failed calls counted as successes: %+v", res)
+	}
+}
+
+// TestReportEnvelope pins the benchjson-compatible JSON layout CI's
+// trend tooling parses (context map + benchmarks array with
+// name/runs/metrics).
+func TestReportEnvelope(t *testing.T) {
+	r := &Result{Requests: 10, Predictions: 40, AchievedQPS: 123.4, P50Ns: 5, P95Ns: 9, P99Ns: 10, MaxNs: 11, Conns: 2, Batch: 4, ElapsedSeconds: 1}
+	raw, err := json.Marshal(r.BenchReport("serve_load", map[string]string{"cpu": "test"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Context    map[string]string `json:"context"`
+		Benchmarks []struct {
+			Name    string             `json:"name"`
+			Runs    int64              `json:"runs"`
+			Metrics map[string]float64 `json:"metrics"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Context["cpu"] != "test" || len(doc.Benchmarks) != 1 {
+		t.Fatalf("envelope: %s", raw)
+	}
+	b := doc.Benchmarks[0]
+	if b.Name != "serve_load" || b.Runs != 10 || b.Metrics["qps"] != 123.4 || b.Metrics["p99-ns"] != 10 {
+		t.Fatalf("benchmark entry: %+v", b)
+	}
+}

@@ -219,9 +219,9 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	}
 	// Stamp the snapshot with the latest probe accuracy when one ran,
 	// so a later /restore (or rollback) can verify the image was taken
-	// while the model was still healthy. Serialize under the read lock
-	// so a concurrent recovery write, attack drill, or scrub tick
-	// cannot tear the snapshot.
+	// while the model was still healthy. Serialize under the writer
+	// mutex so a concurrent recovery write, attack drill, or scrub tick
+	// cannot tear the snapshot (the lock-free read path is unaffected).
 	stamp := math.NaN()
 	if s.metrics.probes.Load() > 0 {
 		stamp = math.Float64frombits(s.metrics.probeAcc.Load())
@@ -230,7 +230,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 }
 
 // writeSnapshot serializes sys as a stamped binary checkpoint onto w,
-// holding the read lock only for the serialization itself. When a
+// holding the writer mutex only for the serialization itself. When a
 // journal with at least one seal is attached, the snapshot is anchored
 // to the latest sealed Merkle root, binding the image to the healing
 // history that produced it.
@@ -240,9 +240,9 @@ func (s *Server) writeSnapshot(w http.ResponseWriter, sys *core.System, stamp fl
 		anchor = &a
 	}
 	var buf bytes.Buffer
-	s.mu.RLock()
+	s.mu.Lock()
 	err := sys.SaveAnchored(&buf, stamp, anchor)
-	s.mu.RUnlock()
+	s.mu.Unlock()
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -353,10 +353,14 @@ func (s *Server) handleAttack(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, fmt.Errorf("%w: \"replica\" %d targets a fleet member, but this server runs a single model", ErrBadInput, *req.Replica))
 			return
 		}
-		// The drill rewrites deployed memory: exclusive lock, like any
-		// other model write.
+		// The drill rewrites deployed memory: writer mutex, like any
+		// other model write, plus a full reimage publish (an attack may
+		// touch any class).
 		s.mu.Lock()
 		res, err = drill(sys)
+		if st := s.live.Load(); err == nil && st != nil && st.chain != nil && st.sys == sys && res.BitsFlipped > 0 {
+			st.chain.Publish(sys.Model(), nil)
+		}
 		s.mu.Unlock()
 	}
 	if err != nil {

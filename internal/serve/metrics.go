@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/bitvec"
 	"repro/internal/fleet"
+	"repro/internal/hdc/model"
 	"repro/internal/recovery"
 	"repro/internal/substrate"
 )
@@ -171,6 +172,11 @@ type Metrics struct {
 	// sealed seq, seal count, and the append-error counter that makes a
 	// failing sink visible (nil when no journal is attached).
 	Journal *fleet.JournalStats `json:"journal,omitempty"`
+	// Epochs reports the RCU read path's publication counters: epochs
+	// published, retired images recycled back to the vector pool, and
+	// the reader-pinned backlog (nil in fleet mode, where each replica
+	// runs its own chain).
+	Epochs *model.EpochStats `json:"epochs,omitempty"`
 }
 
 // NodeInfo reports cluster-node activity: what the coordinator asked
@@ -214,23 +220,35 @@ func (s *Server) MetricsSnapshot() Metrics {
 		js := s.cfg.Journal.Stats()
 		out.Journal = &js
 	}
-	s.mu.RLock()
-	if s.sys != nil {
+	// The whole live-state section is lock-free: model shape is
+	// immutable per install, recovery.Stats() is internally mutexed, and
+	// the substrate counters are re-published atomically by every writer
+	// that touches the fault process (substrate.Stats() itself is not
+	// thread-safe). The substrate numbers may therefore trail the live
+	// process by at most one in-flight write — an acceptable staleness
+	// for a scrape endpoint, in exchange for never contending with
+	// writers.
+	if st := s.live.Load(); st != nil {
 		out.Ready = true
 		out.Model = &ModelInfo{
-			Classes:    s.sys.Classes(),
-			Dimensions: s.sys.Dimensions(),
-			Features:   s.sys.Features(),
+			Classes:    st.sys.Classes(),
+			Dimensions: st.sys.Dimensions(),
+			Features:   st.sys.Features(),
+		}
+		if st.rec != nil {
+			out.Recovery.Stats = st.rec.Stats()
+		}
+		if st.sub != nil {
+			out.Substrate.Kind = st.sub.Name()
+			if ss := st.subStats.Load(); ss != nil {
+				out.Substrate.Process = *ss
+			}
+		}
+		if st.chain != nil {
+			es := st.chain.Stats()
+			out.Epochs = &es
 		}
 	}
-	if s.rec != nil {
-		out.Recovery.Stats = s.rec.Stats()
-	}
-	if s.sub != nil {
-		out.Substrate.Kind = s.sub.Name()
-		out.Substrate.Process = s.sub.Stats()
-	}
-	s.mu.RUnlock()
 	out.Watchdog = WatchdogInfo{
 		Enabled:     s.cfg.Watchdog.Interval > 0,
 		Windows:     m.watchdogRuns.Load(),

@@ -27,9 +27,11 @@ import (
 //
 // Every handler validates ids and ranges before touching the model and
 // answers 400 on anything out of range — a confused or malicious
-// coordinator must not be able to panic a node. Scoring runs under the
-// read lock; repair and reseed take the write lock and bill their
-// writes to the node's substrate exactly like in-process anti-entropy.
+// coordinator must not be able to panic a node. Scoring and summaries
+// run lock-free against the current model epoch; repair and reseed
+// take the writer mutex, bill their writes to the node's substrate
+// exactly like in-process anti-entropy, and publish the classes they
+// rewrote as a new epoch.
 
 // registerNodeAPI mounts the node endpoints (Handler calls it when
 // Config.NodeAPI is set).
@@ -53,11 +55,12 @@ func (s *Server) handleNodeScore(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	sys := s.system()
-	if sys == nil {
+	st := s.live.Load()
+	if st == nil {
 		writeErr(w, ErrNoModel)
 		return
 	}
+	sys := st.sys
 	if len(req.Xs) == 0 {
 		writeErr(w, fmt.Errorf("%w: empty batch", ErrBadInput))
 		return
@@ -78,12 +81,12 @@ func (s *Server) handleNodeScore(w http.ResponseWriter, r *http.Request) {
 		Classes: make([]int, len(encoded)),
 		Confs:   make([]float64, len(encoded)),
 	}
-	s.mu.RLock()
-	m := sys.Model()
+	ep := st.chain.Acquire()
+	img := ep.Frozen()
 	for i, q := range encoded {
-		resp.Classes[i], resp.Confs[i] = m.PredictWithConfidence(q, req.Temperature)
+		resp.Classes[i], resp.Confs[i] = img.PredictWithConfidence(q, req.Temperature)
 	}
-	s.mu.RUnlock()
+	ep.Release()
 	s.metrics.nodeScored.Add(int64(len(encoded)))
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -92,11 +95,12 @@ func (s *Server) handleNodeScore(w http.ResponseWriter, r *http.Request) {
 // class hypervectors — the divergence digest anti-entropy compares
 // across nodes instead of shipping full models.
 func (s *Server) handleNodeSummary(w http.ResponseWriter, r *http.Request) {
-	sys := s.system()
-	if sys == nil {
+	st := s.live.Load()
+	if st == nil {
 		writeErr(w, ErrNoModel)
 		return
 	}
+	sys := st.sys
 	chunks, err := queryInt(r, "chunks", 64)
 	if err != nil {
 		writeErr(w, err)
@@ -113,18 +117,18 @@ func (s *Server) handleNodeSummary(w http.ResponseWriter, r *http.Request) {
 		Chunks:  chunks,
 		Hashes:  make([][]string, sys.Classes()),
 	}
-	s.mu.RLock()
-	m := sys.Model()
+	ep := st.chain.Acquire()
+	img := ep.Frozen()
 	for c := range sum.Hashes {
 		row := make([]string, chunks)
-		cv := m.ClassVector(c)
+		cv := img.ClassVector(c)
 		for k := range row {
 			lo, hi := fleet.ChunkBounds(dims, chunks, k)
 			row[k] = cluster.HashString(cluster.ChunkHash(cv, lo, hi))
 		}
 		sum.Hashes[c] = row
 	}
-	s.mu.RUnlock()
+	ep.Release()
 	writeJSON(w, http.StatusOK, sum)
 }
 
@@ -136,11 +140,12 @@ func (s *Server) handleNodeChunks(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	sys := s.system()
-	if sys == nil {
+	st := s.live.Load()
+	if st == nil {
 		writeErr(w, ErrNoModel)
 		return
 	}
+	sys := st.sys
 	if len(req.Chunks) == 0 {
 		writeErr(w, fmt.Errorf("%w: no chunks requested", ErrBadInput))
 		return
@@ -152,18 +157,18 @@ func (s *Server) handleNodeChunks(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	resp := cluster.ChunksResponse{Chunks: make([]cluster.ChunkData, len(req.Chunks))}
-	s.mu.RLock()
-	m := sys.Model()
+	ep := st.chain.Acquire()
+	img := ep.Frozen()
 	for i, ref := range req.Chunks {
-		bits, err := m.ClassVector(ref.Class).Slice(ref.Lo, ref.Hi).MarshalBinary()
+		bits, err := img.ClassVector(ref.Class).Slice(ref.Lo, ref.Hi).MarshalBinary()
 		if err != nil {
-			s.mu.RUnlock()
+			ep.Release()
 			writeErr(w, err)
 			return
 		}
 		resp.Chunks[i] = cluster.ChunkData{Class: ref.Class, Lo: ref.Lo, Hi: ref.Hi, Bits: bits}
 	}
-	s.mu.RUnlock()
+	ep.Release()
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -177,11 +182,12 @@ func (s *Server) handleNodeRepair(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	sys := s.system()
-	if sys == nil {
+	st := s.live.Load()
+	if st == nil {
 		writeErr(w, ErrNoModel)
 		return
 	}
+	sys := st.sys
 	if len(req.Chunks) == 0 {
 		writeErr(w, fmt.Errorf("%w: no chunks pushed", ErrBadInput))
 		return
@@ -204,16 +210,28 @@ func (s *Server) handleNodeRepair(w http.ResponseWriter, r *http.Request) {
 		patches[i] = v
 	}
 	changed := make([]int, len(req.Chunks))
+	seen := make(map[int]bool, len(req.Chunks))
+	var dirty []int
+	for _, cd := range req.Chunks {
+		if !seen[cd.Class] {
+			seen[cd.Class] = true
+			dirty = append(dirty, cd.Class)
+		}
+	}
 	s.mu.Lock()
 	m := sys.Model()
+	wrote := 0
 	for i, cd := range req.Chunks {
 		cv := m.ClassVector(cd.Class)
 		changed[i] = cv.Slice(cd.Lo, cd.Hi).Hamming(patches[i])
 		cv.OverwriteSlice(patches[i], cd.Lo)
-		if s.sub != nil {
-			s.sub.NoteWrites(cd.Hi - cd.Lo)
-		}
+		wrote += cd.Hi - cd.Lo
 	}
+	if st.sub != nil && wrote > 0 {
+		st.sub.NoteWrites(wrote)
+		st.publishSubStats()
+	}
+	st.chain.Publish(m, dirty)
 	s.mu.Unlock()
 	out := cluster.RepairResponse{Applied: len(req.Chunks)}
 	for i, cd := range req.Chunks {
@@ -256,11 +274,12 @@ func (s *Server) handleNodeSnapshot(w http.ResponseWriter, r *http.Request) {
 // rewrite is billed and refreshed exactly like the in-process path:
 // decayed cells recharge, wear survives.
 func (s *Server) handleNodeReseed(w http.ResponseWriter, r *http.Request) {
-	sys := s.system()
-	if sys == nil {
+	st := s.live.Load()
+	if st == nil {
 		writeErr(w, ErrNoModel)
 		return
 	}
+	sys := st.sys
 	donor, stamp, donorAnchor, err := core.LoadAnchored(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
 	if err != nil {
 		writeErr(w, fmt.Errorf("%w: %v", ErrBadInput, err))
@@ -276,10 +295,13 @@ func (s *Server) handleNodeReseed(w http.ResponseWriter, r *http.Request) {
 	bits := sys.Classes() * sys.Dimensions()
 	s.mu.Lock()
 	sys.Restore(snap)
-	if s.sub != nil {
-		s.sub.NoteWrites(bits)
-		s.sub.Refresh()
+	if st.sub != nil {
+		st.sub.NoteWrites(bits)
+		st.sub.Refresh()
+		st.publishSubStats()
 	}
+	// Every class was re-imaged: full publish.
+	st.chain.Publish(sys.Model(), nil)
 	s.mu.Unlock()
 	s.metrics.nodeReseeds.Add(1)
 	detail := "unstamped donor image"

@@ -18,15 +18,16 @@ var ErrSuperseded = errors.New("serve: model replaced during online retrain")
 //
 //  1. Encode every sample lock-free (the encoder is immutable).
 //  2. Per epoch, snapshot the deployed class vectors under a
-//     microsecond read lock, then run the map phase
+//     microsecond hold of the writer mutex, then run the map phase
 //     (model.AccumulateRetrain) against that frozen snapshot with no
-//     lock held at all. Holding even a read lock here would let a
-//     queued writer (recovery, scrub, attack drill) block new predict
-//     batches for the whole accumulate pass — the writer-pending
-//     RWMutex hazard the snapshot exists to avoid.
-//  3. Take the write lock only for the merge + binarize swap
-//     (model.ApplyRetrain), guarded against the system having been
-//     swapped out underneath (ErrSuperseded; deltas are discarded).
+//     lock held at all. Predict batches never notice either way — the
+//     read path goes through epoch snapshots, not a lock — but the
+//     snapshot keeps the accumulate pass from racing concurrent
+//     writers (recovery, scrub, drills) on deployed memory.
+//  3. Take the writer mutex again for the merge + binarize swap
+//     (model.ApplyRetrain) and its epoch publish, guarded against the
+//     system having been swapped out underneath (ErrSuperseded;
+//     deltas are discarded).
 //
 // ApplyRetrain re-derives the deployed vectors from the training
 // counters, which overwrites any bits the recovery loop substituted
@@ -67,11 +68,11 @@ func (s *Server) RetrainOnline(xs [][]float64, ys []int, epochs int) (int, error
 	mistakes := 0
 	for e := 0; e < epochs; e++ {
 		var dep []*bitvec.Vector
-		s.mu.RLock()
-		if s.sys == sys {
+		s.mu.Lock()
+		if st := s.live.Load(); st != nil && st.sys == sys {
 			dep = m.SnapshotDeployed()
 		}
-		s.mu.RUnlock()
+		s.mu.Unlock()
 		if dep == nil {
 			return mistakes, ErrSuperseded
 		}
@@ -82,12 +83,17 @@ func (s *Server) RetrainOnline(xs [][]float64, ys []int, epochs int) (int, error
 		}
 
 		s.mu.Lock()
-		if s.sys != sys {
+		st := s.live.Load()
+		if st == nil || st.sys != sys {
 			s.mu.Unlock()
 			m.DiscardRetrain(rd)
 			return mistakes, ErrSuperseded
 		}
 		m.ApplyRetrain(rd)
+		if st.chain != nil {
+			// ApplyRetrain re-binarizes every class: full reimage.
+			st.chain.Publish(m, nil)
+		}
 		s.mu.Unlock()
 
 		mistakes = rd.Mistakes

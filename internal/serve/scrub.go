@@ -15,14 +15,21 @@ import (
 // deterministically.
 func (s *Server) ScrubNow(elapsed time.Duration) (attack.Result, error) {
 	s.mu.Lock()
-	sub := s.sub
+	st := s.live.Load()
 	var res attack.Result
 	var err error
-	if sub != nil && s.sys != nil {
-		res, err = sub.Advance(elapsed)
+	scrubbed := false
+	if st != nil && st.sub != nil {
+		res, err = st.sub.Advance(elapsed)
+		st.publishSubStats()
+		if res.BitsFlipped > 0 {
+			// The fault process may have touched any class: full reimage.
+			st.chain.Publish(st.sys.Model(), nil)
+		}
+		scrubbed = true
 	}
 	s.mu.Unlock()
-	if sub == nil {
+	if !scrubbed {
 		return res, err
 	}
 	s.metrics.scrubs.Add(1)

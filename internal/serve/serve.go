@@ -22,13 +22,22 @@
 //     request gets an answer), then drains the recovery queue, then
 //     stops the probe loop.
 //
-// Locking discipline: s.mu is the single-writer lock over the
-// deployed model. Predictions and accuracy probes take it shared;
-// recovery observation, attack drills, and system swaps
-// (train/restore) take it exclusively. Encoding happens outside the
-// lock entirely, and online retraining (RetrainOnline) accumulates
-// its per-epoch mistake deltas against a snapshot with no lock held,
-// taking s.mu exclusively only for the final merge + binarize swap.
+// Concurrency model — RCU epoch snapshots (DESIGN.md §"RCU read
+// path"): the serving read path takes NO lock. The installed system
+// and its scoring image live behind an atomic pointer (Server.live);
+// each batch acquires the current model epoch (model.EpochChain, one
+// atomic increment), scores every query against that immutable frozen
+// image, and releases it. Writers — recovery observations, substrate
+// scrub ticks, attack drills, retrain applies, rollbacks, node
+// repairs/reseeds — mutate the live model under the single writer
+// mutex s.mu and publish the change as a new epoch in the same
+// critical section, cloning only the class vectors they dirtied.
+// Superseded epochs return their private vectors to a pool once the
+// last in-flight reader drains, keeping the steady-state hot path
+// allocation-free. Online retraining (RetrainOnline) accumulates its
+// per-epoch mistake deltas against a snapshot with no lock held,
+// taking s.mu only for the microsecond snapshot and the final merge +
+// binarize swap.
 package serve
 
 import (
@@ -42,6 +51,7 @@ import (
 	"repro/internal/bitvec"
 	"repro/internal/core"
 	"repro/internal/fleet"
+	"repro/internal/hdc/model"
 	"repro/internal/recovery"
 	"repro/internal/substrate"
 )
@@ -177,23 +187,49 @@ type Prediction struct {
 	Trusted bool `json:"trusted"`
 }
 
-// Server is an online inference service over a core.System.
-type Server struct {
-	cfg     Config
-	start   time.Time
-	metrics metrics
-
-	// mu is the single-writer lock over the deployed model (and the
-	// sys/rec/sub/flt group as a unit). See the package comment.
-	mu  sync.RWMutex
+// liveState is everything one /train or /restore installs as a unit:
+// the system, its recoverer and fault process, the replica fleet
+// (fleet mode), and the epoch chain readers score through
+// (single-model mode; fleet replicas carry their own chains). Readers
+// load the pointer once and get a mutually consistent view; writers
+// mutate the *contents* under s.mu and publish model changes as
+// epochs. The struct itself is immutable after install — a new
+// install builds a fresh liveState and swaps the pointer, abandoning
+// the old one (and its chain) to in-flight readers and the GC.
+type liveState struct {
 	sys *core.System
 	rec *recovery.Recoverer
 	sub substrate.FaultProcess
 	// flt is the replica fleet (fleet mode only). In fleet mode sys is
 	// the pristine seed — encoding still goes through it, but scoring,
 	// recovery, and fault processes live on the fleet's forks, each
-	// behind its own replica lock; s.mu only guards the pointer swap.
+	// behind its own replica lock and epoch chain.
 	flt *fleet.Fleet
+	// chain is the RCU publication point for the deployed model
+	// (single-model mode; nil in fleet mode).
+	chain *model.EpochChain
+	// subStats is the latest substrate counter snapshot, republished
+	// by every writer that touched the fault process so /metrics never
+	// needs s.mu (substrate.Stats() itself is not thread-safe).
+	subStats atomic.Pointer[substrate.Stats]
+}
+
+// Server is an online inference service over a core.System.
+type Server struct {
+	cfg     Config
+	start   time.Time
+	metrics metrics
+
+	// live is the atomically published installed state; the read path
+	// loads it without any lock. Nil until the first install.
+	live atomic.Pointer[liveState]
+
+	// mu is the single-WRITER mutex over the live state's contents:
+	// recovery observations, scrub ticks, attack drills, retrain
+	// applies, rollbacks, node repairs/reseeds, snapshot
+	// serialization, and the install swap all hold it. Readers never
+	// touch it — they go through live + the epoch chain.
+	mu sync.Mutex
 
 	// wd is the degradation watchdog's state; wd.mu nests OUTSIDE s.mu
 	// (watchdog code locks wd.mu first, then s.mu — never the reverse).
@@ -262,10 +298,12 @@ func New(sys *core.System, cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// install wires a system (and a fresh recoverer over its model, and a
-// fresh fault process over its attack image) in under the write lock.
-// The old checkpoint and watchdog posture are discarded: they describe
-// a model that no longer exists.
+// install wires a system (plus a fresh recoverer over its model, a
+// fresh fault process over its attack image, and a fresh epoch chain)
+// into a new liveState and publishes it with one pointer swap. The old
+// state — checkpoint, watchdog posture, epoch chain — is abandoned: it
+// describes a model that no longer exists, and in-flight readers of
+// the old chain drain out on their own.
 func (s *Server) install(sys *core.System) error {
 	if s.closed.Load() {
 		return ErrClosed
@@ -289,8 +327,11 @@ func (s *Server) install(sys *core.System) error {
 		}
 		sub = p
 	}
+	st := &liveState{sys: sys, rec: rec, sub: sub}
+	st.chain = model.NewEpochChain(sys.Model())
+	st.publishSubStats()
 	s.mu.Lock()
-	s.sys, s.rec, s.sub = sys, rec, sub
+	s.live.Store(st)
 	s.mu.Unlock()
 	s.wd.reset()
 	return nil
@@ -324,22 +365,35 @@ func (s *Server) installFleet(sys *core.System) error {
 	if err != nil {
 		return fmt.Errorf("serve: %w", err)
 	}
+	st := &liveState{sys: sys, flt: flt}
 	s.mu.Lock()
-	old := s.flt
-	s.sys, s.rec, s.sub, s.flt = sys, nil, nil, flt
+	old := s.live.Load()
+	s.live.Store(st)
 	s.mu.Unlock()
 	s.wd.reset()
-	if old != nil {
-		old.Close()
+	if old != nil && old.flt != nil {
+		old.flt.Close()
 	}
 	return nil
 }
 
-// fleet returns the live fleet (nil in single-model mode).
+// publishSubStats refreshes the lock-free substrate counter snapshot.
+// Call after any operation that touched st.sub, while still holding
+// s.mu (or before the state is published, as install does).
+func (st *liveState) publishSubStats() {
+	if st.sub == nil {
+		return
+	}
+	stats := st.sub.Stats()
+	st.subStats.Store(&stats)
+}
+
+// fleet returns the live fleet (nil in single-model mode). Lock-free.
 func (s *Server) fleet() *fleet.Fleet {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.flt
+	if st := s.live.Load(); st != nil {
+		return st.flt
+	}
+	return nil
 }
 
 // Fleet exposes the live fleet for drills and status (nil in
@@ -347,10 +401,12 @@ func (s *Server) fleet() *fleet.Fleet {
 func (s *Server) Fleet() *fleet.Fleet { return s.fleet() }
 
 // system returns the current system (nil before the first install).
+// Lock-free.
 func (s *Server) system() *core.System {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.sys
+	if st := s.live.Load(); st != nil {
+		return st.sys
+	}
+	return nil
 }
 
 // Ready reports whether a model is installed.
@@ -419,18 +475,22 @@ func newBatchScratch(batchSize int) *batchScratch {
 }
 
 // serveBatch is the pool's flush hook: encode the batch lock-free,
-// score it under the shared lock, enqueue trusted queries for
-// recovery, and answer every request. sc is the calling batcher's
-// private scratch.
+// score it against the current model epoch with no lock at all,
+// enqueue trusted queries for recovery, and answer every request. sc
+// is the calling batcher's private scratch. The epoch is acquired once
+// per batch — one atomic increment amortized over the whole flush —
+// and every query in the batch scores against the same immutable
+// image, so a concurrent writer can never tear a batch.
 func (s *Server) serveBatch(batch []*request, sc *batchScratch) {
-	sys := s.system()
-	if sys == nil {
+	st := s.live.Load()
+	if st == nil {
 		for _, r := range batch {
 			s.metrics.errors.Add(1)
 			r.resp <- result{err: ErrNoModel}
 		}
 		return
 	}
+	sys := st.sys
 	want := sys.Features()
 	xs := sc.xs[:0]
 	live := sc.live[:0]
@@ -455,12 +515,13 @@ func (s *Server) serveBatch(batch []*request, sc *batchScratch) {
 	}
 	preds := sc.preds[:len(encoded)]
 	sc.preds = preds
-	if flt := s.fleet(); flt != nil {
+	if st.flt != nil {
 		// Fleet path: the batch fans to the read-quorum (or the fast
-		// single replica while the fleet is provably in sync). Replica
-		// locks replace s.mu — the seed system is never scored.
-		gate = flt.ConfidenceGate()
-		classes, confs, err := flt.ScoreBatch(encoded, flt.Temperature())
+		// single replica while the fleet is provably in sync). Per-
+		// replica epoch chains replace s.mu — the seed system is never
+		// scored.
+		gate = st.flt.ConfidenceGate()
+		classes, confs, err := st.flt.ScoreBatch(encoded, st.flt.Temperature())
 		if err != nil {
 			for _, r := range live {
 				s.metrics.errors.Add(1)
@@ -473,13 +534,13 @@ func (s *Server) serveBatch(batch []*request, sc *batchScratch) {
 			preds[i] = Prediction{Class: classes[i], Confidence: confs[i], Trusted: confs[i] >= gate}
 		}
 	} else {
-		s.mu.RLock()
-		m := sys.Model()
+		ep := st.chain.Acquire()
+		img := ep.Frozen()
 		for i, q := range encoded {
-			class, conf := m.PredictWithConfidence(q, s.cfg.Recovery.Temperature)
+			class, conf := img.PredictWithConfidence(q, s.cfg.Recovery.Temperature)
 			preds[i] = Prediction{Class: class, Confidence: conf, Trusted: conf >= gate}
 		}
-		s.mu.RUnlock()
+		ep.Release()
 	}
 
 	s.metrics.observeBatch(preds)
@@ -510,9 +571,10 @@ func (s *Server) enqueueRecovery(q *bitvec.Vector) {
 
 // recoveryLoop is the background self-healing goroutine: it drains
 // the trusted-query buffer, running each observation under the
-// exclusive model lock (recovery rewrites the deployed class
-// hypervectors in place). It exits once the channel is closed and
-// fully drained, so Close never abandons queued observations.
+// exclusive writer mutex (recovery rewrites the deployed class
+// hypervectors in place) and publishing the touched class as a new
+// epoch. It exits once the channel is closed and fully drained, so
+// Close never abandons queued observations.
 func (s *Server) recoveryLoop() {
 	defer s.bg.Done()
 	for q := range s.recCh {
@@ -525,20 +587,30 @@ func (s *Server) recoveryLoop() {
 		}
 		s.mu.Lock()
 		// A /train or /restore may have swapped in a model of a
-		// different shape between enqueue and observation.
-		if s.rec != nil && s.sys != nil && q.Len() == s.sys.Dimensions() {
-			if s.sub == nil {
-				s.rec.Observe(q)
+		// different shape between enqueue and observation; reload under
+		// the lock so the observation and its publish hit one state.
+		st := s.live.Load()
+		if st != nil && st.flt == nil && st.rec != nil && q.Len() == st.sys.Dimensions() {
+			var pred int
+			var updated bool
+			if st.sub == nil {
+				pred, updated = st.rec.Observe(q)
 			} else {
 				// Recovery substitutions are memory writes: charge them
 				// to the substrate so wear-driven processes see the
 				// recovery loop consuming the array's endurance.
-				before := s.rec.Stats().BitsSubstituted
-				s.rec.Observe(q)
-				if d := s.rec.Stats().BitsSubstituted - before; d > 0 {
-					s.sub.NoteWrites(d)
+				before := st.rec.Stats().BitsSubstituted
+				pred, updated = st.rec.Observe(q)
+				if d := st.rec.Stats().BitsSubstituted - before; d > 0 {
+					st.sub.NoteWrites(d)
 					s.metrics.recoveryWrites.Add(int64(d))
+					st.publishSubStats()
 				}
+			}
+			if updated {
+				// Observe substitutes chunks only within the predicted
+				// class's hypervector: one dirty class per epoch.
+				st.chain.Publish(st.sys.Model(), []int{pred})
 			}
 		}
 		s.mu.Unlock()
@@ -569,17 +641,18 @@ func (s *Server) ProbeNow() (float64, bool) {
 	s.probeMu.Lock()
 	xs, ys := s.probeX, s.probeY
 	s.probeMu.Unlock()
-	sys := s.system()
-	if sys == nil || len(xs) == 0 || len(xs[0]) != sys.Features() {
+	st := s.live.Load()
+	if st == nil || len(xs) == 0 || len(xs[0]) != st.sys.Features() {
 		return 0, false
 	}
-	// Encode outside the lock (immutable encoder), score under it. In
-	// fleet mode the probe measures what clients actually get — quorum
+	// Encode lock-free (immutable encoder), score against the current
+	// epoch — the probe is a reader like any predict batch. In fleet
+	// mode the probe measures what clients actually get — quorum
 	// accuracy — not any single replica.
-	encoded := sys.EncodeAllParallel(xs, s.cfg.EncodeWorkers)
+	encoded := st.sys.EncodeAllParallel(xs, s.cfg.EncodeWorkers)
 	var acc float64
-	if flt := s.fleet(); flt != nil {
-		classes, _, err := flt.ScoreBatch(encoded, flt.Temperature())
+	if st.flt != nil {
+		classes, _, err := st.flt.ScoreBatch(encoded, st.flt.Temperature())
 		if err != nil {
 			return 0, false
 		}
@@ -591,9 +664,9 @@ func (s *Server) ProbeNow() (float64, bool) {
 		}
 		acc = float64(hit) / float64(len(ys))
 	} else {
-		s.mu.RLock()
-		acc = sys.Model().AccuracyParallel(encoded, ys, s.cfg.EncodeWorkers)
-		s.mu.RUnlock()
+		ep := st.chain.Acquire()
+		acc = ep.Frozen().AccuracyParallel(encoded, ys, s.cfg.EncodeWorkers)
+		ep.Release()
 	}
 	s.metrics.recordProbe(acc)
 	return acc, true

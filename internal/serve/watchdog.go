@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fleet"
+	"repro/internal/recovery"
 	"repro/internal/stats"
 )
 
@@ -252,9 +253,10 @@ func (s *Server) journalWatchdog(rep WatchdogReport) {
 // escalateLocked raises the live recovery substitution rate by
 // EscalateFactor (capped at 1), remembering the base rate to restore.
 func (s *Server) escalateLocked(w *watchdogState, cfg WatchdogConfig) bool {
-	s.mu.RLock()
-	rec := s.rec
-	s.mu.RUnlock()
+	var rec *recovery.Recoverer
+	if st := s.live.Load(); st != nil {
+		rec = st.rec
+	}
 	if rec == nil {
 		return false
 	}
@@ -271,32 +273,31 @@ func (s *Server) deescalateLocked(w *watchdogState) {
 	if w.baseSub <= 0 {
 		return
 	}
-	s.mu.RLock()
-	rec := s.rec
-	s.mu.RUnlock()
-	if rec != nil {
-		_ = rec.SetSubstitutionRate(w.baseSub)
+	if st := s.live.Load(); st != nil && st.rec != nil {
+		_ = st.rec.SetSubstitutionRate(w.baseSub)
 	}
 	w.baseSub = 0
 }
 
 // checkpointLocked captures a sealed, stamped image of the live system
-// under the read lock (a concurrent recovery write or scrub would tear
-// it otherwise). With a sealed journal attached, the image is anchored
-// to the latest sealed root so the rollback path can re-verify the
-// checkpoint's lineage before trusting it.
+// under the writer mutex (a concurrent recovery write or scrub would
+// tear it otherwise; the read path is unaffected — it scores epochs,
+// not the live model). With a sealed journal attached, the image is
+// anchored to the latest sealed root so the rollback path can
+// re-verify the checkpoint's lineage before trusting it.
 func (s *Server) checkpointLocked(w *watchdogState, acc float64) bool {
 	var anchor *core.JournalAnchor
 	if a, ok := s.cfg.Journal.Anchor(); ok {
 		anchor = &a
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.sys == nil {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.live.Load()
+	if st == nil {
 		return false
 	}
 	var buf bytes.Buffer
-	if err := s.sys.SaveAnchored(&buf, acc, anchor); err != nil {
+	if err := st.sys.SaveAnchored(&buf, acc, anchor); err != nil {
 		return false
 	}
 	w.cp = &checkpoint{payload: buf.Bytes(), accuracy: acc}
@@ -330,14 +331,20 @@ func (s *Server) rollbackLocked(w *watchdogState, cfg WatchdogConfig) bool {
 	snap := restored.Snapshot()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.sys == nil || len(snap) != s.sys.Classes() || len(snap) == 0 || snap[0].Len() != s.sys.Dimensions() {
+	st := s.live.Load()
+	if st == nil || len(snap) != st.sys.Classes() || len(snap) == 0 || snap[0].Len() != st.sys.Dimensions() {
 		w.cp = nil
 		return false
 	}
-	s.sys.Restore(snap)
-	if s.sub != nil {
-		s.sub.NoteWrites(s.sys.Classes() * s.sys.Dimensions())
-		s.sub.Refresh()
+	st.sys.Restore(snap)
+	if st.sub != nil {
+		st.sub.NoteWrites(st.sys.Classes() * st.sys.Dimensions())
+		st.sub.Refresh()
+		st.publishSubStats()
+	}
+	if st.chain != nil {
+		// Every class was rewritten: full reimage.
+		st.chain.Publish(st.sys.Model(), nil)
 	}
 	return true
 }
