@@ -348,6 +348,27 @@ func BenchmarkMajorityIntoSIMD(b *testing.B) {
 	}
 }
 
+// BenchmarkPlaneThresholdSIMD thresholds a warmed 75-add plane counter
+// at D=10000 through each kernel tier — the comparison sweep behind
+// PlaneCounter majority bundling and the LogHD codeword-threshold
+// path.
+func BenchmarkPlaneThresholdSIMD(b *testing.B) {
+	rng := stats.NewRNG(8)
+	vs := make([]*bitvec.Vector, 75)
+	for i := range vs {
+		vs[i] = bitvec.Random(10000, rng)
+	}
+	c := bitvec.NewPlaneCounter(10000)
+	c.AddMany(vs)
+	dst := bitvec.New(10000)
+	forEachKernelBench(b, func(b *testing.B) {
+		b.SetBytes(int64(10000 / 8))
+		for i := 0; i < b.N; i++ {
+			c.MajorityInto(dst)
+		}
+	})
+}
+
 // BenchmarkNearestEarlyAbandon pins the block-level abandon win at
 // high dimensionality: one near candidate among 15 far ones, where a
 // full scan would score every block of every candidate. Guards the

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	experiments [-run all|table1|table2|table3|table4|fig2|fig3|fig4a|fig4b|equilibrium|fleetdrill]
+//	experiments [-run all|table1|table2|table3|table4|fig2|fig3|fig4a|fig4b|equilibrium|fleetdrill|loghd]
 //	            [-dims 10000] [-trials 3] [-scale 1.0] [-full] [-seed 2022]
 //	            [-workers N]
 //
@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "experiments to run (comma separated): all, table1, table2, table3, table4, fig2, fig3, fig4a, fig4b, equilibrium, fleetdrill")
+	run := flag.String("run", "all", "experiments to run (comma separated): all, table1, table2, table3, table4, fig2, fig3, fig4a, fig4b, equilibrium, fleetdrill, loghd")
 	dims := flag.Int("dims", 10000, "hypervector dimensionality")
 	trials := flag.Int("trials", 3, "attack trials averaged per cell")
 	scale := flag.Float64("scale", 1.0, "dataset size scale factor")
@@ -62,6 +62,7 @@ func main() {
 		{"fig4b", func() (fmt.Stringer, error) { return render(orErr(experiments.Fig4b(ctx))) }},
 		{"equilibrium", func() (fmt.Stringer, error) { return render(orErr(experiments.Equilibrium(ctx))) }},
 		{"fleetdrill", func() (fmt.Stringer, error) { return render(orErr(experiments.FleetDrill(ctx))) }},
+		{"loghd", func() (fmt.Stringer, error) { return render(orErr(experiments.LogHD(ctx))) }},
 	}
 
 	want := map[string]bool{}

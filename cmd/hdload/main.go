@@ -9,6 +9,14 @@
 //	servehd -dataset PAMAP &
 //	hdload -url http://127.0.0.1:8080 -conns 8 -batch 16 -duration 30s -out BENCH_serve_load.json
 //
+// Against a multi-tenant registry (servehd -models), the -models flag
+// drives a weighted mix — "-models alpha:3,beta:1" sends 3/4 of the
+// traffic to alpha — and the summary and JSON report gain per-model
+// qps/p50/p99/error rows:
+//
+//	servehd -models "alpha:PAMAP,beta:PAMAP:loghd" &
+//	hdload -models alpha:3,beta:1 -out BENCH_serve_load_multi.json
+//
 // The feature arity is discovered from the server's /metrics document,
 // so hdload needs no dataset of its own: it synthesizes deterministic
 // pseudo-random feature vectors in [0,1), which exercise the full
@@ -25,6 +33,9 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/bitvec"
@@ -40,9 +51,15 @@ func main() {
 	duration := flag.Duration("duration", 10*time.Second, "measurement window")
 	out := flag.String("out", "", "write a benchjson-style JSON report to this file ('' = stdout summary only)")
 	seed := flag.Uint64("seed", 1, "synthetic sample seed")
+	models := flag.String("models", "", `weighted multi-model mix "id:weight,id2:weight" against a registry server (weight defaults to 1; '' = single-model serve API)`)
 	flag.Parse()
 
-	features, err := discoverFeatures(*url)
+	mix, err := parseModels(*models)
+	if err != nil {
+		fail(err)
+	}
+
+	features, err := discoverFeatures(*url, mix)
 	if err != nil {
 		fail(err)
 	}
@@ -57,6 +74,7 @@ func main() {
 		Warmup:   *warmup,
 		Duration: *duration,
 		Samples:  samples,
+		Models:   mix,
 	})
 	if err != nil {
 		fail(err)
@@ -66,6 +84,15 @@ func main() {
 		res.AchievedQPS, res.Requests, res.Errors,
 		time.Duration(res.P50Ns), time.Duration(res.P95Ns),
 		time.Duration(res.P99Ns), time.Duration(res.MaxNs))
+	for _, mw := range mix {
+		mr := res.PerModel[mw.ID]
+		if mr == nil {
+			continue
+		}
+		fmt.Printf("hdload:   %-16s w%-3d %8.0f qps (%d requests, %d errors) p50=%s p99=%s\n",
+			mw.ID, mr.Weight, mr.AchievedQPS, mr.Requests, mr.Errors,
+			time.Duration(mr.P50Ns), time.Duration(mr.P99Ns))
+	}
 
 	if *out != "" {
 		rep := res.BenchReport("serve_load", map[string]string{
@@ -89,26 +116,101 @@ func main() {
 	}
 }
 
-// discoverFeatures reads the model's feature arity from /metrics.
-func discoverFeatures(url string) (int, error) {
+// parseModels turns "alpha:3,beta:1,gamma" into a weighted mix; a
+// missing weight means 1.
+func parseModels(s string) ([]loadgen.ModelWeight, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var mix []loadgen.ModelWeight
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, ws, hasW := strings.Cut(part, ":")
+		mw := loadgen.ModelWeight{ID: strings.TrimSpace(id), Weight: 1}
+		if mw.ID == "" {
+			return nil, fmt.Errorf("-models entry %q has no model id", part)
+		}
+		if hasW {
+			w, err := strconv.Atoi(strings.TrimSpace(ws))
+			if err != nil || w <= 0 {
+				return nil, fmt.Errorf("-models entry %q: weight must be a positive integer", part)
+			}
+			mw.Weight = w
+		}
+		mix = append(mix, mw)
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("-models %q names no models", s)
+	}
+	return mix, nil
+}
+
+// metricsModel is the slice of a /metrics model section hdload needs.
+type metricsModel struct {
+	Ready bool `json:"ready"`
+	Model *struct {
+		Features int `json:"features"`
+	} `json:"model"`
+}
+
+func (m *metricsModel) features() int {
+	if m == nil || !m.Ready || m.Model == nil {
+		return 0
+	}
+	return m.Model.Features
+}
+
+// discoverFeatures reads the model's feature arity from /metrics. With
+// a mix, the registry document's per-model sections are consulted
+// instead: every named tenant must be loaded and they must agree on
+// feature arity, because one synthetic sample set feeds all of them.
+func discoverFeatures(url string, mix []loadgen.ModelWeight) (int, error) {
 	resp, err := http.Get(url + "/metrics")
 	if err != nil {
 		return 0, fmt.Errorf("probe %s/metrics: %w", url, err)
 	}
 	defer resp.Body.Close()
 	var doc struct {
-		Ready bool `json:"ready"`
-		Model *struct {
-			Features int `json:"features"`
-		} `json:"model"`
+		metricsModel
+		Models map[string]*metricsModel `json:"models"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
 		return 0, fmt.Errorf("decode /metrics: %w", err)
 	}
-	if !doc.Ready || doc.Model == nil || doc.Model.Features <= 0 {
+	if len(mix) == 0 {
+		if f := doc.metricsModel.features(); f > 0 {
+			return f, nil
+		}
 		return 0, fmt.Errorf("server at %s has no model loaded (start servehd with -dataset or -load)", url)
 	}
-	return doc.Model.Features, nil
+	features := 0
+	for _, mw := range mix {
+		f := doc.Models[mw.ID].features()
+		if f <= 0 {
+			return 0, fmt.Errorf("registry at %s has no ready model %q (have: %s)", url, mw.ID, modelKeys(doc.Models))
+		}
+		if features == 0 {
+			features = f
+		} else if f != features {
+			return 0, fmt.Errorf("mixed models disagree on feature arity (%d vs %d for %q) — one sample set cannot feed both", features, f, mw.ID)
+		}
+	}
+	return features, nil
+}
+
+func modelKeys(m map[string]*metricsModel) string {
+	if len(m) == 0 {
+		return "none"
+	}
+	ids := make([]string, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return strings.Join(ids, ", ")
 }
 
 // syntheticSamples builds n deterministic feature vectors in [0,1).

@@ -37,6 +37,15 @@
 // anti-entropy compares chunk hashes across nodes, pushing majority
 // chunks back and re-seeding any node too far gone:
 //
+// Or serve many models from one process: each -models tenant gets its
+// own isolated serving stack (batcher, recovery loop, substrate,
+// watchdog) behind a registry that routes /predict by the request's
+// "model" field, with /models CRUD and per-tenant /metrics sections:
+//
+//	servehd -models "har:UCIHAR,iso:ISOLET,iso-lg:ISOLET:loghd" -probe 5s
+//	curl -s localhost:8080/predict -d '{"model":"iso","x":[...]}'
+//	curl -s localhost:8080/models
+//
 //	servehd -node -addr 127.0.0.1:7001 -load model.rhd &
 //	servehd -node -addr 127.0.0.1:7002 -load model.rhd &
 //	servehd -node -addr 127.0.0.1:7003 -load model.rhd &
@@ -66,6 +75,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/fleet"
 	"repro/internal/recovery"
+	"repro/internal/registry"
 	"repro/internal/serve"
 	"repro/internal/substrate"
 )
@@ -106,10 +116,14 @@ func main() {
 	coordMode := flag.Bool("coordinator", false, "run as a cluster coordinator over -peers instead of serving a model")
 	peers := flag.String("peers", "", "comma-separated node base URLs (with -coordinator)")
 	nodeTimeout := flag.Duration("node-timeout", 0, "coordinator per-node request deadline (0 = default 2s)")
+	models := flag.String("models", "", `multi-tenant registry mode: comma-separated "id:DATASET[:loghd]" tenants, each trained at startup with its own serving stack (excludes -load, -dataset, -replicas, -node, -coordinator)`)
 	flag.Parse()
 
 	if *coordMode && (*nodeMode || *loadFile != "" || *dsName != "" || *replicas > 0) {
 		fail(errors.New("-coordinator runs no model of its own: drop -node, -load, -dataset, and -replicas"))
+	}
+	if *models != "" && (*coordMode || *nodeMode || *loadFile != "" || *dsName != "" || *replicas > 0) {
+		fail(errors.New("-models is the whole topology: drop -load, -dataset, -replicas, -node, and -coordinator"))
 	}
 
 	var journal *fleet.Journal
@@ -143,6 +157,43 @@ func main() {
 	}
 	if *sub > 0 {
 		recCfg.SubstitutionRate = *sub
+	}
+
+	var subCfg *substrate.Config
+	if *subKind != "" {
+		subCfg = &substrate.Config{
+			Kind:              *subKind,
+			Seed:              *subSeed,
+			TimeScale:         *timeScale,
+			RefreshIntervalMs: *refreshMs,
+			ClusterRun:        *clusterRun,
+			RatePerStep:       *campaignRate,
+			StepEvery:         *campaignEvery,
+			Targeted:          *campaignTargeted,
+		}
+	}
+
+	baseCfg := serve.Config{
+		Shards:          *shards,
+		BatchSize:       *batch,
+		BatchWindow:     *window,
+		Recovery:        recCfg,
+		RecoverySeed:    *seed + 2,
+		DisableRecovery: *noRecover,
+		ProbeInterval:   *probe,
+		Substrate:       subCfg,
+		ScrubTick:       *scrub,
+		Journal:         journal,
+		Watchdog: serve.WatchdogConfig{
+			Interval:              *watchdog,
+			AccuracyDrop:          *accDrop,
+			MinCheckpointAccuracy: *cpFloor,
+		},
+	}
+
+	if *models != "" {
+		runRegistry(*addr, *models, *dims, *seed, baseCfg)
+		return
 	}
 
 	var sys *core.System
@@ -185,20 +236,6 @@ func main() {
 		fmt.Println("no -load or -dataset: serving starts once POST /train or POST /restore installs a model")
 	}
 
-	var subCfg *substrate.Config
-	if *subKind != "" {
-		subCfg = &substrate.Config{
-			Kind:              *subKind,
-			Seed:              *subSeed,
-			TimeScale:         *timeScale,
-			RefreshIntervalMs: *refreshMs,
-			ClusterRun:        *clusterRun,
-			RatePerStep:       *campaignRate,
-			StepEvery:         *campaignEvery,
-			Targeted:          *campaignTargeted,
-		}
-	}
-
 	var fltCfg *fleet.Config
 	if *replicas > 0 {
 		fltCfg = &fleet.Config{
@@ -214,25 +251,9 @@ func main() {
 		fmt.Println("node mode: /node/* API mounted for a cluster coordinator")
 	}
 
-	srv, err := serve.New(sys, serve.Config{
-		Shards:          *shards,
-		BatchSize:       *batch,
-		BatchWindow:     *window,
-		Recovery:        recCfg,
-		RecoverySeed:    *seed + 2,
-		DisableRecovery: *noRecover,
-		ProbeInterval:   *probe,
-		Substrate:       subCfg,
-		ScrubTick:       *scrub,
-		Fleet:           fltCfg,
-		NodeAPI:         *nodeMode,
-		Journal:         journal,
-		Watchdog: serve.WatchdogConfig{
-			Interval:              *watchdog,
-			AccuracyDrop:          *accDrop,
-			MinCheckpointAccuracy: *cpFloor,
-		},
-	})
+	baseCfg.Fleet = fltCfg
+	baseCfg.NodeAPI = *nodeMode
+	srv, err := serve.New(sys, baseCfg)
 	if err != nil {
 		fail(err)
 	}
@@ -259,6 +280,87 @@ func main() {
 	serveHTTP(ln, srv.Handler(), func() {
 		srv.Close()
 		if err := journal.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "servehd: journal close:", err)
+		}
+	})
+}
+
+// runRegistry is the -models entrypoint: one process, many tenants.
+// Each "id:DATASET[:loghd]" entry trains its own model at startup
+// (seeded per tenant, so same-dataset tenants are still distinct
+// models), gets the dataset's test split as its accuracy probe, and is
+// installed in a model registry whose serving stacks — batcher,
+// recovery loop, optional substrate, watchdog — are fully isolated per
+// tenant. The ":loghd" suffix compresses that tenant's deployment to
+// the log-plane backend before install.
+func runRegistry(addr, spec string, dims int, seed uint64, cfg serve.Config) {
+	reg := registry.New(registry.Config{Serve: cfg})
+	n := 0
+	for _, part := range strings.Split(spec, ",") {
+		if part = strings.TrimSpace(part); part == "" {
+			continue
+		}
+		fields := strings.Split(part, ":")
+		if len(fields) < 2 || len(fields) > 3 {
+			fail(fmt.Errorf("-models entry %q: want id:DATASET or id:DATASET:loghd", part))
+		}
+		id, dsName := strings.TrimSpace(fields[0]), strings.ToUpper(strings.TrimSpace(fields[1]))
+		backend := "dense"
+		if len(fields) == 3 {
+			backend = strings.TrimSpace(fields[2])
+			if backend != "dense" && backend != "loghd" {
+				fail(fmt.Errorf("-models entry %q: unknown backend %q (want dense or loghd)", part, backend))
+			}
+		}
+		dspec, ok := dataset.ByName(dsName)
+		if !ok {
+			fail(fmt.Errorf("-models entry %q: unknown dataset %q", part, dsName))
+		}
+		ds, err := dataset.Generate(dspec)
+		if err != nil {
+			fail(err)
+		}
+		sys, err := core.Train(ds.TrainX, ds.TrainY, dspec.Classes, core.Config{
+			Dimensions: dims,
+			Seed:       seed + uint64(n),
+		})
+		if err != nil {
+			fail(err)
+		}
+		if backend == "loghd" {
+			if sys, err = sys.CompressLogHD(2); err != nil {
+				fail(fmt.Errorf("-models entry %q: %w", part, err))
+			}
+		}
+		if err := reg.Create(id, sys); err != nil {
+			fail(err)
+		}
+		srv, err := reg.Server(id)
+		if err != nil {
+			fail(err)
+		}
+		if err := srv.SetProbe(ds.TestX, ds.TestY); err != nil {
+			fail(err)
+		}
+		fmt.Printf("model %s: %s %s D=%d, %d classes, clean accuracy %.4f, class memory %d bits\n",
+			id, dspec.Name, sys.Backend(), sys.Dimensions(), sys.Classes(),
+			sys.Accuracy(ds.TestX, ds.TestY), sys.StorageBits())
+		n++
+	}
+	if n == 0 {
+		fail(errors.New("-models names no tenants"))
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("bitvec kernels: %s\n", bitvec.KernelName())
+	fmt.Printf("servehd registry: %d models (%s)\n", n, strings.Join(reg.Models(), ", "))
+	fmt.Printf("servehd listening on %s\n", ln.Addr())
+	serveHTTP(ln, reg.Handler(), func() {
+		reg.Close()
+		if err := cfg.Journal.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, "servehd: journal close:", err)
 		}
 	})

@@ -64,6 +64,52 @@ func (b *BinaryModel) BitValue(i, bit int) bool {
 	return b.m.ClassVector(i / d).Get(i % d)
 }
 
+// LogHDPlanes adapts a LogHD-compressed deployment to the Image
+// interface: one element per (plane, dimension) bit, plane-major. The
+// compressed representation concentrates the whole class memory into
+// n ≈ log2 k planes, so the same flipped-bit budget touches a far
+// larger fraction of the deployed state than on the dense model —
+// the robustness price of compression the experiments measure.
+type LogHDPlanes struct {
+	l *model.LogHD
+}
+
+// NewLogHDPlanes wraps a compressed deployment's base planes.
+func NewLogHDPlanes(l *model.LogHD) *LogHDPlanes { return &LogHDPlanes{l: l} }
+
+// Elements returns planes × dimensions.
+func (p *LogHDPlanes) Elements() int { return p.l.Planes() * p.l.Dimensions() }
+
+// BitsPerElement returns 1.
+func (p *LogHDPlanes) BitsPerElement() int { return 1 }
+
+// BitDamageOrder returns the single bit — plane bits are as
+// holographic as dense class bits.
+func (p *LogHDPlanes) BitDamageOrder() []int { return []int{0} }
+
+func (p *LogHDPlanes) checkAddr(i, bit int) {
+	if i < 0 || i >= p.Elements() {
+		panic(fmt.Sprintf("attack: element %d out of range [0,%d)", i, p.Elements()))
+	}
+	if bit != 0 {
+		panic(fmt.Sprintf("attack: binary element has no bit %d", bit))
+	}
+}
+
+// FlipBit flips the single bit of element i (plane-major layout).
+func (p *LogHDPlanes) FlipBit(i, bit int) {
+	p.checkAddr(i, bit)
+	d := p.l.Dimensions()
+	p.l.PlaneVector(i / d).Flip(i % d)
+}
+
+// BitValue reports the stored value of element i's single bit.
+func (p *LogHDPlanes) BitValue(i, bit int) bool {
+	p.checkAddr(i, bit)
+	d := p.l.Dimensions()
+	return p.l.PlaneVector(i / d).Get(i % d)
+}
+
 // QuantizedModel adapts a b-bit quantized HDC deployment to the Image
 // interface: one element per (class, dimension) level, b bits wide,
 // with the sign bit (position 0 in the stored layout) as the critical

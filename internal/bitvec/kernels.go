@@ -46,6 +46,14 @@ type kernelTable struct {
 	// -w when clear, for len(words)*64 tallies (the caller peels the
 	// partial tail word).
 	addScaled func(tallies []int32, words []uint64, w int32)
+
+	// planeCompare folds one bit plane into a running magnitude
+	// comparison (planes visited high to low): gt |= eq & plane &^ tb,
+	// eq &= ^(plane ^ tb), with tb the threshold's bit at this plane
+	// broadcast to all words (0 or all-ones). All slices share plane's
+	// length. This is PlaneCounter's threshold/majority back end and
+	// the LogHD codeword-threshold hot path.
+	planeCompare func(gt, eq, plane []uint64, tb uint64)
 }
 
 var portableTable = kernelTable{
@@ -56,6 +64,8 @@ var portableTable = kernelTable{
 	majority3:  majority3Go,
 	majority5:  majority5Go,
 	addScaled:  addScaledGo,
+
+	planeCompare: planeCompareGo,
 }
 
 // kern is the active kernel table, selected at init by the
@@ -211,6 +221,14 @@ func majority5Go(dst, a, b, c, d, e []uint64) {
 		all3 := a[i] & b[i] & c[i]
 		one3 := (a[i] | b[i] | c[i]) &^ maj3 // exactly one of a,b,c
 		dst[i] = all3 | maj3&(d[i]|e[i]) | one3&d[i]&e[i]
+	}
+}
+
+func planeCompareGo(gt, eq, plane []uint64, tb uint64) {
+	for i, pb := range plane {
+		e := eq[i]
+		gt[i] |= e & pb &^ tb
+		eq[i] = e &^ (pb ^ tb)
 	}
 }
 

@@ -30,6 +30,9 @@ func majority5Asm(dst, a, b, c, d, e *uint64, n int)
 //go:noescape
 func addScaledAsm(tallies *int32, words *uint64, n int, w int32)
 
+//go:noescape
+func planeCompareAsm(gt, eq, plane *uint64, n int, tb uint64)
+
 func cpuidProbe(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
 
 func xgetbv0() (eax, edx uint32)
@@ -115,6 +118,16 @@ func addScaledAVX2(tallies []int32, words []uint64, w int32) {
 	addScaledAsm(&tallies[0], &words[0], len(words), w)
 }
 
+func planeCompareAVX2(gt, eq, plane []uint64, tb uint64) {
+	n := len(plane) &^ 3
+	if n > 0 {
+		planeCompareAsm(&gt[0], &eq[0], &plane[0], n, tb)
+	}
+	if n < len(plane) {
+		planeCompareGo(gt[n:], eq[n:], plane[n:], tb)
+	}
+}
+
 // CPUID feature bits (Intel SDM vol. 2, CPUID leaf 1 ECX and leaf 7
 // EBX/ECX), plus the XCR0 state-component bits AVX and AVX-512 need
 // the OS to have enabled.
@@ -170,6 +183,8 @@ func init() {
 		majority3:  majority3AVX2,
 		majority5:  majority5AVX2,
 		addScaled:  addScaledAVX2,
+
+		planeCompare: planeCompareAVX2,
 	}
 	registerKernels(avx2)
 	best := avx2

@@ -491,6 +491,43 @@ tallyDone:
 	VZEROUPPER
 	RET
 
+// func planeCompareAsm(gt, eq, plane *uint64, n int, tb uint64)
+//
+// One plane of a bit-sliced magnitude comparison (planes visited high
+// to low by the caller): gt |= eq & plane &^ tb, eq &= ^(plane ^ tb),
+// with tb (the threshold's bit at this plane, 0 or all-ones)
+// broadcast across lanes. Processes n &^ 3 words.
+TEXT ·planeCompareAsm(SB), NOSPLIT, $0-40
+	MOVQ gt+0(FP), BX
+	MOVQ eq+8(FP), SI
+	MOVQ plane+16(FP), DI
+	MOVQ n+24(FP), CX
+	MOVQ tb+32(FP), AX
+	MOVQ AX, X4
+	VPBROADCASTQ X4, Y4
+	XORQ DX, DX
+
+pcmpLoop:
+	CMPQ CX, $4
+	JLT  pcmpDone
+	VMOVDQU (SI)(DX*1), Y1 // eq
+	VMOVDQU (DI)(DX*1), Y2 // plane
+	VMOVDQU (BX)(DX*1), Y0 // gt
+	VPXOR   Y4, Y2, Y3     // plane ^ tb
+	VPANDN  Y1, Y3, Y3     // eq &^ (plane ^ tb) = new eq
+	VPANDN  Y2, Y4, Y5     // plane &^ tb
+	VPAND   Y5, Y1, Y5     // eq & plane &^ tb
+	VPOR    Y5, Y0, Y0     // new gt
+	VMOVDQU Y0, (BX)(DX*1)
+	VMOVDQU Y3, (SI)(DX*1)
+	ADDQ $32, DX
+	SUBQ $4, CX
+	JMP  pcmpLoop
+
+pcmpDone:
+	VZEROUPPER
+	RET
+
 // func cpuidProbe(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
 TEXT ·cpuidProbe(SB), NOSPLIT, $0-24
 	MOVL leaf+0(FP), AX

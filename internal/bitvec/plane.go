@@ -23,9 +23,12 @@ type PlaneCounter struct {
 	// AddMany's carry-save accumulators (weights 1, 2, and 4), reused
 	// across calls.
 	ones, twos, fours []uint64
-	words             int
-	n                 int
-	adds              int
+	// compareInto's running greater-than / still-equal masks, reused
+	// across calls.
+	gtBuf, eqBuf []uint64
+	words        int
+	n            int
+	adds         int
 }
 
 // NewPlaneCounter returns a zeroed counter over n dimensions.
@@ -216,26 +219,37 @@ func (p *PlaneCounter) compareInto(dst *Vector, thresh int, withTies bool) {
 		dst.maskTail()
 		return
 	}
-	// evenMask selects even global bit indices; word offsets are
-	// multiples of 64, so global parity equals in-word parity.
-	const evenMask = 0x5555555555555555
-	for w := 0; w < p.words; w++ {
-		var gt uint64 = 0
-		var eq = ^uint64(0)
-		for b := nPlanes - 1; b >= 0; b-- {
-			pb := p.planes[b][w]
-			var tb uint64
-			if thresh>>uint(b)&1 == 1 {
-				tb = ^uint64(0)
-			}
-			gt |= eq & pb & ^tb
-			eq &= ^(pb ^ tb)
+	// Plane-major over the whole word range: each plane pass is one
+	// long vectorizable sweep through the dispatched planeCompare
+	// kernel, with the threshold bit broadcast per plane instead of
+	// re-tested per word. Bit-identical to the word-major formulation —
+	// each word's gt/eq lane is independent, only the high-to-low plane
+	// order matters.
+	if p.gtBuf == nil {
+		p.gtBuf = make([]uint64, p.words)
+		p.eqBuf = make([]uint64, p.words)
+	}
+	gt, eq := p.gtBuf, p.eqBuf
+	for i := range gt {
+		gt[i] = 0
+		eq[i] = ^uint64(0)
+	}
+	for b := nPlanes - 1; b >= 0; b-- {
+		var tb uint64
+		if thresh>>uint(b)&1 == 1 {
+			tb = ^uint64(0)
 		}
-		out := gt
-		if withTies {
-			out |= eq & evenMask
+		kern.planeCompare(gt, eq, p.planes[b], tb)
+	}
+	if withTies {
+		// evenMask selects even global bit indices; word offsets are
+		// multiples of 64, so global parity equals in-word parity.
+		const evenMask = 0x5555555555555555
+		for w := 0; w < p.words; w++ {
+			dst.words[w] = gt[w] | eq[w]&evenMask
 		}
-		dst.words[w] = out
+	} else {
+		copy(dst.words, gt)
 	}
 	dst.maskTail()
 }

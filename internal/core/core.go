@@ -58,12 +58,16 @@ func (c *Config) fillDefaults() {
 	}
 }
 
-// System is a trained RobustHD classifier.
+// System is a trained RobustHD classifier. Exactly one backend is
+// non-nil: the dense per-class model (the paper's deployment, which
+// the recovery loop can heal) or the LogHD-compressed deployment
+// (log-compressed class memory, no per-class recovery surface).
 type System struct {
 	cfg     Config
 	norm    *encoding.Normalizer
 	encoder *encoding.RecordEncoder
 	model   *model.Model
+	log     *model.LogHD
 
 	// enc pools per-worker encode scratch (normalized-feature buffer +
 	// encoder scratch) so the steady-state encode path only allocates
@@ -124,27 +128,99 @@ func Train(trainX [][]float64, trainY []int, classes int, cfg Config) (*System, 
 	return s, nil
 }
 
+// scorer is the inference surface both backends share.
+type scorer interface {
+	Classes() int
+	Dimensions() int
+	Predict(q *bitvec.Vector) int
+	PredictWithConfidence(q *bitvec.Vector, temperature float64) (int, float64)
+	AccuracyParallel(qs []*bitvec.Vector, labels []int, workers int) float64
+}
+
+// backend returns the active deployment.
+func (s *System) backend() scorer {
+	if s.log != nil {
+		return s.log
+	}
+	return s.model
+}
+
 // Fork returns an independent copy of the system for concurrent use:
-// the model (counters and deployed vectors) is deep-copied while the
-// immutable encoder and normalizer are shared. Forks let parallel
-// experiment trials attack and recover private model copies instead of
-// serializing attack/restore cycles on one shared system.
+// the deployed backend is deep-copied while the immutable encoder and
+// normalizer are shared. Forks let parallel experiment trials attack
+// and recover private model copies instead of serializing
+// attack/restore cycles on one shared system.
 func (s *System) Fork() *System {
-	return &System{cfg: s.cfg, norm: s.norm, encoder: s.encoder, model: s.model.Clone()}
+	f := &System{cfg: s.cfg, norm: s.norm, encoder: s.encoder}
+	if s.log != nil {
+		f.log = s.log.Clone()
+	} else {
+		f.model = s.model.Clone()
+	}
+	return f
+}
+
+// CompressLogHD returns a sibling system whose deployment is the LogHD
+// compression of this system's trained dense model, sharing the
+// encoder and normalizer (queries encode identically; only scoring
+// memory changes). extraPlanes adds redundancy planes beyond
+// ceil(log2 k); see model.CompressLogHD.
+func (s *System) CompressLogHD(extraPlanes int) (*System, error) {
+	if s.model == nil {
+		return nil, fmt.Errorf("core: compression requires a dense backend")
+	}
+	l, err := model.CompressLogHD(s.model, extraPlanes)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &System{cfg: s.cfg, norm: s.norm, encoder: s.encoder, log: l}, nil
 }
 
 // Config returns the construction configuration.
 func (s *System) Config() Config { return s.cfg }
 
-// Model exposes the underlying classifier (and through it the
-// deployed, attackable class hypervectors).
+// Model exposes the dense classifier (and through it the deployed,
+// attackable class hypervectors); nil when the system runs the LogHD
+// backend — callers needing per-class vectors (recovery, fleets,
+// quantization) must check Backend first.
 func (s *System) Model() *model.Model { return s.model }
 
+// LogHD exposes the compressed deployment; nil on the dense backend.
+func (s *System) LogHD() *model.LogHD { return s.log }
+
+// Backend names the active deployment: "dense" or "loghd".
+func (s *System) Backend() string {
+	if s.log != nil {
+		return "loghd"
+	}
+	return "dense"
+}
+
+// Freezer returns the active backend for epoch-chain publication
+// (model.NewEpochChain / EpochChain.Publish accept either).
+func (s *System) Freezer() model.Freezer {
+	if s.log != nil {
+		return s.log
+	}
+	return s.model
+}
+
+// StorageBits returns the deployed class-memory footprint in bits of
+// the active backend: k·D for dense, n·D plus codewords and offsets
+// for LogHD. The ratio between the two is the compression number
+// EXPERIMENTS.md reports.
+func (s *System) StorageBits() int {
+	if s.log != nil {
+		return s.log.StorageBits()
+	}
+	return s.model.StorageBits()
+}
+
 // Classes returns the number of classes.
-func (s *System) Classes() int { return s.model.Classes() }
+func (s *System) Classes() int { return s.backend().Classes() }
 
 // Dimensions returns the hypervector dimensionality.
-func (s *System) Dimensions() int { return s.model.Dimensions() }
+func (s *System) Dimensions() int { return s.backend().Dimensions() }
 
 // Features returns the original-space feature count the encoder
 // expects; Encode panics on any other input arity, so request-facing
@@ -232,7 +308,7 @@ func (s *System) EncodeAllParallel(xs [][]float64, workers int) []*bitvec.Vector
 
 // Predict classifies one raw feature vector.
 func (s *System) Predict(x []float64) int {
-	return s.model.Predict(s.Encode(x))
+	return s.backend().Predict(s.Encode(x))
 }
 
 // PredictWithConfidence classifies one raw feature vector and returns
@@ -255,18 +331,24 @@ func (s *System) PredictWithConfidence(x []float64) (int, float64) {
 // PredictWithConfidenceAt is PredictWithConfidence at an explicit
 // softmax temperature (<= 0 selects model.DefaultConfidenceTemperature).
 func (s *System) PredictWithConfidenceAt(x []float64, temperature float64) (int, float64) {
-	return s.model.PredictWithConfidence(s.Encode(x), temperature)
+	return s.backend().PredictWithConfidence(s.Encode(x), temperature)
 }
 
 // Accuracy evaluates on raw feature vectors, encoding and scoring in
 // parallel across all cores (the serve package's periodic accuracy
 // probe and the experiment drivers sit on this path).
 func (s *System) Accuracy(xs [][]float64, ys []int) float64 {
-	return s.model.AccuracyParallel(s.EncodeAllParallel(xs, 0), ys, 0)
+	return s.backend().AccuracyParallel(s.EncodeAllParallel(xs, 0), ys, 0)
 }
 
-// AttackImage returns the attack surface of the deployed model.
+// AttackImage returns the attack surface of the deployed memory: the
+// class hypervectors for the dense backend, the base planes for the
+// compressed one. Both adapters implement attack.BitReader, so
+// substrate fault processes decay either deployment.
 func (s *System) AttackImage() attack.Image {
+	if s.log != nil {
+		return attack.NewLogHDPlanes(s.log)
+	}
 	return attack.NewBinaryModel(s.model)
 }
 
@@ -292,21 +374,41 @@ func (s *System) AttackBurst(spanFrac, flipProb float64, seed uint64) (attack.Re
 	return attack.Burst(s.AttackImage(), spanFrac, flipProb, stats.NewRNG(seed))
 }
 
-// Snapshot captures the deployed class hypervectors (e.g. to measure
-// recovery progress in experiments; the production threat model has no
-// such safe copy).
-func (s *System) Snapshot() []*bitvec.Vector { return s.model.SnapshotDeployed() }
+// Snapshot captures the deployed vectors — class hypervectors or base
+// planes, per backend (e.g. to measure recovery progress in
+// experiments; the production threat model has no such safe copy).
+func (s *System) Snapshot() []*bitvec.Vector {
+	if s.log != nil {
+		return s.log.SnapshotDeployed()
+	}
+	return s.model.SnapshotDeployed()
+}
 
 // Restore reinstalls a snapshot.
-func (s *System) Restore(snap []*bitvec.Vector) { s.model.RestoreDeployed(snap) }
+func (s *System) Restore(snap []*bitvec.Vector) {
+	if s.log != nil {
+		s.log.RestoreDeployed(snap)
+		return
+	}
+	s.model.RestoreDeployed(snap)
+}
 
-// NewRecoverer attaches a recovery loop to the deployed model.
+// NewRecoverer attaches a recovery loop to the deployed model. The
+// LogHD backend has no per-class hypervectors for substitution to
+// rewrite — adaptive recovery is a dense-backend capability, and the
+// robustness cost of compression is exactly its absence.
 func (s *System) NewRecoverer(cfg recovery.Config, seed uint64) (*recovery.Recoverer, error) {
+	if s.model == nil {
+		return nil, fmt.Errorf("core: adaptive recovery requires the dense backend")
+	}
 	return recovery.New(s.model, cfg, seed)
 }
 
 // Quantize produces a b-bit deployment of the trained model (used by
 // the Table 1 precision sweep).
 func (s *System) Quantize(bits int) (*model.Quantized, error) {
+	if s.model == nil {
+		return nil, fmt.Errorf("core: quantization requires the dense backend")
+	}
 	return model.QuantizeModel(s.model, bits)
 }

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/recovery"
+)
+
+func TestCompressLogHDSystemPredicts(t *testing.T) {
+	s, ds := trainSmall(t)
+	c, err := s.CompressLogHD(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Backend() != "loghd" || s.Backend() != "dense" {
+		t.Fatalf("backends (%s,%s)", c.Backend(), s.Backend())
+	}
+	if c.Classes() != s.Classes() || c.Dimensions() != s.Dimensions() {
+		t.Fatal("compressed system changed shape")
+	}
+	if c.Model() != nil || c.LogHD() == nil {
+		t.Fatal("compressed system still exposes a dense model")
+	}
+	dacc := s.Accuracy(ds.TestX, ds.TestY)
+	lacc := c.Accuracy(ds.TestX, ds.TestY)
+	if lacc < dacc-0.2 {
+		t.Fatalf("loghd accuracy %.3f too far below dense %.3f", lacc, dacc)
+	}
+	// Inference contract holds: confidence in (1/k, 1].
+	pred, conf := c.PredictWithConfidence(ds.TestX[0])
+	if pred < 0 || pred >= c.Classes() {
+		t.Fatalf("prediction %d out of range", pred)
+	}
+	if conf <= 1/float64(c.Classes()) || conf > 1 || math.IsNaN(conf) {
+		t.Fatalf("confidence %v out of range", conf)
+	}
+}
+
+func TestLogHDSystemSnapshotRoundTrip(t *testing.T) {
+	s, ds := trainSmall(t)
+	c, err := s.CompressLogHD(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.SaveStamped(&buf, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	loaded, stamp, err := LoadStamped(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stamp != 0.9 {
+		t.Fatalf("stamp %v lost", stamp)
+	}
+	if loaded.Backend() != "loghd" {
+		t.Fatalf("backend %q after round trip", loaded.Backend())
+	}
+	for i, x := range ds.TestX {
+		if loaded.Predict(x) != c.Predict(x) {
+			t.Fatalf("sample %d: loaded loghd system disagrees", i)
+		}
+	}
+}
+
+func TestLogHDSystemAttackAndRestore(t *testing.T) {
+	s, ds := trainSmall(t)
+	c, err := s.CompressLogHD(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := c.Accuracy(ds.TestX, ds.TestY)
+	snap := c.Snapshot()
+	res, err := c.AttackRandom(0.4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BitsFlipped == 0 {
+		t.Fatal("attack flipped nothing")
+	}
+	c.Restore(snap)
+	if after := c.Accuracy(ds.TestX, ds.TestY); after != before {
+		t.Fatalf("restore did not recover accuracy: %.3f != %.3f", after, before)
+	}
+}
+
+func TestLogHDSystemRefusesDenseOnlyPaths(t *testing.T) {
+	s, _ := trainSmall(t)
+	c, err := s.CompressLogHD(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.NewRecoverer(recovery.Config{}, 1); err == nil {
+		t.Fatal("recovery attached to a loghd backend")
+	}
+	if _, err := c.Quantize(4); err == nil {
+		t.Fatal("quantized a loghd backend")
+	}
+	if _, err := c.CompressLogHD(0); err == nil {
+		t.Fatal("re-compressed a loghd backend")
+	}
+}

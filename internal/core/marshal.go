@@ -68,7 +68,7 @@ func (s *System) SaveStamped(w io.Writer, probeAccuracy float64) error {
 // anchor's sealed seq and Merkle root to the payload so restore paths
 // can verify the snapshot's journal lineage.
 func (s *System) SaveAnchored(w io.Writer, probeAccuracy float64, anchor *JournalAnchor) error {
-	if s.encoder == nil || s.norm == nil || s.model == nil {
+	if s.encoder == nil || s.norm == nil || (s.model == nil && s.log == nil) {
 		return fmt.Errorf("core: cannot save an untrained system")
 	}
 	if !math.IsNaN(probeAccuracy) && (probeAccuracy < 0 || probeAccuracy > 1) {
@@ -118,8 +118,16 @@ func (s *System) SaveAnchored(w io.Writer, probeAccuracy float64, anchor *Journa
 	if err := bw.Flush(); err != nil {
 		return err
 	}
-	if err := s.model.WriteDeployed(mw); err != nil {
-		return err
+	// The model section leads with its backend tag (dense RHDC vs
+	// compressed RHLG), so readers dispatch — or refuse — on it.
+	var werr error
+	if s.log != nil {
+		werr = s.log.WriteDeployed(mw)
+	} else {
+		werr = s.model.WriteDeployed(mw)
+	}
+	if werr != nil {
+		return werr
 	}
 	return binary.Write(w, binary.LittleEndian, sum.Sum32())
 }
@@ -207,17 +215,19 @@ func LoadAnchored(r io.Reader) (*System, float64, *JournalAnchor, error) {
 	if err != nil {
 		return nil, nan, nil, fmt.Errorf("core: %w", err)
 	}
-	m, err := model.ReadDeployed(br)
+	m, l, err := model.ReadBackend(br)
 	if err != nil {
 		return nil, nan, nil, fmt.Errorf("core: %w", err)
 	}
-	if m.Dimensions() != int(dims) {
-		return nil, nan, nil, fmt.Errorf("core: model dims %d != config dims %d", m.Dimensions(), dims)
-	}
-	return &System{
+	sys := &System{
 		cfg:     Config{Dimensions: int(dims), Levels: int(levels), Seed: seed},
 		norm:    norm,
 		encoder: enc,
 		model:   m,
-	}, stamp, anchor, nil
+		log:     l,
+	}
+	if sys.Dimensions() != int(dims) {
+		return nil, nan, nil, fmt.Errorf("core: model dims %d != config dims %d", sys.Dimensions(), dims)
+	}
+	return sys, stamp, anchor, nil
 }

@@ -413,3 +413,62 @@ func TestRunTrialsOrderAndCoverage(t *testing.T) {
 		}
 	}
 }
+
+// TestLogHDShape pins the compression study's claims: ISOLET (k=26)
+// compresses ≥2x at the serving default, the memory header is
+// arithmetic-consistent, losses exist for every (dataset, backend,
+// attack) cell, and the compressed backend is never reported as more
+// robust than dense at the top attack rate — the honesty property the
+// table exists for.
+func TestLogHDShape(t *testing.T) {
+	ctx := testContext()
+	res, err := LogHD(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Datasets) != len(LogHDDatasets) {
+		t.Fatalf("datasets: %+v", res.Datasets)
+	}
+	for _, d := range res.Datasets {
+		if d.Classes < 10 {
+			t.Fatalf("%s: k=%d below the k>=10 regime the study targets", d.Dataset, d.Classes)
+		}
+		if want := float64(d.DenseBits) / float64(d.CompressedBits); d.Ratio != want {
+			t.Fatalf("%s: ratio %v inconsistent with bits %d/%d", d.Dataset, d.Ratio, d.DenseBits, d.CompressedBits)
+		}
+		if d.Dataset == "ISOLET" && d.Ratio < 2 {
+			t.Fatalf("ISOLET ratio %.2f < 2x at k=%d", d.Ratio, d.Classes)
+		}
+		if d.CleanLogHD <= 1.0/float64(d.Classes) {
+			t.Fatalf("%s: compressed clean accuracy %.4f at chance", d.Dataset, d.CleanLogHD)
+		}
+	}
+	if len(res.Rows) != len(LogHDDatasets)*4 {
+		t.Fatalf("rows: %d", len(res.Rows))
+	}
+	last := len(Table3Rates) - 1
+	loss := map[string]float64{}
+	for _, row := range res.Rows {
+		if len(row.Losses) != len(Table3Rates) {
+			t.Fatalf("row %+v: losses %d", row, len(row.Losses))
+		}
+		loss[row.Dataset+"/"+row.Backend+"/"+row.Attack] = row.Losses[last]
+	}
+	for _, d := range res.Datasets {
+		for _, atk := range []string{"Random", "Targeted"} {
+			dense, lg := loss[d.Dataset+"/dense/"+atk], loss[d.Dataset+"/loghd/"+atk]
+			if lg < dense {
+				t.Fatalf("%s/%s: loghd loss %.2f below dense %.2f at the top rate — compression reported as free robustness", d.Dataset, atk, lg, dense)
+			}
+		}
+	}
+	if len(res.PlaneSweep) == 0 {
+		t.Fatal("empty plane sweep")
+	}
+	out := res.Render()
+	for _, want := range []string{"ISOLET", "loghd", "Targeted", "plane sweep"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

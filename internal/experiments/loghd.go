@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// LogHDExtraPlanes is the redundancy added beyond ceil(log2 k) — the
+// registry's default for ":loghd" tenants, so the table measures the
+// deployment the serving stack actually ships.
+var LogHDExtraPlanes = 2
+
+// LogHDDatasets are the class-rich benchmarks the compression study
+// sweeps: LogHD only pays off when k clears the plane count, so the
+// interesting regime is k ≥ 10 (UCI-HAR k=12, ISOLET k=26). PAMAP's
+// k=5 would compress to nothing and is deliberately absent.
+var LogHDDatasets = []func() dataset.Spec{dataset.UCIHAR, dataset.ISOLET}
+
+// LogHDRow is one (dataset, backend, attack) sweep of quality losses
+// over the standard Table 3 rate grid.
+type LogHDRow struct {
+	Dataset string
+	Backend string // "dense" or "loghd"
+	Attack  string // "Random" or "Targeted"
+	Losses  []float64
+}
+
+// LogHDDatasetResult carries one dataset's memory and robustness
+// comparison.
+type LogHDDatasetResult struct {
+	Dataset string
+	Classes int
+	Planes  int
+	// DenseBits / CompressedBits are the deployed class-memory
+	// footprints; Ratio = DenseBits / CompressedBits.
+	DenseBits      int
+	CompressedBits int
+	Ratio          float64
+	// CleanDense / CleanLogHD are pre-attack accuracies — compression
+	// itself costs some margin before any fault does.
+	CleanDense float64
+	CleanLogHD float64
+}
+
+// LogHDPlanePoint is one redundancy setting of the plane sweep:
+// compression ratio and pre-attack accuracy as extra planes vary.
+type LogHDPlanePoint struct {
+	Dataset string
+	Extra   int
+	Planes  int
+	Ratio   float64
+	Clean   float64
+}
+
+// LogHDResult is the full dense-vs-LogHD study.
+type LogHDResult struct {
+	Rates    []float64
+	Datasets []LogHDDatasetResult
+	Rows     []LogHDRow
+	// PlaneSweep traces the ratio/accuracy frontier over extraPlanes —
+	// notably NOT monotone in accuracy: the greedy codeword geometry
+	// can dip before redundancy pays off.
+	PlaneSweep []LogHDPlanePoint
+}
+
+// LogHD quantifies the LogHD trade: class memory shrinks by the
+// plane/class ratio, and the same bit-flip attack grid as Table 3
+// (random and targeted, both hitting whatever the deployed image is —
+// k class vectors for dense, n shared planes for LogHD) measures what
+// that compression costs in robustness. Every flipped plane bit
+// perturbs the decoded score of every class whose codeword reads that
+// plane, so losses are expected to grow faster than dense — the point
+// of the table is to put an honest number on how much faster.
+func LogHD(ctx *Context) (*LogHDResult, error) {
+	res := &LogHDResult{Rates: Table3Rates}
+	for _, specFn := range LogHDDatasets {
+		spec := specFn()
+		t, err := ctx.HDC(spec)
+		if err != nil {
+			return nil, err
+		}
+		comp, err := t.System.CompressLogHD(LogHDExtraPlanes)
+		if err != nil {
+			return nil, err
+		}
+		dr := LogHDDatasetResult{
+			Dataset:        spec.Name,
+			Classes:        t.System.Classes(),
+			Planes:         comp.LogHD().Planes(),
+			DenseBits:      t.System.StorageBits(),
+			CompressedBits: comp.StorageBits(),
+			CleanDense:     t.CleanHDCAccuracy(),
+			CleanLogHD:     encAccuracy(comp, t.TestEnc, t.Data.TestY),
+		}
+		dr.Ratio = float64(dr.DenseBits) / float64(dr.CompressedBits)
+		res.Datasets = append(res.Datasets, dr)
+
+		for _, extra := range []int{0, 1, 2, 4, 6} {
+			c, err := t.System.CompressLogHD(extra)
+			if err != nil {
+				return nil, err
+			}
+			res.PlaneSweep = append(res.PlaneSweep, LogHDPlanePoint{
+				Dataset: spec.Name,
+				Extra:   extra,
+				Planes:  c.LogHD().Planes(),
+				Ratio:   float64(t.System.StorageBits()) / float64(c.StorageBits()),
+				Clean:   encAccuracy(c, t.TestEnc, t.Data.TestY),
+			})
+		}
+
+		for _, backend := range []string{"dense", "loghd"} {
+			base, clean := t.System, dr.CleanDense
+			if backend == "loghd" {
+				base, clean = comp, dr.CleanLogHD
+			}
+			for _, atk := range []string{"Random", "Targeted"} {
+				grid := runGrid(ctx, len(Table3Rates), ctx.Opts.Trials, func(ri, trial int) float64 {
+					sys := base.Fork()
+					seed := ctx.trialSeed("loghd-"+spec.Name+backend+atk, ri, trial)
+					var err error
+					if atk == "Targeted" {
+						_, err = sys.AttackTargeted(Table3Rates[ri], seed)
+					} else {
+						_, err = sys.AttackRandom(Table3Rates[ri], seed)
+					}
+					if err != nil {
+						panic(err)
+					}
+					return stats.QualityLoss(clean, encAccuracy(sys, t.TestEnc, t.Data.TestY))
+				})
+				row := LogHDRow{Dataset: spec.Name, Backend: backend, Attack: atk,
+					Losses: make([]float64, len(Table3Rates))}
+				for ri := range Table3Rates {
+					row.Losses[ri] = stats.Mean(grid[ri])
+				}
+				res.Rows = append(res.Rows, row)
+			}
+		}
+	}
+	return res, nil
+}
+
+// encAccuracy scores pre-encoded queries against whichever backend the
+// system deploys, so dense and LogHD sweeps share one encoding pass.
+func encAccuracy(sys *core.System, enc []*bitvec.Vector, ys []int) float64 {
+	if lg := sys.LogHD(); lg != nil {
+		hits := 0
+		for i, q := range enc {
+			if lg.Predict(q) == ys[i] {
+				hits++
+			}
+		}
+		return float64(hits) / float64(len(enc))
+	}
+	return sys.Model().Accuracy(enc, ys)
+}
+
+// Render formats the study: a memory header per dataset, then the
+// attack table.
+func (r *LogHDResult) Render() string {
+	out := ""
+	for _, d := range r.Datasets {
+		out += fmt.Sprintf(
+			"LogHD %s: k=%d -> %d planes, %d -> %d bits (%.2fx), clean %.4f dense / %.4f loghd\n",
+			d.Dataset, d.Classes, d.Planes, d.DenseBits, d.CompressedBits, d.Ratio,
+			d.CleanDense, d.CleanLogHD)
+	}
+	header := []string{"Dataset", "Backend", "Attack"}
+	for _, rate := range r.Rates {
+		header = append(header, fmt.Sprintf("%.0f%%", rate*100))
+	}
+	tab := stats.NewTable("LogHD: quality loss under bit-flip attack (dense vs compressed)", header...)
+	for _, row := range r.Rows {
+		cells := []string{row.Dataset, row.Backend, row.Attack}
+		for _, l := range row.Losses {
+			cells = append(cells, fmt.Sprintf("%.2f%%", l))
+		}
+		tab.AddRow(cells...)
+	}
+	sweep := stats.NewTable("LogHD plane sweep: compression vs clean accuracy",
+		"Dataset", "Extra", "Planes", "Ratio", "Clean")
+	for _, p := range r.PlaneSweep {
+		sweep.AddRow(p.Dataset, fmt.Sprint(p.Extra), fmt.Sprint(p.Planes),
+			fmt.Sprintf("%.2fx", p.Ratio), fmt.Sprintf("%.4f", p.Clean))
+	}
+	return out + tab.Render() + "\n" + sweep.Render()
+}

@@ -50,7 +50,7 @@ func (f *Fleet) SweepNow() SweepReport {
 		// Nothing to vote with; a lone replica is trivially "majority".
 		rep.Healthy = len(act) == len(f.replicas)
 		f.healthy.Store(rep.Healthy)
-		f.journal.Append(Event{Kind: EventSweep, Replica: -1, Class: -1, Chunk: -1})
+		f.journalAppend(Event{Kind: EventSweep, Replica: -1, Class: -1, Chunk: -1})
 		return rep
 	}
 
@@ -165,7 +165,7 @@ func (f *Fleet) SweepNow() SweepReport {
 			rep.RepairedChunks++
 			rep.RepairedBits += dc.hi - dc.lo
 			r.repairedBits.Add(int64(dc.hi - dc.lo))
-			f.journal.Append(Event{Kind: EventRepair, Replica: r.id, Class: dc.class, Chunk: dc.chunk, Bits: dc.bits})
+			f.journalAppend(Event{Kind: EventRepair, Replica: r.id, Class: dc.class, Chunk: dc.chunk, Bits: dc.bits})
 		}
 	}
 	f.repairs.Add(int64(rep.RepairedChunks))
@@ -178,7 +178,7 @@ func (f *Fleet) SweepNow() SweepReport {
 	// next clean sweep.
 	rep.Healthy = rep.DivergentBits == 0 && len(rep.Quarantined) == 0 && len(act) == len(f.replicas)
 	f.healthy.Store(rep.Healthy)
-	f.journal.Append(Event{Kind: EventSweep, Replica: -1, Class: -1, Chunk: -1, Bits: rep.DivergentBits,
+	f.journalAppend(Event{Kind: EventSweep, Replica: -1, Class: -1, Chunk: -1, Bits: rep.DivergentBits,
 		Detail: fmt.Sprintf("repaired %d chunks", rep.RepairedChunks)})
 	return rep
 }
@@ -196,7 +196,7 @@ func (f *Fleet) quarantineAndReseed(r *replica, frac float64, act []*replica, re
 	f.quarantines.Add(1)
 	f.healthy.Store(false)
 	rep.Quarantined = append(rep.Quarantined, r.id)
-	f.journal.Append(Event{Kind: EventQuarantine, Replica: r.id, Class: -1, Chunk: -1,
+	f.journalAppend(Event{Kind: EventQuarantine, Replica: r.id, Class: -1, Chunk: -1,
 		Detail: fmt.Sprintf("divergence %.4f", frac)})
 
 	// Donor: the active replica (not r) with the highest agreement.
@@ -247,9 +247,9 @@ func (f *Fleet) quarantineAndReseed(r *replica, frac float64, act []*replica, re
 	r.reseeds.Add(1)
 	f.reseeds.Add(1)
 	rep.Reseeded = append(rep.Reseeded, r.id)
-	f.journal.Append(Event{Kind: EventReseed, Replica: r.id, Class: -1, Chunk: -1,
+	f.journalAppend(Event{Kind: EventReseed, Replica: r.id, Class: -1, Chunk: -1,
 		Bits: r.sys.Classes() * r.sys.Dimensions(), Detail: fmt.Sprintf("donor %d agreement %.4f", donor.id, donorAgree)})
 
 	r.state.Store(stateActive)
-	f.journal.Append(Event{Kind: EventActivate, Replica: r.id, Class: -1, Chunk: -1})
+	f.journalAppend(Event{Kind: EventActivate, Replica: r.id, Class: -1, Chunk: -1})
 }

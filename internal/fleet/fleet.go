@@ -91,6 +91,13 @@ type Config struct {
 
 	// Journal receives lifecycle and repair events (nil drops them).
 	Journal *Journal
+
+	// ModelID tags this fleet's journal events with a tenant model id.
+	// Tagging happens at the source (not via Journal.SetModelTag) so
+	// several tenants' fleets can share one journal without clobbering
+	// each other's default tag. Empty leaves events untagged — the
+	// pre-tenancy format.
+	ModelID string
 }
 
 // AntiEntropyConfig parameterizes the background repair loop.
@@ -436,8 +443,19 @@ func (f *Fleet) Observe(q *bitvec.Vector) {
 	}
 	if d > 0 {
 		f.healthy.Store(false)
-		f.journal.Append(Event{Kind: EventRecovery, Replica: r.id, Class: -1, Chunk: -1, Bits: d})
+		f.journalAppend(Event{Kind: EventRecovery, Replica: r.id, Class: -1, Chunk: -1, Bits: d})
 	}
+}
+
+// journalAppend stamps the fleet's tenant id (when configured) onto
+// the event and appends it. Source-level stamping — rather than the
+// journal's default tag — keeps a journal shared across tenants
+// correctly attributed.
+func (f *Fleet) journalAppend(e Event) {
+	if e.Model == "" {
+		e.Model = f.cfg.ModelID
+	}
+	_ = f.journal.Append(e)
 }
 
 // AdvanceReplica advances one replica's fault process by elapsed

@@ -65,6 +65,11 @@ type Event struct {
 	// Detail is a short human-readable qualifier ("escalate",
 	// "divergence 0.031", donor id, ...).
 	Detail string `json:"detail,omitempty"`
+	// Model identifies the tenant model the event belongs to in a
+	// multi-model process (internal/registry). Untagged lines — every
+	// journal written before tenancy existed, and single-model journals
+	// still — omit the field and replay as the default tenant (ModelOr).
+	Model string `json:"model,omitempty"`
 	// Prev chains the log: the hex SHA-256 of the previous journal
 	// line's exact encoded bytes (the genesis constant for seq 1). Any
 	// edit, splice, or reorder of a line breaks every later Prev, so
@@ -75,6 +80,16 @@ type Event struct {
 	Root string `json:"root,omitempty"`
 	From int64  `json:"from,omitempty"`
 	To   int64  `json:"to,omitempty"`
+}
+
+// ModelOr returns the event's tenant model id, or def for untagged
+// lines — the back-compatibility contract: a journal written by a
+// single-model process replays as one tenant named by the reader.
+func (e Event) ModelOr(def string) string {
+	if e.Model == "" {
+		return def
+	}
+	return e.Model
 }
 
 // journalGenesis anchors the hash chain: seq 1's Prev field. A fixed
@@ -123,6 +138,11 @@ type Journal struct {
 	pendFrom int64       // first seq covered by pending
 	batches  []sealBatch // all sealed batches, in order
 
+	// model stamps every appended event that does not already carry a
+	// tenant tag (SetModelTag). Empty leaves lines untagged, exactly the
+	// pre-tenancy format.
+	model string
+
 	errs atomic.Int64 // append/seal failures (satellite: no more silent drops)
 }
 
@@ -155,6 +175,20 @@ func (j *Journal) SetSyncOnAppend(on bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.sync = on
+}
+
+// SetModelTag makes every future Append stamp events that carry no
+// tenant tag of their own with model id. The registry sets it on each
+// tenant's journal; single-model servers leave it empty, so their
+// journals stay byte-identical to the pre-tenancy format (and replay
+// as the default tenant via Event.ModelOr).
+func (j *Journal) SetModelTag(model string) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.model = model
 }
 
 // SetSealBatch sets how many events accumulate before an automatic
@@ -201,6 +235,9 @@ func (j *Journal) Append(e Event) error {
 // next batch instead of extending the current one.
 func (j *Journal) appendLocked(e *Event, isSeal bool) error {
 	e.Seq = j.seq + 1
+	if e.Model == "" {
+		e.Model = j.model
+	}
 	t := j.now().UnixNano()
 	if t <= j.lastT {
 		// Wall clock stepped backwards (NTP) or two appends landed in the

@@ -790,3 +790,58 @@ func TestSealNowAndClose(t *testing.T) {
 		t.Fatalf("replayed sealed seq %d, want 7", rep.SealedSeq)
 	}
 }
+
+// TestJournalModelTag pins the multi-tenancy contract: SetModelTag
+// stamps future appends, explicit tags win over the default, untagged
+// lines keep the pre-tenancy byte format (no "model" key at all), and
+// a mixed-tag chain replays intact with ModelOr mapping untagged lines
+// to the reader's default tenant.
+func TestJournalModelTag(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+
+	// Untagged journal: the line must not mention a model at all —
+	// byte-identical to what a pre-tenancy process wrote.
+	if err := j.Append(Event{Kind: EventSweep, Replica: -1, Class: -1, Chunk: -1}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `"model"`) {
+		t.Fatalf("untagged journal line carries a model key: %s", buf.String())
+	}
+
+	// Tagged: default stamp, then an explicit per-event tag overriding it.
+	j.SetModelTag("pamap")
+	if err := j.Append(Event{Kind: EventRepair, Replica: 0, Class: 1, Chunk: 2, Bits: 64}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Event{Kind: EventQuarantine, Replica: 1, Class: -1, Chunk: -1, Model: "isolet"}); err != nil {
+		t.Fatal(err)
+	}
+	// Back to untagged mid-stream.
+	j.SetModelTag("")
+	if err := j.Append(Event{Kind: EventActivate, Replica: 1, Class: -1, Chunk: -1}); err != nil {
+		t.Fatal(err)
+	}
+
+	events, err := Replay(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 4 {
+		t.Fatalf("replayed %d events, want 4", len(events))
+	}
+	wantModels := []string{"", "pamap", "isolet", ""}
+	wantOr := []string{"default", "pamap", "isolet", "default"}
+	for i, e := range events {
+		if e.Model != wantModels[i] {
+			t.Fatalf("event %d model %q, want %q", i, e.Model, wantModels[i])
+		}
+		if got := e.ModelOr("default"); got != wantOr[i] {
+			t.Fatalf("event %d ModelOr %q, want %q", i, got, wantOr[i])
+		}
+	}
+
+	// Nil journals take the tag silently.
+	var nilJ *Journal
+	nilJ.SetModelTag("x")
+}

@@ -64,11 +64,12 @@ type EpochChain struct {
 	backlog   atomic.Int64
 }
 
-// NewEpochChain freezes m's current image as epoch zero. The caller
-// must hold the model's writer lock if m has concurrent writers.
-func NewEpochChain(m *Model) *EpochChain {
-	c := &EpochChain{pool: NewFrozenPool(m.Classes(), m.Dimensions())}
-	e := &Epoch{img: m.Freeze(c.pool)}
+// NewEpochChain freezes f's current image as epoch zero — f is either
+// a dense *Model or a compressed *LogHD deployment. The caller must
+// hold the backend's writer lock if it has concurrent writers.
+func NewEpochChain(f Freezer) *EpochChain {
+	c := &EpochChain{pool: f.newFrozenPool()}
+	e := &Epoch{img: f.Refreeze(nil, c.pool, nil)}
 	c.cur.Store(e)
 	c.published.Store(1)
 	return c
@@ -89,13 +90,14 @@ func (c *EpochChain) Acquire() *Epoch {
 	}
 }
 
-// Publish freezes m's current deployed image as a new epoch and makes
-// it current. Only the named dirty classes are cloned; nil means all
-// (full reimage). Must be called under the same writer lock that
-// serialized the model mutation being published.
-func (c *EpochChain) Publish(m *Model, dirty []int) {
+// Publish freezes f's current deployed image as a new epoch and makes
+// it current. Only the named dirty rows (class vectors, or planes for
+// a compressed backend) are cloned; nil means all (full reimage).
+// Must be called under the same writer lock that serialized the
+// backend mutation being published.
+func (c *EpochChain) Publish(f Freezer, dirty []int) {
 	prev := c.cur.Load()
-	next := &Epoch{img: m.Refreeze(prev.img, c.pool, dirty)}
+	next := &Epoch{img: f.Refreeze(prev.img, c.pool, dirty)}
 	c.cur.Store(next)
 	c.retired = append(c.retired, prev)
 	c.published.Add(1)

@@ -20,11 +20,31 @@ import (
 type Frozen struct {
 	dims     int
 	deployed []*bitvec.Vector
-	pool     *FrozenPool
+	// decode is nil for dense images, where deployed holds one vector
+	// per class. For LogHD images deployed holds the n base planes and
+	// decode carries the codeword table that folds plane distances
+	// back into per-class scores. The table is immutable and shared
+	// across every epoch of the same deployment — attacks only flip
+	// plane bits, never codewords.
+	decode *logDecode
+	pool   *FrozenPool
+}
+
+// logDecode is the immutable codeword table a compressed Frozen
+// scores through.
+type logDecode struct {
+	classes int
+	code    []uint32
+	offsets []int64
 }
 
 // Classes returns the number of classes k.
-func (f *Frozen) Classes() int { return len(f.deployed) }
+func (f *Frozen) Classes() int {
+	if f.decode != nil {
+		return f.decode.classes
+	}
+	return len(f.deployed)
+}
 
 // Dimensions returns the hypervector dimensionality D.
 func (f *Frozen) Dimensions() int { return f.dims }
@@ -35,16 +55,26 @@ func (f *Frozen) Dimensions() int { return f.dims }
 func (f *Frozen) ClassVector(c int) *bitvec.Vector { return f.deployed[c] }
 
 // SimilaritiesInto writes the per-class normalized Hamming similarity
-// of q into dst (len Classes), allocation-free in steady state.
+// of q into dst (len Classes), allocation-free in steady state. For a
+// compressed image the plane distances are folded through the
+// codeword table, matching LogHD.SimilaritiesInto bit for bit.
 func (f *Frozen) SimilaritiesInto(dst []float64, q *bitvec.Vector) {
-	if len(dst) != len(f.deployed) {
-		panic(fmt.Sprintf("model: dst has %d slots, want %d", len(dst), len(f.deployed)))
+	if len(dst) != f.Classes() {
+		panic(fmt.Sprintf("model: dst has %d slots, want %d", len(dst), f.Classes()))
 	}
 	s := f.pool.getScore()
-	bitvec.HammingMany(q, f.deployed, s.dists)
-	n := float64(f.dims)
-	for c, d := range s.dists {
-		dst[c] = 1 - float64(d)/n
+	pd := s.dists[:len(f.deployed)]
+	bitvec.HammingMany(q, f.deployed, pd)
+	if f.decode != nil {
+		denom := 2 * float64(len(f.deployed)*f.decode.classes*f.dims)
+		for c := range dst {
+			dst[c] = 0.5 - float64(decodeScore(pd, f.decode.code, f.decode.offsets, f.decode.classes, c))/denom
+		}
+	} else {
+		n := float64(f.dims)
+		for c, d := range pd {
+			dst[c] = 1 - float64(d)/n
+		}
 	}
 	f.pool.putScore(s)
 }
@@ -66,10 +96,23 @@ func (f *Frozen) ConfidencesInto(dst []float64, q *bitvec.Vector, temperature fl
 }
 
 // Predict returns the nearest class by Hamming distance, via the same
-// early-abandoning kernel as Model.Predict.
+// early-abandoning kernel as Model.Predict (dense) or the
+// codeword-decoded argmin matching LogHD.Predict (compressed).
 func (f *Frozen) Predict(q *bitvec.Vector) int {
 	s := f.pool.getScore()
-	best := bitvec.Nearest(q, f.deployed, s.dists)
+	var best int
+	if f.decode != nil {
+		pd := s.dists[:len(f.deployed)]
+		bitvec.HammingMany(q, f.deployed, pd)
+		bestD := decodeScore(pd, f.decode.code, f.decode.offsets, f.decode.classes, 0)
+		for c := 1; c < f.decode.classes; c++ {
+			if d := decodeScore(pd, f.decode.code, f.decode.offsets, f.decode.classes, c); d < bestD {
+				best, bestD = c, d
+			}
+		}
+	} else {
+		best = bitvec.Nearest(q, f.deployed, s.dists)
+	}
 	f.pool.putScore(s)
 	return best
 }
@@ -129,22 +172,28 @@ func (f *Frozen) AccuracyParallel(qs []*bitvec.Vector, labels []int, workers int
 // validating a stale pointer to one (the ABA hazard an RCU grace
 // period cannot excuse; see EpochChain).
 type FrozenPool struct {
-	classes, dims int
-	vecs          sync.Pool // *bitvec.Vector of dims bits
-	score         sync.Pool // *scoreScratch sized for classes
+	// rows is how many vectors an image stores: classes for dense
+	// images, the plane count for compressed ones.
+	rows, classes, dims int
+	vecs                sync.Pool // *bitvec.Vector of dims bits
+	score               sync.Pool // *scoreScratch sized for the shape
 }
 
-// NewFrozenPool returns a pool for models with the given shape.
+// NewFrozenPool returns a pool for dense models with the given shape.
 func NewFrozenPool(classes, dims int) *FrozenPool {
-	return &FrozenPool{classes: classes, dims: dims}
+	return &FrozenPool{rows: classes, classes: classes, dims: dims}
 }
 
 func (p *FrozenPool) getScore() *scoreScratch {
 	if s, ok := p.score.Get().(*scoreScratch); ok {
 		return s
 	}
+	dists := p.rows
+	if p.classes > dists {
+		dists = p.classes
+	}
 	return &scoreScratch{
-		dists: make([]int, p.classes),
+		dists: make([]int, dists),
 		sims:  make([]float64, p.classes),
 		conf:  make([]float64, p.classes),
 	}
@@ -162,9 +211,69 @@ func (p *FrozenPool) getVec() *bitvec.Vector {
 
 func (p *FrozenPool) putVec(v *bitvec.Vector) { p.vecs.Put(v) }
 
+// Freezer is a model backend that can publish immutable scoring
+// images: the dense Model and the compressed LogHD both implement it,
+// so an EpochChain serves either behind the same lock-free read path.
+type Freezer interface {
+	// Classes returns the number of classes the published images score.
+	Classes() int
+	// Dimensions returns the hypervector dimensionality D.
+	Dimensions() int
+	// Refreeze publishes a new immutable image, cloning only the dirty
+	// stored rows (class vectors or planes) and sharing clean ones with
+	// prev; nil prev or nil dirty clones everything. The caller holds
+	// the writer lock that serializes backend mutation.
+	Refreeze(prev *Frozen, p *FrozenPool, dirty []int) *Frozen
+	// newFrozenPool returns a pool shaped for this backend's images.
+	newFrozenPool() *FrozenPool
+}
+
 // Freeze captures the model's current deployed vectors as a new Frozen,
 // cloning every class through the pool. The model must be trained.
 func (m *Model) Freeze(p *FrozenPool) *Frozen { return m.Refreeze(nil, p, nil) }
+
+// newFrozenPool shapes a pool for dense images (one row per class).
+func (m *Model) newFrozenPool() *FrozenPool { return NewFrozenPool(m.classes, m.dims) }
+
+// newFrozenPool shapes a pool for compressed images: rows hold the
+// base planes while scoring scratch still spans the classes.
+func (l *LogHD) newFrozenPool() *FrozenPool {
+	return &FrozenPool{rows: len(l.planes), classes: l.classes, dims: l.dims}
+}
+
+// Freeze captures the deployment's current planes as a new Frozen.
+func (l *LogHD) Freeze(p *FrozenPool) *Frozen { return l.Refreeze(nil, p, nil) }
+
+// Refreeze publishes a new compressed Frozen, cloning only the dirty
+// planes and sharing clean ones with prev (plane-granular
+// copy-on-write); nil dirty — or nil prev — clones all planes. The
+// caller must hold whatever lock serializes plane writes. The codeword
+// table is shared by reference: it is immutable for the deployment's
+// lifetime.
+func (l *LogHD) Refreeze(prev *Frozen, p *FrozenPool, dirty []int) *Frozen {
+	if p.rows != len(l.planes) || p.classes != l.classes || p.dims != l.dims {
+		panic(fmt.Sprintf("model: pool shaped (%d,%d,%d), deployment (%d,%d,%d)",
+			p.rows, p.classes, p.dims, len(l.planes), l.classes, l.dims))
+	}
+	next := &Frozen{dims: l.dims, pool: p,
+		deployed: make([]*bitvec.Vector, len(l.planes)),
+		decode:   &logDecode{classes: l.classes, code: l.code, offsets: l.offsets}}
+	if prev == nil || dirty == nil {
+		for j, v := range l.planes {
+			cv := p.getVec()
+			cv.CopyFrom(v)
+			next.deployed[j] = cv
+		}
+		return next
+	}
+	copy(next.deployed, prev.deployed)
+	for _, j := range dirty {
+		cv := p.getVec()
+		cv.CopyFrom(l.planes[j])
+		next.deployed[j] = cv
+	}
+	return next
+}
 
 // Refreeze publishes a new Frozen from the model's current deployed
 // vectors, cloning only the dirty classes and sharing every clean
@@ -176,7 +285,7 @@ func (m *Model) Refreeze(prev *Frozen, p *FrozenPool, dirty []int) *Frozen {
 	if m.deployed == nil {
 		panic("model: Freeze before Train")
 	}
-	if p.classes != m.classes || p.dims != m.dims {
+	if p.rows != m.classes || p.classes != m.classes || p.dims != m.dims {
 		panic(fmt.Sprintf("model: pool shaped (%d,%d), model (%d,%d)", p.classes, p.dims, m.classes, m.dims))
 	}
 	next := &Frozen{dims: m.dims, pool: p, deployed: make([]*bitvec.Vector, m.classes)}

@@ -1,0 +1,372 @@
+package model
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bitvec"
+	"repro/internal/stats"
+)
+
+// LogHD is the logarithmically class-compressed deployment of a
+// trained HDC classifier (PAPERS.md: LogHD). Instead of k binary class
+// hypervectors it stores n = ceil(log2 k) (+ optional redundancy) base
+// hypervectors plus one n-bit codeword per class: base plane j is the
+// bitwise majority over all classes of C_c when bit j of class c's
+// codeword is set and ^C_c when clear. A query is scored with n
+// Hamming distances instead of k, and class c's score is recovered by
+// folding the plane distances through its codeword with signs: +d_j
+// where the bit is set (the plane agrees with C_c there, so a close
+// query should show a small distance) and −d_j where clear.
+//
+// The raw plane distances carry a class-independent offset: real class
+// prototypes share a large common component (on sensor datasets the
+// pairwise prototype similarity runs 70%+), which drags every d_j
+// toward a plane-specific bias that the signed fold does not cancel —
+// uncorrected, decoding collapses onto whichever codeword best matches
+// the bias profile. Compression therefore records each plane's summed
+// Hamming distance to the k prototypes, O_j = Σ_c d(C_c, plane_j), and
+// decoding centers with it: score_c = Σ_j ±(k·d_j − O_j). The common
+// offset cancels exactly and only the class signal remains; the
+// integer form keeps serialization bit-exact.
+//
+// The deployed memory is the attackable surface, exactly as with the
+// dense Model: the planes are mutable binary vectors that attacks flip
+// and the substrate decays, while the codewords and centering offsets
+// are small derived constants that live with the encoder on the safe
+// side of the threat model. What compression buys —
+// roughly k/n less class memory — it pays for in robustness: a flipped
+// plane bit perturbs every class's score at that dimension, so the
+// same bit-flip budget does proportionally more damage, and the
+// per-class substitution recovery of the paper has no per-class
+// vectors to rewrite. The experiments package quantifies that trade.
+type LogHD struct {
+	dims    int
+	classes int
+	planes  []*bitvec.Vector
+	code    []uint32
+	// offsets[j] = Σ_c hamming(C_c, plane_j) at compression time — the
+	// per-plane centering constants decode subtracts (scaled by k).
+	offsets []int64
+
+	// score pools *logScratch so steady-state inference allocates
+	// nothing.
+	score sync.Pool
+}
+
+// logScratch is the per-call working state of LogHD scoring: plane
+// distances plus the per-class float views.
+type logScratch struct {
+	pd   []int
+	sims []float64
+	conf []float64
+}
+
+func (l *LogHD) getScratch() *logScratch {
+	if s, ok := l.score.Get().(*logScratch); ok {
+		return s
+	}
+	return &logScratch{
+		pd:   make([]int, len(l.planes)),
+		sims: make([]float64, l.classes),
+		conf: make([]float64, l.classes),
+	}
+}
+
+func (l *LogHD) putScratch(s *logScratch) { l.score.Put(s) }
+
+// maxLogHDPlanes bounds the plane count: codewords are stored in
+// uint32s and the deterministic codeword search scans the full 2^n
+// universe, so n is kept small (it only needs to clear log2 k plus a
+// few redundancy planes; beyond that the compression advantage is
+// gone anyway).
+const maxLogHDPlanes = 16
+
+// CompressLogHD folds a trained dense model into a LogHD deployment
+// with n = ceil(log2 k) + extraPlanes base hypervectors. extraPlanes
+// adds redundancy planes that widen codeword Hamming separation at
+// the cost of memory (0 is the paper operating point; 2–3 buys back
+// some robustness). The construction is deterministic: codewords come
+// from a greedy max-min-distance scan over the n-bit universe and
+// planes are parity-tie-broken majorities, so compressing the same
+// model twice yields bit-identical deployments.
+func CompressLogHD(m *Model, extraPlanes int) (*LogHD, error) {
+	if m.deployed == nil {
+		return nil, fmt.Errorf("model: compress before Train")
+	}
+	if extraPlanes < 0 {
+		return nil, fmt.Errorf("model: negative redundancy planes %d", extraPlanes)
+	}
+	n := bits.Len(uint(m.classes-1)) + extraPlanes
+	if n < 1 {
+		n = 1
+	}
+	if n > maxLogHDPlanes {
+		return nil, fmt.Errorf("model: %d planes exceeds the %d-plane cap", n, maxLogHDPlanes)
+	}
+	code := assignCodewords(m.classes, n)
+	l := &LogHD{dims: m.dims, classes: m.classes, code: code,
+		planes: make([]*bitvec.Vector, n)}
+
+	// Each class contributes its vector to planes where its codeword
+	// bit is set and its complement elsewhere; precompute the
+	// complements once.
+	nots := make([]*bitvec.Vector, m.classes)
+	for c, v := range m.deployed {
+		nots[c] = v.Not()
+	}
+	pc := bitvec.NewPlaneCounter(m.dims)
+	votes := make([]*bitvec.Vector, m.classes)
+	for j := 0; j < n; j++ {
+		for c := range votes {
+			if code[c]>>uint(j)&1 == 1 {
+				votes[c] = m.deployed[c]
+			} else {
+				votes[c] = nots[c]
+			}
+		}
+		pc.Reset()
+		pc.AddMany(votes)
+		l.planes[j] = bitvec.New(m.dims)
+		pc.MajorityInto(l.planes[j])
+	}
+	// Centering offsets: each plane's summed distance to the prototypes
+	// it was built from. Derived once here, fixed thereafter — attacks
+	// mutate planes, not the decode constants.
+	l.offsets = make([]int64, n)
+	for j, p := range l.planes {
+		var sum int64
+		for _, v := range m.deployed {
+			sum += int64(v.Hamming(p))
+		}
+		l.offsets[j] = sum
+	}
+	return l, nil
+}
+
+// assignCodewords picks k distinct n-bit codewords by deterministic
+// greedy max-min Hamming selection over the full 2^n universe: start
+// from zero, then repeatedly take the word whose minimum distance to
+// every chosen word is largest (ties to the smallest word). This
+// spreads classes as far apart as the plane budget allows without any
+// stored codebook — both ends of a serialization rebuild it from
+// (classes, planes) alone.
+func assignCodewords(k, n int) []uint32 {
+	universe := uint32(1) << uint(n)
+	code := make([]uint32, k)
+	// minDist[w] tracks w's distance to the nearest chosen codeword.
+	minDist := make([]uint8, universe)
+	for w := range minDist {
+		minDist[w] = uint8(n) + 1
+	}
+	chosen := uint32(0)
+	for i := 0; i < k; i++ {
+		code[i] = chosen
+		minDist[chosen] = 0
+		best, bestD := uint32(0), -1
+		for w := uint32(0); w < universe; w++ {
+			if d := bits.OnesCount32(w ^ chosen); int(minDist[w]) > d {
+				minDist[w] = uint8(d)
+			}
+			if int(minDist[w]) > bestD {
+				best, bestD = w, int(minDist[w])
+			}
+		}
+		chosen = best
+	}
+	return code
+}
+
+// Dimensions returns the hypervector dimensionality D.
+func (l *LogHD) Dimensions() int { return l.dims }
+
+// Classes returns the number of classes k.
+func (l *LogHD) Classes() int { return l.classes }
+
+// Planes returns the number of stored base hypervectors n.
+func (l *LogHD) Planes() int { return len(l.planes) }
+
+// PlaneVector returns base plane j — deployed, attackable memory, like
+// Model.ClassVector. Mutating it through attacks or substrate decay is
+// the threat model; recovery has no per-class image to substitute
+// from, which is the robustness cost of compression.
+func (l *LogHD) PlaneVector(j int) *bitvec.Vector {
+	if j < 0 || j >= len(l.planes) {
+		panic(fmt.Sprintf("model: plane %d out of range [0,%d)", j, len(l.planes)))
+	}
+	return l.planes[j]
+}
+
+// Codeword returns class c's n-bit codeword.
+func (l *LogHD) Codeword(c int) uint32 {
+	if c < 0 || c >= l.classes {
+		panic(fmt.Sprintf("model: class %d out of range [0,%d)", c, l.classes))
+	}
+	return l.code[c]
+}
+
+// StorageBits returns the deployed memory footprint in bits: n planes
+// of D bits plus the k stored codewords and the n centering offsets.
+// Compare against the dense k·D (Model's class vectors) for the
+// compression ratio.
+func (l *LogHD) StorageBits() int {
+	return len(l.planes)*l.dims + 32*l.classes + 64*len(l.planes)
+}
+
+// Clone deep-copies the deployment for concurrent use.
+func (l *LogHD) Clone() *LogHD {
+	c := &LogHD{dims: l.dims, classes: l.classes,
+		planes:  make([]*bitvec.Vector, len(l.planes)),
+		code:    append([]uint32(nil), l.code...),
+		offsets: append([]int64(nil), l.offsets...)}
+	for j, p := range l.planes {
+		c.planes[j] = p.Clone()
+	}
+	return c
+}
+
+// SnapshotDeployed deep-copies the deployed planes (the recovery
+// experiments' safe reference copy), mirroring Model.SnapshotDeployed.
+func (l *LogHD) SnapshotDeployed() []*bitvec.Vector {
+	out := make([]*bitvec.Vector, len(l.planes))
+	for j, p := range l.planes {
+		out[j] = p.Clone()
+	}
+	return out
+}
+
+// RestoreDeployed reinstalls a snapshot taken by SnapshotDeployed.
+func (l *LogHD) RestoreDeployed(vs []*bitvec.Vector) {
+	if len(vs) != len(l.planes) {
+		panic(fmt.Sprintf("model: snapshot has %d planes, want %d", len(vs), len(l.planes)))
+	}
+	for j, v := range vs {
+		if v.Len() != l.dims {
+			panic(fmt.Sprintf("model: plane %d has %d dims, want %d", j, v.Len(), l.dims))
+		}
+		l.planes[j].CopyFrom(v)
+	}
+}
+
+// decodeScore folds centered plane distances through class c's
+// codeword: +(k·d_j − O_j) where the codeword bit is set, the negation
+// where clear. Centering cancels the class-independent bias that the
+// prototypes' shared component injects into every plane distance; the
+// true class minimizes the score, exactly as Hamming distance does for
+// the dense model. All-integer so both ends of a serialization score
+// bit-identically.
+func decodeScore(pd []int, code []uint32, offsets []int64, k, c int) int64 {
+	cw := code[c]
+	var score int64
+	for j, d := range pd {
+		t := int64(k)*int64(d) - offsets[j]
+		if cw>>uint(j)&1 == 1 {
+			score += t
+		} else {
+			score -= t
+		}
+	}
+	return score
+}
+
+// SimilaritiesInto writes the per-class normalized similarity of
+// encoded query q into dst (len Classes), allocation-free in steady
+// state. Similarity is 1/2 − score / (2·n·k·D) ∈ [0, 1], the
+// compressed analogue of Model.SimilaritiesInto's 1 − d/D: monotone
+// decreasing in the decoded score, so argmax similarity is argmin
+// score.
+func (l *LogHD) SimilaritiesInto(dst []float64, q *bitvec.Vector) {
+	if len(dst) != l.classes {
+		panic(fmt.Sprintf("model: dst has %d slots, want %d", len(dst), l.classes))
+	}
+	s := l.getScratch()
+	bitvec.HammingMany(q, l.planes, s.pd)
+	denom := 2 * float64(len(l.planes)*l.classes*l.dims)
+	for c := range dst {
+		dst[c] = 0.5 - float64(decodeScore(s.pd, l.code, l.offsets, l.classes, c))/denom
+	}
+	l.putScratch(s)
+}
+
+// Predict returns the class whose codeword-decoded score for q is
+// smallest (ties to the lowest class index, matching bitvec.Nearest).
+func (l *LogHD) Predict(q *bitvec.Vector) int {
+	s := l.getScratch()
+	bitvec.HammingMany(q, l.planes, s.pd)
+	best, bestD := 0, decodeScore(s.pd, l.code, l.offsets, l.classes, 0)
+	for c := 1; c < l.classes; c++ {
+		if d := decodeScore(s.pd, l.code, l.offsets, l.classes, c); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	l.putScratch(s)
+	return best
+}
+
+// ConfidencesInto computes softmax-normalized confidences into dst
+// (len Classes) at the given temperature (≤ 0 selects
+// DefaultConfidenceTemperature), the same contract as
+// Model.ConfidencesInto.
+func (l *LogHD) ConfidencesInto(dst []float64, q *bitvec.Vector, temperature float64) {
+	if temperature <= 0 {
+		temperature = DefaultConfidenceTemperature
+	}
+	s := l.getScratch()
+	l.SimilaritiesInto(s.sims, q)
+	for i := range s.sims {
+		s.sims[i] *= temperature
+	}
+	stats.SoftmaxInto(dst, s.sims)
+	l.putScratch(s)
+}
+
+// PredictWithConfidence returns the predicted class and its softmax
+// confidence, allocation-free in steady state — the same interface as
+// Model.PredictWithConfidence, so serving paths swap backends freely.
+func (l *LogHD) PredictWithConfidence(q *bitvec.Vector, temperature float64) (int, float64) {
+	s := l.getScratch()
+	l.ConfidencesInto(s.conf, q, temperature)
+	best := stats.ArgMax(s.conf)
+	conf := s.conf[best]
+	l.putScratch(s)
+	return best, conf
+}
+
+// AccuracyParallel evaluates accuracy over encoded queries across the
+// given worker count (<= 0 selects GOMAXPROCS), mirroring
+// Model.AccuracyParallel.
+func (l *LogHD) AccuracyParallel(qs []*bitvec.Vector, labels []int, workers int) float64 {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(qs) {
+		workers = len(qs)
+	}
+	preds := make([]int, len(qs))
+	if workers <= 1 || len(qs) < predictParallelMin {
+		for i, q := range qs {
+			preds[i] = l.Predict(q)
+		}
+		return stats.Accuracy(preds, labels)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(qs) {
+					return
+				}
+				preds[i] = l.Predict(qs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return stats.Accuracy(preds, labels)
+}

@@ -9,8 +9,15 @@ import (
 	"repro/internal/bitvec"
 )
 
-// deployedMagic guards the serialized deployed-model format.
-const deployedMagic = 0x52484443 // "RHDC"
+// deployedMagic guards the serialized dense deployed-model format;
+// loghdMagic guards the compressed LogHD deployment. The magic doubles
+// as the backend tag inside stamped system snapshots: a reader
+// expecting one backend refuses the other's image instead of
+// misparsing it.
+const (
+	deployedMagic = 0x52484443 // "RHDC"
+	loghdMagic    = 0x52484C47 // "RHLG"
+)
 
 // WriteDeployed serializes the deployed binary class hypervectors —
 // the model state a device would persist (and an attacker would
@@ -51,6 +58,9 @@ func ReadDeployed(r io.Reader) (*Model, error) {
 			return nil, fmt.Errorf("model: read header: %w", err)
 		}
 	}
+	if magic == loghdMagic {
+		return nil, fmt.Errorf("model: backend tag mismatch: loghd image where a dense model was expected")
+	}
 	if magic != deployedMagic {
 		return nil, fmt.Errorf("model: bad magic %#x", magic)
 	}
@@ -83,4 +93,134 @@ func ReadDeployed(r io.Reader) (*Model, error) {
 		m.SetClassVector(c, &v)
 	}
 	return m, nil
+}
+
+// WriteDeployed serializes the compressed deployment: header, the n
+// base planes as length-prefixed vector blobs, and the per-class
+// codewords. Same persistence contract as Model.WriteDeployed, under
+// its own backend tag.
+func (l *LogHD) WriteDeployed(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	header := []uint64{loghdMagic, uint64(l.classes), uint64(l.dims), uint64(len(l.planes))}
+	for _, v := range header {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("model: write loghd header: %w", err)
+		}
+	}
+	for j, v := range l.planes {
+		data, err := v.MarshalBinary()
+		if err != nil {
+			return fmt.Errorf("model: marshal plane %d: %w", j, err)
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint64(len(data))); err != nil {
+			return fmt.Errorf("model: write plane %d: %w", j, err)
+		}
+		if _, err := bw.Write(data); err != nil {
+			return fmt.Errorf("model: write plane %d: %w", j, err)
+		}
+	}
+	for c, cw := range l.code {
+		if err := binary.Write(bw, binary.LittleEndian, uint64(cw)); err != nil {
+			return fmt.Errorf("model: write codeword %d: %w", c, err)
+		}
+	}
+	for j, o := range l.offsets {
+		if err := binary.Write(bw, binary.LittleEndian, uint64(o)); err != nil {
+			return fmt.Errorf("model: write offset %d: %w", j, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadLogHD deserializes a compressed deployment written by
+// LogHD.WriteDeployed, rejecting dense images by backend tag.
+func ReadLogHD(r io.Reader) (*LogHD, error) {
+	br := bufio.NewReader(r)
+	var magic, classes, dims, planes uint64
+	for _, p := range []*uint64{&magic, &classes, &dims, &planes} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("model: read loghd header: %w", err)
+		}
+	}
+	if magic == deployedMagic {
+		return nil, fmt.Errorf("model: backend tag mismatch: dense image where a loghd model was expected")
+	}
+	if magic != loghdMagic {
+		return nil, fmt.Errorf("model: bad loghd magic %#x", magic)
+	}
+	if classes < 2 || classes > 1<<20 || dims == 0 || dims > 1<<32 ||
+		planes == 0 || planes > maxLogHDPlanes {
+		return nil, fmt.Errorf("model: implausible loghd shape %d classes × %d dims × %d planes",
+			classes, dims, planes)
+	}
+	l := &LogHD{dims: int(dims), classes: int(classes),
+		planes: make([]*bitvec.Vector, planes),
+		code:   make([]uint32, classes)}
+	for j := range l.planes {
+		var n uint64
+		if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+			return nil, fmt.Errorf("model: read plane %d: %w", j, err)
+		}
+		if n > 16+8*(dims/64+1)+64 {
+			return nil, fmt.Errorf("model: plane %d blob of %d bytes too large", j, n)
+		}
+		data := make([]byte, n)
+		if _, err := io.ReadFull(br, data); err != nil {
+			return nil, fmt.Errorf("model: read plane %d: %w", j, err)
+		}
+		var v bitvec.Vector
+		if err := v.UnmarshalBinary(data); err != nil {
+			return nil, fmt.Errorf("model: plane %d: %w", j, err)
+		}
+		if v.Len() != int(dims) {
+			return nil, fmt.Errorf("model: plane %d has %d dims, want %d", j, v.Len(), dims)
+		}
+		l.planes[j] = &v
+	}
+	for c := range l.code {
+		var cw uint64
+		if err := binary.Read(br, binary.LittleEndian, &cw); err != nil {
+			return nil, fmt.Errorf("model: read codeword %d: %w", c, err)
+		}
+		if cw>>planes != 0 {
+			return nil, fmt.Errorf("model: codeword %d (%#x) exceeds %d planes", c, cw, planes)
+		}
+		l.code[c] = uint32(cw)
+	}
+	// Centering offsets are summed Hamming distances, so each is bounded
+	// by k·D; anything larger is corruption.
+	l.offsets = make([]int64, planes)
+	maxOff := classes * dims
+	for j := range l.offsets {
+		var o uint64
+		if err := binary.Read(br, binary.LittleEndian, &o); err != nil {
+			return nil, fmt.Errorf("model: read offset %d: %w", j, err)
+		}
+		if o > maxOff {
+			return nil, fmt.Errorf("model: offset %d (%d) exceeds %d classes × %d dims", j, o, classes, dims)
+		}
+		l.offsets[j] = int64(o)
+	}
+	return l, nil
+}
+
+// ReadBackend reads whichever deployed image the stream carries,
+// dispatching on the leading backend tag: exactly one of the returned
+// backends is non-nil. System snapshots use it so one snapshot format
+// transports both dense and compressed tenants.
+func ReadBackend(r io.Reader) (*Model, *LogHD, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(8)
+	if err != nil {
+		return nil, nil, fmt.Errorf("model: read backend tag: %w", err)
+	}
+	switch binary.LittleEndian.Uint64(head) {
+	case loghdMagic:
+		l, err := ReadLogHD(br)
+		return nil, l, err
+	default:
+		// ReadDeployed owns the unknown-magic diagnostics.
+		m, err := ReadDeployed(br)
+		return m, nil, err
+	}
 }

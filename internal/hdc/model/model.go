@@ -80,6 +80,12 @@ func (m *Model) Dimensions() int { return m.dims }
 // Classes returns the number of classes k.
 func (m *Model) Classes() int { return m.classes }
 
+// StorageBits returns the deployed memory footprint in bits: k class
+// hypervectors of D bits each. This counts only the attackable
+// deployment, not the integer training counters — it is the dense
+// baseline LogHD.StorageBits is compared against.
+func (m *Model) StorageBits() int { return m.classes * m.dims }
+
 // Train accumulates each encoded sample into its class counter
 // (single-pass bundling: C_l = Σ H_j over samples with label l) and
 // binarizes. It returns an error on shape or label problems.

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 )
@@ -43,8 +44,22 @@ type Config struct {
 	// Samples are the feature vectors workers cycle through; required,
 	// and every row must match the server's feature arity.
 	Samples [][]float64
+	// Models is an optional weighted traffic mix for a multi-tenant
+	// registry endpoint: each request body carries a "model" field
+	// naming one entry, chosen by weight, and the Result gains a
+	// per-model breakdown with its own latency quantiles. Empty means
+	// single-model traffic in the plain serve wire format (no "model"
+	// key at all), byte-identical to the pre-registry generator.
+	Models []ModelWeight
 	// Timeout bounds each request (default 30s).
 	Timeout time.Duration
+}
+
+// ModelWeight is one entry of a traffic mix: requests target ID in
+// proportion to Weight (relative to the other entries' weights).
+type ModelWeight struct {
+	ID     string
+	Weight int
 }
 
 func (c *Config) fillDefaults() error {
@@ -68,6 +83,20 @@ func (c *Config) fillDefaults() error {
 	}
 	if c.Timeout <= 0 {
 		c.Timeout = 30 * time.Second
+	}
+	seen := make(map[string]bool, len(c.Models))
+	for i := range c.Models {
+		m := &c.Models[i]
+		if m.ID == "" {
+			return errors.New("loadgen: traffic mix entry with empty model id")
+		}
+		if seen[m.ID] {
+			return fmt.Errorf("loadgen: duplicate model %q in traffic mix", m.ID)
+		}
+		seen[m.ID] = true
+		if m.Weight <= 0 {
+			m.Weight = 1
+		}
 	}
 	return nil
 }
@@ -94,21 +123,46 @@ type Result struct {
 	// Conns / Batch echo the offered concurrency.
 	Conns int `json:"conns"`
 	Batch int `json:"batch"`
+	// PerModel breaks the run down by traffic-mix entry (keyed by model
+	// id); nil when no mix was configured.
+	PerModel map[string]*ModelResult `json:"per_model,omitempty"`
+}
+
+// ModelResult is one model's slice of a mixed run, with its own
+// latency quantiles — a slow tenant hides inside aggregate p99, not
+// inside its own.
+type ModelResult struct {
+	Weight      int     `json:"weight"`
+	Requests    int64   `json:"requests"`
+	Predictions int64   `json:"predictions"`
+	Errors      int64   `json:"errors"`
+	AchievedQPS float64 `json:"achieved_qps"`
+	P50Ns       int64   `json:"p50_ns"`
+	P99Ns       int64   `json:"p99_ns"`
+	MaxNs       int64   `json:"max_ns"`
 }
 
 // predictRequest / predictResponse mirror the serve API's JSON wire
 // format (the serve package is deliberately not imported: loadgen
 // exercises the HTTP surface, not the Go API).
 type predictRequest struct {
-	Xs [][]float64 `json:"xs"`
+	Model string      `json:"model,omitempty"`
+	Xs    [][]float64 `json:"xs"`
 }
 
 type predictResponse struct {
 	Predictions []json.RawMessage `json:"predictions"`
 }
 
-// worker is one closed-loop connection's state.
+// worker is one closed-loop connection's state: one stat slot per
+// traffic-mix entry (a single slot when no mix is configured), so the
+// hot loop appends to plain slices and merging happens once at the
+// end.
 type worker struct {
+	stats []modelStat
+}
+
+type modelStat struct {
 	hist     Hist
 	requests int64
 	preds    int64
@@ -134,10 +188,20 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	defer tr.CloseIdleConnections()
 	client := &http.Client{Transport: tr, Timeout: cfg.Timeout}
 
-	// Pre-marshal the request bodies: workers cycle through distinct
-	// batches so the server sees varied queries, but marshalling per
-	// request would bill JSON encoding to the server's latency.
-	bodies := prebuildBodies(cfg.Samples, cfg.Batch)
+	// Pre-marshal the request bodies per mix entry: workers cycle
+	// through distinct batches so the server sees varied queries, but
+	// marshalling per request would bill JSON encoding to the server's
+	// latency. An empty mix collapses to one unnamed stream whose
+	// bodies carry no "model" key.
+	mix := cfg.Models
+	if len(mix) == 0 {
+		mix = []ModelWeight{{Weight: 1}}
+	}
+	bodies := make([][][]byte, len(mix))
+	for m, mw := range mix {
+		bodies[m] = prebuildBodies(cfg.Samples, cfg.Batch, mw.ID)
+	}
+	schedule := buildSchedule(mix)
 
 	ctx, cancel := context.WithTimeout(ctx, cfg.Warmup+cfg.Duration)
 	defer cancel()
@@ -146,14 +210,15 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	workers := make([]*worker, cfg.Conns)
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Conns; w++ {
-		workers[w] = &worker{}
+		workers[w] = &worker{stats: make([]modelStat, len(mix))}
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			st := workers[w]
 			url := cfg.URL + "/predict"
 			for i := w; ; i++ {
-				body := bodies[i%len(bodies)]
+				m := schedule[i%len(schedule)]
+				st := &workers[w].stats[m]
+				body := bodies[m][i%len(bodies[m])]
 				t0 := time.Now()
 				preds, err := doPredict(ctx, client, url, body)
 				t1 := time.Now()
@@ -180,26 +245,75 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	}
 
 	res := &Result{Conns: cfg.Conns, Batch: cfg.Batch, ElapsedSeconds: elapsed.Seconds()}
-	var h Hist
-	for _, st := range workers {
-		h.Merge(&st.hist)
-		res.Requests += st.requests
-		res.Predictions += st.preds
-		res.Errors += st.errs
+	var total Hist
+	for m, mw := range mix {
+		var h Hist
+		var mr ModelResult
+		for _, wk := range workers {
+			st := &wk.stats[m]
+			h.Merge(&st.hist)
+			mr.Requests += st.requests
+			mr.Predictions += st.preds
+			mr.Errors += st.errs
+		}
+		total.Merge(&h)
+		res.Requests += mr.Requests
+		res.Predictions += mr.Predictions
+		res.Errors += mr.Errors
+		if len(cfg.Models) == 0 {
+			continue // single unnamed stream: no per-model section
+		}
+		mr.Weight = mw.Weight
+		if elapsed > 0 {
+			mr.AchievedQPS = float64(mr.Predictions) / elapsed.Seconds()
+		}
+		mr.P50Ns = h.Quantile(0.50)
+		mr.P99Ns = h.Quantile(0.99)
+		mr.MaxNs = h.Max()
+		if res.PerModel == nil {
+			res.PerModel = make(map[string]*ModelResult, len(mix))
+		}
+		res.PerModel[mw.ID] = &mr
 	}
 	if elapsed > 0 {
 		res.AchievedQPS = float64(res.Predictions) / elapsed.Seconds()
 	}
-	res.P50Ns = h.Quantile(0.50)
-	res.P95Ns = h.Quantile(0.95)
-	res.P99Ns = h.Quantile(0.99)
-	res.MaxNs = h.Max()
+	res.P50Ns = total.Quantile(0.50)
+	res.P95Ns = total.Quantile(0.95)
+	res.P99Ns = total.Quantile(0.99)
+	res.MaxNs = total.Max()
 	return res, nil
 }
 
+// buildSchedule expands the mix into a repeating request schedule with
+// the entries interleaved (largest-remainder order), so a 3:1 mix
+// issues ABAA ABAA... rather than AAAB blocks that would let a slow
+// tenant's queue drain between bursts.
+func buildSchedule(mix []ModelWeight) []int {
+	total := 0
+	for _, mw := range mix {
+		total += mw.Weight
+	}
+	sched := make([]int, 0, total)
+	credit := make([]float64, len(mix))
+	for len(sched) < total {
+		best := 0
+		for m := range mix {
+			credit[m] += float64(mix[m].Weight)
+			if credit[m] > credit[best] {
+				best = m
+			}
+		}
+		credit[best] -= float64(total)
+		sched = append(sched, best)
+	}
+	return sched
+}
+
 // prebuildBodies slices the sample set into rotating batches and
-// marshals each once.
-func prebuildBodies(samples [][]float64, batch int) [][]byte {
+// marshals each once; model, when nonempty, lands in every body as the
+// registry tenant selector.
+func prebuildBodies(samples [][]float64, batch int, model string) [][]byte {
 	n := len(samples)
 	variants := n / batch
 	if variants < 1 {
@@ -214,7 +328,7 @@ func prebuildBodies(samples [][]float64, batch int) [][]byte {
 		for j := range xs {
 			xs[j] = samples[(v*batch+j)%n]
 		}
-		raw, err := json.Marshal(predictRequest{Xs: xs})
+		raw, err := json.Marshal(predictRequest{Model: model, Xs: xs})
 		if err != nil {
 			panic(err) // [][]float64 cannot fail to marshal
 		}
@@ -268,12 +382,14 @@ type ReportBenchmark struct {
 }
 
 // BenchReport wraps the result as a benchjson-style document under the
-// given benchmark name, with context key/value pairs.
+// given benchmark name, with context key/value pairs. A mixed run adds
+// one "name/modelID" entry per tenant (sorted by id) so CI gates can
+// jq-assert each tenant's qps and errors individually.
 func (r *Result) BenchReport(name string, ctx map[string]string) *Report {
 	if ctx == nil {
 		ctx = map[string]string{}
 	}
-	return &Report{
+	doc := &Report{
 		Context: ctx,
 		Benchmarks: []ReportBenchmark{{
 			Name: name,
@@ -292,4 +408,26 @@ func (r *Result) BenchReport(name string, ctx map[string]string) *Report {
 			},
 		}},
 	}
+	ids := make([]string, 0, len(r.PerModel))
+	for id := range r.PerModel {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		mr := r.PerModel[id]
+		doc.Benchmarks = append(doc.Benchmarks, ReportBenchmark{
+			Name: name + "/" + id,
+			Runs: mr.Requests,
+			Metrics: map[string]float64{
+				"qps":         mr.AchievedQPS,
+				"p50-ns":      float64(mr.P50Ns),
+				"p99-ns":      float64(mr.P99Ns),
+				"max-ns":      float64(mr.MaxNs),
+				"errors":      float64(mr.Errors),
+				"predictions": float64(mr.Predictions),
+				"weight":      float64(mr.Weight),
+			},
+		})
+	}
+	return doc
 }

@@ -197,3 +197,115 @@ func TestReportEnvelope(t *testing.T) {
 		t.Fatalf("benchmark entry: %+v", b)
 	}
 }
+
+// TestRunWeightedMix drives a stub registry endpoint with a 3:1 mix
+// and checks per-model attribution: bodies carry the model selector,
+// weights shape the traffic split, quantiles exist per model, and the
+// per-model sections sum to the aggregate.
+func TestRunWeightedMix(t *testing.T) {
+	var alpha, beta atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Model string      `json:"model"`
+			Xs    [][]float64 `json:"xs"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), 400)
+			return
+		}
+		switch req.Model {
+		case "alpha":
+			alpha.Add(1)
+		case "beta":
+			beta.Add(1)
+		default:
+			http.Error(w, "request names no model", 400)
+			return
+		}
+		preds := make([]map[string]any, len(req.Xs))
+		for i := range preds {
+			preds[i] = map[string]any{"class": 0, "confidence": 1.0}
+		}
+		_ = json.NewEncoder(w).Encode(map[string]any{"predictions": preds})
+	}))
+	defer ts.Close()
+
+	samples := make([][]float64, 16)
+	for i := range samples {
+		samples[i] = []float64{float64(i)}
+	}
+	res, err := Run(context.Background(), Config{
+		URL:      ts.URL,
+		Conns:    2,
+		Batch:    2,
+		Warmup:   50 * time.Millisecond,
+		Duration: 400 * time.Millisecond,
+		Samples:  samples,
+		Models:   []ModelWeight{{ID: "alpha", Weight: 3}, {ID: "beta", Weight: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("errors %d — stub rejected a body, selector missing?", res.Errors)
+	}
+	if len(res.PerModel) != 2 {
+		t.Fatalf("per-model sections: %v", res.PerModel)
+	}
+	var sumReq, sumPred, sumErr int64
+	for id, mr := range res.PerModel {
+		if mr.Requests == 0 || mr.P50Ns <= 0 || mr.P99Ns < mr.P50Ns {
+			t.Fatalf("model %s: %+v", id, mr)
+		}
+		sumReq += mr.Requests
+		sumPred += mr.Predictions
+		sumErr += mr.Errors
+	}
+	if sumReq != res.Requests || sumPred != res.Predictions || sumErr != res.Errors {
+		t.Fatalf("per-model sums (%d,%d,%d) disagree with aggregate (%d,%d,%d)",
+			sumReq, sumPred, sumErr, res.Requests, res.Predictions, res.Errors)
+	}
+	a, bm := res.PerModel["alpha"], res.PerModel["beta"]
+	if a.Weight != 3 || bm.Weight != 1 {
+		t.Fatalf("weights not echoed: alpha=%d beta=%d", a.Weight, bm.Weight)
+	}
+	// The closed-loop split tracks the 3:1 schedule; allow slack for
+	// boundary effects on a short window.
+	if ratio := float64(a.Requests) / float64(bm.Requests); ratio < 2 || ratio > 4.5 {
+		t.Fatalf("traffic split %0.2f:1, want ~3:1 (alpha=%d beta=%d)", ratio, a.Requests, bm.Requests)
+	}
+
+	// The mixed report gains one entry per tenant after the aggregate.
+	doc := res.BenchReport("serve_load_multi", nil)
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("report entries: %+v", doc.Benchmarks)
+	}
+	if doc.Benchmarks[1].Name != "serve_load_multi/alpha" || doc.Benchmarks[2].Name != "serve_load_multi/beta" {
+		t.Fatalf("per-model entry names: %q, %q", doc.Benchmarks[1].Name, doc.Benchmarks[2].Name)
+	}
+	if doc.Benchmarks[1].Metrics["qps"] <= 0 || doc.Benchmarks[1].Metrics["weight"] != 3 {
+		t.Fatalf("alpha entry metrics: %v", doc.Benchmarks[1].Metrics)
+	}
+}
+
+// TestBuildSchedule pins the interleave: a 3:1 mix never has the
+// minority model absent from any window of 4, and weights are honored
+// exactly over one period.
+func TestBuildSchedule(t *testing.T) {
+	sched := buildSchedule([]ModelWeight{{ID: "a", Weight: 3}, {ID: "b", Weight: 1}})
+	if len(sched) != 4 {
+		t.Fatalf("schedule %v", sched)
+	}
+	counts := map[int]int{}
+	for _, m := range sched {
+		counts[m]++
+	}
+	if counts[0] != 3 || counts[1] != 1 {
+		t.Fatalf("weights not honored: %v", sched)
+	}
+	for i := 1; i < len(sched); i++ {
+		if sched[i] == sched[i-1] && sched[i] == 1 {
+			t.Fatalf("minority model doubled up: %v", sched)
+		}
+	}
+}

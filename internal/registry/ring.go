@@ -1,0 +1,70 @@
+package registry
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// vnodesPerShard is how many ring points each batching shard
+// contributes. More vnodes smooth the key→shard distribution; 16 keeps
+// the max/min shard load within a few percent for realistic key
+// populations while the ring stays small enough to rebuild on every
+// tenant install.
+const vnodesPerShard = 16
+
+// ring is a consistent-hash dispatch table over one tenant's batching
+// shards: each shard owns vnodesPerShard points on a uint64 circle,
+// and a routing key maps to the shard owning the first point at or
+// after the key's hash. Consistency is the point — when a tenant is
+// recreated with a different shard count, only ~1/n of the key space
+// changes shards, so a steady client keeps its batch affinity across
+// reconfigurations instead of reshuffling everywhere.
+//
+// A ring is immutable after build; tenants swap whole rings.
+type ring struct {
+	hashes []uint64
+	shards []int
+}
+
+// buildRing lays out vnodesPerShard points per shard, keyed by the
+// tenant id so two tenants with equal shard counts still get
+// independent layouts.
+func buildRing(tenantID string, shards int) *ring {
+	n := shards * vnodesPerShard
+	r := &ring{hashes: make([]uint64, 0, n), shards: make([]int, n)}
+	type point struct {
+		h     uint64
+		shard int
+	}
+	points := make([]point, 0, n)
+	for s := 0; s < shards; s++ {
+		for v := 0; v < vnodesPerShard; v++ {
+			points = append(points, point{hashKey(tenantID + "/" + strconv.Itoa(s) + "#" + strconv.Itoa(v)), s})
+		}
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i].h < points[j].h })
+	for i, p := range points {
+		r.hashes = append(r.hashes, p.h)
+		r.shards[i] = p.shard
+	}
+	return r
+}
+
+// lookup maps a key hash to its owning shard: the first ring point at
+// or after the hash, wrapping at the top of the circle.
+func (r *ring) lookup(h uint64) int {
+	i := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	if i == len(r.hashes) {
+		i = 0
+	}
+	return r.shards[i]
+}
+
+// hashKey is FNV-64a over the key bytes — fast, dependency-free, and
+// well-distributed for the short id/session strings routed here.
+func hashKey(key string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	return h.Sum64()
+}

@@ -140,6 +140,13 @@ type trainRequest struct {
 
 	Online bool `json:"online,omitempty"`
 
+	// Backend selects the deployed representation: "" or "dense" keeps
+	// the k class hypervectors; "loghd" compresses the freshly trained
+	// model into log-compressed planes (ExtraPlanes redundancy planes on
+	// top of ceil(log2 k)) before installing it.
+	Backend     string `json:"backend,omitempty"`
+	ExtraPlanes int    `json:"extra_planes,omitempty"`
+
 	ProbeX [][]float64 `json:"probe_x,omitempty"`
 	ProbeY []int       `json:"probe_y,omitempty"`
 }
@@ -171,6 +178,18 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, fmt.Errorf("%w: %v", ErrBadInput, err))
 		return
 	}
+	switch req.Backend {
+	case "", "dense":
+	case "loghd":
+		sys, err = sys.CompressLogHD(req.ExtraPlanes)
+		if err != nil {
+			writeErr(w, fmt.Errorf("%w: %v", ErrBadInput, err))
+			return
+		}
+	default:
+		writeErr(w, fmt.Errorf("%w: unknown backend %q (want dense or loghd)", ErrBadInput, req.Backend))
+		return
+	}
 	if err := s.install(sys); err != nil {
 		writeErr(w, err)
 		return
@@ -185,6 +204,7 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 		"classes":    sys.Classes(),
 		"dimensions": sys.Dimensions(),
 		"features":   sys.Features(),
+		"backend":    sys.Backend(),
 	})
 }
 
@@ -359,7 +379,7 @@ func (s *Server) handleAttack(w http.ResponseWriter, r *http.Request) {
 		s.mu.Lock()
 		res, err = drill(sys)
 		if st := s.live.Load(); err == nil && st != nil && st.chain != nil && st.sys == sys && res.BitsFlipped > 0 {
-			st.chain.Publish(sys.Model(), nil)
+			st.chain.Publish(sys.Freezer(), nil)
 		}
 		s.mu.Unlock()
 	}

@@ -1,0 +1,187 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fleet"
+)
+
+// freshLogHDServer compresses the shared test system and serves it —
+// the compressed-backend twin of freshServer.
+func freshLogHDServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	ds, spec, _ := problem(t)
+	sys, err := core.Train(ds.TrainX, ds.TrainY, spec.Classes, core.Config{
+		Dimensions: 4096,
+		Seed:       7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := sys.CompressLogHD(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts
+}
+
+// TestServeLogHDBackend exercises the full serving surface over a
+// compressed tenant: predict through the RCU read path, metrics
+// reporting the backend, snapshot/restore round-tripping the RHLG
+// image, attack drills publishing plane reimages, and the dense-only
+// paths refusing with 400s instead of panicking.
+func TestServeLogHDBackend(t *testing.T) {
+	srv, ts := freshLogHDServer(t, Config{DisableRecovery: false})
+	ds, _, _ := problem(t)
+
+	// Predictions flow and stay sane.
+	hit := 0
+	for i, x := range ds.TestX {
+		p, err := srv.Predict(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Class == ds.TestY[i] {
+			hit++
+		}
+	}
+	if acc := float64(hit) / float64(len(ds.TestX)); acc < 0.6 {
+		t.Fatalf("served loghd accuracy %.3f implausibly low", acc)
+	}
+
+	// Metrics name the backend.
+	var m Metrics
+	getJSON(t, ts.URL+"/metrics", &m)
+	if m.Model == nil || m.Model.Backend != "loghd" {
+		t.Fatalf("metrics model = %+v, want loghd backend", m.Model)
+	}
+	if m.Recovery.Stats.Queries != 0 {
+		t.Fatal("recovery observed queries on a compressed backend")
+	}
+
+	// Snapshot → restore round-trips the compressed image.
+	resp, err := http.Get(ts.URL + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := new(bytes.Buffer)
+	if _, err := snap.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	resp, err = http.Post(ts.URL+"/restore", "application/octet-stream", bytes.NewReader(snap.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&restored); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("restore of loghd snapshot: %d %v", resp.StatusCode, restored)
+	}
+
+	// An attack drill lands on the planes and republishes.
+	resp, data := postJSON(t, ts.URL+"/attack", map[string]any{"kind": "random", "rate": 0.05, "seed": 3})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("attack on loghd backend: %d %s", resp.StatusCode, data)
+	}
+
+	// Online retrain has no counters to accumulate into: 400, not a
+	// panic.
+	resp, data = postJSON(t, ts.URL+"/train", map[string]any{
+		"online": true, "x": ds.TrainX[:4], "y": ds.TrainY[:4]})
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(data), "dense backend") {
+		t.Fatalf("online retrain on loghd = %d %s, want 400 dense-backend error", resp.StatusCode, data)
+	}
+}
+
+// TestServeTrainLogHDBackend drives /train with backend loghd and
+// checks the installed tenant is compressed.
+func TestServeTrainLogHDBackend(t *testing.T) {
+	srv, ts, ds := freshServer(t, Config{})
+	resp, data := postJSON(t, ts.URL+"/train", map[string]any{
+		"x": ds.TrainX, "y": ds.TrainY, "classes": 5,
+		"dimensions": 2048, "seed": 11,
+		"backend": "loghd", "extra_planes": 2,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("train loghd: %d %s", resp.StatusCode, data)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out["backend"] != "loghd" {
+		t.Fatalf("train response backend %v", out["backend"])
+	}
+	if got := srv.system().Backend(); got != "loghd" {
+		t.Fatalf("installed backend %q", got)
+	}
+	resp, data = postJSON(t, ts.URL+"/train", map[string]any{
+		"x": ds.TrainX[:8], "y": ds.TrainY[:8], "classes": 5, "backend": "nope"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown backend accepted: %d %s", resp.StatusCode, data)
+	}
+}
+
+// TestServeLogHDRejectsDenseOnlyModes pins the construction-time walls:
+// fleet replication and the node API repair per-class state that a
+// compressed deployment does not have.
+func TestServeLogHDRejectsDenseOnlyModes(t *testing.T) {
+	ds, spec, _ := problem(t)
+	sys, err := core.Train(ds.TrainX, ds.TrainY, spec.Classes, core.Config{Dimensions: 1024, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := sys.CompressLogHD(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(c, Config{Fleet: &fleet.Config{Replicas: 3}}); err == nil ||
+		!strings.Contains(err.Error(), "dense backend") {
+		t.Fatalf("fleet over loghd: %v", err)
+	}
+	if _, err := New(c, Config{NodeAPI: true}); err == nil ||
+		!strings.Contains(err.Error(), "dense backend") {
+		t.Fatalf("node API over loghd: %v", err)
+	}
+}
+
+// TestServeLogHDSubstrateScrub mounts a decay substrate on the planes
+// and checks scrub ticks flip bits and republish without touching any
+// dense-only machinery.
+func TestServeLogHDSubstrateScrub(t *testing.T) {
+	srv, _ := freshLogHDServer(t, Config{Substrate: decaySubstrate(), ScrubTick: time.Hour})
+	// The decay substrate samples weak cells as long wordline runs, so a
+	// small plane image holds only a handful of retention draws — scrub
+	// far past the retention median so expiry is certain.
+	res, err := srv.ScrubNow(30 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BitsFlipped == 0 {
+		t.Fatal("substrate scrub flipped nothing on the planes")
+	}
+	ds, _, _ := problem(t)
+	if _, err := srv.Predict(ds.TestX[0]); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -91,6 +91,12 @@ type ModelInfo struct {
 	Classes    int `json:"classes"`
 	Dimensions int `json:"dimensions"`
 	Features   int `json:"features"`
+	// Backend names the scoring representation: "dense" (k class
+	// hypervectors) or "loghd" (log-compressed planes).
+	Backend string `json:"backend"`
+	// StorageBits is the deployed class-memory footprint of that
+	// backend — the denominator of the LogHD compression ratio.
+	StorageBits int `json:"storage_bits"`
 }
 
 // RecoveryInfo reports the self-healing loop's state.
@@ -231,9 +237,11 @@ func (s *Server) MetricsSnapshot() Metrics {
 	if st := s.live.Load(); st != nil {
 		out.Ready = true
 		out.Model = &ModelInfo{
-			Classes:    st.sys.Classes(),
-			Dimensions: st.sys.Dimensions(),
-			Features:   st.sys.Features(),
+			Classes:     st.sys.Classes(),
+			Dimensions:  st.sys.Dimensions(),
+			Features:    st.sys.Features(),
+			Backend:     st.sys.Backend(),
+			StorageBits: st.sys.StorageBits(),
 		}
 		if st.rec != nil {
 			out.Recovery.Stats = st.rec.Stats()

@@ -236,7 +236,7 @@ func (s *Server) handleNodeRepair(w http.ResponseWriter, r *http.Request) {
 	out := cluster.RepairResponse{Applied: len(req.Chunks)}
 	for i, cd := range req.Chunks {
 		out.Bits += cd.Hi - cd.Lo
-		s.cfg.Journal.Append(fleet.Event{Kind: fleet.EventRepair, Replica: -1,
+		s.journalAppend(fleet.Event{Kind: fleet.EventRepair, Replica: -1,
 			Class: cd.Class, Chunk: -1, Bits: changed[i],
 			Detail: fmt.Sprintf("pushed [%d,%d)", cd.Lo, cd.Hi)})
 	}
@@ -316,7 +316,7 @@ func (s *Server) handleNodeReseed(w http.ResponseWriter, r *http.Request) {
 		// image descends from.
 		detail += fmt.Sprintf(", donor journal root %x@%d", donorAnchor.Root, donorAnchor.SealedSeq)
 	}
-	s.cfg.Journal.Append(fleet.Event{Kind: fleet.EventReseed, Replica: -1, Class: -1, Chunk: -1,
+	s.journalAppend(fleet.Event{Kind: fleet.EventReseed, Replica: -1, Class: -1, Chunk: -1,
 		Bits: bits, Detail: detail})
 	resp := map[string]any{"classes": sys.Classes(), "dimensions": sys.Dimensions(), "bits": bits}
 	if !math.IsNaN(stamp) {

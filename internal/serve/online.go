@@ -63,8 +63,13 @@ func (s *Server) RetrainOnline(xs [][]float64, ys []int, epochs int) (int, error
 	s.trainMu.Lock()
 	defer s.trainMu.Unlock()
 
-	encoded := sys.EncodeAllParallel(xs, s.cfg.EncodeWorkers)
 	m := sys.Model()
+	if m == nil {
+		// Compressed backends carry no training counters to accumulate
+		// into; retrain the dense source and re-compress instead.
+		return 0, fmt.Errorf("%w: online retrain requires the dense backend, got %q", ErrBadInput, sys.Backend())
+	}
+	encoded := sys.EncodeAllParallel(xs, s.cfg.EncodeWorkers)
 	mistakes := 0
 	for e := 0; e < epochs; e++ {
 		var dep []*bitvec.Vector

@@ -180,13 +180,24 @@ func TestOnlineRetrainDoesNotBlockPredict(t *testing.T) {
 	}
 
 	// Replicate the training set so the retrain's encode + accumulate
-	// phases dominate the test's wall clock.
-	const reps = 8
+	// phases dominate the test's wall clock — and span many scheduler
+	// quanta, so the predict loop is guaranteed CPU time while the
+	// retrain saturates the encode workers. A retrain shorter than one
+	// preemption quantum can starve the serial predictor for its whole
+	// duration and void the measurement.
+	const reps = 32
 	xs := make([][]float64, 0, reps*len(ds.TrainX))
 	ys := make([]int, 0, reps*len(ds.TrainY))
 	for r := 0; r < reps; r++ {
 		xs = append(xs, ds.TrainX...)
 		ys = append(ys, ds.TrainY...)
+	}
+
+	// Warm the batch path first: the opening predict pays one-time
+	// batcher/encoder costs, and losing that warmup race to the retrain
+	// would void the "predicts complete during retrain" measurement.
+	if _, err := srv.Predict(ds.TestX[0]); err != nil {
+		t.Fatal(err)
 	}
 
 	var retrainDone atomic.Bool

@@ -24,7 +24,7 @@ func (s *Server) ScrubNow(elapsed time.Duration) (attack.Result, error) {
 		st.publishSubStats()
 		if res.BitsFlipped > 0 {
 			// The fault process may have touched any class: full reimage.
-			st.chain.Publish(st.sys.Model(), nil)
+			st.chain.Publish(st.sys.Freezer(), nil)
 		}
 		scrubbed = true
 	}

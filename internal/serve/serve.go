@@ -137,6 +137,15 @@ type Config struct {
 	// stream in fleet mode (nil drops them).
 	Journal *fleet.Journal
 
+	// ModelID tags this server's journal events with a tenant model id
+	// for multi-model processes (internal/registry). Events are stamped
+	// at the source — not via Journal.SetModelTag — so every tenant in a
+	// registry can share one journal without clobbering each other's
+	// default tag. Empty leaves events untagged — the default tenant —
+	// so single-model journals are byte-identical to what they were
+	// before tenancy existed.
+	ModelID string
+
 	// NodeAPI mounts the /node/* cluster-node endpoints: raw local
 	// scoring, chunk-hash summaries, chunk fetch/repair, and snapshot/
 	// reseed streaming for a networked coordinator (internal/cluster).
@@ -308,11 +317,23 @@ func (s *Server) install(sys *core.System) error {
 	if s.closed.Load() {
 		return ErrClosed
 	}
+	if sys.Backend() != "dense" {
+		// Compressed backends have no per-class vectors to replicate,
+		// repair chunk-by-class, or substitute into — the robustness cost
+		// of compression the experiments measure. They still serve, scrub,
+		// snapshot, roll back, and take attack drills.
+		if s.cfg.Fleet != nil {
+			return fmt.Errorf("serve: fleet replication requires the dense backend, got %q", sys.Backend())
+		}
+		if s.cfg.NodeAPI {
+			return fmt.Errorf("serve: the node API requires the dense backend, got %q", sys.Backend())
+		}
+	}
 	if s.cfg.Fleet != nil {
 		return s.installFleet(sys)
 	}
 	var rec *recovery.Recoverer
-	if !s.cfg.DisableRecovery {
+	if !s.cfg.DisableRecovery && sys.Backend() == "dense" {
 		r, err := sys.NewRecoverer(s.cfg.Recovery, s.cfg.RecoverySeed)
 		if err != nil {
 			return fmt.Errorf("serve: %w", err)
@@ -328,7 +349,7 @@ func (s *Server) install(sys *core.System) error {
 		sub = p
 	}
 	st := &liveState{sys: sys, rec: rec, sub: sub}
-	st.chain = model.NewEpochChain(sys.Model())
+	st.chain = model.NewEpochChain(sys.Freezer())
 	st.publishSubStats()
 	s.mu.Lock()
 	s.live.Store(st)
@@ -360,6 +381,9 @@ func (s *Server) installFleet(sys *core.System) error {
 	}
 	if fcfg.Journal == nil {
 		fcfg.Journal = s.cfg.Journal
+	}
+	if fcfg.ModelID == "" {
+		fcfg.ModelID = s.cfg.ModelID
 	}
 	flt, err := fleet.New(sys, fcfg)
 	if err != nil {
@@ -418,6 +442,24 @@ func (s *Server) Ready() bool { return s.system() != nil }
 func (s *Server) Predict(x []float64) (Prediction, error) {
 	req := &request{x: x, resp: make(chan result, 1)}
 	if err := s.pool.submit(req); err != nil {
+		return Prediction{}, err
+	}
+	res := <-req.resp
+	return res.pred, res.err
+}
+
+// Shards reports the batching pool's shard count — the dispatch space
+// a consistent-hash router (internal/registry) spreads keys over.
+func (s *Server) Shards() int { return s.cfg.Shards }
+
+// PredictShard classifies one raw feature vector through a specific
+// batching shard instead of the round-robin default. The registry's
+// consistent-hash dispatcher uses it to give each routing key a stable
+// shard, so one tenant's traffic batches together instead of smearing
+// across every queue.
+func (s *Server) PredictShard(x []float64, shard uint64) (Prediction, error) {
+	req := &request{x: x, resp: make(chan result, 1)}
+	if err := s.pool.submitTo(req, shard); err != nil {
 		return Prediction{}, err
 	}
 	res := <-req.resp

@@ -232,22 +232,33 @@ func (s *Server) WatchdogNow() WatchdogReport {
 // journal (no-op without one). Only actions are journaled — a healthy
 // window that did nothing leaves no line.
 func (s *Server) journalWatchdog(rep WatchdogReport) {
-	j := s.cfg.Journal
-	if j == nil {
+	if s.cfg.Journal == nil {
 		return
 	}
 	if rep.Escalated {
-		_ = j.Append(fleet.Event{Kind: fleet.EventWatchdog, Replica: -1, Class: -1, Chunk: -1,
+		s.journalAppend(fleet.Event{Kind: fleet.EventWatchdog, Replica: -1, Class: -1, Chunk: -1,
 			Tier: rep.Tier, Detail: "escalate"})
 	}
 	if rep.RolledBack {
-		_ = j.Append(fleet.Event{Kind: fleet.EventWatchdog, Replica: -1, Class: -1, Chunk: -1,
+		s.journalAppend(fleet.Event{Kind: fleet.EventWatchdog, Replica: -1, Class: -1, Chunk: -1,
 			Tier: rep.Tier, Detail: "rollback"})
 	}
 	if rep.Checkpointed {
-		_ = j.Append(fleet.Event{Kind: fleet.EventWatchdog, Replica: -1, Class: -1, Chunk: -1,
+		s.journalAppend(fleet.Event{Kind: fleet.EventWatchdog, Replica: -1, Class: -1, Chunk: -1,
 			Tier: rep.Tier, Detail: "checkpoint"})
 	}
+}
+
+// journalAppend stamps the server's tenant id (when configured) onto
+// the event and appends it to the configured journal. Stamping at the
+// source keeps a journal shared by many registry tenants correctly
+// attributed; single-model servers leave ModelID empty and write the
+// pre-tenancy untagged format.
+func (s *Server) journalAppend(e fleet.Event) {
+	if e.Model == "" {
+		e.Model = s.cfg.ModelID
+	}
+	_ = s.cfg.Journal.Append(e)
 }
 
 // escalateLocked raises the live recovery substitution rate by
@@ -332,19 +343,24 @@ func (s *Server) rollbackLocked(w *watchdogState, cfg WatchdogConfig) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := s.live.Load()
-	if st == nil || len(snap) != st.sys.Classes() || len(snap) == 0 || snap[0].Len() != st.sys.Dimensions() {
+	// The snapshot rows are class vectors for a dense system and base
+	// planes for a compressed one, so shape compatibility is backend +
+	// (classes, dims), not row count alone.
+	if st == nil || restored.Backend() != st.sys.Backend() ||
+		restored.Classes() != st.sys.Classes() ||
+		len(snap) == 0 || snap[0].Len() != st.sys.Dimensions() {
 		w.cp = nil
 		return false
 	}
 	st.sys.Restore(snap)
 	if st.sub != nil {
-		st.sub.NoteWrites(st.sys.Classes() * st.sys.Dimensions())
+		st.sub.NoteWrites(len(snap) * st.sys.Dimensions())
 		st.sub.Refresh()
 		st.publishSubStats()
 	}
 	if st.chain != nil {
-		// Every class was rewritten: full reimage.
-		st.chain.Publish(st.sys.Model(), nil)
+		// Every row was rewritten: full reimage.
+		st.chain.Publish(st.sys.Freezer(), nil)
 	}
 	return true
 }
